@@ -1,0 +1,444 @@
+// Benchmarks, one per exhibit of the paper (Table I, Figs. 1–8) plus the
+// quantitative experiments E1–E5 of DESIGN.md. Each bench drives the same
+// machinery the corresponding exhibit is generated from, so `go test
+// -bench=.` doubles as a performance regression harness for the whole
+// reproduction.
+package flowsched
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"flowsched/internal/arch"
+	"flowsched/internal/baseline"
+	"flowsched/internal/fourlevel"
+	"flowsched/internal/gantt"
+	"flowsched/internal/level"
+	"flowsched/internal/pert"
+	"flowsched/internal/predict"
+	"flowsched/internal/report"
+	"flowsched/internal/schema"
+	"flowsched/internal/vclock"
+	"flowsched/internal/workload"
+)
+
+// BenchmarkTableI_AdapterConformance instantiates all six surveyed
+// systems on the Fig. 4 schema and renders Table I.
+func BenchmarkTableI_AdapterConformance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		systems := fourlevel.AllSystems()
+		for _, s := range systems {
+			if err := s.Instantiate(workload.Fig4()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if out := fourlevel.TableI(systems); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig1_PlanAndLink measures the full plan→execute→link cycle
+// whose result Fig. 1 depicts.
+func BenchmarkFig1_PlanAndLink(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := report.NewScenario()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Execute(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2_DatabaseInit measures task-database initialization from a
+// schema (both Level 3 spaces).
+func BenchmarkFig2_DatabaseInit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p, err := New(Fig4Schema, Options{Designer: "bench"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = p
+	}
+}
+
+// BenchmarkFig3_MirrorSpaces measures the paired execution/schedule
+// space population of the paper scenario.
+func BenchmarkFig3_MirrorSpaces(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := report.Fig3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4_SchemaParse measures parsing the construction-rule DSL.
+func BenchmarkFig4_SchemaParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := schema.Parse(workload.Fig4Source); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5_Planning measures schedule planning (simulated
+// execution) on the paper scenario: two planning passes.
+func BenchmarkFig5_Planning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := report.NewScenario(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6_Execution measures flow execution with iteration (two
+// runs per activity).
+func BenchmarkFig6_Execution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := report.NewScenario()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Execute(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7_CompleteAndLink measures completion linking and slip
+// propagation in isolation (plan + execute prepared outside the loop is
+// impossible since completion mutates; re-measure the delta over Fig6 by
+// comparison).
+func BenchmarkFig7_CompleteAndLink(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := report.Fig7(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8_GanttRender measures Gantt rendering of a 20-task plan.
+func BenchmarkFig8_GanttRender(b *testing.B) {
+	cal := vclock.Standard()
+	rows := make([]gantt.Row, 20)
+	at := vclock.Epoch
+	for i := range rows {
+		fin := cal.AddWork(at, 8*time.Hour)
+		rows[i] = gantt.Row{
+			Name: "task" + string(rune('a'+i)), PlannedStart: at, PlannedFinish: fin,
+			ActualStart: at, ActualFinish: fin, Done: i%2 == 0,
+		}
+		at = fin
+	}
+	c := &gantt.Chart{Title: "bench", Calendar: cal, Rows: rows, Now: at}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := c.Render(); len(out) == 0 {
+			b.Fatal("empty chart")
+		}
+	}
+}
+
+// BenchmarkE1_TrackingDrift measures the integrated-vs-separate tracking
+// comparison over a 200-event stream.
+func BenchmarkE1_TrackingDrift(b *testing.B) {
+	events := make([]baseline.Event, 200)
+	at := vclock.Epoch
+	for i := range events {
+		kind := baseline.Start
+		if i%2 == 1 {
+			kind = baseline.Finish
+		}
+		events[i] = baseline.Event{Activity: "a", Kind: kind, At: at}
+		at = at.Add(5 * time.Hour)
+	}
+	cfg := baseline.SeparateConfig{
+		Period: 7 * 24 * time.Hour, FirstMeeting: vclock.Epoch.Add(48 * time.Hour),
+		MissProb: 0.1, Seed: 1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.Compare(events, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2_Prediction measures predictor evaluation over a 64-project
+// history.
+func BenchmarkE2_Prediction(b *testing.B) {
+	samples := make([]predict.Sample, 64)
+	for i := range samples {
+		samples[i] = predict.Sample{
+			Duration: time.Duration(20+i%7) * time.Hour,
+			Size:     1 + float64(i)*0.05,
+		}
+	}
+	preds := []predict.Predictor{predict.Mean{}, predict.EWMA{Alpha: 0.5}, predict.Regression{}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range preds {
+			if _, err := predict.Evaluate(p, samples, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchScale plans and executes a layered flow of the given size.
+func benchScale(b *testing.B, depth, width int, execute bool) {
+	b.Helper()
+	sch, err := workload.Layered(workload.LayeredConfig{
+		Depth: depth, Width: width, FanIn: 2, Seed: 11,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	est, err := workload.Estimates(sch, 8*time.Hour, 0.2, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	targets := sch.PrimaryOutputs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := NewFromSchema(sch, Options{Designer: "bench"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Plan(targets, est, PlanOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		if !execute {
+			continue
+		}
+		if err := p.UseSimulatedTools(); err != nil {
+			b.Fatal(err)
+		}
+		for _, leaf := range sch.PrimaryInputs() {
+			if _, err := p.Import(leaf, []byte("seed")); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := p.Run(targets, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE3_PlanScale sweeps planning over growing flows.
+func BenchmarkE3_PlanScale_16(b *testing.B)  { benchScale(b, 4, 4, false) }
+func BenchmarkE3_PlanScale_64(b *testing.B)  { benchScale(b, 8, 8, false) }
+func BenchmarkE3_PlanScale_256(b *testing.B) { benchScale(b, 16, 16, false) }
+
+// BenchmarkE3_ExecScale sweeps tracked execution over growing flows.
+func BenchmarkE3_ExecScale_16(b *testing.B) { benchScale(b, 4, 4, true) }
+func BenchmarkE3_ExecScale_64(b *testing.B) { benchScale(b, 8, 8, true) }
+
+// BenchmarkE4_CriticalPath measures CPM analysis on a 256-activity network.
+func BenchmarkE4_CriticalPath(b *testing.B) {
+	sch, err := workload.Layered(workload.LayeredConfig{Depth: 16, Width: 16, FanIn: 2, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var acts []pert.Activity
+	for _, r := range sch.Rules() {
+		var preds []string
+		for _, in := range r.Inputs {
+			if p := sch.Producer(in); p != nil {
+				preds = append(preds, p.Activity)
+			}
+		}
+		acts = append(acts, pert.Activity{Name: r.Activity, Duration: 8 * time.Hour, Preds: preds})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net, err := pert.NewNetwork(acts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := net.Analyze(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE5_Query measures §IV.B query evaluation over a populated
+// database.
+func BenchmarkE5_Query(b *testing.B) {
+	p, err := New(Fig4Schema, Options{Designer: "bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := p.UseSimulatedTools(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.Import("stimuli", []byte("v")); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.Plan([]string{"performance"}, Fixed{Default: 8 * time.Hour}, PlanOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.Run([]string{"performance"}, true); err != nil {
+		b.Fatal(err)
+	}
+	queries := []string{"duration of Create", "lineage", "load", "runs of Create"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			if _, err := p.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Ablation benches for DESIGN.md design choices -------------------------
+
+// BenchmarkAblation_ResourceLeveling compares list scheduling across team
+// sizes on a 64-activity flow (the cost of the optimization itself).
+func BenchmarkAblation_ResourceLeveling(b *testing.B) {
+	sch, err := workload.Layered(workload.LayeredConfig{Depth: 8, Width: 8, FanIn: 2, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var tasks []level.Task
+	for _, r := range sch.Rules() {
+		var preds []string
+		for _, in := range r.Inputs {
+			if p := sch.Producer(in); p != nil {
+				preds = append(preds, p.Activity)
+			}
+		}
+		tasks = append(tasks, level.Task{Name: r.Activity, Duration: 8 * time.Hour, Preds: preds})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := level.MinimalTeam(tasks, 8, 1.05); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_SnapshotRestore measures persisting and restoring a
+// full executed session.
+func BenchmarkAblation_SnapshotRestore(b *testing.B) {
+	p, err := New(Fig4Schema, Options{Designer: "bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := p.UseSimulatedTools(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.Import("stimuli", []byte("v")); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.Plan([]string{"performance"}, Fixed{Default: 8 * time.Hour}, PlanOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.Run([]string{"performance"}, true); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob, err := p.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Load(blob, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_ArchRollup measures architectural plan + actual
+// roll-up over a 3-level, 64-leaf decomposition.
+func BenchmarkAblation_ArchRollup(b *testing.B) {
+	root := &arch.Block{Name: "chip"}
+	for u := 0; u < 8; u++ {
+		unit := &arch.Block{Name: fmt.Sprintf("u%d", u)}
+		for l := 0; l < 8; l++ {
+			unit.Children = append(unit.Children,
+				&arch.Block{Name: fmt.Sprintf("u%db%d", u, l), Size: 1000})
+		}
+		root.Children = append(root.Children, unit)
+	}
+	d, err := arch.NewDecomposition(root)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := func(block string, size float64) (time.Time, time.Time, error) {
+		return vclock.Epoch, vclock.Epoch.Add(24 * time.Hour), nil
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := d.Plan(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, leaf := range d.Leaves() {
+			if err := s.RecordActual(leaf.Name, vclock.Epoch,
+				vclock.Epoch.Add(30*time.Hour), true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkE6_RiskSimulation measures a 1000-trial Monte-Carlo risk
+// analysis over the Fig. 4 flow with default tool profiles.
+func BenchmarkE6_RiskSimulation(b *testing.B) {
+	p, err := New(Fig4Schema, Options{Designer: "bench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := p.UseSimulatedTools(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SimulateRisk([]string{"performance"}, 1000, 7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchExecMode measures tracked ASIC execution under one timeline mode.
+func benchExecMode(b *testing.B, parallel bool) {
+	b.Helper()
+	targets := []string{"drcreport", "lvsreport", "timingreport", "simreport"}
+	for i := 0; i < b.N; i++ {
+		p, err := New(ASICSchema, Options{Designer: "bench"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := p.UseSimulatedTools(); err != nil {
+			b.Fatal(err)
+		}
+		for _, leaf := range []string{"rtl", "constraints", "testbench"} {
+			if _, err := p.Import(leaf, []byte("x")); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := p.Plan(targets, Fixed{Default: 8 * time.Hour}, PlanOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		var execErr error
+		if parallel {
+			_, execErr = p.RunParallel(targets, true)
+		} else {
+			_, execErr = p.Run(targets, true)
+		}
+		if execErr != nil {
+			b.Fatal(execErr)
+		}
+	}
+}
+
+// BenchmarkAblation_ExecSerial / _ExecParallel compare the two execution
+// timeline models on the ASIC flow (the compute cost is similar; the
+// virtual-time spans differ — see engine's parallel tests).
+func BenchmarkAblation_ExecSerial(b *testing.B)   { benchExecMode(b, false) }
+func BenchmarkAblation_ExecParallel(b *testing.B) { benchExecMode(b, true) }

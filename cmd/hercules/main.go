@@ -1,0 +1,446 @@
+// Command hercules is a command-line workflow manager with integrated
+// design schedule management — the textual counterpart of the Hercules
+// user interface of the paper's Fig. 8.
+//
+// It reads commands from stdin (one per line), so sessions can be typed
+// interactively or piped as scripts:
+//
+//	$ hercules <<'EOF'
+//	schema builtin:fig4
+//	tools
+//	import stimuli pulse 0 5 1ns
+//	plan performance 8
+//	run performance
+//	tree performance
+//	gantt
+//	query duration of Create
+//	dump
+//	EOF
+//
+// Commands:
+//
+//	schema builtin:fig4|asic|board|analog|<path>  load a task schema
+//	tools                                     bind simulated tools to all activities
+//	import <class> <text...>                  file design data for a primary input
+//	plan <targets,comma-sep> <hours>          plan: simulate execution, fixed est.
+//	run <targets,comma-sep> [parallel]        execute tracked against current plan;
+//	                                          "parallel" overlaps independent branches
+//	status                                    plan-vs-actual table
+//	tree <targets,comma-sep>                  task tree view with schedule state
+//	gantt                                     Gantt chart of the current plan
+//	analyze                                   CPM/PERT critical path of the plan
+//	risk <targets,comma-sep> [trials]         Monte-Carlo schedule risk analysis
+//	optimize <targets> <hours> <max-team>     smallest team near the critical path
+//	query <text...>                           §IV.B query (see docs)
+//	dump                                      task database dump (Figs. 5–7 view)
+//	report [days]                             periodic status report (default last 7 days)
+//	milestone <name> <class> <date>           commit a milestone (proposed milestone)
+//	milestones                                milestone report (achieved/pending, margin)
+//	export csv|mpx <path>                     export the plan for PM tooling
+//	actuals <path>                            import hand-collected actual dates (CSV)
+//	save <path>                               persist the whole session as JSON
+//	load <path>                               restore a saved session (rebind tools after)
+//	quit                                      end the session
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"flowsched"
+)
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hercules:", err)
+		os.Exit(1)
+	}
+}
+
+type session struct {
+	project *flowsched.Project
+	out     *bufio.Writer
+}
+
+func run(in io.Reader, out io.Writer) error {
+	s := &session{out: bufio.NewWriter(out)}
+	defer s.out.Flush()
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			break
+		}
+		if err := s.dispatch(line); err != nil {
+			fmt.Fprintf(s.out, "error: %v\n", err)
+		}
+		s.out.Flush()
+	}
+	return sc.Err()
+}
+
+func (s *session) dispatch(line string) error {
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	if cmd != "schema" && cmd != "load" && s.project == nil {
+		return fmt.Errorf("load a schema first (schema builtin:fig4)")
+	}
+	switch cmd {
+	case "schema":
+		return s.loadSchema(args)
+	case "load":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: load <snapshot.json>")
+		}
+		blob, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		p, err := flowsched.Load(blob, flowsched.Options{})
+		if err != nil {
+			return err
+		}
+		s.project = p
+		fmt.Fprintf(s.out, "restored session at %s (rebind tools before run)\n",
+			p.Now().Format("2006-01-02 15:04"))
+		return nil
+	case "tools":
+		if err := s.project.UseSimulatedTools(); err != nil {
+			return err
+		}
+		fmt.Fprintln(s.out, "simulated tools bound to all activities")
+		return nil
+	case "import":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: import <class> <text...>")
+		}
+		id, err := s.project.Import(args[0], []byte(strings.Join(args[1:], " ")))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "imported as %s\n", id)
+		return nil
+	case "plan":
+		return s.plan(args)
+	case "run":
+		return s.exec(args)
+	case "status":
+		return s.status()
+	case "tree":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: tree <targets,comma-sep>")
+		}
+		view, err := s.project.TaskTreeView(strings.Split(args[0], ",")...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(s.out, view)
+		return nil
+	case "gantt":
+		chart, err := s.project.Gantt()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(s.out, chart)
+		return nil
+	case "analyze":
+		return s.analyze()
+	case "risk":
+		return s.risk(args)
+	case "optimize":
+		return s.optimize(args)
+	case "query":
+		if len(args) == 0 {
+			return fmt.Errorf("usage: query <text...>")
+		}
+		ans, err := s.project.Query(strings.Join(args, " "))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(s.out, ans)
+		return nil
+	case "dump":
+		fmt.Fprint(s.out, s.project.DatabaseDump())
+		return nil
+	case "report":
+		days := 7
+		if len(args) == 1 {
+			d, err := strconv.Atoi(args[0])
+			if err != nil || d <= 0 {
+				return fmt.Errorf("bad day count %q", args[0])
+			}
+			days = d
+		} else if len(args) > 1 {
+			return fmt.Errorf("usage: report [days]")
+		}
+		to := s.project.Now()
+		from := to.Add(-time.Duration(days) * 24 * time.Hour)
+		out, err := s.project.StatusReport(from, to)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(s.out, out)
+		return nil
+	case "milestone":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: milestone <name> <class> <YYYY-MM-DDTHH:MM>")
+		}
+		target, err := time.Parse("2006-01-02T15:04", args[2])
+		if err != nil {
+			return fmt.Errorf("bad target date %q: %v", args[2], err)
+		}
+		if err := s.project.SetMilestone(args[0], args[1], target.UTC()); err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "milestone %s: %s by %s\n", args[0], args[1], args[2])
+		return nil
+	case "milestones":
+		report, err := s.project.MilestoneReport()
+		if err != nil {
+			return err
+		}
+		if len(report) == 0 {
+			fmt.Fprintln(s.out, "no milestones set")
+			return nil
+		}
+		for _, m := range report {
+			state := "pending"
+			if m.Achieved {
+				state = "achieved " + m.AchievedAt.Format("2006-01-02")
+			}
+			fmt.Fprintf(s.out, "  %-16s %-12s target %s  %s  margin %s\n",
+				m.Name, m.Class, m.Target.Format("2006-01-02"), state,
+				m.Margin.Round(time.Minute))
+		}
+		return nil
+	case "export":
+		return s.export(args)
+	case "actuals":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: actuals <csv-path>")
+		}
+		f, err := os.Open(args[0])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		n, err := s.project.ImportActualsCSV(f)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "applied %d actual(s)\n", n)
+		return nil
+	case "save":
+		if len(args) != 1 {
+			return fmt.Errorf("usage: save <path>")
+		}
+		blob, err := s.project.Snapshot()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(args[0], blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(s.out, "saved %d bytes to %s\n", len(blob), args[0])
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func (s *session) loadSchema(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: schema builtin:fig4|builtin:asic|<path>")
+	}
+	var src string
+	switch args[0] {
+	case "builtin:fig4":
+		src = flowsched.Fig4Schema
+	case "builtin:asic":
+		src = flowsched.ASICSchema
+	case "builtin:board":
+		src = flowsched.BoardSchema
+	case "builtin:analog":
+		src = flowsched.AnalogSchema
+	default:
+		b, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		src = string(b)
+	}
+	p, err := flowsched.New(src, flowsched.Options{Designer: username()})
+	if err != nil {
+		return err
+	}
+	s.project = p
+	sch := p.Schema()
+	fmt.Fprintf(s.out, "schema %s: %d activities, primary inputs %v, primary outputs %v\n",
+		sch.Name, len(sch.Rules()), sch.PrimaryInputs(), sch.PrimaryOutputs())
+	return nil
+}
+
+func (s *session) plan(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: plan <targets,comma-sep> <hours-per-activity>")
+	}
+	hours, err := strconv.Atoi(args[1])
+	if err != nil || hours <= 0 {
+		return fmt.Errorf("bad hours %q", args[1])
+	}
+	plan, err := s.project.Plan(strings.Split(args[0], ","),
+		flowsched.Fixed{Default: time.Duration(hours) * time.Hour}, flowsched.PlanOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "plan v%d: %d activities, finish %s\n",
+		plan.Version, len(plan.Activities), plan.Finish.Format("2006-01-02 15:04"))
+	return nil
+}
+
+func (s *session) exec(args []string) error {
+	if len(args) < 1 || len(args) > 2 || (len(args) == 2 && args[1] != "parallel") {
+		return fmt.Errorf("usage: run <targets,comma-sep> [parallel]")
+	}
+	targets := strings.Split(args[0], ",")
+	var res *flowsched.ExecResult
+	var err error
+	if len(args) == 2 {
+		res, err = s.project.RunParallel(targets, true)
+	} else {
+		res, err = s.project.Run(targets, true)
+	}
+	if err != nil {
+		return err
+	}
+	for _, o := range res.Outcomes {
+		fmt.Fprintf(s.out, "  %-12s %d iteration(s), final %s, finished %s\n",
+			o.Activity, o.Iterations, o.FinalEntity.ID, o.Finished.Format("2006-01-02 15:04"))
+	}
+	return nil
+}
+
+func (s *session) status() error {
+	rows, err := s.project.Status()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "%-12s %-12s %-16s %-16s %s\n",
+		"activity", "state", "planned finish", "actual finish", "slip")
+	for _, r := range rows {
+		actual := "—"
+		if !r.ActualFinish.IsZero() {
+			actual = r.ActualFinish.Format("2006-01-02 15:04")
+		}
+		fmt.Fprintf(s.out, "%-12s %-12s %-16s %-16s %s\n",
+			r.Activity, r.State, r.PlannedFinish.Format("2006-01-02 15:04"), actual,
+			r.Slip.Round(time.Minute))
+	}
+	return nil
+}
+
+func (s *session) analyze() error {
+	res, err := s.project.Analyze()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "project span %s working; critical path: %s\n",
+		res.Duration, strings.Join(res.CriticalPath, " -> "))
+	for _, tm := range res.Timings {
+		mark := " "
+		if tm.Critical {
+			mark = "*"
+		}
+		fmt.Fprintf(s.out, " %s %-12s ES=%-8s slack=%s\n", mark, tm.Name, tm.EarlyStart, tm.Slack)
+	}
+	return nil
+}
+
+func (s *session) export(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: export csv|mpx <path>")
+	}
+	var out string
+	var err error
+	switch args[0] {
+	case "csv":
+		out, err = s.project.ExportPlanCSV()
+	case "mpx":
+		out, err = s.project.ExportMPX()
+	default:
+		return fmt.Errorf("unknown export format %q (want csv or mpx)", args[0])
+	}
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(args[1], []byte(out), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "exported %s to %s\n", args[0], args[1])
+	return nil
+}
+
+func (s *session) risk(args []string) error {
+	if len(args) < 1 || len(args) > 2 {
+		return fmt.Errorf("usage: risk <targets,comma-sep> [trials]")
+	}
+	trials := 1000
+	if len(args) == 2 {
+		t, err := strconv.Atoi(args[1])
+		if err != nil || t <= 0 {
+			return fmt.Errorf("bad trial count %q", args[1])
+		}
+		trials = t
+	}
+	res, err := s.project.SimulateRisk(strings.Split(args[0], ","), trials, 1995)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "risk over %d trials: mean %s, p10 %s, p50 %s, p90 %s\n",
+		trials,
+		res.Mean().Round(time.Minute),
+		res.Percentile(0.1).Round(time.Minute),
+		res.Percentile(0.5).Round(time.Minute),
+		res.Percentile(0.9).Round(time.Minute))
+	return nil
+}
+
+func (s *session) optimize(args []string) error {
+	if len(args) != 3 {
+		return fmt.Errorf("usage: optimize <targets,comma-sep> <hours-per-activity> <max-team>")
+	}
+	hours, err := strconv.Atoi(args[1])
+	if err != nil || hours <= 0 {
+		return fmt.Errorf("bad hours %q", args[1])
+	}
+	maxTeam, err := strconv.Atoi(args[2])
+	if err != nil || maxTeam <= 0 {
+		return fmt.Errorf("bad team size %q", args[2])
+	}
+	tp, err := s.project.OptimizeTeam(strings.Split(args[0], ","),
+		flowsched.Fixed{Default: time.Duration(hours) * time.Hour}, maxTeam, 1.05)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "smallest team within 5%% of critical path: %d (makespan %s, critical path %s)\n",
+		tp.Size, tp.Makespan, tp.CriticalPath)
+	for _, a := range tp.Assignments {
+		fmt.Fprintf(s.out, "  %-12s %-4s %8s .. %s\n", a.Task, a.Resource, a.Start, a.Finish)
+	}
+	return nil
+}
+
+func username() string {
+	if u := os.Getenv("USER"); u != "" {
+		return u
+	}
+	return "designer"
+}

@@ -1,0 +1,310 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// script runs a hercules session and returns its output.
+func script(t *testing.T, lines ...string) string {
+	t.Helper()
+	in := strings.NewReader(strings.Join(lines, "\n") + "\n")
+	var out strings.Builder
+	if err := run(in, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestFullSession(t *testing.T) {
+	out := script(t,
+		"schema builtin:fig4",
+		"tools",
+		"import stimuli pulse 0 5 1ns",
+		"plan performance 8",
+		"run performance",
+		"status",
+		"tree performance",
+		"gantt",
+		"analyze",
+		"query duration of Create",
+		"dump",
+		"quit",
+	)
+	for _, want := range []string{
+		"schema circuit: 2 activities",
+		"simulated tools bound",
+		"imported as stimuli/1",
+		"plan v1",
+		"iteration(s)",
+		"planned finish",
+		"task tree (targets: performance)",
+		"plan v1 (targets performance)",
+		"critical path: Create -> Simulate",
+		"duration of Create",
+		"schedule space:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("session output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCommandsBeforeSchema(t *testing.T) {
+	out := script(t, "plan performance 8")
+	if !strings.Contains(out, "load a schema first") {
+		t.Fatalf("missing guard: %s", out)
+	}
+}
+
+func TestUnknownAndMalformedCommands(t *testing.T) {
+	out := script(t,
+		"schema builtin:fig4",
+		"frobnicate",
+		"plan",
+		"plan performance zero",
+		"import onlyclass",
+		"tree",
+		"query",
+		"save",
+	)
+	for _, want := range []string{
+		`unknown command "frobnicate"`,
+		"usage: plan",
+		`bad hours "zero"`,
+		"usage: import",
+		"usage: tree",
+		"usage: query",
+		"usage: save",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCommentsAndBlanksIgnored(t *testing.T) {
+	out := script(t, "", "# a comment", "schema builtin:fig4")
+	if strings.Contains(out, "error") {
+		t.Fatalf("comment caused error: %s", out)
+	}
+}
+
+func TestSchemaFromFileAndBadPath(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "flow.fs")
+	src := "schema mini\ndata d\ntool t\nrule A: d <- t()\n"
+	if err := writeFile(path, src); err != nil {
+		t.Fatal(err)
+	}
+	out := script(t, "schema "+path)
+	if !strings.Contains(out, "schema mini: 1 activities") {
+		t.Fatalf("file schema not loaded: %s", out)
+	}
+	out = script(t, "schema /nonexistent/flow.fs")
+	if !strings.Contains(out, "error") {
+		t.Fatalf("missing error for bad path: %s", out)
+	}
+}
+
+func TestSaveAndLoadSession(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "session.json")
+	out := script(t,
+		"schema builtin:fig4",
+		"tools",
+		"import stimuli vec",
+		"plan performance 8",
+		"run performance",
+		"save "+snap,
+	)
+	if !strings.Contains(out, "saved") {
+		t.Fatalf("save failed: %s", out)
+	}
+	out = script(t,
+		"load "+snap,
+		"query duration of Create",
+		"dump",
+	)
+	for _, want := range []string{"restored session", "duration of Create", "sched:Create"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("restored session missing %q:\n%s", want, out)
+		}
+	}
+	out = script(t, "load /nonexistent.json")
+	if !strings.Contains(out, "error") {
+		t.Fatalf("missing error: %s", out)
+	}
+}
+
+func TestAsicBuiltin(t *testing.T) {
+	out := script(t, "schema builtin:asic")
+	if !strings.Contains(out, "schema asic: 8 activities") {
+		t.Fatalf("asic schema: %s", out)
+	}
+}
+
+// writeFile is a test helper (kept out of main.go).
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestRiskAndOptimizeCommands(t *testing.T) {
+	out := script(t,
+		"schema builtin:asic",
+		"tools",
+		"risk drcreport,lvsreport,timingreport,simreport 200",
+		"optimize drcreport,lvsreport,timingreport,simreport 8 6",
+	)
+	for _, want := range []string{"risk over 200 trials", "p50", "smallest team", "Synthesize"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	out = script(t,
+		"schema builtin:fig4",
+		"risk",
+		"risk performance bogus",
+		"optimize performance 8",
+		"optimize performance zero 3",
+		"optimize performance 8 zero",
+	)
+	for _, want := range []string{"usage: risk", "bad trial count", "usage: optimize", "bad hours", "bad team size"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExportAndActualsCommands(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "plan.csv")
+	mpxPath := filepath.Join(dir, "plan.mpx")
+	actualsPath := filepath.Join(dir, "actuals.csv")
+	if err := writeFile(actualsPath,
+		"Create,1995-06-05T09:00,1995-06-06T17:00,true\n"); err != nil {
+		t.Fatal(err)
+	}
+	out := script(t,
+		"schema builtin:fig4",
+		"tools",
+		"import stimuli vec",
+		"plan performance 8",
+		"run performance",
+		"export csv "+csvPath,
+		"export mpx "+mpxPath,
+		"export xml nope",
+		"export csv",
+		"actuals "+actualsPath,
+		"actuals /nonexistent.csv",
+	)
+	for _, want := range []string{
+		"exported csv", "exported mpx",
+		`unknown export format "xml"`, "usage: export",
+		"error:", // actuals after auto-complete re-completes -> error surfaced
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	blob, err := os.ReadFile(csvPath)
+	if err != nil || !strings.Contains(string(blob), "Create") {
+		t.Fatalf("csv file: %v %s", err, blob)
+	}
+}
+
+func TestMilestoneCommands(t *testing.T) {
+	out := script(t,
+		"schema builtin:fig4",
+		"tools",
+		"import stimuli vec",
+		"plan performance 8",
+		"milestones",
+		"milestone perf-done performance 1995-06-09T17:00",
+		"milestone bad performance not-a-date",
+		"milestone toofew",
+		"run performance",
+		"milestones",
+	)
+	for _, want := range []string{
+		"no milestones set",
+		"milestone perf-done: performance by 1995-06-09T17:00",
+		"bad target date",
+		"usage: milestone",
+		"achieved 1995-06-0",
+		"margin",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportCommand(t *testing.T) {
+	out := script(t,
+		"schema builtin:fig4",
+		"tools",
+		"import stimuli vec",
+		"plan performance 8",
+		"run performance",
+		"report",
+		"report 30",
+		"report zero",
+		"report 1 2",
+	)
+	for _, want := range []string{
+		"status report", "runs started", "completed tasks:",
+		"bad day count", "usage: report",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBoardAndAnalogBuiltins(t *testing.T) {
+	out := script(t,
+		"schema builtin:board",
+		"tools",
+		"import requirements 4-layer, usb-c",
+		"plan gerbers 8",
+		"run gerbers",
+		"schema builtin:analog",
+		"tools",
+		"import spec bandgap 1.2V",
+		"import tbvectors corners tt ff ss",
+		"plan postsim 6",
+		"run postsim",
+	)
+	for _, want := range []string{
+		"schema board: 6 activities",
+		"final gerbers/",
+		"schema analog: 6 activities",
+		"final postsim/",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunParallelCommand(t *testing.T) {
+	out := script(t,
+		"schema builtin:asic",
+		"tools",
+		"import rtl m",
+		"import constraints c",
+		"import testbench tb",
+		"plan drcreport,lvsreport,timingreport,simreport 8",
+		"run drcreport,lvsreport,timingreport,simreport parallel",
+		"status",
+		"run x sideways",
+	)
+	for _, want := range []string{"iteration(s)", "done", "usage: run"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}

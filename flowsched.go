@@ -1,0 +1,703 @@
+// Package flowsched is a design flow management system with integrated
+// design schedule management, reproducing Johnson & Brockman,
+// "Incorporating Design Schedule Management into a Flow Management
+// System", DAC 1995.
+//
+// A Project owns one design process: a task schema (Level 1 of the
+// four-level flow-management architecture), the flow model instantiated
+// from it (Level 2), a task database holding both execution metadata and
+// schedule instances (Level 3), and the design data itself (Level 4).
+// The paper's central idea is available as Plan: a design schedule is
+// derived by simulating the execution of the flow, and actual execution
+// (Run) is then tracked against it automatically — task starts recorded
+// when the first data instance appears, final data linked to schedule
+// instances on completion, slips propagated through the remaining plan.
+//
+// A minimal session:
+//
+//	p, _ := flowsched.New(flowsched.Fig4Schema, flowsched.Options{Designer: "ewj"})
+//	p.UseSimulatedTools()
+//	p.Import("stimuli", []byte("pulse 0 5 1ns"))
+//	plan, _ := p.Plan([]string{"performance"},
+//	    flowsched.Fixed{Default: 8 * time.Hour}, flowsched.PlanOptions{})
+//	p.Run([]string{"performance"}, true)
+//	fmt.Println(p.Gantt())
+//	_ = plan
+package flowsched
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"flowsched/internal/design"
+	"flowsched/internal/engine"
+	"flowsched/internal/export"
+	"flowsched/internal/flow"
+	"flowsched/internal/hier"
+	"flowsched/internal/level"
+	"flowsched/internal/monte"
+	"flowsched/internal/pert"
+	"flowsched/internal/query"
+	"flowsched/internal/report"
+	"flowsched/internal/sched"
+	"flowsched/internal/schema"
+	"flowsched/internal/store"
+	"flowsched/internal/tools"
+	"flowsched/internal/vclock"
+	"flowsched/internal/workload"
+)
+
+// Re-exported model types. The internal packages implement the four-level
+// architecture; these aliases are the library's public vocabulary.
+type (
+	// Schema is a Level 1 task schema.
+	Schema = schema.Schema
+	// Tree is an extracted Level 2 task tree.
+	Tree = flow.Tree
+	// Calendar models working time.
+	Calendar = vclock.Calendar
+	// Plan is one schedule-planning pass (a versioned proposed schedule).
+	Plan = sched.Plan
+	// Instance is one Level 3 schedule instance.
+	Instance = sched.Instance
+	// ActivityStatus is a plan-versus-actual status row.
+	ActivityStatus = sched.ActivityStatus
+	// PlanOptions tunes planning (resources, lineage, constraints).
+	PlanOptions = sched.PlanOptions
+	// Estimator supplies activity duration estimates.
+	Estimator = sched.Estimator
+	// Fixed estimates from a table ("designer's intuition").
+	Fixed = sched.Fixed
+	// PERT estimates from three-point values.
+	PERT = sched.PERT
+	// ThreePoint is a PERT (optimistic, likely, pessimistic) triple.
+	ThreePoint = sched.ThreePoint
+	// Historical estimates from measured prior executions.
+	Historical = sched.Historical
+	// Tool is a runnable CAD tool instance.
+	Tool = tools.Tool
+	// ToolProfile parameterizes a simulated tool.
+	ToolProfile = tools.Profile
+	// Event is one workflow-manager event.
+	Event = engine.Event
+	// ExecResult summarizes a task execution.
+	ExecResult = engine.ExecResult
+	// CPMResult is a critical-path analysis of a plan.
+	CPMResult = pert.Result
+)
+
+// Fig4Schema is the paper's Fig. 4 example schema (see workload package).
+const Fig4Schema = workload.Fig4Source
+
+// ASICSchema is a realistic RTL-to-signoff flow.
+const ASICSchema = workload.ASICSource
+
+// BoardSchema is a printed-circuit-board design flow.
+const BoardSchema = workload.BoardSource
+
+// AnalogSchema is an analog/mixed-signal block flow.
+const AnalogSchema = workload.AnalogSource
+
+// StandardCalendar returns the Monday–Friday 09:00–17:00 calendar.
+func StandardCalendar() *Calendar { return vclock.Standard() }
+
+// ContinuousCalendar returns a 24×7 calendar.
+func ContinuousCalendar() *Calendar { return vclock.Continuous() }
+
+// ParseSchema parses the construction-rule DSL (see internal/schema).
+func ParseSchema(src string) (*Schema, error) { return schema.Parse(src) }
+
+// NewSimTool builds a deterministic simulated tool instance.
+func NewSimTool(class, instance string, p ToolProfile) (Tool, error) {
+	return tools.NewSim(class, instance, p)
+}
+
+// Options configures a new Project.
+type Options struct {
+	// Designer is recorded on runs and entity instances. Default "designer".
+	Designer string
+	// Start is the project start on the virtual clock. Default vclock.Epoch
+	// (Monday 1995-06-05 09:00 UTC).
+	Start time.Time
+	// Calendar is the working calendar. Default StandardCalendar.
+	Calendar *Calendar
+}
+
+// Project is a design process under integrated flow + schedule management.
+type Project struct {
+	mgr  *engine.Manager
+	plan *Plan // current tracked plan, nil before first Plan
+}
+
+// New creates a project from schema DSL source.
+func New(schemaSrc string, opt Options) (*Project, error) {
+	sch, err := schema.Parse(schemaSrc)
+	if err != nil {
+		return nil, err
+	}
+	return NewFromSchema(sch, opt)
+}
+
+// NewFromSchema creates a project from an already-built schema.
+func NewFromSchema(sch *Schema, opt Options) (*Project, error) {
+	if opt.Designer == "" {
+		opt.Designer = "designer"
+	}
+	if opt.Start.IsZero() {
+		opt.Start = vclock.Epoch
+	}
+	if opt.Calendar == nil {
+		opt.Calendar = vclock.Standard()
+	}
+	m, err := engine.New(sch, opt.Calendar, opt.Start, opt.Designer)
+	if err != nil {
+		return nil, err
+	}
+	return &Project{mgr: m}, nil
+}
+
+// Schema returns the project's task schema.
+func (p *Project) Schema() *Schema { return p.mgr.Schema }
+
+// Now reports the project's current virtual time.
+func (p *Project) Now() time.Time { return p.mgr.Clock.Now() }
+
+// Calendar returns the project's working calendar.
+func (p *Project) Calendar() *Calendar { return p.mgr.Calendar }
+
+// Import files external design data for a primary-input class and returns
+// the entity instance ID.
+func (p *Project) Import(class string, data []byte) (string, error) {
+	e, err := p.mgr.Import(class, data)
+	if err != nil {
+		return "", err
+	}
+	return e.ID, nil
+}
+
+// UseSimulatedTools binds a default simulated tool to every activity that
+// lacks one.
+func (p *Project) UseSimulatedTools() error { return p.mgr.BindDefaults() }
+
+// BindTool binds a tool instance to an activity.
+func (p *Project) BindTool(activity string, t Tool) error {
+	return p.mgr.BindTool(activity, t)
+}
+
+// ExtractTree extracts the task tree covering the target data classes.
+func (p *Project) ExtractTree(targets ...string) (*Tree, error) {
+	return p.mgr.ExtractTree(targets...)
+}
+
+// Plan derives a schedule for the targets by simulating the flow's
+// execution from the current virtual time (paper §III). Each call creates
+// a new plan version; the newest plan is tracked by subsequent Run calls.
+// When a previous plan exists it is recorded as this plan's ancestor
+// (schedule metadata lineage).
+func (p *Project) Plan(targets []string, est Estimator, opt PlanOptions) (*Plan, error) {
+	tree, err := p.mgr.ExtractTree(targets...)
+	if err != nil {
+		return nil, err
+	}
+	if p.plan != nil && len(opt.BasedOn) == 0 {
+		if e, _, err := p.mgr.Sched.PlanByVersion(p.plan.Version); err == nil {
+			opt.BasedOn = []string{e.ID}
+		}
+	}
+	res, err := p.mgr.Plan(tree, est, opt)
+	if err != nil {
+		return nil, err
+	}
+	p.plan = &res.Plan
+	return p.plan, nil
+}
+
+// CurrentPlan returns the tracked plan, or nil before planning.
+func (p *Project) CurrentPlan() *Plan { return p.plan }
+
+// Run executes the task tree covering the targets, tracked against the
+// current plan if one exists. With autoComplete, finished activities are
+// linked to their final entity instances and the plan is re-propagated.
+func (p *Project) Run(targets []string, autoComplete bool) (*ExecResult, error) {
+	tree, err := p.mgr.ExtractTree(targets...)
+	if err != nil {
+		return nil, err
+	}
+	return p.mgr.ExecuteTask(tree, engine.ExecOptions{
+		Plan: p.plan, AutoComplete: autoComplete,
+	})
+}
+
+// RunParallel executes like Run but overlaps independent branches on the
+// virtual timeline — the team-execution model that matches the plan's
+// semantics (an activity starts when its producers finish, not when the
+// previous traversal step does).
+func (p *Project) RunParallel(targets []string, autoComplete bool) (*ExecResult, error) {
+	tree, err := p.mgr.ExtractTree(targets...)
+	if err != nil {
+		return nil, err
+	}
+	return p.mgr.ExecuteTask(tree, engine.ExecOptions{
+		Plan: p.plan, AutoComplete: autoComplete, Parallel: true,
+	})
+}
+
+// Complete designates an entity instance as the final design data of an
+// activity under the current plan, creating the schedule↔entity link.
+func (p *Project) Complete(activity, entityID string) error {
+	if p.plan == nil {
+		return fmt.Errorf("flowsched: no plan to complete against")
+	}
+	return p.mgr.CompleteActivity(p.plan, activity, entityID)
+}
+
+// Propagate updates the current plan for slips as of the virtual now and
+// returns the projected project finish.
+func (p *Project) Propagate() (time.Time, error) {
+	if p.plan == nil {
+		return time.Time{}, fmt.Errorf("flowsched: no plan to propagate")
+	}
+	return p.mgr.Sched.Propagate(p.plan, p.Now())
+}
+
+// Status reports plan-versus-actual state per activity as of the virtual
+// now.
+func (p *Project) Status() ([]ActivityStatus, error) {
+	if p.plan == nil {
+		return nil, fmt.Errorf("flowsched: no plan")
+	}
+	return p.mgr.Sched.Status(p.plan, p.Now())
+}
+
+// Gantt renders the current plan's Gantt chart (planned and accomplished
+// schedule, §IV.B).
+func (p *Project) Gantt() (string, error) {
+	if p.plan == nil {
+		return "", fmt.Errorf("flowsched: no plan")
+	}
+	return report.Chart(p.mgr, p.plan, p.Now())
+}
+
+// TaskTreeView renders the task tree with per-node schedule state — the
+// central feature of the Hercules user interface (Fig. 8).
+func (p *Project) TaskTreeView(targets ...string) (string, error) {
+	tree, err := p.mgr.ExtractTree(targets...)
+	if err != nil {
+		return "", err
+	}
+	return report.TaskTree(p.mgr, tree, p.plan), nil
+}
+
+// Query answers a textual §IV.B query (see internal/query for the
+// grammar).
+func (p *Project) Query(text string) (string, error) {
+	eng, err := query.New(p.mgr.Sched, p.mgr.Exec)
+	if err != nil {
+		return "", err
+	}
+	return eng.Eval(text)
+}
+
+// Analyze runs CPM/PERT over the current plan: early/late dates, slack,
+// critical path, completion probability.
+func (p *Project) Analyze() (*CPMResult, error) {
+	if p.plan == nil {
+		return nil, fmt.Errorf("flowsched: no plan")
+	}
+	_, insts, err := p.mgr.Sched.Instances(p.plan)
+	if err != nil {
+		return nil, err
+	}
+	inPlan := make(map[string]bool, len(p.plan.Activities))
+	for _, a := range p.plan.Activities {
+		inPlan[a] = true
+	}
+	acts := make([]pert.Activity, 0, len(insts))
+	for _, in := range insts {
+		rule := p.mgr.Schema.RuleByActivity(in.Activity)
+		var preds []string
+		for _, input := range rule.Inputs {
+			if prod := p.mgr.Schema.Producer(input); prod != nil && inPlan[prod.Activity] {
+				preds = append(preds, prod.Activity)
+			}
+		}
+		acts = append(acts, pert.Activity{
+			Name: in.Activity, Duration: in.EstWork,
+			Optimistic: in.Optimistic, Pessimistic: in.Pessimistic,
+			Preds: preds,
+		})
+	}
+	net, err := pert.NewNetwork(acts)
+	if err != nil {
+		return nil, err
+	}
+	return net.Analyze()
+}
+
+// Events returns the workflow manager's event stream.
+func (p *Project) Events() []Event { return p.mgr.Events() }
+
+// MilestoneStatus is a milestone report row (target vs projected/actual).
+type MilestoneStatus = sched.MilestoneStatus
+
+// SetMilestone commits a named target date for a data class under the
+// current plan — a "proposed milestone" in the sense of the paper's
+// Fig. 1. The milestone is achieved when the producing activity
+// completes.
+func (p *Project) SetMilestone(name, class string, target time.Time) error {
+	if p.plan == nil {
+		return fmt.Errorf("flowsched: no plan to set a milestone against")
+	}
+	_, err := p.mgr.Sched.SetMilestone(p.plan, name, class, target)
+	return err
+}
+
+// MilestoneReport refreshes and scores the current plan's milestones:
+// achieved-at dates for completed ones, projected margins for pending
+// ones (negative margin = projected or actual miss).
+func (p *Project) MilestoneReport() ([]MilestoneStatus, error) {
+	if p.plan == nil {
+		return nil, fmt.Errorf("flowsched: no plan")
+	}
+	return p.mgr.Sched.MilestoneReport(p.plan)
+}
+
+// Grouping organizes activities into hierarchical composite tasks.
+type Grouping = hier.Grouping
+
+// CompositeStatus is a rolled-up composite-task status row.
+type CompositeStatus = hier.CompositeStatus
+
+// NewGrouping builds a hierarchical task grouping (composite name →
+// member activities; composites must be disjoint).
+func NewGrouping(groups map[string][]string) (*Grouping, error) {
+	return hier.NewGrouping(groups)
+}
+
+// OutlineStatus renders the current plan's status rolled up through the
+// grouping — the project manager's composite-task view (§IV.C: "viewing
+// a portion of the overall schedule").
+func (p *Project) OutlineStatus(g *Grouping) (string, error) {
+	if p.plan == nil {
+		return "", fmt.Errorf("flowsched: no plan")
+	}
+	if g == nil {
+		return "", fmt.Errorf("flowsched: nil grouping")
+	}
+	if err := g.CheckCovers(p.plan); err != nil {
+		return "", err
+	}
+	rows, err := p.mgr.Sched.Status(p.plan, p.Now())
+	if err != nil {
+		return "", err
+	}
+	return g.Outline(rows)
+}
+
+// DeadlineMargin reports the working time between the current plan's
+// projected finish and the deadline: positive when the project is ahead,
+// negative when the projection overruns the deadline.
+func (p *Project) DeadlineMargin(deadline time.Time) (time.Duration, error) {
+	if p.plan == nil {
+		return 0, fmt.Errorf("flowsched: no plan")
+	}
+	cal := p.mgr.Calendar
+	if p.plan.Finish.After(deadline) {
+		return -cal.WorkBetween(deadline, p.plan.Finish), nil
+	}
+	return cal.WorkBetween(p.plan.Finish, deadline), nil
+}
+
+// Dashboard renders a one-page project view: plan summary, per-activity
+// status, the Gantt chart, and the critical path.
+func (p *Project) Dashboard() (string, error) {
+	if p.plan == nil {
+		return "", fmt.Errorf("flowsched: no plan")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "project dashboard — plan v%d, targets %v\n",
+		p.plan.Version, p.plan.Targets)
+	fmt.Fprintf(&b, "now %s; projected finish %s\n\n",
+		p.Now().Format("2006-01-02 15:04"), p.plan.Finish.Format("2006-01-02 15:04"))
+	rows, err := p.Status()
+	if err != nil {
+		return "", err
+	}
+	done := 0
+	for _, r := range rows {
+		if r.State == "done" {
+			done++
+		}
+	}
+	fmt.Fprintf(&b, "progress: %d/%d activities done\n", done, len(rows))
+	for _, r := range rows {
+		slip := ""
+		if r.Slip > 0 {
+			slip = fmt.Sprintf("  slip %s", r.Slip.Round(time.Minute))
+		}
+		fmt.Fprintf(&b, "  %-12s %-12s%s\n", r.Activity, r.State, slip)
+	}
+	b.WriteString("\n")
+	chart, err := p.Gantt()
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(chart)
+	cpm, err := p.Analyze()
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "\ncritical path (%s working): %s\n",
+		cpm.Duration, strings.Join(cpm.CriticalPath, " -> "))
+	return b.String(), nil
+}
+
+// StatusReport renders the periodic manager's report for [from, to):
+// activity counts, completions, constraint violations, slips, and the
+// next period's planned starts.
+func (p *Project) StatusReport(from, to time.Time) (string, error) {
+	return report.StatusReport(p.mgr, p.plan, from, to)
+}
+
+// ExportPlanCSV renders the current plan as CSV for spreadsheet or PM
+// tooling.
+func (p *Project) ExportPlanCSV() (string, error) {
+	if p.plan == nil {
+		return "", fmt.Errorf("flowsched: no plan to export")
+	}
+	return export.PlanCSV(p.mgr.Sched, p.plan)
+}
+
+// ExportMPX renders the current plan as a minimal MPX-style record stream
+// for legacy project-management tools.
+func (p *Project) ExportMPX() (string, error) {
+	if p.plan == nil {
+		return "", fmt.Errorf("flowsched: no plan to export")
+	}
+	return export.MPX(p.mgr.Sched, p.plan)
+}
+
+// ImportActualsCSV applies manually collected actual dates (rows of
+// activity,start,finish,done) to the current plan. Completed activities
+// are linked to the latest entity instance of their output class, so
+// the paper's schedule↔entity link is preserved even for hand-entered
+// status. Returns how many rows were applied.
+func (p *Project) ImportActualsCSV(r io.Reader) (int, error) {
+	if p.plan == nil {
+		return 0, fmt.Errorf("flowsched: no plan to apply actuals to")
+	}
+	actuals, err := export.ParseActualsCSV(r)
+	if err != nil {
+		return 0, err
+	}
+	resolve := func(activity string) (string, error) {
+		rule := p.mgr.Schema.RuleByActivity(activity)
+		if rule == nil {
+			return "", fmt.Errorf("flowsched: unknown activity %q", activity)
+		}
+		e, ent, err := p.mgr.Exec.LatestEntity(rule.Output)
+		if err != nil {
+			return "", err
+		}
+		if ent == nil {
+			return "", fmt.Errorf("flowsched: no %s entity exists to link %s to", rule.Output, activity)
+		}
+		return e.ID, nil
+	}
+	return export.ApplyActuals(p.mgr.Sched, p.plan, actuals, resolve)
+}
+
+// RiskResult is the outcome of a Monte-Carlo schedule risk analysis.
+type RiskResult = monte.Result
+
+// SimulateRisk runs a Monte-Carlo schedule risk analysis for the targets:
+// planning-by-simulation taken statistically. The stochastic model is
+// derived from the *bound simulated tools* — each activity's duration is
+// triangular over its tool's Base±Jitter with the tool's expected
+// iteration count — so the risk analysis and the actual execution share
+// one model. Every in-scope activity must be bound to a simulated tool
+// (UseSimulatedTools or a NewSimTool binding).
+func (p *Project) SimulateRisk(targets []string, trials int, seed int64) (*RiskResult, error) {
+	tree, err := p.mgr.ExtractTree(targets...)
+	if err != nil {
+		return nil, err
+	}
+	type profiled interface{ Profile() tools.Profile }
+	var models []monte.ActivityModel
+	for _, act := range tree.Activities() {
+		tool := p.mgr.Tools.For(act)
+		if tool == nil {
+			return nil, fmt.Errorf("flowsched: no tool bound to %q", act)
+		}
+		pt, ok := tool.(profiled)
+		if !ok {
+			return nil, fmt.Errorf("flowsched: tool %s bound to %q exposes no profile; bind a simulated tool for risk analysis",
+				tool.Instance(), act)
+		}
+		prof := pt.Profile()
+		rule := p.mgr.Schema.RuleByActivity(act)
+		var preds []string
+		for _, in := range rule.Inputs {
+			if prod := p.mgr.Schema.Producer(in); prod != nil && tree.Contains(prod.Activity) {
+				preds = append(preds, prod.Activity)
+			}
+		}
+		min := time.Duration(float64(prof.Base) * (1 - prof.Jitter))
+		max := time.Duration(float64(prof.Base) * (1 + prof.Jitter))
+		models = append(models, monte.ActivityModel{
+			Name: act, Min: min, Mode: prof.Base, Max: max,
+			MeanIterations: prof.MeanIterations, Preds: preds,
+		})
+	}
+	return monte.Simulate(models, monte.Config{Trials: trials, Seed: seed})
+}
+
+// TeamPlan is the result of OptimizeTeam: the smallest interchangeable
+// team meeting the tolerance, with its leveled schedule.
+type TeamPlan struct {
+	// Size is the chosen team size.
+	Size int
+	// Makespan is the leveled working-time span.
+	Makespan time.Duration
+	// CriticalPath is the precedence-only lower bound.
+	CriticalPath time.Duration
+	// Assignments lists who does what when (working-time offsets).
+	Assignments []level.Assignment
+}
+
+// OptimizeTeam answers the paper's resource-optimization question (§I:
+// "optimize the resources associated with future projects"): using the
+// estimator, it finds the smallest team of interchangeable designers —
+// up to maxTeam — whose list-scheduled makespan for the targets stays
+// within tolerance (e.g. 1.05) of the critical-path lower bound.
+func (p *Project) OptimizeTeam(targets []string, est Estimator, maxTeam int, tolerance float64) (*TeamPlan, error) {
+	tree, err := p.mgr.ExtractTree(targets...)
+	if err != nil {
+		return nil, err
+	}
+	var tasks []level.Task
+	for _, act := range tree.Activities() {
+		rule := p.mgr.Schema.RuleByActivity(act)
+		e, err := est.Estimate(act, rule)
+		if err != nil {
+			return nil, err
+		}
+		var preds []string
+		for _, in := range rule.Inputs {
+			if prod := p.mgr.Schema.Producer(in); prod != nil && tree.Contains(prod.Activity) {
+				preds = append(preds, prod.Activity)
+			}
+		}
+		tasks = append(tasks, level.Task{Name: act, Duration: e.Work, Preds: preds})
+	}
+	size, res, err := level.MinimalTeam(tasks, maxTeam, tolerance)
+	if err != nil {
+		return nil, err
+	}
+	return &TeamPlan{
+		Size: size, Makespan: res.Makespan,
+		CriticalPath: res.CriticalPathLength,
+		Assignments:  res.Assignments,
+	}, nil
+}
+
+// HistoricalEstimator returns an estimator that uses this project's
+// completed executions, falling back to fb for activities without
+// history. Use it to plan a follow-on project from measured data.
+func (p *Project) HistoricalEstimator(fb Estimator) Estimator {
+	return Historical{Sched: p.mgr.Sched, Exec: p.mgr.Exec, Fallback: fb}
+}
+
+// sessionSnapshot is the persisted form of a project session.
+type sessionSnapshot struct {
+	// Schema is the task schema in DSL form.
+	Schema string `json:"schema"`
+	// Designer and Now restore the session identity and virtual clock.
+	Designer string    `json:"designer"`
+	Now      time.Time `json:"now"`
+	// DB is the task database (both Level 3 spaces, with links).
+	DB json.RawMessage `json:"db"`
+	// Data is the Level 4 design-data store (content included).
+	Data json.RawMessage `json:"data"`
+	// PlanVersion restores the tracked plan (0 = none).
+	PlanVersion int `json:"planVersion,omitempty"`
+}
+
+// Snapshot serializes the whole session — schema, virtual clock, task
+// database (both Level 3 spaces), design data, and the tracked plan —
+// as JSON. Restore it with Load. Tool bindings and the in-memory event
+// stream are not persisted; rebind tools after loading.
+func (p *Project) Snapshot() ([]byte, error) {
+	db, err := json.Marshal(p.mgr.DB)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.Marshal(p.mgr.Data)
+	if err != nil {
+		return nil, err
+	}
+	s := sessionSnapshot{
+		Schema: p.mgr.Schema.Format(), Designer: p.mgr.Designer,
+		Now: p.Now(), DB: db, Data: data,
+	}
+	if p.plan != nil {
+		s.PlanVersion = p.plan.Version
+	}
+	return json.Marshal(s)
+}
+
+// Load restores a project from a Snapshot. The calendar (not persisted)
+// comes from opts; rebind tools with UseSimulatedTools or BindTool before
+// executing.
+func Load(snapshot []byte, opt Options) (*Project, error) {
+	var s sessionSnapshot
+	if err := json.Unmarshal(snapshot, &s); err != nil {
+		return nil, fmt.Errorf("flowsched: load: %w", err)
+	}
+	sch, err := schema.Parse(s.Schema)
+	if err != nil {
+		return nil, fmt.Errorf("flowsched: load schema: %w", err)
+	}
+	db := store.NewDB()
+	if err := json.Unmarshal(s.DB, db); err != nil {
+		return nil, fmt.Errorf("flowsched: load db: %w", err)
+	}
+	data := design.NewStore()
+	if err := json.Unmarshal(s.Data, data); err != nil {
+		return nil, fmt.Errorf("flowsched: load data: %w", err)
+	}
+	if opt.Calendar == nil {
+		opt.Calendar = vclock.Standard()
+	}
+	designer := s.Designer
+	if opt.Designer != "" {
+		designer = opt.Designer
+	}
+	m, err := engine.Restore(sch, opt.Calendar, db, data, s.Now, designer)
+	if err != nil {
+		return nil, err
+	}
+	p := &Project{mgr: m}
+	if s.PlanVersion > 0 {
+		_, plan, err := m.Sched.PlanByVersion(s.PlanVersion)
+		if err != nil {
+			return nil, fmt.Errorf("flowsched: load plan: %w", err)
+		}
+		p.plan = plan
+	}
+	return p, nil
+}
+
+// DatabaseDump renders the task database as text (the Figs. 5–7 view).
+func (p *Project) DatabaseDump() string { return p.mgr.DB.Dump() }
+
+// Stats reports container/instance counts per Level 3 space.
+func (p *Project) Stats() (execContainers, execInstances, schedContainers, schedInstances int) {
+	st := p.mgr.DB.Stats()
+	e := st[store.ExecutionSpace]
+	s := st[store.ScheduleSpace]
+	return e.Containers, e.Instances, s.Containers, s.Instances
+}

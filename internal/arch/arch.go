@@ -1,0 +1,300 @@
+// Package arch implements the paper's stated future work (§V): "a
+// schedule model that considers the architectural decomposition as well
+// as the task flow … allowing greater precision in tracking, predicting,
+// and optimizing design schedules" (along the lines of Jacome & Director
+// [8]).
+//
+// A Decomposition is a tree of design blocks (chip → units → blocks);
+// each leaf block carries its own task flow (a scope within the shared
+// task schema, scaled by the block's size). The architectural schedule
+// model plans every leaf block with the ordinary flow-schedule machinery
+// and rolls the results up the tree, so tracking can attribute a chip-
+// level slip to the unit and block that caused it, and prediction can
+// scale history by block size.
+package arch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Block is a node of the architectural decomposition.
+type Block struct {
+	// Name is unique within the decomposition (e.g. "alu", "core/alu").
+	Name string
+	// Size quantifies the block (gate count, cell count); duration
+	// estimates scale with it. Leaf blocks need Size > 0.
+	Size float64
+	// Children are sub-blocks; empty for leaves.
+	Children []*Block
+
+	parent *Block
+}
+
+// Leaf reports whether the block has no children.
+func (b *Block) Leaf() bool { return len(b.Children) == 0 }
+
+// Decomposition is a validated block tree.
+type Decomposition struct {
+	Root   *Block
+	byName map[string]*Block
+	leaves []*Block
+}
+
+// NewDecomposition validates a block tree: unique non-empty names,
+// positive leaf sizes, no sharing.
+func NewDecomposition(root *Block) (*Decomposition, error) {
+	if root == nil {
+		return nil, fmt.Errorf("arch: nil root")
+	}
+	d := &Decomposition{Root: root, byName: make(map[string]*Block)}
+	var walk func(b, parent *Block) error
+	walk = func(b, parent *Block) error {
+		if b.Name == "" {
+			return fmt.Errorf("arch: block with empty name under %q", nameOf(parent))
+		}
+		if _, dup := d.byName[b.Name]; dup {
+			return fmt.Errorf("arch: duplicate block %q", b.Name)
+		}
+		if b.parent != nil && b.parent != parent {
+			return fmt.Errorf("arch: block %q appears in two places", b.Name)
+		}
+		b.parent = parent
+		d.byName[b.Name] = b
+		if b.Leaf() {
+			if b.Size <= 0 {
+				return fmt.Errorf("arch: leaf block %q needs positive size", b.Name)
+			}
+			d.leaves = append(d.leaves, b)
+			return nil
+		}
+		for _, c := range b.Children {
+			if err := walk(c, b); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(root, nil); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func nameOf(b *Block) string {
+	if b == nil {
+		return "(root)"
+	}
+	return b.Name
+}
+
+// Block returns a block by name, or nil.
+func (d *Decomposition) Block(name string) *Block { return d.byName[name] }
+
+// Leaves returns the leaf blocks in depth-first order.
+func (d *Decomposition) Leaves() []*Block { return append([]*Block(nil), d.leaves...) }
+
+// TotalSize sums leaf sizes under a block.
+func (d *Decomposition) TotalSize(b *Block) float64 {
+	if b.Leaf() {
+		return b.Size
+	}
+	var total float64
+	for _, c := range b.Children {
+		total += d.TotalSize(c)
+	}
+	return total
+}
+
+// BlockSchedule is the planned/actual schedule of one block.
+type BlockSchedule struct {
+	Block         string
+	PlannedStart  time.Time
+	PlannedFinish time.Time
+	ActualStart   time.Time
+	ActualFinish  time.Time
+	Done          bool
+}
+
+// Slip reports the block's finish slip (zero when on time or pending
+// without projection).
+func (s BlockSchedule) Slip() time.Duration {
+	if s.ActualFinish.IsZero() || !s.ActualFinish.After(s.PlannedFinish) {
+		return 0
+	}
+	return s.ActualFinish.Sub(s.PlannedFinish)
+}
+
+// Schedule is the architectural schedule: per-leaf schedules plus
+// roll-ups for internal blocks.
+type Schedule struct {
+	d      *Decomposition
+	byName map[string]*BlockSchedule
+}
+
+// PlanFunc plans one leaf block, returning its planned window. The
+// block's size is supplied so estimates can scale.
+type PlanFunc func(block string, size float64) (start, finish time.Time, err error)
+
+// Plan builds the architectural schedule by planning every leaf with
+// planLeaf and rolling the windows up the tree (an internal block spans
+// its children).
+func (d *Decomposition) Plan(planLeaf PlanFunc) (*Schedule, error) {
+	if planLeaf == nil {
+		return nil, fmt.Errorf("arch: nil plan function")
+	}
+	s := &Schedule{d: d, byName: make(map[string]*BlockSchedule)}
+	for _, leaf := range d.leaves {
+		start, finish, err := planLeaf(leaf.Name, leaf.Size)
+		if err != nil {
+			return nil, fmt.Errorf("arch: plan %s: %w", leaf.Name, err)
+		}
+		if finish.Before(start) {
+			return nil, fmt.Errorf("arch: plan %s: finish %v before start %v", leaf.Name, finish, start)
+		}
+		s.byName[leaf.Name] = &BlockSchedule{
+			Block: leaf.Name, PlannedStart: start, PlannedFinish: finish,
+		}
+	}
+	if err := s.rollupPlanned(d.Root); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// rollupPlanned computes internal-block windows from children.
+func (s *Schedule) rollupPlanned(b *Block) error {
+	if b.Leaf() {
+		if s.byName[b.Name] == nil {
+			return fmt.Errorf("arch: leaf %q not planned", b.Name)
+		}
+		return nil
+	}
+	agg := &BlockSchedule{Block: b.Name}
+	for i, c := range b.Children {
+		if err := s.rollupPlanned(c); err != nil {
+			return err
+		}
+		cs := s.byName[c.Name]
+		if i == 0 || cs.PlannedStart.Before(agg.PlannedStart) {
+			agg.PlannedStart = cs.PlannedStart
+		}
+		if cs.PlannedFinish.After(agg.PlannedFinish) {
+			agg.PlannedFinish = cs.PlannedFinish
+		}
+	}
+	s.byName[b.Name] = agg
+	return nil
+}
+
+// Of returns a block's schedule row, or nil.
+func (s *Schedule) Of(block string) *BlockSchedule { return s.byName[block] }
+
+// RecordActual records a leaf block's actual window; Done marks
+// completion. Internal blocks update by roll-up.
+func (s *Schedule) RecordActual(block string, start, finish time.Time, done bool) error {
+	b := s.d.Block(block)
+	if b == nil {
+		return fmt.Errorf("arch: unknown block %q", block)
+	}
+	if !b.Leaf() {
+		return fmt.Errorf("arch: %q is not a leaf; actuals roll up automatically", block)
+	}
+	if !finish.IsZero() && finish.Before(start) {
+		return fmt.Errorf("arch: block %s: finish %v before start %v", block, finish, start)
+	}
+	row := s.byName[block]
+	row.ActualStart, row.ActualFinish, row.Done = start, finish, done
+	s.rollupActual(s.d.Root)
+	return nil
+}
+
+// rollupActual recomputes internal actual windows: started when any
+// child started, finished (and done) when all children are done.
+func (s *Schedule) rollupActual(b *Block) (started, finished time.Time, done bool) {
+	if b.Leaf() {
+		row := s.byName[b.Name]
+		return row.ActualStart, row.ActualFinish, row.Done
+	}
+	done = true
+	for _, c := range b.Children {
+		cs, cf, cd := s.rollupActual(c)
+		if !cs.IsZero() && (started.IsZero() || cs.Before(started)) {
+			started = cs
+		}
+		if cf.After(finished) {
+			finished = cf
+		}
+		if !cd {
+			done = false
+		}
+	}
+	row := s.byName[b.Name]
+	row.ActualStart = started
+	row.Done = done
+	if done {
+		row.ActualFinish = finished
+	} else {
+		row.ActualFinish = time.Time{}
+	}
+	return started, row.ActualFinish, done
+}
+
+// SlipAttribution explains a block's slip by its worst-slipping children,
+// recursively down to leaves — the "greater precision in tracking" the
+// paper's future work asks for. It returns the chain from the given
+// block to the leaf most responsible for its slip.
+func (s *Schedule) SlipAttribution(block string) ([]string, error) {
+	b := s.d.Block(block)
+	if b == nil {
+		return nil, fmt.Errorf("arch: unknown block %q", block)
+	}
+	var chain []string
+	for {
+		chain = append(chain, b.Name)
+		if b.Leaf() {
+			return chain, nil
+		}
+		var worst *Block
+		var worstSlip time.Duration = -1
+		for _, c := range b.Children {
+			if sl := s.byName[c.Name].Slip(); sl > worstSlip {
+				worst, worstSlip = c, sl
+			}
+		}
+		b = worst
+	}
+}
+
+// Report renders the schedule tree with plan/actual/slip per block.
+func (s *Schedule) Report() string {
+	var b strings.Builder
+	var walk func(blk *Block, depth int)
+	walk = func(blk *Block, depth int) {
+		row := s.byName[blk.Name]
+		status := "pending"
+		switch {
+		case row.Done:
+			status = "done"
+		case !row.ActualStart.IsZero():
+			status = "in-progress"
+		}
+		slip := ""
+		if d := row.Slip(); d > 0 {
+			slip = fmt.Sprintf("  SLIP %s", d.Round(time.Minute))
+		}
+		fmt.Fprintf(&b, "%s%-12s [%s .. %s] %s%s\n",
+			strings.Repeat("  ", depth), blk.Name,
+			row.PlannedStart.Format("01-02"), row.PlannedFinish.Format("01-02"),
+			status, slip)
+		kids := append([]*Block(nil), blk.Children...)
+		sort.Slice(kids, func(i, j int) bool { return kids[i].Name < kids[j].Name })
+		for _, c := range kids {
+			walk(c, depth+1)
+		}
+	}
+	walk(s.d.Root, 0)
+	return b.String()
+}

@@ -1,0 +1,232 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"flowsched/internal/vclock"
+)
+
+var t0 = vclock.Epoch
+
+func day(n int) time.Time { return t0.Add(time.Duration(n) * 24 * time.Hour) }
+
+// chip: core (alu, regfile) + cache.
+func chip(t *testing.T) *Decomposition {
+	t.Helper()
+	d, err := NewDecomposition(&Block{
+		Name: "chip",
+		Children: []*Block{
+			{Name: "core", Children: []*Block{
+				{Name: "alu", Size: 12000},
+				{Name: "regfile", Size: 8000},
+			}},
+			{Name: "cache", Size: 30000},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// serialPlan plans leaves back to back, one day per 10k size units.
+func serialPlan() PlanFunc {
+	next := t0
+	return func(block string, size float64) (time.Time, time.Time, error) {
+		start := next
+		finish := start.Add(time.Duration(size/10000*24) * time.Hour)
+		next = finish
+		return start, finish, nil
+	}
+}
+
+func TestNewDecompositionValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		root *Block
+		want string
+	}{
+		{"nil root", nil, "nil root"},
+		{"empty name", &Block{Name: ""}, "empty name"},
+		{"duplicate", &Block{Name: "a", Children: []*Block{
+			{Name: "b", Size: 1}, {Name: "b", Size: 1},
+		}}, "duplicate"},
+		{"zero leaf size", &Block{Name: "a", Children: []*Block{
+			{Name: "b"},
+		}}, "positive size"},
+	}
+	for _, tc := range cases {
+		if _, err := NewDecomposition(tc.root); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+	// Shared subtree rejected.
+	shared := &Block{Name: "s", Size: 1}
+	root := &Block{Name: "r", Children: []*Block{
+		{Name: "x", Children: []*Block{shared}},
+	}}
+	if _, err := NewDecomposition(root); err != nil {
+		t.Fatal(err)
+	}
+	root2 := &Block{Name: "r2", Children: []*Block{shared, {Name: "y", Size: 1}}}
+	if _, err := NewDecomposition(root2); err == nil {
+		t.Fatal("shared block accepted across decompositions")
+	}
+}
+
+func TestLeavesAndSizes(t *testing.T) {
+	d := chip(t)
+	leaves := d.Leaves()
+	if len(leaves) != 3 {
+		t.Fatalf("leaves = %d", len(leaves))
+	}
+	if got := d.TotalSize(d.Root); got != 50000 {
+		t.Fatalf("TotalSize(chip) = %v", got)
+	}
+	if got := d.TotalSize(d.Block("core")); got != 20000 {
+		t.Fatalf("TotalSize(core) = %v", got)
+	}
+	if d.Block("ghost") != nil {
+		t.Fatal("unknown block returned")
+	}
+}
+
+func TestPlanRollsUp(t *testing.T) {
+	d := chip(t)
+	s, err := d.Plan(serialPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// alu: day 0 → 1.2d; regfile → 2.0d; cache → 5.0d (serial plan).
+	core := s.Of("core")
+	if core == nil {
+		t.Fatal("core not rolled up")
+	}
+	if !core.PlannedStart.Equal(t0) {
+		t.Fatalf("core start = %v", core.PlannedStart)
+	}
+	if !core.PlannedFinish.Equal(s.Of("regfile").PlannedFinish) {
+		t.Fatalf("core finish = %v", core.PlannedFinish)
+	}
+	chipRow := s.Of("chip")
+	if !chipRow.PlannedFinish.Equal(s.Of("cache").PlannedFinish) {
+		t.Fatalf("chip finish = %v", chipRow.PlannedFinish)
+	}
+}
+
+func TestPlanValidation(t *testing.T) {
+	d := chip(t)
+	if _, err := d.Plan(nil); err == nil {
+		t.Fatal("nil plan func accepted")
+	}
+	bad := func(string, float64) (time.Time, time.Time, error) {
+		return day(2), day(1), nil // finish before start
+	}
+	if _, err := d.Plan(bad); err == nil {
+		t.Fatal("inverted window accepted")
+	}
+}
+
+func TestRecordActualRollsUp(t *testing.T) {
+	d := chip(t)
+	s, _ := d.Plan(serialPlan())
+	if err := s.RecordActual("alu", t0, day(2), true); err != nil {
+		t.Fatal(err)
+	}
+	core := s.Of("core")
+	if !core.ActualStart.Equal(t0) || core.Done {
+		t.Fatalf("core after alu = %+v", core)
+	}
+	if err := s.RecordActual("regfile", day(2), day(3), true); err != nil {
+		t.Fatal(err)
+	}
+	core = s.Of("core")
+	if !core.Done || !core.ActualFinish.Equal(day(3)) {
+		t.Fatalf("core after both = %+v", core)
+	}
+	chipRow := s.Of("chip")
+	if chipRow.Done {
+		t.Fatal("chip done before cache")
+	}
+	if err := s.RecordActual("cache", day(1), day(6), true); err != nil {
+		t.Fatal(err)
+	}
+	chipRow = s.Of("chip")
+	if !chipRow.Done || !chipRow.ActualFinish.Equal(day(6)) || !chipRow.ActualStart.Equal(t0) {
+		t.Fatalf("chip = %+v", chipRow)
+	}
+}
+
+func TestRecordActualValidation(t *testing.T) {
+	d := chip(t)
+	s, _ := d.Plan(serialPlan())
+	if err := s.RecordActual("ghost", t0, day(1), true); err == nil {
+		t.Fatal("unknown block accepted")
+	}
+	if err := s.RecordActual("core", t0, day(1), true); err == nil {
+		t.Fatal("internal block accepted")
+	}
+	if err := s.RecordActual("alu", day(2), day(1), true); err == nil {
+		t.Fatal("inverted actuals accepted")
+	}
+}
+
+func TestSlipAttribution(t *testing.T) {
+	d := chip(t)
+	s, _ := d.Plan(serialPlan())
+	// alu on time; regfile slips 3 days past its plan; cache on time.
+	s.RecordActual("alu", t0, s.Of("alu").PlannedFinish, true)
+	s.RecordActual("regfile", day(2), s.Of("regfile").PlannedFinish.Add(72*time.Hour), true)
+	s.RecordActual("cache", day(1), s.Of("cache").PlannedFinish, true)
+
+	chain, err := s.SlipAttribution("chip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"chip", "core", "regfile"}
+	if len(chain) != 3 {
+		t.Fatalf("chain = %v", chain)
+	}
+	for i := range want {
+		if chain[i] != want[i] {
+			t.Fatalf("chain = %v, want %v", chain, want)
+		}
+	}
+	if _, err := s.SlipAttribution("ghost"); err == nil {
+		t.Fatal("unknown block accepted")
+	}
+	// Leaf attribution is itself.
+	leafChain, _ := s.SlipAttribution("cache")
+	if len(leafChain) != 1 || leafChain[0] != "cache" {
+		t.Fatalf("leaf chain = %v", leafChain)
+	}
+}
+
+func TestBlockScheduleSlip(t *testing.T) {
+	row := BlockSchedule{PlannedFinish: day(1), ActualFinish: day(3)}
+	if row.Slip() != 48*time.Hour {
+		t.Fatalf("slip = %v", row.Slip())
+	}
+	onTime := BlockSchedule{PlannedFinish: day(3), ActualFinish: day(2)}
+	if onTime.Slip() != 0 {
+		t.Fatalf("early finish slip = %v", onTime.Slip())
+	}
+	pending := BlockSchedule{PlannedFinish: day(1)}
+	if pending.Slip() != 0 {
+		t.Fatalf("pending slip = %v", pending.Slip())
+	}
+}
+
+func TestReport(t *testing.T) {
+	d := chip(t)
+	s, _ := d.Plan(serialPlan())
+	s.RecordActual("alu", t0, s.Of("alu").PlannedFinish.Add(48*time.Hour), true)
+	out := s.Report()
+	for _, want := range []string{"chip", "core", "alu", "regfile", "cache", "SLIP", "done", "pending"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package baseline models the state of practice the paper argues against:
+// a project-management system (MacProject / Microsoft Project style) kept
+// *separate* from the flow manager, synchronized by hand.
+//
+// "Project managers acquire projected and actual completion dates from the
+// different designers working on the project, and manually insert the
+// information into their project management system" (paper §I). That
+// manual channel has a reporting period (status meetings), can miss
+// updates, and therefore leaves the schedule stale. The integrated system
+// records the same facts at the instant the flow manager creates them.
+//
+// This package turns that argument into a measurable experiment (E1 in
+// DESIGN.md): replay one ground-truth stream of schedule events through
+// both channels and measure the recording lag and the staleness of the
+// manager's view.
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// EventKind distinguishes task starts from completions.
+type EventKind string
+
+const (
+	Start  EventKind = "start"
+	Finish EventKind = "finish"
+)
+
+// Event is one ground-truth schedule fact produced by the flow manager.
+type Event struct {
+	Activity string
+	Kind     EventKind
+	At       time.Time
+}
+
+// Report is an event as it lands in a project-management system.
+type Report struct {
+	Event
+	// RecordedAt is when the PM system learned the fact.
+	RecordedAt time.Time
+}
+
+// Lag is the event's recording delay.
+func (r Report) Lag() time.Duration { return r.RecordedAt.Sub(r.At) }
+
+// SeparateConfig parameterizes the manual reporting channel.
+type SeparateConfig struct {
+	// Period is the reporting cadence (e.g. a weekly status meeting).
+	Period time.Duration
+	// FirstMeeting anchors the meeting grid; events before it wait for it.
+	FirstMeeting time.Time
+	// MissProb is the chance a fact is not reported at a given meeting
+	// and slips to the next one.
+	MissProb float64
+	// Seed makes missed reports reproducible.
+	Seed int64
+}
+
+func (c SeparateConfig) validate() error {
+	if c.Period <= 0 {
+		return fmt.Errorf("baseline: reporting period must be positive")
+	}
+	if c.FirstMeeting.IsZero() {
+		return fmt.Errorf("baseline: first meeting time required")
+	}
+	if c.MissProb < 0 || c.MissProb >= 1 {
+		return fmt.Errorf("baseline: miss probability %v out of [0,1)", c.MissProb)
+	}
+	return nil
+}
+
+// SimulateSeparate replays events through the manual channel: each fact is
+// recorded at the first status meeting at or after it happens, possibly
+// slipping whole periods when the report is missed.
+func SimulateSeparate(events []Event, cfg SeparateConfig) ([]Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]Report, 0, len(events))
+	for _, e := range events {
+		meeting := cfg.FirstMeeting
+		for meeting.Before(e.At) {
+			meeting = meeting.Add(cfg.Period)
+		}
+		for rng.Float64() < cfg.MissProb {
+			meeting = meeting.Add(cfg.Period)
+		}
+		out = append(out, Report{Event: e, RecordedAt: meeting})
+	}
+	return out, nil
+}
+
+// SimulateIntegrated replays events through the integrated system: every
+// fact is recorded the instant the flow manager creates it, because "the
+// status of the flow is maintained within the flow management system".
+func SimulateIntegrated(events []Event) []Report {
+	out := make([]Report, 0, len(events))
+	for _, e := range events {
+		out = append(out, Report{Event: e, RecordedAt: e.At})
+	}
+	return out
+}
+
+// DriftStats summarizes how far a PM system's view trails reality.
+type DriftStats struct {
+	// MeanLag and MaxLag are recording delays across all events.
+	MeanLag, MaxLag time.Duration
+	// StaleFraction is the fraction of the observation span during which
+	// at least one fact had happened but was not yet recorded.
+	StaleFraction float64
+	// N is the number of events scored.
+	N int
+}
+
+// Drift computes drift statistics over a report stream. The observation
+// span runs from the earliest event to the latest recording time.
+func Drift(reports []Report) (DriftStats, error) {
+	if len(reports) == 0 {
+		return DriftStats{}, fmt.Errorf("baseline: no reports")
+	}
+	var st DriftStats
+	var total time.Duration
+	lo := reports[0].At
+	hi := reports[0].RecordedAt
+	type iv struct{ a, b time.Time }
+	var stale []iv
+	for _, r := range reports {
+		if r.RecordedAt.Before(r.At) {
+			return DriftStats{}, fmt.Errorf("baseline: report for %s recorded before it happened", r.Activity)
+		}
+		lag := r.Lag()
+		total += lag
+		if lag > st.MaxLag {
+			st.MaxLag = lag
+		}
+		if r.At.Before(lo) {
+			lo = r.At
+		}
+		if r.RecordedAt.After(hi) {
+			hi = r.RecordedAt
+		}
+		if lag > 0 {
+			stale = append(stale, iv{r.At, r.RecordedAt})
+		}
+		st.N++
+	}
+	st.MeanLag = total / time.Duration(st.N)
+	span := hi.Sub(lo)
+	if span > 0 && len(stale) > 0 {
+		// Merge stale intervals and sum their union.
+		sort.Slice(stale, func(i, j int) bool { return stale[i].a.Before(stale[j].a) })
+		var union time.Duration
+		cur := stale[0]
+		for _, s := range stale[1:] {
+			if !s.a.After(cur.b) {
+				if s.b.After(cur.b) {
+					cur.b = s.b
+				}
+				continue
+			}
+			union += cur.b.Sub(cur.a)
+			cur = s
+		}
+		union += cur.b.Sub(cur.a)
+		st.StaleFraction = float64(union) / float64(span)
+	}
+	return st, nil
+}
+
+// Comparison pairs integrated and separate drift for one event stream.
+type Comparison struct {
+	Integrated, Separate DriftStats
+}
+
+// Compare runs both channels over the same events.
+func Compare(events []Event, cfg SeparateConfig) (Comparison, error) {
+	sep, err := SimulateSeparate(events, cfg)
+	if err != nil {
+		return Comparison{}, err
+	}
+	sd, err := Drift(sep)
+	if err != nil {
+		return Comparison{}, err
+	}
+	id, err := Drift(SimulateIntegrated(events))
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{Integrated: id, Separate: sd}, nil
+}

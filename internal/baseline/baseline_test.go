@@ -1,0 +1,192 @@
+package baseline
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"flowsched/internal/vclock"
+)
+
+var t0 = vclock.Epoch
+
+func week(n int) time.Duration { return time.Duration(n) * 7 * 24 * time.Hour }
+
+func sampleEvents() []Event {
+	return []Event{
+		{Activity: "Create", Kind: Start, At: t0},
+		{Activity: "Create", Kind: Finish, At: t0.Add(30 * time.Hour)},
+		{Activity: "Simulate", Kind: Start, At: t0.Add(31 * time.Hour)},
+		{Activity: "Simulate", Kind: Finish, At: t0.Add(80 * time.Hour)},
+	}
+}
+
+func cfg() SeparateConfig {
+	return SeparateConfig{
+		Period:       week(1),
+		FirstMeeting: t0.Add(48 * time.Hour), // Wednesday meeting
+		Seed:         1,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []SeparateConfig{
+		{Period: 0, FirstMeeting: t0},
+		{Period: week(1)},
+		{Period: week(1), FirstMeeting: t0, MissProb: 1},
+		{Period: week(1), FirstMeeting: t0, MissProb: -0.1},
+	}
+	for i, c := range bad {
+		if _, err := SimulateSeparate(sampleEvents(), c); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestSimulateIntegratedZeroLag(t *testing.T) {
+	reps := SimulateIntegrated(sampleEvents())
+	for _, r := range reps {
+		if r.Lag() != 0 {
+			t.Fatalf("integrated lag = %v", r.Lag())
+		}
+	}
+}
+
+func TestSimulateSeparateWaitsForMeeting(t *testing.T) {
+	reps, err := SimulateSeparate(sampleEvents(), cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First event (Mon 09:00) is recorded at the Wednesday meeting.
+	if !reps[0].RecordedAt.Equal(t0.Add(48 * time.Hour)) {
+		t.Fatalf("first report at %v", reps[0].RecordedAt)
+	}
+	for _, r := range reps {
+		if r.RecordedAt.Before(r.At) {
+			t.Fatalf("report before event: %+v", r)
+		}
+	}
+}
+
+func TestSimulateSeparateEventAtMeetingInstant(t *testing.T) {
+	c := cfg()
+	ev := []Event{{Activity: "X", Kind: Start, At: c.FirstMeeting}}
+	reps, err := SimulateSeparate(ev, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reps[0].RecordedAt.Equal(c.FirstMeeting) {
+		t.Fatalf("event at meeting recorded at %v", reps[0].RecordedAt)
+	}
+}
+
+func TestMissedReportsSlip(t *testing.T) {
+	c := cfg()
+	c.MissProb = 0.9
+	c.Seed = 42
+	reps, err := SimulateSeparate(sampleEvents(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slipped := false
+	for _, r := range reps {
+		if r.Lag() > week(1) {
+			slipped = true
+		}
+	}
+	if !slipped {
+		t.Fatal("high miss probability produced no multi-period lags")
+	}
+	// Deterministic under the same seed.
+	reps2, _ := SimulateSeparate(sampleEvents(), c)
+	for i := range reps {
+		if !reps[i].RecordedAt.Equal(reps2[i].RecordedAt) {
+			t.Fatal("separate simulation not deterministic")
+		}
+	}
+}
+
+func TestDrift(t *testing.T) {
+	reps := []Report{
+		{Event: Event{Activity: "A", Kind: Start, At: t0}, RecordedAt: t0.Add(2 * time.Hour)},
+		{Event: Event{Activity: "A", Kind: Finish, At: t0.Add(4 * time.Hour)}, RecordedAt: t0.Add(8 * time.Hour)},
+	}
+	st, err := Drift(reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.N != 2 || st.MeanLag != 3*time.Hour || st.MaxLag != 4*time.Hour {
+		t.Fatalf("drift = %+v", st)
+	}
+	// Stale union: [0,2h] + [4h,8h] = 6h over an 8h span = 0.75.
+	if st.StaleFraction < 0.74 || st.StaleFraction > 0.76 {
+		t.Fatalf("stale fraction = %v, want 0.75", st.StaleFraction)
+	}
+}
+
+func TestDriftOverlappingIntervals(t *testing.T) {
+	reps := []Report{
+		{Event: Event{Activity: "A", Kind: Start, At: t0}, RecordedAt: t0.Add(4 * time.Hour)},
+		{Event: Event{Activity: "B", Kind: Start, At: t0.Add(2 * time.Hour)}, RecordedAt: t0.Add(6 * time.Hour)},
+	}
+	st, err := Drift(reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Union [0,6h] over span 6h = 1.0.
+	if st.StaleFraction != 1.0 {
+		t.Fatalf("stale fraction = %v, want 1", st.StaleFraction)
+	}
+}
+
+func TestDriftErrors(t *testing.T) {
+	if _, err := Drift(nil); err == nil {
+		t.Fatal("empty reports accepted")
+	}
+	bad := []Report{{Event: Event{At: t0.Add(time.Hour)}, RecordedAt: t0}}
+	if _, err := Drift(bad); err == nil {
+		t.Fatal("time-travelling report accepted")
+	}
+}
+
+func TestCompareIntegratedWins(t *testing.T) {
+	cmp, err := Compare(sampleEvents(), cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Integrated.MeanLag != 0 || cmp.Integrated.StaleFraction != 0 {
+		t.Fatalf("integrated drift = %+v", cmp.Integrated)
+	}
+	if cmp.Separate.MeanLag <= 0 {
+		t.Fatalf("separate drift = %+v", cmp.Separate)
+	}
+}
+
+// Property: separate-channel lag is bounded below by zero and the mean lag
+// grows with the reporting period.
+func TestLagGrowsWithPeriod(t *testing.T) {
+	f := func(p1, p2 uint8) bool {
+		d1 := time.Duration(int(p1%10)+1) * 24 * time.Hour
+		d2 := time.Duration(int(p2%10)+1) * 24 * time.Hour
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		mk := func(period time.Duration) DriftStats {
+			c := SeparateConfig{Period: period, FirstMeeting: t0.Add(period), Seed: 7}
+			reps, err := SimulateSeparate(sampleEvents(), c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := Drift(reps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st
+		}
+		s1, s2 := mk(d1), mk(d2)
+		return s1.MeanLag >= 0 && s2.MeanLag >= s1.MeanLag
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+package design
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// objectJSON is the persisted form of one object.
+type objectJSON struct {
+	Version  int       `json:"version"`
+	Sum      uint64    `json:"sum"`
+	Created  time.Time `json:"created"`
+	Producer string    `json:"producer,omitempty"`
+	Bytes    []byte    `json:"bytes"`
+}
+
+// storeJSON is the persisted form of a Store.
+type storeJSON struct {
+	Classes map[string][]objectJSON `json:"classes"`
+}
+
+// MarshalJSON serializes the store (content included, base64-encoded).
+func (s *Store) MarshalJSON() ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := storeJSON{Classes: make(map[string][]objectJSON, len(s.byClass))}
+	for class, chain := range s.byClass {
+		objs := make([]objectJSON, len(chain))
+		for i, o := range chain {
+			objs[i] = objectJSON{
+				Version: o.Ref.Version, Sum: o.Ref.Sum,
+				Created: o.Created, Producer: o.Producer, Bytes: o.Bytes,
+			}
+		}
+		out.Classes[class] = objs
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores a store serialized by MarshalJSON into an empty
+// Store, verifying content hashes and version density.
+func (s *Store) UnmarshalJSON(data []byte) error {
+	var in storeJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("design: restore: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.byClass) != 0 {
+		return fmt.Errorf("design: restore into non-empty store")
+	}
+	if s.byClass == nil {
+		s.byClass = make(map[string][]*Object)
+		s.bySum = make(map[uint64]*Object)
+	}
+	for class, objs := range in.Classes {
+		chain := make([]*Object, len(objs))
+		for i, oj := range objs {
+			if oj.Version != i+1 {
+				return fmt.Errorf("design: restore: class %q has non-dense versions", class)
+			}
+			if hashBytes(oj.Bytes) != oj.Sum {
+				return fmt.Errorf("design: restore: object %s@%d hash mismatch", class, oj.Version)
+			}
+			o := &Object{
+				Ref:      Ref{Class: class, Version: oj.Version, Sum: oj.Sum},
+				Created:  oj.Created,
+				Producer: oj.Producer,
+				Bytes:    oj.Bytes,
+			}
+			chain[i] = o
+			s.bySum[oj.Sum] = o
+		}
+		s.byClass[class] = chain
+	}
+	return nil
+}

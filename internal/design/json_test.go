@@ -1,0 +1,66 @@
+package design
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestStoreJSONRoundTrip(t *testing.T) {
+	s := NewStore()
+	r1, _ := s.Put("netlist", []byte("rev 1\x00binary\xff"), "Create/1", t0)
+	s.Put("netlist", []byte("rev 2"), "Create/2", t0)
+	s.Put("stimuli", []byte("vectors"), "", t0)
+
+	blob, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := NewStore()
+	if err := json.Unmarshal(blob, re); err != nil {
+		t.Fatal(err)
+	}
+	if re.Versions("netlist") != 2 || re.Versions("stimuli") != 1 {
+		t.Fatalf("versions = %d/%d", re.Versions("netlist"), re.Versions("stimuli"))
+	}
+	o, err := re.Get(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(o.Bytes) != "rev 1\x00binary\xff" || o.Producer != "Create/1" {
+		t.Fatalf("object = %+v", o)
+	}
+	// Dedup index restored: identical content returns the existing ref.
+	r1b, _ := re.Put("netlist", []byte("rev 1\x00binary\xff"), "", t0)
+	if r1b != r1 {
+		t.Fatalf("dedup lost across restore: %v vs %v", r1b, r1)
+	}
+	// Stable second round trip.
+	blob2, _ := json.Marshal(re)
+	re2 := NewStore()
+	if err := json.Unmarshal(blob2, re2); err != nil {
+		t.Fatal(err)
+	}
+	if re2.TotalBytes() != s.TotalBytes() {
+		t.Fatal("byte totals diverged")
+	}
+}
+
+func TestStoreJSONRejectsCorrupt(t *testing.T) {
+	cases := []struct{ name, blob string }{
+		{"bad json", "{"},
+		{"non-dense", `{"classes":{"a":[{"version":2,"sum":0,"bytes":null}]}}`},
+		{"hash mismatch", `{"classes":{"a":[{"version":1,"sum":12345,"bytes":"aGk="}]}}`},
+	}
+	for _, tc := range cases {
+		re := NewStore()
+		if err := json.Unmarshal([]byte(tc.blob), re); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+	// Restore into non-empty store rejected.
+	s := NewStore()
+	s.Put("x", []byte("y"), "", t0)
+	if err := json.Unmarshal([]byte(`{"classes":{}}`), s); err == nil {
+		t.Error("restore into non-empty store accepted")
+	}
+}

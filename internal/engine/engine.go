@@ -1,0 +1,470 @@
+// Package engine implements the Hercules-like workflow manager: the system
+// that formulates, plans, executes, and tracks design tasks over the task
+// database.
+//
+// The manager owns one database with both Level 3 spaces (execution and
+// schedule), the Level 4 design-data store, a virtual clock, and the tool
+// bindings. Its lifecycle mirrors paper §IV.A:
+//
+//  1. define a task schema (package schema) — New initializes the
+//     containers from it;
+//  2. extract a task tree covering the intended scope (ExtractTree);
+//  3. bind tools and input data (BindTool / Import);
+//  4. plan: simulate the execution to create schedule instances (Plan);
+//  5. execute: post-order traversal running each activity until the
+//     design goals are met, creating runs and entity instances
+//     (ExecuteTask);
+//  6. complete: link final entity instances to schedule instances and
+//     propagate any slip through the plan (done by ExecuteTask when
+//     AutoComplete is set, or explicitly via CompleteActivity).
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"flowsched/internal/design"
+	"flowsched/internal/flow"
+	"flowsched/internal/meta"
+	"flowsched/internal/sched"
+	"flowsched/internal/schema"
+	"flowsched/internal/store"
+	"flowsched/internal/tools"
+	"flowsched/internal/vclock"
+)
+
+// EventKind classifies manager events.
+type EventKind string
+
+const (
+	EvRunStarted    EventKind = "run-started"
+	EvRunFinished   EventKind = "run-finished"
+	EvRunFailed     EventKind = "run-failed"
+	EvEntityCreated EventKind = "entity-created"
+	EvTaskStarted   EventKind = "task-started"
+	EvTaskComplete  EventKind = "task-complete"
+	EvPlanCreated   EventKind = "plan-created"
+	EvSlip          EventKind = "slip"
+)
+
+// Event is one entry of the manager's event stream, consumed by the UI
+// and the experiment reports.
+type Event struct {
+	Kind     EventKind
+	Activity string
+	At       time.Time
+	Detail   string
+}
+
+// Manager is the workflow manager.
+type Manager struct {
+	Schema   *schema.Schema
+	Graph    *flow.Graph
+	DB       *store.DB
+	Data     *design.Store
+	Exec     *meta.Space
+	Sched    *sched.Space
+	Tools    *tools.Registry
+	Clock    *vclock.Clock
+	Calendar *vclock.Calendar
+	Designer string
+
+	events []Event
+}
+
+// New builds a manager for a schema: it creates the task database with
+// both Level 3 spaces initialized from the schema, an empty design-data
+// store, and a clock at the given start time.
+func New(sch *schema.Schema, cal *vclock.Calendar, start time.Time, designer string) (*Manager, error) {
+	if cal == nil {
+		return nil, fmt.Errorf("engine: nil calendar")
+	}
+	if designer == "" {
+		return nil, fmt.Errorf("engine: empty designer")
+	}
+	g, err := flow.FromSchema(sch)
+	if err != nil {
+		return nil, err
+	}
+	db := store.NewDB()
+	exec, err := meta.NewSpace(db, sch)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := sched.NewSpace(db, sch, cal)
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{
+		Schema: sch, Graph: g, DB: db, Data: design.NewStore(),
+		Exec: exec, Sched: sc, Tools: tools.NewRegistry(),
+		Clock: vclock.NewAt(start), Calendar: cal, Designer: designer,
+	}, nil
+}
+
+// Restore builds a manager over an existing task database and design-data
+// store — the resume path after loading a persisted session. The schema
+// must be the one the database was created from (container initialization
+// is idempotent and verifies space/class agreement). Tool bindings are
+// not persisted; rebind before executing.
+func Restore(sch *schema.Schema, cal *vclock.Calendar, db *store.DB,
+	data *design.Store, now time.Time, designer string) (*Manager, error) {
+	if cal == nil {
+		return nil, fmt.Errorf("engine: nil calendar")
+	}
+	if db == nil || data == nil {
+		return nil, fmt.Errorf("engine: nil database or data store")
+	}
+	if designer == "" {
+		return nil, fmt.Errorf("engine: empty designer")
+	}
+	g, err := flow.FromSchema(sch)
+	if err != nil {
+		return nil, err
+	}
+	exec, err := meta.NewSpace(db, sch)
+	if err != nil {
+		return nil, fmt.Errorf("engine: restore: %w", err)
+	}
+	sc, err := sched.NewSpace(db, sch, cal)
+	if err != nil {
+		return nil, fmt.Errorf("engine: restore: %w", err)
+	}
+	return &Manager{
+		Schema: sch, Graph: g, DB: db, Data: data,
+		Exec: exec, Sched: sc, Tools: tools.NewRegistry(),
+		Clock: vclock.NewAt(now), Calendar: cal, Designer: designer,
+	}, nil
+}
+
+// Events returns the event stream so far.
+func (m *Manager) Events() []Event { return append([]Event(nil), m.events...) }
+
+func (m *Manager) emit(kind EventKind, activity string, at time.Time, format string, args ...any) {
+	m.events = append(m.events, Event{
+		Kind: kind, Activity: activity, At: at, Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+// ExtractTree extracts the task tree covering the targets.
+func (m *Manager) ExtractTree(targets ...string) (*flow.Tree, error) {
+	return m.Graph.Extract(targets...)
+}
+
+// BindTool binds a tool instance to an activity for subsequent executions.
+func (m *Manager) BindTool(activity string, t tools.Tool) error {
+	if m.Schema.RuleByActivity(activity) == nil {
+		return fmt.Errorf("engine: unknown activity %q", activity)
+	}
+	return m.Tools.Bind(activity, t)
+}
+
+// BindDefaults binds a default simulated tool instance to every activity
+// that lacks one, named "<toolclass>#1".
+func (m *Manager) BindDefaults() error {
+	for _, r := range m.Schema.Rules() {
+		if m.Tools.For(r.Activity) != nil {
+			continue
+		}
+		t, err := tools.DefaultFor(r.Tool, r.Tool+"#1")
+		if err != nil {
+			return err
+		}
+		if err := m.Tools.Bind(r.Activity, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Import files external design data for a primary-input class: the bytes
+// go to Level 4, an entity instance records them at Level 3.
+func (m *Manager) Import(class string, data []byte) (*store.Entry, error) {
+	now := m.Clock.Now()
+	ref, err := m.Data.Put(class, data, "", now)
+	if err != nil {
+		return nil, err
+	}
+	e, err := m.Exec.ImportEntity(class, ref, m.Designer, now)
+	if err != nil {
+		return nil, err
+	}
+	m.emit(EvEntityCreated, "", now, "imported %s as %s", ref, e.ID)
+	return e, nil
+}
+
+// Plan simulates the execution of the tree from the current virtual time,
+// creating a new plan version (see sched.Space.Plan).
+func (m *Manager) Plan(tree *flow.Tree, est sched.Estimator, opt sched.PlanOptions) (*sched.PlanResult, error) {
+	res, err := m.Sched.Plan(tree, m.Clock.Now(), est, opt)
+	if err != nil {
+		return nil, err
+	}
+	m.emit(EvPlanCreated, "", m.Clock.Now(), "plan v%d: finish %s",
+		res.Plan.Version, res.Plan.Finish.Format("2006-01-02 15:04"))
+	return res, nil
+}
+
+// ExecOptions tunes a task execution.
+type ExecOptions struct {
+	// Plan, when non-nil, is tracked: actual starts are recorded, final
+	// entities linked (with AutoComplete), and slips propagated.
+	Plan *sched.Plan
+	// AutoComplete marks each activity complete and links its final
+	// entity instance once the design goals are met. Without it the
+	// designer calls CompleteActivity explicitly.
+	AutoComplete bool
+	// MaxIterations bounds re-running one activity (default 10).
+	MaxIterations int
+	// MaxFailures bounds consecutive failed runs per activity (default 3).
+	MaxFailures int
+	// Constraints are acceptance conditions on activity outputs; a
+	// violating version is filed as metadata but does not complete the
+	// task, forcing another iteration.
+	Constraints []Constraint
+	// Parallel executes independent branches concurrently on the virtual
+	// timeline, matching the plan's semantics: an activity starts when its
+	// in-tree producers finish, not when the previous traversal step does.
+	// Serial (default) models a single designer working the post order.
+	// In parallel mode the event stream is ordered per activity, not
+	// globally.
+	Parallel bool
+}
+
+func (o *ExecOptions) defaults() {
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 10
+	}
+	if o.MaxFailures <= 0 {
+		o.MaxFailures = 3
+	}
+}
+
+// ActivityOutcome summarizes one activity's execution.
+type ActivityOutcome struct {
+	Activity   string
+	Iterations int
+	Failures   int
+	// FinalEntity is the entity instance holding the accepted version.
+	FinalEntity *store.Entry
+	Started     time.Time
+	Finished    time.Time
+}
+
+// ExecResult summarizes a task execution.
+type ExecResult struct {
+	Outcomes []ActivityOutcome
+	Started  time.Time
+	Finished time.Time
+}
+
+// ExecuteTask runs the task tree: a post-order traversal in which each
+// activity is iterated until the design goals are met (the simulated
+// designer's accept decision), creating a run and an entity instance per
+// iteration. Time advances on the virtual clock through the working
+// calendar. Leaf data classes must have imported entity instances and
+// every in-scope activity a bound tool.
+func (m *Manager) ExecuteTask(tree *flow.Tree, opt ExecOptions) (*ExecResult, error) {
+	opt.defaults()
+	for _, c := range opt.Constraints {
+		if err := c.validate(); err != nil {
+			return nil, err
+		}
+		if m.Schema.RuleByActivity(c.Activity) == nil {
+			return nil, fmt.Errorf("engine: constraint %s on unknown activity %q", c.Name, c.Activity)
+		}
+	}
+	if err := m.checkReady(tree); err != nil {
+		return nil, err
+	}
+	res := &ExecResult{Started: m.Clock.Now()}
+	// latest accepted bytes + entity per data class, seeded from imports.
+	bytesOf := make(map[string][]byte)
+	entityOf := make(map[string]*store.Entry)
+	for _, leaf := range tree.Leaves() {
+		e, ent, err := m.Exec.LatestEntity(leaf)
+		if err != nil {
+			return nil, err
+		}
+		obj, err := m.Data.Get(ent.Data)
+		if err != nil {
+			return nil, fmt.Errorf("engine: leaf %s: %w", leaf, err)
+		}
+		bytesOf[leaf] = obj.Bytes
+		entityOf[leaf] = e
+	}
+
+	finishOf := make(map[string]time.Time) // activity -> actual finish
+	for _, act := range tree.Activities() {
+		startAt := res.Started
+		if opt.Parallel {
+			// Plan semantics: start when the in-tree producers finish.
+			for _, pred := range tree.Graph.Predecessors(act) {
+				if tree.Contains(pred) && finishOf[pred].After(startAt) {
+					startAt = finishOf[pred]
+				}
+			}
+		} else {
+			startAt = m.Clock.Now()
+		}
+		out, err := m.runActivity(tree, act, startAt, bytesOf, entityOf, opt)
+		if err != nil {
+			return res, err
+		}
+		finishOf[act] = out.Finished
+		m.Clock.AdvanceTo(out.Finished)
+		res.Outcomes = append(res.Outcomes, *out)
+	}
+	res.Finished = m.Clock.Now()
+	if opt.Plan != nil {
+		before := opt.Plan.Finish
+		projected, err := m.Sched.Propagate(opt.Plan, m.Clock.Now())
+		if err != nil {
+			return res, err
+		}
+		if projected.After(before) {
+			m.emit(EvSlip, "", m.Clock.Now(), "project finish slipped %s -> %s",
+				before.Format("2006-01-02"), projected.Format("2006-01-02"))
+		}
+	}
+	return res, nil
+}
+
+// checkReady verifies bindings: tool per activity, imported data per leaf.
+func (m *Manager) checkReady(tree *flow.Tree) error {
+	for _, act := range tree.Activities() {
+		if m.Tools.For(act) == nil {
+			return fmt.Errorf("engine: no tool bound to activity %q", act)
+		}
+	}
+	for _, leaf := range tree.Leaves() {
+		_, ent, err := m.Exec.LatestEntity(leaf)
+		if err != nil {
+			return err
+		}
+		if ent == nil {
+			return fmt.Errorf("engine: leaf class %q has no imported data", leaf)
+		}
+	}
+	return nil
+}
+
+// runActivity iterates one activity until its goals are met, starting
+// its first run no earlier than startAt. It advances a local time cursor
+// rather than the global clock, so the caller decides how activity
+// timelines compose (serial or parallel).
+func (m *Manager) runActivity(tree *flow.Tree, act string, startAt time.Time,
+	bytesOf map[string][]byte, entityOf map[string]*store.Entry, opt ExecOptions) (*ActivityOutcome, error) {
+
+	rule := m.Schema.RuleByActivity(act)
+	tool := m.Tools.For(act)
+	out := &ActivityOutcome{Activity: act}
+	failStreak := 0
+	goalReached := false
+	now := startAt
+
+	for iter := 1; iter <= opt.MaxIterations; iter++ {
+		inputs := make(map[string][]byte, len(rule.Inputs))
+		var deps []string
+		for _, in := range rule.Inputs {
+			b, ok := bytesOf[in]
+			if !ok {
+				return nil, fmt.Errorf("engine: activity %s: input %s not yet produced", act, in)
+			}
+			inputs[in] = b
+			deps = append(deps, entityOf[in].ID)
+		}
+
+		start := m.Calendar.NextWorkInstant(now)
+		if out.Started.IsZero() {
+			out.Started = start
+		}
+		runEntry, err := m.Exec.BeginRun(act, tool.Instance(), m.Designer, start)
+		if err != nil {
+			return nil, err
+		}
+		m.emit(EvRunStarted, act, start, "run %s (iteration %d)", runEntry.ID, iter)
+
+		result, runErr := tool.Run(inputs, iter)
+		finish := m.Calendar.AddWork(start, result.Work)
+		now = finish
+
+		if runErr != nil {
+			if err := m.Exec.FinishRun(runEntry.ID, finish, meta.RunFailed); err != nil {
+				return nil, err
+			}
+			out.Failures++
+			failStreak++
+			m.emit(EvRunFailed, act, finish, "%v", runErr)
+			if failStreak >= opt.MaxFailures {
+				return nil, fmt.Errorf("engine: activity %s failed %d consecutive runs: %w",
+					act, failStreak, runErr)
+			}
+			continue
+		}
+		failStreak = 0
+		if err := m.Exec.FinishRun(runEntry.ID, finish, meta.RunSucceeded); err != nil {
+			return nil, err
+		}
+		ref, err := m.Data.Put(rule.Output, result.Output, runEntry.ID, finish)
+		if err != nil {
+			return nil, err
+		}
+		entity, err := m.Exec.RecordEntity(rule.Output, runEntry.ID, ref, deps...)
+		if err != nil {
+			return nil, err
+		}
+		out.Iterations = iter
+		out.FinalEntity = entity
+		m.emit(EvEntityCreated, act, finish, "%s (%s)", entity.ID, ref)
+		m.emit(EvRunFinished, act, finish, "run %s ok, goalMet=%v", runEntry.ID, result.GoalMet)
+
+		if opt.Plan != nil && out.Iterations == iter && entityOf[rule.Output] == nil {
+			// The first data instance sets the actual start date (§IV.C);
+			// the recorded date is the producing run's start, while the
+			// event itself happens when the instance is created.
+			if err := m.Sched.MarkStarted(opt.Plan, act, out.Started); err == nil {
+				m.emit(EvTaskStarted, act, finish, "actual start recorded as %s",
+					out.Started.Format("2006-01-02 15:04"))
+			}
+		}
+		bytesOf[rule.Output] = result.Output
+		entityOf[rule.Output] = entity
+
+		goalMet := result.GoalMet
+		if goalMet {
+			// A version the designer would accept must still satisfy the
+			// flow's acceptance constraints; a violation forces iteration.
+			if err := m.checkConstraints(opt.Constraints, act, result.Output, finish); err != nil {
+				goalMet = false
+			}
+		}
+		if goalMet {
+			goalReached = true
+			break
+		}
+	}
+	if out.FinalEntity == nil || !goalReached {
+		return nil, fmt.Errorf("engine: activity %s met no goal within %d iterations",
+			act, opt.MaxIterations)
+	}
+	out.Finished = now
+	if opt.Plan != nil && opt.AutoComplete {
+		if err := m.Sched.Complete(opt.Plan, act, out.FinalEntity.ID, out.Finished); err != nil {
+			return nil, err
+		}
+		m.emit(EvTaskComplete, act, out.Finished, "linked %s", out.FinalEntity.ID)
+	}
+	return out, nil
+}
+
+// CompleteActivity lets the designer explicitly designate an entity
+// instance as the final design data for an activity under a plan,
+// creating the schedule<->entity link.
+func (m *Manager) CompleteActivity(p *sched.Plan, activity, entityID string) error {
+	if err := m.Sched.Complete(p, activity, entityID, m.Clock.Now()); err != nil {
+		return err
+	}
+	m.emit(EvTaskComplete, activity, m.Clock.Now(), "linked %s", entityID)
+	return nil
+}

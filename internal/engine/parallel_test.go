@@ -1,0 +1,143 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"flowsched/internal/sched"
+	"flowsched/internal/schema"
+	"flowsched/internal/tools"
+	"flowsched/internal/vclock"
+)
+
+const diamond = `
+schema diamond
+data src, left, right, merged
+tool t
+rule A: src    <- t()
+rule B: left   <- t(src)
+rule C: right  <- t(src)
+rule D: merged <- t(left, right)
+`
+
+// fixedTool always takes work and accepts on iteration 1.
+type fixedTool struct {
+	instance string
+	work     time.Duration
+}
+
+func (f *fixedTool) Instance() string { return f.instance }
+func (f *fixedTool) Class() string    { return "t" }
+func (f *fixedTool) Run(inputs map[string][]byte, iteration int) (tools.Result, error) {
+	return tools.Result{Output: []byte(f.instance + " out"), Work: f.work, GoalMet: true}, nil
+}
+
+func diamondManager(t *testing.T) *Manager {
+	t.Helper()
+	m, err := New(schema.MustParse(diamond), vclock.Standard(), vclock.Epoch, "team")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, act := range []string{"A", "B", "C", "D"} {
+		if err := m.BindTool(act, &fixedTool{instance: act + "#1", work: 8 * time.Hour}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func TestParallelExecutionOverlapsBranches(t *testing.T) {
+	serial := diamondManager(t)
+	tree, _ := serial.ExtractTree("merged")
+	sres, err := serial.ExecuteTask(tree, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := diamondManager(t)
+	ptree, _ := par.ExtractTree("merged")
+	pres, err := par.ExecuteTask(ptree, ExecOptions{Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial: 4×8h = 4 working days. Parallel: B and C overlap → 3 days.
+	serialSpan := serial.Calendar.WorkBetween(sres.Started, sres.Finished)
+	parSpan := par.Calendar.WorkBetween(pres.Started, pres.Finished)
+	if serialSpan != 32*time.Hour {
+		t.Fatalf("serial span = %v, want 32h", serialSpan)
+	}
+	if parSpan != 24*time.Hour {
+		t.Fatalf("parallel span = %v, want 24h", parSpan)
+	}
+	// B and C really overlap on the timeline.
+	var b, c ActivityOutcome
+	for _, o := range pres.Outcomes {
+		switch o.Activity {
+		case "B":
+			b = o
+		case "C":
+			c = o
+		}
+	}
+	if !b.Started.Equal(c.Started) {
+		t.Fatalf("B starts %v, C starts %v; want simultaneous", b.Started, c.Started)
+	}
+	// D starts only after both.
+	var d ActivityOutcome
+	for _, o := range pres.Outcomes {
+		if o.Activity == "D" {
+			d = o
+		}
+	}
+	if d.Started.Before(b.Finished) || d.Started.Before(c.Finished) {
+		t.Fatalf("D started %v before producers finished (%v, %v)", d.Started, b.Finished, c.Finished)
+	}
+}
+
+func TestParallelMatchesPlan(t *testing.T) {
+	m := diamondManager(t)
+	tree, _ := m.ExtractTree("merged")
+	pr, err := m.Plan(tree, sched.Fixed{Default: 8 * time.Hour}, sched.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.ExecuteTask(tree, ExecOptions{Plan: &pr.Plan, AutoComplete: true, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With deterministic 8h tools and 8h estimates, actuals equal the
+	// plan exactly — the integrated model's best case.
+	for _, o := range res.Outcomes {
+		_, in, err := m.Sched.Instance(&pr.Plan, o.Activity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !in.ActualStart.Equal(in.PlannedStart) || !in.ActualFinish.Equal(in.PlannedFinish) {
+			t.Fatalf("%s actual %v..%v vs planned %v..%v",
+				o.Activity, in.ActualStart, in.ActualFinish, in.PlannedStart, in.PlannedFinish)
+		}
+	}
+	// The plan's finish is unchanged after propagation (no slip event).
+	for _, ev := range m.Events() {
+		if ev.Kind == EvSlip {
+			t.Fatalf("unexpected slip: %s", ev.Detail)
+		}
+	}
+}
+
+func TestParallelChainEqualsSerial(t *testing.T) {
+	// For a pure chain there is nothing to overlap: identical spans.
+	run := func(parallel bool) time.Duration {
+		m := newManager(t)
+		m.BindDefaults()
+		m.Import("stimuli", []byte("v"))
+		tree, _ := m.ExtractTree("performance")
+		res, err := m.ExecuteTask(tree, ExecOptions{Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Calendar.WorkBetween(res.Started, res.Finished)
+	}
+	if s, p := run(false), run(true); s != p {
+		t.Fatalf("chain spans differ: serial %v vs parallel %v", s, p)
+	}
+}

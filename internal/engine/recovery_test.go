@@ -1,0 +1,174 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"flowsched/internal/meta"
+	"flowsched/internal/sched"
+	"flowsched/internal/schema"
+	"flowsched/internal/tools"
+)
+
+// flakyTool fails its first `failures` runs, then behaves like a normal
+// scripted tool.
+type flakyTool struct {
+	class, instance string
+	failures        int
+	calls           int
+}
+
+func (f *flakyTool) Instance() string { return f.instance }
+func (f *flakyTool) Class() string    { return f.class }
+
+func (f *flakyTool) Run(inputs map[string][]byte, iteration int) (tools.Result, error) {
+	f.calls++
+	if f.calls <= f.failures {
+		return tools.Result{Work: time.Hour}, errTestCrash
+	}
+	return tools.Result{
+		Output:  []byte("ok output"),
+		Work:    2 * time.Hour,
+		GoalMet: true,
+	}, nil
+}
+
+type crashErr struct{}
+
+func (crashErr) Error() string { return "simulated tool crash" }
+
+var errTestCrash = crashErr{}
+
+// TestRecoveryAfterToolCrashes: a tool fails twice (under MaxFailures=3),
+// the engine retries within the same execution, and the task completes;
+// the failed runs remain recorded as design metadata.
+func TestRecoveryAfterToolCrashes(t *testing.T) {
+	m := newManager(t)
+	m.BindTool("Create", &flakyTool{class: "editor", instance: "flaky#1", failures: 2})
+	sim, _ := tools.DefaultFor("simulator", "s#1")
+	m.BindTool("Simulate", sim)
+	m.Import("stimuli", []byte("v"))
+	tree, _ := m.ExtractTree("performance")
+
+	pr, err := m.Plan(tree, sched.Fixed{Default: 8 * time.Hour}, sched.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.ExecuteTask(tree, ExecOptions{Plan: &pr.Plan, AutoComplete: true, MaxFailures: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	create := res.Outcomes[0]
+	if create.Failures != 2 {
+		t.Fatalf("failures = %d, want 2", create.Failures)
+	}
+	// 3 runs total: 2 failed + 1 succeeded.
+	_, runs, _ := m.Exec.Runs("Create")
+	if len(runs) != 3 {
+		t.Fatalf("runs = %d, want 3", len(runs))
+	}
+	failed := 0
+	for _, r := range runs {
+		if r.Status == meta.RunFailed {
+			failed++
+		}
+	}
+	if failed != 2 {
+		t.Fatalf("failed runs = %d", failed)
+	}
+	// Completed and linked despite the crashes.
+	_, in, _ := m.Sched.Instance(&pr.Plan, "Create")
+	if !in.Done {
+		t.Fatal("Create not completed after recovery")
+	}
+	// Failed runs consumed virtual time: the actual span exceeds one
+	// clean run.
+	if span := create.Finished.Sub(create.Started); span < 4*time.Hour {
+		t.Fatalf("span %v too short for 2 failures + success", span)
+	}
+}
+
+// TestResumeAfterBailout: the first execution bails (MaxFailures hit); the
+// designer rebinds a working tool and re-executes the same tree. The new
+// execution succeeds and iteration numbering continues across executions.
+func TestResumeAfterBailout(t *testing.T) {
+	m := newManager(t)
+	m.BindTool("Create", &flakyTool{class: "editor", instance: "dead#1", failures: 99})
+	sim, _ := tools.DefaultFor("simulator", "s#1")
+	m.BindTool("Simulate", sim)
+	m.Import("stimuli", []byte("v"))
+	tree, _ := m.ExtractTree("performance")
+	pr, err := m.Plan(tree, sched.Fixed{Default: 8 * time.Hour}, sched.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ExecuteTask(tree, ExecOptions{Plan: &pr.Plan, MaxFailures: 2}); err == nil {
+		t.Fatal("broken tool execution succeeded")
+	}
+	// Rebind a working editor and retry.
+	ed, _ := tools.DefaultFor("editor", "good#1")
+	m.BindTool("Create", ed)
+	res, err := m.ExecuteTask(tree, ExecOptions{Plan: &pr.Plan, AutoComplete: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != 2 {
+		t.Fatalf("outcomes = %d", len(res.Outcomes))
+	}
+	// Run history spans both executions: 2 failed + the retry's runs.
+	_, runs, _ := m.Exec.Runs("Create")
+	if len(runs) < 3 {
+		t.Fatalf("runs = %d, want >= 3 across executions", len(runs))
+	}
+	if runs[len(runs)-1].Iteration != len(runs) {
+		t.Fatalf("iteration numbering reset: %+v", runs[len(runs)-1])
+	}
+	// Propagated plan shows the schedule slipped past the original finish.
+	_, plan2, _ := m.Sched.PlanByVersion(pr.Plan.Version)
+	if !plan2.Finish.After(pr.Plan.Start.Add(24 * time.Hour)) {
+		t.Fatalf("plan finish %v does not reflect crash delay", plan2.Finish)
+	}
+}
+
+// TestRestoreValidation covers the Restore constructor directly (the
+// happy path is exercised end-to-end by the root package's Load tests).
+func TestRestoreValidation(t *testing.T) {
+	m := newManager(t)
+	sch := m.Schema
+	cal := m.Calendar
+	db := m.DB
+	data := m.Data
+	now := m.Clock.Now()
+	if _, err := Restore(sch, nil, db, data, now, "x"); err == nil {
+		t.Fatal("nil calendar accepted")
+	}
+	if _, err := Restore(sch, cal, nil, data, now, "x"); err == nil {
+		t.Fatal("nil db accepted")
+	}
+	if _, err := Restore(sch, cal, db, nil, now, "x"); err == nil {
+		t.Fatal("nil data store accepted")
+	}
+	if _, err := Restore(sch, cal, db, data, now, ""); err == nil {
+		t.Fatal("empty designer accepted")
+	}
+	re, err := Restore(sch, cal, db, data, now, "resumer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.DB != db || re.Data != data || !re.Clock.Now().Equal(now) {
+		t.Fatal("restore did not adopt existing state")
+	}
+	// A schema that conflicts with the DB's existing containers is
+	// rejected: a data class named "schedule" would need an
+	// execution-space container, but the restored DB already holds the
+	// schedule-space plan container of that name.
+	bad := schema.New("bad")
+	bad.AddDataClass("schedule")
+	bad.AddToolClass("t")
+	if _, err := bad.AddRule("A", "schedule", "t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(bad, cal, db, data, now, "x"); err == nil {
+		t.Fatal("conflicting schema accepted")
+	}
+}

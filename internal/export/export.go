@@ -1,0 +1,183 @@
+// Package export bridges the integrated system to conventional
+// project-management tooling — the MacProject / Microsoft Project world
+// the paper's introduction describes. Plans and status reports export as
+// CSV and as a minimal MPX-style record stream (the 1990s interchange
+// format of Microsoft Project); actual dates collected by hand can be
+// imported back and applied to the schedule space, which makes the
+// separate-channel baseline (package baseline) runnable against real
+// files, not just simulated meetings.
+package export
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"flowsched/internal/sched"
+)
+
+const timeLayout = "2006-01-02T15:04"
+
+// PlanCSV renders a plan's schedule instances as CSV:
+// activity,resources,estimate_hours,planned_start,planned_finish,
+// actual_start,actual_finish,done.
+func PlanCSV(sp *sched.Space, p *sched.Plan) (string, error) {
+	if sp == nil || p == nil {
+		return "", fmt.Errorf("export: nil space or plan")
+	}
+	_, insts, err := sp.Instances(p)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	if err := w.Write([]string{"activity", "resources", "estimate_hours",
+		"planned_start", "planned_finish", "actual_start", "actual_finish", "done"}); err != nil {
+		return "", err
+	}
+	for _, in := range insts {
+		rec := []string{
+			in.Activity,
+			strings.Join(in.Resources, ";"),
+			strconv.FormatFloat(in.EstWork.Hours(), 'f', 2, 64),
+			in.PlannedStart.Format(timeLayout),
+			in.PlannedFinish.Format(timeLayout),
+			fmtTime(in.ActualStart),
+			fmtTime(in.ActualFinish),
+			strconv.FormatBool(in.Done),
+		}
+		if err := w.Write(rec); err != nil {
+			return "", err
+		}
+	}
+	w.Flush()
+	return b.String(), w.Error()
+}
+
+func fmtTime(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.Format(timeLayout)
+}
+
+// MPX renders a plan as a minimal MPX-style record stream: one header
+// record, one task record per activity with unique ID, name, duration,
+// dates, and predecessor IDs — enough for a legacy PM tool importer.
+func MPX(sp *sched.Space, p *sched.Plan) (string, error) {
+	if sp == nil || p == nil {
+		return "", fmt.Errorf("export: nil space or plan")
+	}
+	_, insts, err := sp.Instances(p)
+	if err != nil {
+		return "", err
+	}
+	id := make(map[string]int, len(insts))
+	for i, in := range insts {
+		id[in.Activity] = i + 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "MPX,flowsched,4.0\n")
+	fmt.Fprintf(&b, "10,Project,%s,%s\n", strings.Join(p.Targets, ";"),
+		p.Start.Format(timeLayout))
+	for _, in := range insts {
+		var preds []string
+		rule := sp.Schema.RuleByActivity(in.Activity)
+		if rule != nil {
+			for _, input := range rule.Inputs {
+				if prod := sp.Schema.Producer(input); prod != nil {
+					if pid, ok := id[prod.Activity]; ok {
+						preds = append(preds, strconv.Itoa(pid))
+					}
+				}
+			}
+		}
+		fmt.Fprintf(&b, "70,%d,%s,%.2fh,%s,%s,%s\n",
+			id[in.Activity], in.Activity, in.EstWork.Hours(),
+			in.PlannedStart.Format(timeLayout), in.PlannedFinish.Format(timeLayout),
+			strings.Join(preds, ";"))
+	}
+	return b.String(), nil
+}
+
+// Actual is one manually collected status row.
+type Actual struct {
+	Activity string
+	Start    time.Time
+	Finish   time.Time // zero if not finished
+	Done     bool
+}
+
+// ParseActualsCSV reads rows of activity,actual_start,actual_finish,done
+// (header optional). Empty finish means in progress.
+func ParseActualsCSV(r io.Reader) ([]Actual, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("export: parse actuals: %w", err)
+	}
+	var out []Actual
+	for i, rec := range recs {
+		if i == 0 && rec[0] == "activity" {
+			continue // header
+		}
+		a := Actual{Activity: strings.TrimSpace(rec[0])}
+		if a.Activity == "" {
+			return nil, fmt.Errorf("export: row %d: empty activity", i+1)
+		}
+		if a.Start, err = time.Parse(timeLayout, strings.TrimSpace(rec[1])); err != nil {
+			return nil, fmt.Errorf("export: row %d: bad start: %w", i+1, err)
+		}
+		if f := strings.TrimSpace(rec[2]); f != "" {
+			if a.Finish, err = time.Parse(timeLayout, f); err != nil {
+				return nil, fmt.Errorf("export: row %d: bad finish: %w", i+1, err)
+			}
+		}
+		if a.Done, err = strconv.ParseBool(strings.TrimSpace(rec[3])); err != nil {
+			return nil, fmt.Errorf("export: row %d: bad done flag: %w", i+1, err)
+		}
+		if a.Done && a.Finish.IsZero() {
+			return nil, fmt.Errorf("export: row %d: done without finish date", i+1)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// EntityResolver supplies the final entity instance ID for a completed
+// activity, so imported completions still create the paper's
+// schedule↔entity link.
+type EntityResolver func(activity string) (entityID string, err error)
+
+// ApplyActuals applies manually collected status to a plan: starts are
+// recorded, completed activities are linked via the resolver. It returns
+// how many rows were applied.
+func ApplyActuals(sp *sched.Space, p *sched.Plan, actuals []Actual, resolve EntityResolver) (int, error) {
+	if sp == nil || p == nil {
+		return 0, fmt.Errorf("export: nil space or plan")
+	}
+	if resolve == nil {
+		return 0, fmt.Errorf("export: nil entity resolver")
+	}
+	applied := 0
+	for _, a := range actuals {
+		if err := sp.MarkStarted(p, a.Activity, a.Start); err != nil {
+			return applied, fmt.Errorf("export: %s: %w", a.Activity, err)
+		}
+		if a.Done {
+			entityID, err := resolve(a.Activity)
+			if err != nil {
+				return applied, fmt.Errorf("export: resolve %s: %w", a.Activity, err)
+			}
+			if err := sp.Complete(p, a.Activity, entityID, a.Finish); err != nil {
+				return applied, fmt.Errorf("export: %s: %w", a.Activity, err)
+			}
+		}
+		applied++
+	}
+	return applied, nil
+}

@@ -1,0 +1,199 @@
+package export
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"flowsched/internal/design"
+	"flowsched/internal/flow"
+	"flowsched/internal/meta"
+	"flowsched/internal/sched"
+	"flowsched/internal/schema"
+	"flowsched/internal/store"
+	"flowsched/internal/vclock"
+)
+
+var t0 = vclock.Epoch
+
+const fig4 = `
+schema circuit
+data netlist, stimuli, performance
+tool editor, simulator
+rule Create:   netlist     <- editor()
+rule Simulate: performance <- simulator(netlist, stimuli)
+`
+
+type fixture struct {
+	sp   *sched.Space
+	exec *meta.Space
+	plan sched.Plan
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	sch := schema.MustParse(fig4)
+	db := store.NewDB()
+	exec, err := meta.NewSpace(db, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := sched.NewSpace(db, sch, vclock.Standard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := flow.FromSchema(sch)
+	tree, _ := g.Extract("performance")
+	est := sched.Fixed{ByActivity: map[string]time.Duration{
+		"Create": 16 * time.Hour, "Simulate": 8 * time.Hour,
+	}}
+	res, err := sp.Plan(tree, t0, est, sched.PlanOptions{
+		Assignments: map[string][]string{"Create": {"ewj"}, "Simulate": {"ewj", "jbb"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{sp: sp, exec: exec, plan: res.Plan}
+}
+
+func TestPlanCSV(t *testing.T) {
+	fx := newFixture(t)
+	out, err := PlanCSV(fx.sp, &fx.plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "activity,resources,estimate_hours") {
+		t.Fatalf("header = %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "Create,ewj,16.00,1995-06-05T09:00") {
+		t.Fatalf("Create row = %s", lines[1])
+	}
+	if !strings.Contains(lines[2], "ewj;jbb") {
+		t.Fatalf("Simulate resources = %s", lines[2])
+	}
+	if _, err := PlanCSV(nil, &fx.plan); err == nil {
+		t.Fatal("nil space accepted")
+	}
+}
+
+func TestMPX(t *testing.T) {
+	fx := newFixture(t)
+	out, err := MPX(fx.sp, &fx.plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "MPX,flowsched,4.0\n") {
+		t.Fatalf("header:\n%s", out)
+	}
+	if !strings.Contains(out, "10,Project,performance,") {
+		t.Fatalf("project record missing:\n%s", out)
+	}
+	// Simulate (task 2) must reference Create (task 1) as predecessor.
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "70,2,Simulate") && strings.HasSuffix(line, ",1") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("predecessor record missing:\n%s", out)
+	}
+	if _, err := MPX(fx.sp, nil); err == nil {
+		t.Fatal("nil plan accepted")
+	}
+}
+
+func TestParseActualsCSV(t *testing.T) {
+	src := `activity,actual_start,actual_finish,done
+Create,1995-06-05T09:00,1995-06-06T17:00,true
+Simulate,1995-06-07T09:00,,false
+`
+	actuals, err := ParseActualsCSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(actuals) != 2 {
+		t.Fatalf("rows = %d", len(actuals))
+	}
+	if !actuals[0].Done || actuals[0].Finish.IsZero() {
+		t.Fatalf("row 0 = %+v", actuals[0])
+	}
+	if actuals[1].Done || !actuals[1].Finish.IsZero() {
+		t.Fatalf("row 1 = %+v", actuals[1])
+	}
+}
+
+func TestParseActualsCSVErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"bad start", "Create,yesterday,,false\n"},
+		{"bad finish", "Create,1995-06-05T09:00,soon,false\n"},
+		{"bad done", "Create,1995-06-05T09:00,,maybe\n"},
+		{"done without finish", "Create,1995-06-05T09:00,,true\n"},
+		{"empty activity", ",1995-06-05T09:00,,false\n"},
+		{"wrong fields", "Create,1995-06-05T09:00\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseActualsCSV(strings.NewReader(tc.src)); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}
+
+func TestApplyActuals(t *testing.T) {
+	fx := newFixture(t)
+	// Record a real netlist entity the resolver can link to.
+	run, _ := fx.exec.BeginRun("Create", "editor#1", "ewj", t0)
+	finish := t0.Add(32 * time.Hour)
+	fx.exec.FinishRun(run.ID, finish, meta.RunSucceeded)
+	ent, _ := fx.exec.RecordEntity("netlist", run.ID, design.Ref{Class: "netlist", Version: 1})
+
+	actuals := []Actual{
+		{Activity: "Create", Start: t0, Finish: finish, Done: true},
+		{Activity: "Simulate", Start: finish},
+	}
+	resolve := func(activity string) (string, error) { return ent.ID, nil }
+	n, err := ApplyActuals(fx.sp, &fx.plan, actuals, resolve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("applied = %d", n)
+	}
+	_, in, _ := fx.sp.Instance(&fx.plan, "Create")
+	if !in.Done || in.LinkedEntity != ent.ID {
+		t.Fatalf("Create = %+v", in)
+	}
+	_, sim, _ := fx.sp.Instance(&fx.plan, "Simulate")
+	if !sim.Started() || sim.Done {
+		t.Fatalf("Simulate = %+v", sim)
+	}
+	// Round trip: the applied actuals show up in a fresh CSV export.
+	out, _ := PlanCSV(fx.sp, &fx.plan)
+	if !strings.Contains(out, "true") {
+		t.Fatalf("export missing applied completion:\n%s", out)
+	}
+}
+
+func TestApplyActualsErrors(t *testing.T) {
+	fx := newFixture(t)
+	resolve := func(string) (string, error) { return "ghost/1", nil }
+	if _, err := ApplyActuals(nil, &fx.plan, nil, resolve); err == nil {
+		t.Fatal("nil space accepted")
+	}
+	if _, err := ApplyActuals(fx.sp, &fx.plan, nil, nil); err == nil {
+		t.Fatal("nil resolver accepted")
+	}
+	bad := []Actual{{Activity: "Ghost", Start: t0}}
+	if _, err := ApplyActuals(fx.sp, &fx.plan, bad, resolve); err == nil {
+		t.Fatal("unknown activity accepted")
+	}
+	// Resolver pointing at a missing entity fails cleanly.
+	done := []Actual{{Activity: "Create", Start: t0, Finish: t0.Add(time.Hour), Done: true}}
+	if _, err := ApplyActuals(fx.sp, &fx.plan, done, resolve); err == nil {
+		t.Fatal("dangling entity accepted")
+	}
+}

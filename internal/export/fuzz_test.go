@@ -1,0 +1,41 @@
+package export
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseActualsCSV checks the actuals importer never panics and never
+// returns rows that violate its own invariants.
+func FuzzParseActualsCSV(f *testing.F) {
+	seeds := []string{
+		"",
+		"activity,actual_start,actual_finish,done\n",
+		"Create,1995-06-05T09:00,1995-06-06T17:00,true\n",
+		"Create,1995-06-05T09:00,,false\n",
+		"Create,bogus,,false\n",
+		"a,b,c\n",
+		"\"quoted,name\",1995-06-05T09:00,,false\n",
+		"Create,1995-06-05T09:00,,true\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		actuals, err := ParseActualsCSV(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		for _, a := range actuals {
+			if a.Activity == "" {
+				t.Fatalf("accepted empty activity from %q", src)
+			}
+			if a.Start.IsZero() {
+				t.Fatalf("accepted zero start from %q", src)
+			}
+			if a.Done && a.Finish.IsZero() {
+				t.Fatalf("accepted done-without-finish from %q", src)
+			}
+		}
+	})
+}

@@ -1,0 +1,287 @@
+// Package flow implements Level 2 of the four-level flow-management
+// architecture: instantiations of Level 1 schema data linked together to
+// form design-flow models.
+//
+// A Graph instantiates a task schema as a DAG of task nodes (one per
+// activity) connected by data arcs. From a graph the designer extracts a
+// task Tree that covers the scope of an intended task — running from the
+// target data classes back to primary inputs — then binds concrete tool and
+// data instances to the leaves. A bound tree is what the workflow manager
+// plans (by simulating its execution) and executes (paper §IV.A).
+package flow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flowsched/internal/schema"
+)
+
+// Node is a task node of a flow graph: one design activity, with the data
+// classes it consumes and produces.
+type Node struct {
+	// Activity is the unique activity name (matches the schema rule).
+	Activity string
+	// Rule is the construction rule this node instantiates.
+	Rule *schema.Rule
+}
+
+// Arc is a directed data dependency between two task nodes: From produces
+// the data class Class which To consumes.
+type Arc struct {
+	From, To string // activity names
+	Class    string // data class carried
+}
+
+// Graph is a design-flow model: the full DAG of activities of a schema.
+type Graph struct {
+	Schema *schema.Schema
+	nodes  map[string]*Node
+	order  []string // activity declaration order
+	arcs   []Arc
+	succ   map[string][]string // activity -> consumer activities
+	pred   map[string][]string // activity -> producer activities
+}
+
+// FromSchema instantiates the flow graph of a validated schema.
+func FromSchema(s *schema.Schema) (*Graph, error) {
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("flow: %w", err)
+	}
+	g := &Graph{
+		Schema: s,
+		nodes:  make(map[string]*Node),
+		succ:   make(map[string][]string),
+		pred:   make(map[string][]string),
+	}
+	for _, r := range s.Rules() {
+		g.nodes[r.Activity] = &Node{Activity: r.Activity, Rule: r}
+		g.order = append(g.order, r.Activity)
+	}
+	for _, r := range s.Rules() {
+		for _, in := range r.Inputs {
+			if p := s.Producer(in); p != nil {
+				g.arcs = append(g.arcs, Arc{From: p.Activity, To: r.Activity, Class: in})
+				g.succ[p.Activity] = append(g.succ[p.Activity], r.Activity)
+				g.pred[r.Activity] = append(g.pred[r.Activity], p.Activity)
+			}
+		}
+	}
+	return g, nil
+}
+
+// Node returns the task node for an activity, or nil.
+func (g *Graph) Node(activity string) *Node { return g.nodes[activity] }
+
+// Nodes returns all task nodes in schema declaration order.
+func (g *Graph) Nodes() []*Node {
+	out := make([]*Node, 0, len(g.order))
+	for _, a := range g.order {
+		out = append(out, g.nodes[a])
+	}
+	return out
+}
+
+// Arcs returns all data arcs.
+func (g *Graph) Arcs() []Arc { return append([]Arc(nil), g.arcs...) }
+
+// Predecessors returns the activities whose outputs the given activity
+// consumes, in input order.
+func (g *Graph) Predecessors(activity string) []string {
+	return append([]string(nil), g.pred[activity]...)
+}
+
+// Successors returns the activities consuming the given activity's output.
+func (g *Graph) Successors(activity string) []string {
+	return append([]string(nil), g.succ[activity]...)
+}
+
+// Tree is an extracted task tree: the sub-DAG of a flow graph that covers
+// the scope of an intended task, from target outputs back to primary
+// inputs, plus the bindings the designer assigns to its leaves.
+//
+// Terminology follows the paper: "a user prepares a task for execution by
+// first extracting a task tree that covers the scope of the intended task.
+// Next, tools and input data are bound to the task by assigning unique tool
+// or data instances to each of the leaf nodes of the tree."
+type Tree struct {
+	Graph   *Graph
+	Targets []string // target data classes, as requested
+	// activities in scope, in deterministic post order (producers first)
+	post []string
+	in   map[string]bool
+	// leaves: data classes consumed in scope but not produced in scope
+	leaves []string
+	// bindings
+	dataBind map[string]string // leaf data class -> data instance ref
+	toolBind map[string]string // activity -> tool instance ref
+}
+
+// Extract builds the task tree covering the given target data classes. A
+// target may be any data class produced within the flow. Extract follows
+// input arcs transitively back to primary inputs.
+func (g *Graph) Extract(targets ...string) (*Tree, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("flow: Extract needs at least one target data class")
+	}
+	in := make(map[string]bool)
+	var visit func(class string) error
+	visit = func(class string) error {
+		r := g.Schema.Producer(class)
+		if r == nil {
+			if g.Schema.Class(class) == nil {
+				return fmt.Errorf("flow: unknown data class %q", class)
+			}
+			return nil // primary input: leaf
+		}
+		if in[r.Activity] {
+			return nil
+		}
+		in[r.Activity] = true
+		for _, dep := range r.Inputs {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, tgt := range targets {
+		c := g.Schema.Class(tgt)
+		if c == nil {
+			return nil, fmt.Errorf("flow: unknown target data class %q", tgt)
+		}
+		if c.Kind != schema.DataClass {
+			return nil, fmt.Errorf("flow: target %q is a tool class", tgt)
+		}
+		if g.Schema.Producer(tgt) == nil {
+			return nil, fmt.Errorf("flow: target %q is a primary input; nothing to execute", tgt)
+		}
+		if err := visit(tgt); err != nil {
+			return nil, err
+		}
+	}
+	t := &Tree{
+		Graph:    g,
+		Targets:  append([]string(nil), targets...),
+		in:       in,
+		dataBind: make(map[string]string),
+		toolBind: make(map[string]string),
+	}
+	// Post order: schema topological order restricted to scope.
+	topo, err := g.Schema.TopoRules()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range topo {
+		if in[r.Activity] {
+			t.post = append(t.post, r.Activity)
+		}
+	}
+	// Leaves: input classes of in-scope activities whose producer is out of
+	// scope (for trees extracted from a DAG, that means primary inputs).
+	leafSet := make(map[string]bool)
+	for _, a := range t.post {
+		for _, inClass := range g.nodes[a].Rule.Inputs {
+			p := g.Schema.Producer(inClass)
+			if p == nil || !in[p.Activity] {
+				leafSet[inClass] = true
+			}
+		}
+	}
+	t.leaves = make([]string, 0, len(leafSet))
+	for c := range leafSet {
+		t.leaves = append(t.leaves, c)
+	}
+	sort.Strings(t.leaves)
+	return t, nil
+}
+
+// Activities returns the in-scope activities in post order (producers
+// before consumers) — the traversal order Hercules uses for both schedule
+// planning and execution.
+func (t *Tree) Activities() []string { return append([]string(nil), t.post...) }
+
+// Contains reports whether the activity is in the tree's scope.
+func (t *Tree) Contains(activity string) bool { return t.in[activity] }
+
+// Leaves returns the data classes that must be bound before execution.
+func (t *Tree) Leaves() []string { return append([]string(nil), t.leaves...) }
+
+// BindData assigns a concrete data instance reference to a leaf data class.
+func (t *Tree) BindData(class, instanceRef string) error {
+	found := false
+	for _, l := range t.leaves {
+		if l == class {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("flow: %q is not a leaf of this task tree (leaves: %v)", class, t.leaves)
+	}
+	if instanceRef == "" {
+		return fmt.Errorf("flow: empty instance reference for leaf %q", class)
+	}
+	t.dataBind[class] = instanceRef
+	return nil
+}
+
+// BindTool assigns a concrete tool instance reference to an activity.
+func (t *Tree) BindTool(activity, instanceRef string) error {
+	if !t.in[activity] {
+		return fmt.Errorf("flow: activity %q is not in this task tree", activity)
+	}
+	if instanceRef == "" {
+		return fmt.Errorf("flow: empty tool reference for activity %q", activity)
+	}
+	t.toolBind[activity] = instanceRef
+	return nil
+}
+
+// DataBinding returns the instance bound to a leaf class ("" if unbound).
+func (t *Tree) DataBinding(class string) string { return t.dataBind[class] }
+
+// ToolBinding returns the tool instance bound to an activity ("" if
+// unbound).
+func (t *Tree) ToolBinding(activity string) string { return t.toolBind[activity] }
+
+// Unbound returns the leaf classes and activities still missing bindings.
+func (t *Tree) Unbound() (leaves, activities []string) {
+	for _, l := range t.leaves {
+		if t.dataBind[l] == "" {
+			leaves = append(leaves, l)
+		}
+	}
+	for _, a := range t.post {
+		if t.toolBind[a] == "" {
+			activities = append(activities, a)
+		}
+	}
+	return leaves, activities
+}
+
+// CheckBound reports an error naming any unbound leaf or activity. A fully
+// bound tree is "ready for execution" in the paper's terms. Schedule
+// planning (simulated execution) does not require bindings.
+func (t *Tree) CheckBound() error {
+	leaves, acts := t.Unbound()
+	if len(leaves) == 0 && len(acts) == 0 {
+		return nil
+	}
+	var parts []string
+	if len(leaves) > 0 {
+		parts = append(parts, fmt.Sprintf("unbound data leaves %v", leaves))
+	}
+	if len(acts) > 0 {
+		parts = append(parts, fmt.Sprintf("unbound tools for %v", acts))
+	}
+	return fmt.Errorf("flow: task tree not ready: %s", strings.Join(parts, "; "))
+}
+
+// String renders the tree scope compactly, e.g.
+// "Tree(performance) = [Create Simulate]; leaves [stimuli]".
+func (t *Tree) String() string {
+	return fmt.Sprintf("Tree(%s) = %v; leaves %v",
+		strings.Join(t.Targets, ","), t.post, t.leaves)
+}

@@ -1,0 +1,283 @@
+package flow
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"flowsched/internal/schema"
+)
+
+const fig4 = `
+schema circuit
+data netlist, stimuli, performance
+tool editor, simulator
+rule Create:   netlist     <- editor()
+rule Simulate: performance <- simulator(netlist, stimuli)
+`
+
+const asic = `
+schema asic
+data rtl, tb, netlist, floorplan, layout, drcreport, timing
+tool synthesizer, planner, router, checker, sta
+rule Synthesize: netlist   <- synthesizer(rtl)
+rule Floorplan:  floorplan <- planner(netlist)
+rule Route:      layout    <- router(netlist, floorplan)
+rule DRC:        drcreport <- checker(layout)
+rule STA:        timing    <- sta(layout, tb)
+`
+
+func fig4Graph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := FromSchema(schema.MustParse(fig4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func asicGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := FromSchema(schema.MustParse(asic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFromSchemaStructure(t *testing.T) {
+	g := fig4Graph(t)
+	if len(g.Nodes()) != 2 {
+		t.Fatalf("nodes = %d, want 2", len(g.Nodes()))
+	}
+	arcs := g.Arcs()
+	if len(arcs) != 1 {
+		t.Fatalf("arcs = %v, want one Create->Simulate arc", arcs)
+	}
+	a := arcs[0]
+	if a.From != "Create" || a.To != "Simulate" || a.Class != "netlist" {
+		t.Fatalf("arc = %+v", a)
+	}
+	if got := g.Successors("Create"); len(got) != 1 || got[0] != "Simulate" {
+		t.Fatalf("Successors(Create) = %v", got)
+	}
+	if got := g.Predecessors("Simulate"); len(got) != 1 || got[0] != "Create" {
+		t.Fatalf("Predecessors(Simulate) = %v", got)
+	}
+}
+
+func TestFromSchemaRejectsInvalid(t *testing.T) {
+	s := schema.New("empty")
+	if _, err := FromSchema(s); err == nil {
+		t.Fatal("FromSchema accepted invalid schema")
+	}
+}
+
+func TestExtractFullScope(t *testing.T) {
+	g := fig4Graph(t)
+	tr, err := g.Extract("performance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts := tr.Activities()
+	if len(acts) != 2 || acts[0] != "Create" || acts[1] != "Simulate" {
+		t.Fatalf("Activities = %v, want [Create Simulate]", acts)
+	}
+	if leaves := tr.Leaves(); len(leaves) != 1 || leaves[0] != "stimuli" {
+		t.Fatalf("Leaves = %v, want [stimuli]", leaves)
+	}
+	if !tr.Contains("Create") || tr.Contains("Nope") {
+		t.Fatal("Contains misreports scope")
+	}
+}
+
+func TestExtractPartialScope(t *testing.T) {
+	g := asicGraph(t)
+	tr, err := g.Extract("floorplan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts := tr.Activities()
+	if len(acts) != 2 || acts[0] != "Synthesize" || acts[1] != "Floorplan" {
+		t.Fatalf("Activities = %v", acts)
+	}
+	if leaves := tr.Leaves(); len(leaves) != 1 || leaves[0] != "rtl" {
+		t.Fatalf("Leaves = %v, want [rtl]", leaves)
+	}
+}
+
+func TestExtractMultiTarget(t *testing.T) {
+	g := asicGraph(t)
+	tr, err := g.Extract("drcreport", "timing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Activities()); got != 5 {
+		t.Fatalf("Activities = %v, want all 5", tr.Activities())
+	}
+	leaves := tr.Leaves()
+	if len(leaves) != 2 || leaves[0] != "rtl" || leaves[1] != "tb" {
+		t.Fatalf("Leaves = %v, want [rtl tb]", leaves)
+	}
+}
+
+func TestExtractSharedDependencyOnce(t *testing.T) {
+	g := asicGraph(t)
+	tr, err := g.Extract("layout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// netlist feeds both Floorplan and Route; Synthesize must appear once.
+	count := 0
+	for _, a := range tr.Activities() {
+		if a == "Synthesize" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("Synthesize appears %d times in %v", count, tr.Activities())
+	}
+}
+
+func TestExtractErrors(t *testing.T) {
+	g := fig4Graph(t)
+	cases := []struct {
+		name   string
+		target []string
+		want   string
+	}{
+		{"no targets", nil, "at least one"},
+		{"unknown class", []string{"nope"}, "unknown target"},
+		{"tool class", []string{"editor"}, "tool class"},
+		{"primary input", []string{"stimuli"}, "primary input"},
+	}
+	for _, tc := range cases {
+		_, err := g.Extract(tc.target...)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want contains %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestBinding(t *testing.T) {
+	g := fig4Graph(t)
+	tr, _ := g.Extract("performance")
+	if err := tr.CheckBound(); err == nil {
+		t.Fatal("unbound tree reported ready")
+	}
+	if err := tr.BindData("stimuli", "stimuli@1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BindTool("Create", "editor#a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.BindTool("Simulate", "simulator#b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.CheckBound(); err != nil {
+		t.Fatalf("fully bound tree not ready: %v", err)
+	}
+	if got := tr.DataBinding("stimuli"); got != "stimuli@1" {
+		t.Fatalf("DataBinding = %q", got)
+	}
+	if got := tr.ToolBinding("Simulate"); got != "simulator#b" {
+		t.Fatalf("ToolBinding = %q", got)
+	}
+}
+
+func TestBindingErrors(t *testing.T) {
+	g := fig4Graph(t)
+	tr, _ := g.Extract("performance")
+	if err := tr.BindData("netlist", "x"); err == nil {
+		t.Fatal("bound non-leaf class netlist")
+	}
+	if err := tr.BindData("stimuli", ""); err == nil {
+		t.Fatal("bound empty data ref")
+	}
+	if err := tr.BindTool("Nope", "x"); err == nil {
+		t.Fatal("bound tool to out-of-scope activity")
+	}
+	if err := tr.BindTool("Create", ""); err == nil {
+		t.Fatal("bound empty tool ref")
+	}
+}
+
+func TestUnbound(t *testing.T) {
+	g := fig4Graph(t)
+	tr, _ := g.Extract("performance")
+	tr.BindTool("Create", "e#1")
+	leaves, acts := tr.Unbound()
+	if len(leaves) != 1 || leaves[0] != "stimuli" {
+		t.Fatalf("unbound leaves = %v", leaves)
+	}
+	if len(acts) != 1 || acts[0] != "Simulate" {
+		t.Fatalf("unbound activities = %v", acts)
+	}
+}
+
+func TestTreeString(t *testing.T) {
+	g := fig4Graph(t)
+	tr, _ := g.Extract("performance")
+	s := tr.String()
+	for _, want := range []string{"performance", "Create", "Simulate", "stimuli"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+}
+
+// Property: for random linear-chain schemas, extracting the last class
+// always covers every activity and yields exactly the first class as leaf.
+func TestExtractChainProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		depth := int(n%10) + 1
+		s := schema.New("chain")
+		s.AddToolClass("t")
+		prev := ""
+		var last string
+		for i := 0; i <= depth; i++ {
+			name := "c" + string(rune('a'+i))
+			s.AddDataClass(name)
+			if i > 0 {
+				if _, err := s.AddRule("A"+string(rune('a'+i)), name, "t", prev); err != nil {
+					return false
+				}
+			}
+			prev = name
+			last = name
+		}
+		g, err := FromSchema(s)
+		if err != nil {
+			return false
+		}
+		tr, err := g.Extract(last)
+		if err != nil {
+			return false
+		}
+		return len(tr.Activities()) == depth &&
+			len(tr.Leaves()) == 1 && tr.Leaves()[0] == "ca"
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: post order respects every arc restricted to scope.
+func TestPostOrderRespectsArcs(t *testing.T) {
+	g := asicGraph(t)
+	tr, err := g.Extract("drcreport", "timing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[string]int)
+	for i, a := range tr.Activities() {
+		pos[a] = i
+	}
+	for _, arc := range g.Arcs() {
+		pf, okf := pos[arc.From]
+		pt, okt := pos[arc.To]
+		if okf && okt && pf >= pt {
+			t.Fatalf("arc %v violated in post order %v", arc, tr.Activities())
+		}
+	}
+}

@@ -1,0 +1,212 @@
+package fourlevel
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"flowsched/internal/schema"
+)
+
+const fig4 = `
+schema circuit
+data netlist, stimuli, performance
+tool editor, simulator
+rule Create:   netlist     <- editor()
+rule Simulate: performance <- simulator(netlist, stimuli)
+`
+
+func instantiateAll(t *testing.T) []System {
+	t.Helper()
+	systems := AllSystems()
+	for _, s := range systems {
+		if err := s.Instantiate(schema.MustParse(fig4)); err != nil {
+			t.Fatalf("%s: Instantiate: %v", s.Name(), err)
+		}
+	}
+	return systems
+}
+
+func TestAllSystemsExecute(t *testing.T) {
+	for _, s := range instantiateAll(t) {
+		sum, err := s.Execute()
+		if err != nil {
+			t.Errorf("%s: Execute: %v", s.Name(), err)
+			continue
+		}
+		if sum.Level3 <= 0 {
+			t.Errorf("%s: no Level 3 artifacts (%+v)", s.Name(), sum)
+		}
+		if sum.Level4 <= 0 {
+			t.Errorf("%s: no Level 4 artifacts (%+v)", s.Name(), sum)
+		}
+		if len(sum.Activities) < 2 {
+			t.Errorf("%s: activities = %v", s.Name(), sum.Activities)
+		}
+		// Create must precede Simulate in every system's execution order.
+		ci, si := -1, -1
+		for i, a := range sum.Activities {
+			switch a {
+			case "Create":
+				ci = i
+			case "Simulate":
+				si = i
+			}
+		}
+		if ci < 0 || si < 0 || ci > si {
+			t.Errorf("%s: execution order %v violates precedence", s.Name(), sum.Activities)
+		}
+	}
+}
+
+func TestExecuteBeforeInstantiate(t *testing.T) {
+	for _, s := range AllSystems() {
+		if _, err := s.Execute(); err == nil {
+			t.Errorf("%s: Execute before Instantiate accepted", s.Name())
+		}
+	}
+}
+
+func TestAttachScheduleOnEverySystem(t *testing.T) {
+	// The paper's generality claim (§V): the schedule model attaches to
+	// any system of this architecture.
+	for _, s := range instantiateAll(t) {
+		insts, err := AttachSchedule(s, 8*time.Hour)
+		if err != nil {
+			t.Errorf("%s: AttachSchedule: %v", s.Name(), err)
+			continue
+		}
+		if len(insts) < 2 {
+			t.Errorf("%s: schedule instances = %d", s.Name(), len(insts))
+			continue
+		}
+		// Instances are serialized and non-overlapping.
+		for i := 1; i < len(insts); i++ {
+			if insts[i].Start < insts[i-1].Start+insts[i-1].Work {
+				t.Errorf("%s: schedule instances overlap: %+v %+v",
+					s.Name(), insts[i-1], insts[i])
+			}
+		}
+		if insts[0].System != s.Name() {
+			t.Errorf("instance system = %q", insts[0].System)
+		}
+	}
+}
+
+func TestAttachScheduleValidation(t *testing.T) {
+	sys := &Roadmap{}
+	sys.Instantiate(schema.MustParse(fig4))
+	if _, err := AttachSchedule(sys, 0); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	if _, err := AttachSchedule(&Roadmap{}, time.Hour); err == nil {
+		t.Fatal("uninstantiated system accepted")
+	}
+}
+
+func TestTableI(t *testing.T) {
+	out := TableI(instantiateAll(t))
+	for _, want := range []string{
+		"TABLE I", "RoadMap", "ELSIS", "Hercules", "History Model", "Hilda", "VOV",
+		"FlowType (Tool)", "Task Templates", "Patterns (Reusable)", "Trace Transaction",
+		"Run", "Entity Inst.",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I missing %q:\n%s", want, out)
+		}
+	}
+	// VOV has no Level 1 vocabulary; rendered as a dash.
+	if !strings.Contains(out, "—") {
+		t.Error("empty cell not rendered as dash")
+	}
+	if got := TableI(nil); !strings.Contains(got, "no systems") {
+		t.Errorf("empty TableI = %q", got)
+	}
+}
+
+func TestHildaNetShape(t *testing.T) {
+	h := &Hilda{}
+	if err := h.Instantiate(schema.MustParse(fig4)); err != nil {
+		t.Fatal(err)
+	}
+	// Before execution: stimuli marked (primary input), netlist empty.
+	if h.Net().Marking("stimuli") != 1 || h.Net().Marking("netlist") != 0 {
+		t.Fatalf("initial marking: %s", h.Net())
+	}
+	sum, err := h.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Net().Marking("performance") != 1 {
+		t.Fatalf("final marking: %s", h.Net())
+	}
+	if sum.Level3 != 2 { // two firings
+		t.Fatalf("firings = %d", sum.Level3)
+	}
+}
+
+func TestVOVGrowsTrace(t *testing.T) {
+	v := &VOV{}
+	if err := v.Instantiate(schema.MustParse(fig4)); err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Trace().Invocations()) != 0 {
+		t.Fatal("VOV planned a priori")
+	}
+	if _, err := v.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(v.Trace().Invocations()); got != 2 {
+		t.Fatalf("trace invocations = %d", got)
+	}
+	// Second execution grows the trace further (iteration).
+	if _, err := v.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(v.Trace().Invocations()); got != 4 {
+		t.Fatalf("trace after second pass = %d", got)
+	}
+}
+
+func TestELSISHierarchy(t *testing.T) {
+	e := &ELSIS{}
+	if err := e.Instantiate(schema.MustParse(fig4)); err != nil {
+		t.Fatal(err)
+	}
+	h := e.Hierarchy()
+	acts, ok := h["performance"]
+	if !ok || len(acts) != 2 {
+		t.Fatalf("hierarchy = %v", h)
+	}
+}
+
+func TestHistoryTransactions(t *testing.T) {
+	h := &History{}
+	if err := h.Instantiate(schema.MustParse(fig4)); err != nil {
+		t.Fatal(err)
+	}
+	h.Execute()
+	txns := h.Transactions()
+	if len(txns) != 2 || !strings.Contains(txns[0], "Create") {
+		t.Fatalf("transactions = %v", txns)
+	}
+}
+
+func TestHerculesAdapterRealExecution(t *testing.T) {
+	hc := &Hercules{}
+	if err := hc.Instantiate(schema.MustParse(fig4)); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := hc.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Real execution: runs + entities at Level 3 (at least one run and
+	// one entity per activity plus the imported stimulus).
+	if sum.Level3 < 5 {
+		t.Fatalf("hercules level 3 = %d, want >= 5", sum.Level3)
+	}
+	if sum.Level4 < 3 {
+		t.Fatalf("hercules level 4 = %d, want >= 3", sum.Level4)
+	}
+}

@@ -1,0 +1,410 @@
+package fourlevel
+
+import (
+	"fmt"
+
+	"flowsched/internal/engine"
+	"flowsched/internal/flow"
+	"flowsched/internal/petri"
+	"flowsched/internal/schema"
+	"flowsched/internal/store"
+	"flowsched/internal/trace"
+	"flowsched/internal/vclock"
+)
+
+// topoActivities returns a schema's activities in producer-first order.
+func topoActivities(sch *schema.Schema) ([]string, error) {
+	rules, err := sch.TopoRules()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(rules))
+	for i, r := range rules {
+		out[i] = r.Activity
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Roadmap (Philips): data-flow based architecture over the OTO-D model.
+
+// Roadmap adapts the Roadmap Model: flows built from typed flow elements
+// with slots; executing a flow creates Run objects over representations.
+type Roadmap struct {
+	graph *flow.Graph
+	runs  int
+	reps  int
+}
+
+// Name implements System.
+func (*Roadmap) Name() string { return "RoadMap" }
+
+// Vocabulary implements System.
+func (*Roadmap) Vocabulary() Vocabulary {
+	return Vocabulary{
+		{"FlowType (Tool)", "Pin (PinType)", "Port (DataType)"},
+		{"Flow", "InSlot", "OutSlot", "FlowHierarchy"},
+		{"Run"},
+		{"Representation", "File Group"},
+	}
+}
+
+// Instantiate implements System.
+func (r *Roadmap) Instantiate(sch *schema.Schema) error {
+	g, err := flow.FromSchema(sch)
+	if err != nil {
+		return err
+	}
+	r.graph = g
+	return nil
+}
+
+// Execute implements System.
+func (r *Roadmap) Execute() (ExecutionSummary, error) {
+	if r.graph == nil {
+		return ExecutionSummary{}, fmt.Errorf("roadmap: not instantiated")
+	}
+	acts, err := topoActivities(r.graph.Schema)
+	if err != nil {
+		return ExecutionSummary{}, err
+	}
+	r.runs += len(acts) // one Run per flow node
+	r.reps += len(acts) // each Run yields one Representation
+	return ExecutionSummary{Level3: r.runs, Level4: r.reps, Activities: acts}, nil
+}
+
+// ---------------------------------------------------------------------------
+// ELSIS (Delft): OTO-D flow architecture extended with data hierarchy.
+
+// ELSIS adapts the ELSIS CAD framework. Its distinguishing feature over
+// Roadmap is hierarchy support, modelled here as hierarchical grouping of
+// the flow into subflows per primary output.
+type ELSIS struct {
+	graph     *flow.Graph
+	hierarchy map[string][]string // primary output -> covering activities
+	repUsages int
+	objects   int
+}
+
+// Name implements System.
+func (*ELSIS) Name() string { return "ELSIS" }
+
+// Vocabulary implements System.
+func (*ELSIS) Vocabulary() Vocabulary {
+	return Vocabulary{
+		{"Tool", "Pin", "DataType"},
+		{"PortInst", "Channel", "FlowHierarchy"},
+		{"Representation", "RepUsage"},
+		{"Design Object"},
+	}
+}
+
+// Instantiate implements System.
+func (e *ELSIS) Instantiate(sch *schema.Schema) error {
+	g, err := flow.FromSchema(sch)
+	if err != nil {
+		return err
+	}
+	e.graph = g
+	e.hierarchy = make(map[string][]string)
+	for _, out := range sch.PrimaryOutputs() {
+		tr, err := g.Extract(out)
+		if err != nil {
+			return err
+		}
+		e.hierarchy[out] = tr.Activities()
+	}
+	return nil
+}
+
+// Hierarchy exposes the subflow decomposition (ELSIS's hierarchy levels).
+func (e *ELSIS) Hierarchy() map[string][]string { return e.hierarchy }
+
+// Execute implements System.
+func (e *ELSIS) Execute() (ExecutionSummary, error) {
+	if e.graph == nil {
+		return ExecutionSummary{}, fmt.Errorf("elsis: not instantiated")
+	}
+	acts, err := topoActivities(e.graph.Schema)
+	if err != nil {
+		return ExecutionSummary{}, err
+	}
+	// Each activity creates a Representation plus a RepUsage per input.
+	for _, a := range acts {
+		rule := e.graph.Schema.RuleByActivity(a)
+		e.repUsages += 1 + len(rule.Inputs)
+		e.objects++
+	}
+	return ExecutionSummary{Level3: e.repUsages, Level4: e.objects, Activities: acts}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Hercules (CMU): the task-schema workflow manager — the paper's host
+// system, adapted over the real engine.
+
+// Hercules adapts the full Hercules-like workflow manager of package
+// engine: Execute really runs tools, creating runs, entity instances, and
+// Level 4 design objects.
+type Hercules struct {
+	mgr *engine.Manager
+}
+
+// Name implements System.
+func (*Hercules) Name() string { return "Hercules" }
+
+// Vocabulary implements System.
+func (*Hercules) Vocabulary() Vocabulary {
+	return Vocabulary{
+		{"Entity (Task Schema)", "Tool", "Data"},
+		{"Task", "Node", "Arc"},
+		{"Run", "Entity Inst.", "Inst Dep."},
+		{"Design Object"},
+	}
+}
+
+// Instantiate implements System.
+func (h *Hercules) Instantiate(sch *schema.Schema) error {
+	m, err := engine.New(sch, vclock.Standard(), vclock.Epoch, "adapter")
+	if err != nil {
+		return err
+	}
+	if err := m.BindDefaults(); err != nil {
+		return err
+	}
+	for _, leaf := range sch.PrimaryInputs() {
+		if _, err := m.Import(leaf, []byte("seed data for "+leaf)); err != nil {
+			return err
+		}
+	}
+	h.mgr = m
+	return nil
+}
+
+// Execute implements System.
+func (h *Hercules) Execute() (ExecutionSummary, error) {
+	if h.mgr == nil {
+		return ExecutionSummary{}, fmt.Errorf("hercules: not instantiated")
+	}
+	targets := h.mgr.Schema.PrimaryOutputs()
+	tree, err := h.mgr.ExtractTree(targets...)
+	if err != nil {
+		return ExecutionSummary{}, err
+	}
+	if _, err := h.mgr.ExecuteTask(tree, engine.ExecOptions{}); err != nil {
+		return ExecutionSummary{}, err
+	}
+	st := h.mgr.DB.Stats()[store.ExecutionSpace]
+	return ExecutionSummary{
+		Level3:     st.Instances,
+		Level4:     h.mgr.Data.TotalObjects(),
+		Activities: tree.Activities(),
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// History Model (UC Berkeley): task specification language recording the
+// dynamic design process as transactions.
+
+// History adapts the History Model: design tasks specified in a task
+// language; execution appends transactions to the design process record.
+type History struct {
+	sch          *schema.Schema
+	transactions []string
+	objects      int
+}
+
+// Name implements System.
+func (*History) Name() string { return "History Model" }
+
+// Vocabulary implements System.
+func (*History) Vocabulary() Vocabulary {
+	return Vocabulary{
+		{"Task Templates"},
+		{"Design Tasks", "Design Activity"},
+		{"Design Process", "Transaction"},
+		{"Cyclops Data Object"},
+	}
+}
+
+// Instantiate implements System.
+func (h *History) Instantiate(sch *schema.Schema) error {
+	if err := sch.Validate(); err != nil {
+		return err
+	}
+	h.sch = sch
+	return nil
+}
+
+// Transactions exposes the recorded design process.
+func (h *History) Transactions() []string {
+	return append([]string(nil), h.transactions...)
+}
+
+// Execute implements System.
+func (h *History) Execute() (ExecutionSummary, error) {
+	if h.sch == nil {
+		return ExecutionSummary{}, fmt.Errorf("history: not instantiated")
+	}
+	acts, err := topoActivities(h.sch)
+	if err != nil {
+		return ExecutionSummary{}, err
+	}
+	for _, a := range acts {
+		rule := h.sch.RuleByActivity(a)
+		h.transactions = append(h.transactions,
+			fmt.Sprintf("txn %d: %s -> %s", len(h.transactions)+1, a, rule.Output))
+		h.objects++
+	}
+	return ExecutionSummary{Level3: len(h.transactions), Level4: h.objects, Activities: acts}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Hilda (Siemens): Petri-net flow representation.
+
+// Hilda adapts the Hilda CAD framework over a real Petri net: a place per
+// data class, a transition per activity, a ready token per source
+// activity; execution is the token game.
+type Hilda struct {
+	sch *schema.Schema
+	net *petri.Net
+}
+
+// Name implements System.
+func (*Hilda) Name() string { return "Hilda" }
+
+// Vocabulary implements System.
+func (*Hilda) Vocabulary() Vocabulary {
+	return Vocabulary{
+		{"Transitions", "Places", "Arcs"},
+		{"Patterns (Reusable)"},
+		{"Tokens", "Firings"},
+		{"Data Tokens"},
+	}
+}
+
+// Instantiate implements System.
+func (h *Hilda) Instantiate(sch *schema.Schema) error {
+	if err := sch.Validate(); err != nil {
+		return err
+	}
+	n := petri.NewNet()
+	for _, c := range sch.DataClasses() {
+		tokens := 0
+		if sch.Producer(c.Name) == nil {
+			tokens = 1 // primary inputs are available
+		}
+		if err := n.AddPlace(c.Name, tokens); err != nil {
+			return err
+		}
+	}
+	for _, r := range sch.Rules() {
+		inputs := make(map[string]int, len(r.Inputs)+1)
+		for _, in := range r.Inputs {
+			inputs[in] = 1
+		}
+		if len(r.Inputs) == 0 {
+			// Source activities fire once from a dedicated ready place.
+			ready := "ready:" + r.Activity
+			if err := n.AddPlace(ready, 1); err != nil {
+				return err
+			}
+			inputs[ready] = 1
+		}
+		if err := n.AddTransition(r.Activity, inputs, map[string]int{r.Output: 1}); err != nil {
+			return err
+		}
+	}
+	h.sch = sch
+	h.net = n
+	return nil
+}
+
+// Net exposes the underlying Petri net.
+func (h *Hilda) Net() *petri.Net { return h.net }
+
+// Execute implements System.
+func (h *Hilda) Execute() (ExecutionSummary, error) {
+	if h.net == nil {
+		return ExecutionSummary{}, fmt.Errorf("hilda: not instantiated")
+	}
+	seq, err := h.net.Run(10000)
+	if err != nil {
+		return ExecutionSummary{}, err
+	}
+	return ExecutionSummary{
+		Level3:     h.net.Fired(),
+		Level4:     h.net.TotalTokens(),
+		Activities: seq,
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// VOV (UC Berkeley): trace-based; the flow is not planned a priori.
+
+// VOV adapts the VOV system over a real trace: Instantiate only registers
+// the designer's input data (VOV holds that "a design process cannot be
+// planned a priori"); Execute records the session as it happens, growing
+// the trace.
+type VOV struct {
+	sch *schema.Schema
+	tr  *trace.Trace
+}
+
+// Name implements System.
+func (*VOV) Name() string { return "VOV" }
+
+// Vocabulary implements System.
+func (*VOV) Vocabulary() Vocabulary {
+	return Vocabulary{
+		{}, // no a-priori flow elements
+		{"Trace"},
+		{"Trace Transaction"},
+		{"Places (data)"},
+	}
+}
+
+// Instantiate implements System.
+func (v *VOV) Instantiate(sch *schema.Schema) error {
+	if err := sch.Validate(); err != nil {
+		return err
+	}
+	v.sch = sch
+	v.tr = trace.New()
+	for _, in := range sch.PrimaryInputs() {
+		if err := v.tr.AddData(in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Trace exposes the recorded trace.
+func (v *VOV) Trace() *trace.Trace { return v.tr }
+
+// Execute implements System.
+func (v *VOV) Execute() (ExecutionSummary, error) {
+	if v.tr == nil {
+		return ExecutionSummary{}, fmt.Errorf("vov: not instantiated")
+	}
+	acts, err := topoActivities(v.sch)
+	if err != nil {
+		return ExecutionSummary{}, err
+	}
+	for _, a := range acts {
+		rule := v.sch.RuleByActivity(a)
+		if _, err := v.tr.Record(rule.Tool, rule.Inputs, []string{rule.Output}); err != nil {
+			return ExecutionSummary{}, err
+		}
+	}
+	return ExecutionSummary{
+		Level3:     len(v.tr.Invocations()),
+		Level4:     len(v.tr.Data()),
+		Activities: acts,
+	}, nil
+}
+
+// AllSystems returns fresh instances of every surveyed system, in the
+// paper's Table I column order.
+func AllSystems() []System {
+	return []System{&Roadmap{}, &ELSIS{}, &Hercules{}, &History{}, &Hilda{}, &VOV{}}
+}

@@ -1,0 +1,224 @@
+// Package gantt renders ASCII Gantt charts of plan-versus-actual schedule
+// data — the visualization the paper's §IV.B uses to examine design status
+// ("a Gantt Chart displays graphically both the planned schedule and the
+// accomplished schedule").
+//
+// Bars are drawn on a working-day axis:
+//
+//	Create    [ewj       ] ████████░░░░          plan
+//	                       ▓▓▓▓▓▓▓▓▓▓▓▓▓▓        actual (slipped)
+//
+// using '#' for planned span, '=' for accomplished span, '>' for the
+// in-progress frontier and '|' for today, so charts render anywhere.
+package gantt
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"flowsched/internal/vclock"
+)
+
+// Row is one task of a chart.
+type Row struct {
+	Name          string
+	Resources     []string
+	PlannedStart  time.Time
+	PlannedFinish time.Time
+	ActualStart   time.Time // zero if not started
+	ActualFinish  time.Time // zero if not finished
+	Done          bool
+}
+
+// Marker is a milestone diamond on the chart's time axis.
+type Marker struct {
+	Name string
+	At   time.Time
+	// Achieved milestones render '*', pending ones 'o'.
+	Achieved bool
+}
+
+// Chart is a renderable Gantt chart.
+type Chart struct {
+	Title    string
+	Calendar *vclock.Calendar
+	Rows     []Row
+	// Milestones are drawn as markers below the bars.
+	Milestones []Marker
+	// Now marks "today"; zero omits the marker.
+	Now time.Time
+	// Width is the number of columns for the time axis (default 60).
+	Width int
+}
+
+// span returns the chart's overall time range.
+func (c *Chart) span() (lo, hi time.Time, ok bool) {
+	points := make([]time.Time, 0, 4*len(c.Rows)+len(c.Milestones))
+	for _, r := range c.Rows {
+		points = append(points, r.PlannedStart, r.PlannedFinish, r.ActualStart, r.ActualFinish)
+	}
+	for _, m := range c.Milestones {
+		points = append(points, m.At)
+	}
+	for _, t := range points {
+		if t.IsZero() {
+			continue
+		}
+		if !ok {
+			lo, hi, ok = t, t, true
+			continue
+		}
+		if t.Before(lo) {
+			lo = t
+		}
+		if t.After(hi) {
+			hi = t
+		}
+	}
+	if ok && !c.Now.IsZero() {
+		if c.Now.Before(lo) {
+			lo = c.Now
+		}
+		if c.Now.After(hi) {
+			hi = c.Now
+		}
+	}
+	return lo, hi, ok
+}
+
+// Render draws the chart.
+func (c *Chart) Render() string {
+	width := c.Width
+	if width <= 0 {
+		width = 60
+	}
+	cal := c.Calendar
+	if cal == nil {
+		cal = vclock.Standard()
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	lo, hi, ok := c.span()
+	if !ok {
+		b.WriteString("(no scheduled activities)\n")
+		return b.String()
+	}
+	total := cal.WorkBetween(lo, hi)
+	if total <= 0 {
+		total = time.Hour
+	}
+	col := func(t time.Time) int {
+		if t.IsZero() {
+			return -1
+		}
+		x := int(float64(width-1) * float64(cal.WorkBetween(lo, t)) / float64(total))
+		if x < 0 {
+			x = 0
+		}
+		if x > width-1 {
+			x = width - 1
+		}
+		return x
+	}
+
+	nameW, resW := 4, 3
+	for _, r := range c.Rows {
+		if len(r.Name) > nameW {
+			nameW = len(r.Name)
+		}
+		if rs := strings.Join(r.Resources, ","); len(rs) > resW {
+			resW = len(rs)
+		}
+	}
+	nowCol := col(c.Now)
+
+	fmt.Fprintf(&b, "%-*s  %-*s  %s .. %s (%s working)\n",
+		nameW, "task", resW, "who",
+		lo.Format("2006-01-02"), hi.Format("2006-01-02"),
+		fmtWork(total, cal))
+	for _, r := range c.Rows {
+		planned := bar(width, col(r.PlannedStart), col(r.PlannedFinish), '#', nowCol)
+		fmt.Fprintf(&b, "%-*s  %-*s  %s plan\n", nameW, r.Name, resW,
+			strings.Join(r.Resources, ","), planned)
+		if !r.ActualStart.IsZero() {
+			endCol := col(r.ActualFinish)
+			ch := byte('=')
+			if !r.Done {
+				endCol = nowCol
+				ch = '>'
+			}
+			actual := bar(width, col(r.ActualStart), endCol, ch, nowCol)
+			fmt.Fprintf(&b, "%-*s  %-*s  %s actual\n", nameW, "", resW, "", actual)
+		}
+	}
+	for _, m := range c.Milestones {
+		ch := byte('o')
+		if m.Achieved {
+			ch = '*'
+		}
+		line := make([]byte, width)
+		for i := range line {
+			line[i] = ' '
+		}
+		if at := col(m.At); at >= 0 && at < width {
+			line[at] = ch
+		}
+		fmt.Fprintf(&b, "%-*s  %-*s  %s milestone %s (%s)\n", nameW, "", resW, "",
+			string(line), m.Name, m.At.Format("2006-01-02"))
+	}
+	if nowCol >= 0 {
+		fmt.Fprintf(&b, "%-*s  %-*s  %s now = %s\n", nameW, "", resW, "",
+			marker(width, nowCol), c.Now.Format("2006-01-02 15:04"))
+	}
+	return b.String()
+}
+
+// bar renders a horizontal bar from column a to column bcol inclusive,
+// overlaying the now marker.
+func bar(width, a, bcol int, ch byte, nowCol int) string {
+	line := make([]byte, width)
+	for i := range line {
+		line[i] = ' '
+	}
+	if a >= 0 && bcol >= a {
+		for i := a; i <= bcol && i < width; i++ {
+			line[i] = ch
+		}
+	}
+	if nowCol >= 0 && nowCol < width && line[nowCol] == ' ' {
+		line[nowCol] = '|'
+	}
+	return string(line)
+}
+
+func marker(width, at int) string {
+	line := make([]byte, width)
+	for i := range line {
+		line[i] = ' '
+	}
+	if at >= 0 && at < width {
+		line[at] = '^'
+	}
+	return string(line)
+}
+
+// fmtWork renders a working duration in days+hours on the calendar.
+func fmtWork(d time.Duration, cal *vclock.Calendar) string {
+	daily := cal.DailyHours()
+	if daily <= 0 {
+		return d.String()
+	}
+	days := d / daily
+	rest := d % daily
+	switch {
+	case days == 0:
+		return fmt.Sprintf("%.1fh", rest.Hours())
+	case rest == 0:
+		return fmt.Sprintf("%dd", days)
+	default:
+		return fmt.Sprintf("%dd%.1fh", days, rest.Hours())
+	}
+}

@@ -1,0 +1,206 @@
+package gantt
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"flowsched/internal/vclock"
+)
+
+var t0 = vclock.Epoch
+
+func d(day int, hour int) time.Time {
+	return time.Date(1995, time.June, day, hour, 0, 0, 0, time.UTC)
+}
+
+func sampleChart() *Chart {
+	return &Chart{
+		Title:    "circuit design",
+		Calendar: vclock.Standard(),
+		Now:      d(7, 13),
+		Rows: []Row{
+			{
+				Name: "Create", Resources: []string{"ewj"},
+				PlannedStart: d(5, 9), PlannedFinish: d(6, 17),
+				ActualStart: d(5, 9), ActualFinish: d(7, 12), Done: true,
+			},
+			{
+				Name: "Simulate", Resources: []string{"ewj", "jbb"},
+				PlannedStart: d(7, 9), PlannedFinish: d(7, 17),
+				ActualStart: d(7, 12),
+			},
+			{
+				Name: "Signoff", Resources: nil,
+				PlannedStart: d(8, 9), PlannedFinish: d(8, 17),
+			},
+		},
+	}
+}
+
+func TestRenderContainsRows(t *testing.T) {
+	out := sampleChart().Render()
+	for _, want := range []string{"circuit design", "Create", "Simulate", "Signoff",
+		"plan", "actual", "now = 1995-06-07 13:00", "ewj,jbb"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderBarCharacters(t *testing.T) {
+	out := sampleChart().Render()
+	if !strings.Contains(out, "#") {
+		t.Error("no planned bars")
+	}
+	if !strings.Contains(out, "=") {
+		t.Error("no completed actual bar")
+	}
+	if !strings.Contains(out, ">") {
+		t.Error("no in-progress bar")
+	}
+	if !strings.Contains(out, "^") {
+		t.Error("no now marker")
+	}
+}
+
+func TestRenderLineWidthsConsistent(t *testing.T) {
+	c := sampleChart()
+	c.Width = 40
+	out := c.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// All bar lines (plan/actual) should have the same prefix width.
+	var barLens []int
+	for _, l := range lines {
+		if strings.HasSuffix(l, "plan") || strings.HasSuffix(l, "actual") {
+			barLens = append(barLens, len(l))
+		}
+	}
+	if len(barLens) < 4 {
+		t.Fatalf("expected >=4 bar lines, got %d:\n%s", len(barLens), out)
+	}
+	for _, l := range barLens[1:] {
+		// "actual" is two characters longer than "plan".
+		if l != barLens[0] && l != barLens[0]+2 && l != barLens[0]-2 {
+			t.Fatalf("misaligned bars: %v\n%s", barLens, out)
+		}
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	out := c.Render()
+	if !strings.Contains(out, "no scheduled activities") {
+		t.Fatalf("empty chart rendered %q", out)
+	}
+}
+
+func TestRenderNoNowMarker(t *testing.T) {
+	c := sampleChart()
+	c.Now = time.Time{}
+	out := c.Render()
+	if strings.Contains(out, "now =") {
+		t.Fatal("now marker present without Now")
+	}
+}
+
+func TestRenderDefaultsCalendarAndWidth(t *testing.T) {
+	c := sampleChart()
+	c.Calendar = nil
+	c.Width = 0
+	out := c.Render()
+	if len(out) == 0 || !strings.Contains(out, "Create") {
+		t.Fatalf("defaulted chart broken:\n%s", out)
+	}
+}
+
+func TestBarClamping(t *testing.T) {
+	// A bar whose start is before the chart range start must clamp to 0.
+	if got := bar(10, -1, 5, '#', -1); strings.Contains(got, "#") {
+		t.Fatalf("bar with negative start drew: %q", got)
+	}
+	if got := bar(10, 2, 20, '#', -1); len(got) != 10 {
+		t.Fatalf("bar overflow: %q", got)
+	}
+	if got := bar(10, 3, 2, '#', -1); strings.Contains(got, "#") {
+		t.Fatalf("inverted bar drew: %q", got)
+	}
+}
+
+func TestFmtWork(t *testing.T) {
+	cal := vclock.Standard()
+	cases := []struct {
+		in   time.Duration
+		want string
+	}{
+		{4 * time.Hour, "4.0h"},
+		{8 * time.Hour, "1d"},
+		{12 * time.Hour, "1d4.0h"},
+		{40 * time.Hour, "5d"},
+	}
+	for _, tc := range cases {
+		if got := fmtWork(tc.in, cal); got != tc.want {
+			t.Errorf("fmtWork(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSpanIncludesNow(t *testing.T) {
+	c := &Chart{
+		Calendar: vclock.Standard(),
+		Now:      d(20, 9),
+		Rows: []Row{{
+			Name: "X", PlannedStart: d(5, 9), PlannedFinish: d(6, 17),
+		}},
+	}
+	lo, hi, ok := c.span()
+	if !ok || !lo.Equal(d(5, 9)) || !hi.Equal(d(20, 9)) {
+		t.Fatalf("span = %v..%v ok=%v", lo, hi, ok)
+	}
+	_ = t0
+}
+
+func TestMilestoneMarkers(t *testing.T) {
+	c := sampleChart()
+	c.Milestones = []Marker{
+		{Name: "netlist-frozen", At: d(6, 17), Achieved: true},
+		{Name: "signoff", At: d(8, 17)},
+	}
+	out := c.Render()
+	if !strings.Contains(out, "milestone netlist-frozen (1995-06-06)") {
+		t.Fatalf("achieved milestone missing:\n%s", out)
+	}
+	if !strings.Contains(out, "milestone signoff (1995-06-08)") {
+		t.Fatalf("pending milestone missing:\n%s", out)
+	}
+	// Achieved renders '*', pending 'o'.
+	var achievedLine, pendingLine string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "netlist-frozen") {
+			achievedLine = line
+		}
+		if strings.Contains(line, "signoff") {
+			pendingLine = line
+		}
+	}
+	if !strings.Contains(achievedLine, "*") {
+		t.Errorf("achieved marker glyph missing: %q", achievedLine)
+	}
+	if !strings.Contains(pendingLine, "o") {
+		t.Errorf("pending marker glyph missing: %q", pendingLine)
+	}
+}
+
+func TestMilestoneExtendsSpan(t *testing.T) {
+	c := &Chart{
+		Calendar: vclock.Standard(),
+		Rows: []Row{{
+			Name: "X", PlannedStart: d(5, 9), PlannedFinish: d(6, 17),
+		}},
+		Milestones: []Marker{{Name: "far", At: d(23, 9)}},
+	}
+	lo, hi, ok := c.span()
+	if !ok || !lo.Equal(d(5, 9)) || !hi.Equal(d(23, 9)) {
+		t.Fatalf("span = %v..%v ok=%v", lo, hi, ok)
+	}
+}

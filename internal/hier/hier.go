@@ -1,0 +1,197 @@
+// Package hier implements hierarchical task grouping — the process-side
+// hierarchy of flow managers like Hercules (whose user interface presents
+// a task *tree*) and ELSIS (whose model adds hierarchy support, paper
+// §II [12]). A Grouping organizes a flow's activities into named
+// composite tasks ("Frontend", "Signoff", …); plan and status roll up to
+// the composite level, so a project manager can view "a portion of the
+// overall schedule" (§IV.C) at whatever granularity suits the meeting.
+package hier
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"flowsched/internal/sched"
+)
+
+// Grouping maps composite task names to their member activities.
+type Grouping struct {
+	names  []string            // composite order
+	member map[string][]string // composite -> activities
+	owner  map[string]string   // activity -> composite
+}
+
+// NewGrouping validates and builds a grouping. Composites must be named,
+// non-empty, and disjoint.
+func NewGrouping(groups map[string][]string) (*Grouping, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("hier: empty grouping")
+	}
+	g := &Grouping{
+		member: make(map[string][]string, len(groups)),
+		owner:  make(map[string]string),
+	}
+	for name := range groups {
+		g.names = append(g.names, name)
+	}
+	sort.Strings(g.names)
+	for _, name := range g.names {
+		acts := groups[name]
+		if name == "" {
+			return nil, fmt.Errorf("hier: composite with empty name")
+		}
+		if len(acts) == 0 {
+			return nil, fmt.Errorf("hier: composite %q has no activities", name)
+		}
+		for _, a := range acts {
+			if a == "" {
+				return nil, fmt.Errorf("hier: composite %q contains empty activity", name)
+			}
+			if prev, dup := g.owner[a]; dup {
+				return nil, fmt.Errorf("hier: activity %q in both %q and %q", a, prev, name)
+			}
+			g.owner[a] = name
+		}
+		g.member[name] = append([]string(nil), acts...)
+	}
+	return g, nil
+}
+
+// Composites returns the composite names, sorted.
+func (g *Grouping) Composites() []string { return append([]string(nil), g.names...) }
+
+// Members returns a composite's activities.
+func (g *Grouping) Members(composite string) []string {
+	return append([]string(nil), g.member[composite]...)
+}
+
+// Owner returns the composite containing an activity ("" if ungrouped).
+func (g *Grouping) Owner(activity string) string { return g.owner[activity] }
+
+// CheckCovers verifies that every activity of the plan belongs to some
+// composite and that no composite references activities outside the plan.
+func (g *Grouping) CheckCovers(p *sched.Plan) error {
+	inPlan := make(map[string]bool, len(p.Activities))
+	for _, a := range p.Activities {
+		inPlan[a] = true
+		if g.owner[a] == "" {
+			return fmt.Errorf("hier: activity %q not covered by any composite", a)
+		}
+	}
+	for _, name := range g.names {
+		for _, a := range g.member[name] {
+			if !inPlan[a] {
+				return fmt.Errorf("hier: composite %q references %q outside the plan", name, a)
+			}
+		}
+	}
+	return nil
+}
+
+// CompositeStatus is the rolled-up status of one composite task.
+type CompositeStatus struct {
+	Name          string
+	Activities    int
+	DoneCount     int
+	State         sched.State
+	PlannedStart  time.Time
+	PlannedFinish time.Time
+	ActualStart   time.Time
+	ActualFinish  time.Time // zero until every member is done
+	// Slip is the maximum member slip.
+	Slip time.Duration
+}
+
+// Rollup computes composite statuses from a plan's per-activity status
+// rows (sched.Space.Status output). Composites appear in sorted order.
+func (g *Grouping) Rollup(rows []sched.ActivityStatus) ([]CompositeStatus, error) {
+	byComposite := make(map[string][]sched.ActivityStatus)
+	for _, r := range rows {
+		owner := g.owner[r.Activity]
+		if owner == "" {
+			return nil, fmt.Errorf("hier: activity %q not covered by any composite", r.Activity)
+		}
+		byComposite[owner] = append(byComposite[owner], r)
+	}
+	var out []CompositeStatus
+	for _, name := range g.names {
+		members := byComposite[name]
+		if len(members) == 0 {
+			continue
+		}
+		cs := CompositeStatus{Name: name, Activities: len(members)}
+		allDone := true
+		anyStarted := false
+		for i, m := range members {
+			if i == 0 || m.PlannedStart.Before(cs.PlannedStart) {
+				cs.PlannedStart = m.PlannedStart
+			}
+			if m.PlannedFinish.After(cs.PlannedFinish) {
+				cs.PlannedFinish = m.PlannedFinish
+			}
+			if !m.ActualStart.IsZero() {
+				anyStarted = true
+				if cs.ActualStart.IsZero() || m.ActualStart.Before(cs.ActualStart) {
+					cs.ActualStart = m.ActualStart
+				}
+			}
+			if m.State == sched.Done {
+				cs.DoneCount++
+				if m.ActualFinish.After(cs.ActualFinish) {
+					cs.ActualFinish = m.ActualFinish
+				}
+			} else {
+				allDone = false
+			}
+			if m.Slip > cs.Slip {
+				cs.Slip = m.Slip
+			}
+		}
+		switch {
+		case allDone:
+			cs.State = sched.Done
+		case anyStarted:
+			cs.State = sched.InProgress
+		default:
+			cs.State = sched.Pending
+		}
+		if !allDone {
+			cs.ActualFinish = time.Time{}
+		}
+		out = append(out, cs)
+	}
+	return out, nil
+}
+
+// Outline renders the hierarchy as an indented outline with per-composite
+// progress — the manager's view of "a portion of the overall schedule".
+func (g *Grouping) Outline(rows []sched.ActivityStatus) (string, error) {
+	comps, err := g.Rollup(rows)
+	if err != nil {
+		return "", err
+	}
+	byAct := make(map[string]sched.ActivityStatus, len(rows))
+	for _, r := range rows {
+		byAct[r.Activity] = r
+	}
+	var b strings.Builder
+	for _, c := range comps {
+		fmt.Fprintf(&b, "%-14s %d/%d done  [%s .. %s] %s",
+			c.Name, c.DoneCount, c.Activities,
+			c.PlannedStart.Format("01-02"), c.PlannedFinish.Format("01-02"), c.State)
+		if c.Slip > 0 {
+			fmt.Fprintf(&b, "  SLIP %s", c.Slip.Round(time.Minute))
+		}
+		b.WriteString("\n")
+		for _, a := range g.member[c.Name] {
+			r, ok := byAct[a]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(&b, "  %-12s %s\n", a, r.State)
+		}
+	}
+	return b.String(), nil
+}

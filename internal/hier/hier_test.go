@@ -1,0 +1,182 @@
+package hier
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"flowsched/internal/sched"
+	"flowsched/internal/vclock"
+)
+
+var t0 = vclock.Epoch
+
+func d(day, hour int) time.Time {
+	return time.Date(1995, time.June, day, hour, 0, 0, 0, time.UTC)
+}
+
+func asicGroups(t *testing.T) *Grouping {
+	t.Helper()
+	g, err := NewGrouping(map[string][]string{
+		"Frontend": {"Synthesize", "GateSim"},
+		"Backend":  {"Floorplan", "Route", "Extract"},
+		"Signoff":  {"DRC", "LVS", "STA"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGroupingValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		groups map[string][]string
+		want   string
+	}{
+		{"empty", nil, "empty grouping"},
+		{"empty composite name", map[string][]string{"": {"A"}}, "empty name"},
+		{"no members", map[string][]string{"X": {}}, "no activities"},
+		{"empty activity", map[string][]string{"X": {""}}, "empty activity"},
+		{"overlap", map[string][]string{"X": {"A"}, "Y": {"A"}}, "in both"},
+	}
+	for _, tc := range cases {
+		if _, err := NewGrouping(tc.groups); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	g := asicGroups(t)
+	comps := g.Composites()
+	if len(comps) != 3 || comps[0] != "Backend" { // sorted
+		t.Fatalf("Composites = %v", comps)
+	}
+	if got := g.Members("Signoff"); len(got) != 3 {
+		t.Fatalf("Members = %v", got)
+	}
+	if g.Owner("Route") != "Backend" || g.Owner("Ghost") != "" {
+		t.Fatalf("Owner wrong: %q/%q", g.Owner("Route"), g.Owner("Ghost"))
+	}
+}
+
+func TestCheckCovers(t *testing.T) {
+	g := asicGroups(t)
+	plan := &sched.Plan{Activities: []string{
+		"Synthesize", "Floorplan", "Route", "Extract", "DRC", "LVS", "STA", "GateSim",
+	}}
+	if err := g.CheckCovers(plan); err != nil {
+		t.Fatal(err)
+	}
+	// Uncovered activity.
+	plan2 := &sched.Plan{Activities: append(plan.Activities, "Extra")}
+	if err := g.CheckCovers(plan2); err == nil {
+		t.Fatal("uncovered activity accepted")
+	}
+	// Composite referencing an activity outside the plan.
+	plan3 := &sched.Plan{Activities: plan.Activities[:7]} // drop GateSim
+	if err := g.CheckCovers(plan3); err == nil {
+		t.Fatal("out-of-plan member accepted")
+	}
+}
+
+func sampleRows() []sched.ActivityStatus {
+	return []sched.ActivityStatus{
+		{Activity: "Synthesize", State: sched.Done,
+			PlannedStart: d(5, 9), PlannedFinish: d(6, 17),
+			ActualStart: d(5, 9), ActualFinish: d(7, 17), Slip: 8 * time.Hour},
+		{Activity: "GateSim", State: sched.InProgress,
+			PlannedStart: d(7, 9), PlannedFinish: d(8, 17),
+			ActualStart: d(8, 9)},
+		{Activity: "Floorplan", State: sched.Pending,
+			PlannedStart: d(8, 9), PlannedFinish: d(8, 17)},
+		{Activity: "Route", State: sched.Pending,
+			PlannedStart: d(9, 9), PlannedFinish: d(12, 17)},
+		{Activity: "Extract", State: sched.Pending,
+			PlannedStart: d(13, 9), PlannedFinish: d(13, 17)},
+		{Activity: "DRC", State: sched.Pending,
+			PlannedStart: d(14, 9), PlannedFinish: d(14, 17)},
+		{Activity: "LVS", State: sched.Pending,
+			PlannedStart: d(14, 9), PlannedFinish: d(14, 17)},
+		{Activity: "STA", State: sched.Pending,
+			PlannedStart: d(14, 9), PlannedFinish: d(15, 17)},
+	}
+}
+
+func TestRollup(t *testing.T) {
+	g := asicGroups(t)
+	comps, err := g.Rollup(sampleRows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 3 {
+		t.Fatalf("composites = %d", len(comps))
+	}
+	byName := map[string]CompositeStatus{}
+	for _, c := range comps {
+		byName[c.Name] = c
+	}
+	fe := byName["Frontend"]
+	if fe.State != sched.InProgress || fe.DoneCount != 1 || fe.Activities != 2 {
+		t.Fatalf("Frontend = %+v", fe)
+	}
+	// Frontend planned window spans both members.
+	if !fe.PlannedStart.Equal(d(5, 9)) || !fe.PlannedFinish.Equal(d(8, 17)) {
+		t.Fatalf("Frontend window = %v .. %v", fe.PlannedStart, fe.PlannedFinish)
+	}
+	// Not all done: no actual finish; slip = max member slip.
+	if !fe.ActualFinish.IsZero() || fe.Slip != 8*time.Hour {
+		t.Fatalf("Frontend rollup = %+v", fe)
+	}
+	be := byName["Backend"]
+	if be.State != sched.Pending || !be.ActualStart.IsZero() {
+		t.Fatalf("Backend = %+v", be)
+	}
+}
+
+func TestRollupAllDone(t *testing.T) {
+	g, _ := NewGrouping(map[string][]string{"X": {"A", "B"}})
+	rows := []sched.ActivityStatus{
+		{Activity: "A", State: sched.Done, ActualStart: d(5, 9), ActualFinish: d(6, 17),
+			PlannedStart: d(5, 9), PlannedFinish: d(6, 17)},
+		{Activity: "B", State: sched.Done, ActualStart: d(7, 9), ActualFinish: d(8, 17),
+			PlannedStart: d(7, 9), PlannedFinish: d(8, 17)},
+	}
+	comps, err := g.Rollup(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := comps[0]
+	if c.State != sched.Done || !c.ActualFinish.Equal(d(8, 17)) || !c.ActualStart.Equal(d(5, 9)) {
+		t.Fatalf("rollup = %+v", c)
+	}
+}
+
+func TestRollupUncovered(t *testing.T) {
+	g, _ := NewGrouping(map[string][]string{"X": {"A"}})
+	rows := []sched.ActivityStatus{{Activity: "Mystery"}}
+	if _, err := g.Rollup(rows); err == nil {
+		t.Fatal("uncovered activity accepted")
+	}
+}
+
+func TestOutline(t *testing.T) {
+	g := asicGroups(t)
+	out, err := g.Outline(sampleRows())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Frontend", "1/2 done", "SLIP 8h", "Backend", "0/3 done",
+		"Signoff", "Synthesize", "done", "in-progress",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("outline missing %q:\n%s", want, out)
+		}
+	}
+	// Composites come before their members and in sorted order.
+	if strings.Index(out, "Backend") > strings.Index(out, "Frontend") {
+		t.Errorf("composites unsorted:\n%s", out)
+	}
+}

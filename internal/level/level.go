@@ -1,0 +1,258 @@
+// Package level implements resource leveling and optimization — the
+// paper's third motivating advantage (§I): "previous schedule data can be
+// used … to optimize the resources associated with future projects."
+//
+// Given the activity network of a plan and a pool of interchangeable
+// resources (designers), Level produces a list schedule: activities are
+// dispatched in critical-path priority order onto the first free
+// resource, respecting precedence. MinimalTeam then answers the
+// optimization question directly: the smallest team whose makespan stays
+// within a tolerance of the resource-unconstrained critical path.
+package level
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Task is one activity to schedule.
+type Task struct {
+	Name     string
+	Duration time.Duration
+	Preds    []string
+}
+
+// Assignment is one scheduled activity.
+type Assignment struct {
+	Task     string
+	Resource string
+	// Start and Finish are offsets from project start in working time.
+	Start, Finish time.Duration
+}
+
+// Result is a leveled schedule.
+type Result struct {
+	Assignments []Assignment
+	// Makespan is the overall span.
+	Makespan time.Duration
+	// CriticalPathLength is the precedence-only lower bound.
+	CriticalPathLength time.Duration
+	byTask             map[string]Assignment
+}
+
+// Of returns a task's assignment.
+func (r *Result) Of(task string) (Assignment, bool) {
+	a, ok := r.byTask[task]
+	return a, ok
+}
+
+// Utilization reports busy-time fraction per resource over the makespan.
+func (r *Result) Utilization() map[string]float64 {
+	busy := make(map[string]time.Duration)
+	for _, a := range r.Assignments {
+		busy[a.Resource] += a.Finish - a.Start
+	}
+	out := make(map[string]float64, len(busy))
+	for res, d := range busy {
+		if r.Makespan > 0 {
+			out[res] = float64(d) / float64(r.Makespan)
+		}
+	}
+	return out
+}
+
+// validate checks the task set and returns indices and successor lists.
+func validate(tasks []Task) (map[string]int, [][]int, error) {
+	if len(tasks) == 0 {
+		return nil, nil, fmt.Errorf("level: no tasks")
+	}
+	idx := make(map[string]int, len(tasks))
+	for i, t := range tasks {
+		if t.Name == "" {
+			return nil, nil, fmt.Errorf("level: task %d has empty name", i)
+		}
+		if _, dup := idx[t.Name]; dup {
+			return nil, nil, fmt.Errorf("level: duplicate task %q", t.Name)
+		}
+		if t.Duration <= 0 {
+			return nil, nil, fmt.Errorf("level: task %q duration must be positive", t.Name)
+		}
+		idx[t.Name] = i
+	}
+	succ := make([][]int, len(tasks))
+	for i, t := range tasks {
+		for _, p := range t.Preds {
+			pi, ok := idx[p]
+			if !ok {
+				return nil, nil, fmt.Errorf("level: task %q references unknown predecessor %q", t.Name, p)
+			}
+			if pi == i {
+				return nil, nil, fmt.Errorf("level: task %q is its own predecessor", t.Name)
+			}
+			succ[pi] = append(succ[pi], i)
+		}
+	}
+	return idx, succ, nil
+}
+
+// ranks computes each task's critical-path rank: the longest duration
+// chain from the task to any sink (inclusive). It errors on cycles.
+func ranks(tasks []Task, idx map[string]int, succ [][]int) ([]time.Duration, error) {
+	rank := make([]time.Duration, len(tasks))
+	state := make([]int, len(tasks)) // 0 unvisited, 1 in stack, 2 done
+	var visit func(i int) error
+	visit = func(i int) error {
+		switch state[i] {
+		case 1:
+			return fmt.Errorf("level: precedence cycle through %q", tasks[i].Name)
+		case 2:
+			return nil
+		}
+		state[i] = 1
+		var best time.Duration
+		for _, s := range succ[i] {
+			if err := visit(s); err != nil {
+				return err
+			}
+			if rank[s] > best {
+				best = rank[s]
+			}
+		}
+		rank[i] = best + tasks[i].Duration
+		state[i] = 2
+		return nil
+	}
+	for i := range tasks {
+		if err := visit(i); err != nil {
+			return nil, err
+		}
+	}
+	return rank, nil
+}
+
+// Level schedules tasks onto the named resources by critical-path-first
+// list scheduling.
+func Level(tasks []Task, resources []string) (*Result, error) {
+	if len(resources) == 0 {
+		return nil, fmt.Errorf("level: no resources")
+	}
+	seen := make(map[string]bool, len(resources))
+	for _, r := range resources {
+		if r == "" {
+			return nil, fmt.Errorf("level: empty resource name")
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("level: duplicate resource %q", r)
+		}
+		seen[r] = true
+	}
+	idx, succ, err := validate(tasks)
+	if err != nil {
+		return nil, err
+	}
+	rank, err := ranks(tasks, idx, succ)
+	if err != nil {
+		return nil, err
+	}
+	// Critical-path lower bound = max rank.
+	var cp time.Duration
+	for _, r := range rank {
+		if r > cp {
+			cp = r
+		}
+	}
+
+	res := &Result{byTask: make(map[string]Assignment, len(tasks)), CriticalPathLength: cp}
+	freeAt := make(map[string]time.Duration, len(resources))
+	finished := make([]time.Duration, len(tasks))
+	done := make([]bool, len(tasks))
+	remaining := len(tasks)
+
+	for remaining > 0 {
+		// Ready tasks: all predecessors done.
+		var ready []int
+		for i, t := range tasks {
+			if done[i] {
+				continue
+			}
+			ok := true
+			for _, p := range t.Preds {
+				if !done[idx[p]] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				ready = append(ready, i)
+			}
+		}
+		// Highest rank first; ties by name for determinism.
+		sort.Slice(ready, func(a, b int) bool {
+			if rank[ready[a]] != rank[ready[b]] {
+				return rank[ready[a]] > rank[ready[b]]
+			}
+			return tasks[ready[a]].Name < tasks[ready[b]].Name
+		})
+		// Dispatch as many ready tasks as resources allow this wave.
+		for _, i := range ready {
+			// Pick the earliest-free resource; ties by name.
+			var bestRes string
+			for _, r := range resources {
+				if bestRes == "" || freeAt[r] < freeAt[bestRes] ||
+					(freeAt[r] == freeAt[bestRes] && r < bestRes) {
+					bestRes = r
+				}
+			}
+			earliest := freeAt[bestRes]
+			for _, p := range tasks[i].Preds {
+				if f := finished[idx[p]]; f > earliest {
+					earliest = f
+				}
+			}
+			a := Assignment{
+				Task: tasks[i].Name, Resource: bestRes,
+				Start: earliest, Finish: earliest + tasks[i].Duration,
+			}
+			res.Assignments = append(res.Assignments, a)
+			res.byTask[a.Task] = a
+			freeAt[bestRes] = a.Finish
+			finished[i] = a.Finish
+			done[i] = true
+			remaining--
+			if a.Finish > res.Makespan {
+				res.Makespan = a.Finish
+			}
+		}
+	}
+	return res, nil
+}
+
+// MinimalTeam finds the smallest team size in [1, maxTeam] whose leveled
+// makespan is within tolerance (e.g. 1.05 = 5%) of the critical-path
+// lower bound, returning the size and its schedule. If no size meets the
+// tolerance, the largest team's schedule is returned with its size.
+func MinimalTeam(tasks []Task, maxTeam int, tolerance float64) (int, *Result, error) {
+	if maxTeam < 1 {
+		return 0, nil, fmt.Errorf("level: maxTeam must be >= 1")
+	}
+	if tolerance < 1 {
+		return 0, nil, fmt.Errorf("level: tolerance must be >= 1")
+	}
+	var last *Result
+	for size := 1; size <= maxTeam; size++ {
+		resources := make([]string, size)
+		for i := range resources {
+			resources[i] = fmt.Sprintf("r%02d", i+1)
+		}
+		r, err := Level(tasks, resources)
+		if err != nil {
+			return 0, nil, err
+		}
+		last = r
+		if float64(r.Makespan) <= tolerance*float64(r.CriticalPathLength) {
+			return size, r, nil
+		}
+	}
+	return maxTeam, last, nil
+}

@@ -1,0 +1,220 @@
+package level
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func h(n int) time.Duration { return time.Duration(n) * time.Hour }
+
+// diamond: A(8) -> B(8), C(16) -> D(8). CP = 32h.
+func diamond() []Task {
+	return []Task{
+		{Name: "A", Duration: h(8)},
+		{Name: "B", Duration: h(8), Preds: []string{"A"}},
+		{Name: "C", Duration: h(16), Preds: []string{"A"}},
+		{Name: "D", Duration: h(8), Preds: []string{"B", "C"}},
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		tasks []Task
+		res   []string
+		want  string
+	}{
+		{"no tasks", nil, []string{"r"}, "no tasks"},
+		{"no resources", diamond(), nil, "no resources"},
+		{"empty resource", diamond(), []string{""}, "empty resource"},
+		{"dup resource", diamond(), []string{"r", "r"}, "duplicate resource"},
+		{"empty task name", []Task{{Name: "", Duration: h(1)}}, []string{"r"}, "empty name"},
+		{"dup task", []Task{{Name: "A", Duration: h(1)}, {Name: "A", Duration: h(1)}}, []string{"r"}, "duplicate task"},
+		{"zero duration", []Task{{Name: "A"}}, []string{"r"}, "positive"},
+		{"unknown pred", []Task{{Name: "A", Duration: h(1), Preds: []string{"X"}}}, []string{"r"}, "unknown predecessor"},
+		{"self pred", []Task{{Name: "A", Duration: h(1), Preds: []string{"A"}}}, []string{"r"}, "own predecessor"},
+		{"cycle", []Task{
+			{Name: "A", Duration: h(1), Preds: []string{"B"}},
+			{Name: "B", Duration: h(1), Preds: []string{"A"}},
+		}, []string{"r"}, "cycle"},
+	}
+	for _, tc := range cases {
+		if _, err := Level(tc.tasks, tc.res); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestLevelTwoResourcesMatchesCriticalPath(t *testing.T) {
+	r, err := Level(diamond(), []string{"ann", "bob"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CriticalPathLength != h(32) {
+		t.Fatalf("CP = %v", r.CriticalPathLength)
+	}
+	// With two people, B runs parallel to C: makespan equals CP.
+	if r.Makespan != h(32) {
+		t.Fatalf("makespan = %v, want 32h", r.Makespan)
+	}
+}
+
+func TestLevelOneResourceSerializes(t *testing.T) {
+	r, err := Level(diamond(), []string{"solo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything serial: 8+8+16+8 = 40h.
+	if r.Makespan != h(40) {
+		t.Fatalf("makespan = %v, want 40h", r.Makespan)
+	}
+	// No overlap on the single resource.
+	var spans []Assignment
+	for _, a := range r.Assignments {
+		spans = append(spans, a)
+	}
+	for i := range spans {
+		for j := i + 1; j < len(spans); j++ {
+			if spans[i].Start < spans[j].Finish && spans[j].Start < spans[i].Finish {
+				t.Fatalf("overlap: %+v and %+v", spans[i], spans[j])
+			}
+		}
+	}
+}
+
+func TestPrecedenceRespected(t *testing.T) {
+	r, err := Level(diamond(), []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(name string) Assignment {
+		a, ok := r.Of(name)
+		if !ok {
+			t.Fatalf("no assignment for %s", name)
+		}
+		return a
+	}
+	if get("B").Start < get("A").Finish || get("C").Start < get("A").Finish {
+		t.Fatal("children started before A finished")
+	}
+	if get("D").Start < get("C").Finish {
+		t.Fatal("D started before C finished")
+	}
+}
+
+func TestCriticalPathPriority(t *testing.T) {
+	// Two independent chains; the long one must be dispatched first when
+	// only one resource exists.
+	tasks := []Task{
+		{Name: "short", Duration: h(2)},
+		{Name: "long1", Duration: h(10)},
+		{Name: "long2", Duration: h(10), Preds: []string{"long1"}},
+	}
+	r, err := Level(tasks, []string{"solo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long1, _ := r.Of("long1")
+	short, _ := r.Of("short")
+	if long1.Start > short.Start {
+		t.Fatalf("critical chain not prioritized: long1 at %v, short at %v", long1.Start, short.Start)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	r, err := Level(diamond(), []string{"solo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := r.Utilization()
+	if u["solo"] != 1.0 {
+		t.Fatalf("solo utilization = %v, want 1", u["solo"])
+	}
+}
+
+func TestMinimalTeam(t *testing.T) {
+	// Diamond: one person gives 40h (1.25×CP); two people give 32h (CP).
+	size, r, err := MinimalTeam(diamond(), 5, 1.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 2 {
+		t.Fatalf("minimal team = %d, want 2", size)
+	}
+	if r.Makespan != h(32) {
+		t.Fatalf("makespan = %v", r.Makespan)
+	}
+	// Loose tolerance accepts one person.
+	size, _, err = MinimalTeam(diamond(), 5, 1.5)
+	if err != nil || size != 1 {
+		t.Fatalf("loose tolerance team = %d, %v", size, err)
+	}
+	// Impossible tolerance returns maxTeam.
+	wide := []Task{
+		{Name: "x1", Duration: h(8)}, {Name: "x2", Duration: h(8)},
+		{Name: "x3", Duration: h(8)}, {Name: "x4", Duration: h(8)},
+	}
+	size, _, err = MinimalTeam(wide, 2, 1.0)
+	if err != nil || size != 2 {
+		t.Fatalf("capped team = %d, %v", size, err)
+	}
+	if _, _, err := MinimalTeam(diamond(), 0, 1.1); err == nil {
+		t.Fatal("maxTeam 0 accepted")
+	}
+	if _, _, err := MinimalTeam(diamond(), 3, 0.5); err == nil {
+		t.Fatal("tolerance < 1 accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, _ := Level(diamond(), []string{"x", "y"})
+	b, _ := Level(diamond(), []string{"x", "y"})
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+// Property: makespan is bounded below by the critical path and by total
+// work divided by team size, and above by total work.
+func TestMakespanBoundsProperty(t *testing.T) {
+	f := func(durs []uint8, teamRaw uint8) bool {
+		if len(durs) == 0 {
+			return true
+		}
+		if len(durs) > 10 {
+			durs = durs[:10]
+		}
+		team := int(teamRaw%4) + 1
+		var tasks []Task
+		var total time.Duration
+		for i, d := range durs {
+			dur := time.Duration(int(d)%16+1) * time.Hour
+			total += dur
+			task := Task{Name: string(rune('a' + i)), Duration: dur}
+			if i > 0 && i%2 == 0 {
+				task.Preds = []string{string(rune('a' + i - 1))}
+			}
+			tasks = append(tasks, task)
+		}
+		resources := make([]string, team)
+		for i := range resources {
+			resources[i] = string(rune('A' + i))
+		}
+		r, err := Level(tasks, resources)
+		if err != nil {
+			return false
+		}
+		lower := r.CriticalPathLength
+		if byWork := total / time.Duration(team); byWork > lower {
+			lower = byWork
+		}
+		return r.Makespan >= lower && r.Makespan <= total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

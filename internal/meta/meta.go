@@ -1,0 +1,208 @@
+// Package meta implements the execution half of Level 3: the design
+// metadata objects created when a flow is actually executed.
+//
+// For each data class of the task schema the execution space holds a
+// container of entity instances; for each activity it holds a container of
+// runs. A run records one application of a tool (who, when, which tool
+// instance, which iteration); an entity instance records one version of
+// design data (its Level 4 ref, producing run, timestamps). In the paper's
+// Fig. 2 these are the Run / Entity Instance / Instance Dependency objects
+// of the Hercules representation.
+package meta
+
+import (
+	"fmt"
+	"time"
+
+	"flowsched/internal/design"
+	"flowsched/internal/schema"
+	"flowsched/internal/store"
+)
+
+// RunContainer returns the container name for an activity's runs.
+func RunContainer(activity string) string { return "run:" + activity }
+
+// RunStatus is the outcome of a run.
+type RunStatus string
+
+const (
+	RunInProgress RunStatus = "in-progress"
+	RunSucceeded  RunStatus = "succeeded"
+	RunFailed     RunStatus = "failed"
+)
+
+// Run is the payload of a run instance: the metadata of one tool
+// application.
+type Run struct {
+	Activity  string    `json:"activity"`
+	Tool      string    `json:"tool"`      // bound tool instance ref
+	By        string    `json:"by"`        // designer
+	Iteration int       `json:"iteration"` // 1-based per activity
+	Started   time.Time `json:"started"`
+	Finished  time.Time `json:"finished,omitempty"`
+	Status    RunStatus `json:"status"`
+}
+
+// Entity is the payload of an entity instance: design metadata about one
+// version of design data.
+type Entity struct {
+	Class    string     `json:"class"`
+	Activity string     `json:"activity,omitempty"` // producing activity; "" if imported
+	RunID    string     `json:"run,omitempty"`      // producing run entry ID
+	Data     design.Ref `json:"data"`               // Level 4 link
+	By       string     `json:"by"`
+	Started  time.Time  `json:"started"`
+	Finished time.Time  `json:"finished"`
+}
+
+// Space is a typed view of a task database's execution space for one
+// schema. Creating a Space creates the execution containers; it never
+// touches Level 1 or Level 2 data.
+type Space struct {
+	DB     *store.DB
+	Schema *schema.Schema
+}
+
+// NewSpace initializes the execution space: one entity container per data
+// class and one run container per activity.
+func NewSpace(db *store.DB, sch *schema.Schema) (*Space, error) {
+	if err := sch.Validate(); err != nil {
+		return nil, fmt.Errorf("meta: %w", err)
+	}
+	for _, c := range sch.DataClasses() {
+		if _, err := db.CreateContainer(c.Name, store.ExecutionSpace, c.Name); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range sch.Rules() {
+		if _, err := db.CreateContainer(RunContainer(r.Activity), store.ExecutionSpace, r.Activity); err != nil {
+			return nil, err
+		}
+	}
+	return &Space{DB: db, Schema: sch}, nil
+}
+
+// ImportEntity records externally supplied design data (a primary input
+// such as hand-written stimuli) as an entity instance with no producing
+// run.
+func (s *Space) ImportEntity(class string, data design.Ref, by string, at time.Time) (*store.Entry, error) {
+	c := s.Schema.Class(class)
+	if c == nil || c.Kind != schema.DataClass {
+		return nil, fmt.Errorf("meta: %q is not a data class", class)
+	}
+	return s.DB.Put(class, at, Entity{
+		Class: class, Data: data, By: by, Started: at, Finished: at,
+	})
+}
+
+// BeginRun records the start of a tool application for an activity. The
+// iteration number is assigned automatically (1-based per activity).
+func (s *Space) BeginRun(activity, tool, by string, at time.Time) (*store.Entry, error) {
+	rule := s.Schema.RuleByActivity(activity)
+	if rule == nil {
+		return nil, fmt.Errorf("meta: unknown activity %q", activity)
+	}
+	cname := RunContainer(activity)
+	iter := len(s.DB.Container(cname).Entries) + 1
+	return s.DB.Put(cname, at, Run{
+		Activity: activity, Tool: tool, By: by, Iteration: iter,
+		Started: at, Status: RunInProgress,
+	})
+}
+
+// FinishRun closes a run with the given status.
+func (s *Space) FinishRun(runID string, at time.Time, status RunStatus) error {
+	e := s.DB.Get(runID)
+	if e == nil {
+		return fmt.Errorf("meta: unknown run %q", runID)
+	}
+	var r Run
+	if err := e.Decode(&r); err != nil {
+		return err
+	}
+	if r.Status != RunInProgress {
+		return fmt.Errorf("meta: run %s already finished (%s)", runID, r.Status)
+	}
+	if at.Before(r.Started) {
+		return fmt.Errorf("meta: run %s finish %v precedes start %v", runID, at, r.Started)
+	}
+	r.Finished = at
+	r.Status = status
+	return s.DB.SetPayload(runID, r)
+}
+
+// RecordEntity files the entity instance produced by a successful run,
+// recording its data ref, designer, and time span, with instance
+// dependencies on the consumed entity instances.
+func (s *Space) RecordEntity(class, runID string, data design.Ref, deps ...string) (*store.Entry, error) {
+	rule := s.Schema.Producer(class)
+	if rule == nil {
+		return nil, fmt.Errorf("meta: class %q has no producing activity", class)
+	}
+	re := s.DB.Get(runID)
+	if re == nil {
+		return nil, fmt.Errorf("meta: unknown run %q", runID)
+	}
+	var r Run
+	if err := re.Decode(&r); err != nil {
+		return nil, err
+	}
+	if r.Activity != rule.Activity {
+		return nil, fmt.Errorf("meta: run %s belongs to activity %s, not producer %s of %s",
+			runID, r.Activity, rule.Activity, class)
+	}
+	allDeps := append([]string{runID}, deps...)
+	return s.DB.Put(class, r.Finished, Entity{
+		Class: class, Activity: r.Activity, RunID: runID, Data: data,
+		By: r.By, Started: r.Started, Finished: r.Finished,
+	}, allDeps...)
+}
+
+// Entities returns the decoded entity instances of a class in version
+// order, paired with their entries.
+func (s *Space) Entities(class string) ([]*store.Entry, []Entity, error) {
+	c := s.DB.Container(class)
+	if c == nil {
+		return nil, nil, fmt.Errorf("meta: unknown class %q", class)
+	}
+	ents := make([]Entity, len(c.Entries))
+	for i, e := range c.Entries {
+		if err := e.Decode(&ents[i]); err != nil {
+			return nil, nil, fmt.Errorf("meta: entity %s: %w", e.ID, err)
+		}
+	}
+	return append([]*store.Entry(nil), c.Entries...), ents, nil
+}
+
+// LatestEntity returns the newest entity instance of a class, or nil if
+// none exist yet.
+func (s *Space) LatestEntity(class string) (*store.Entry, *Entity, error) {
+	c := s.DB.Container(class)
+	if c == nil {
+		return nil, nil, fmt.Errorf("meta: unknown class %q", class)
+	}
+	e := c.Latest()
+	if e == nil {
+		return nil, nil, nil
+	}
+	var ent Entity
+	if err := e.Decode(&ent); err != nil {
+		return nil, nil, err
+	}
+	return e, &ent, nil
+}
+
+// Runs returns the decoded runs of an activity in iteration order.
+func (s *Space) Runs(activity string) ([]*store.Entry, []Run, error) {
+	c := s.DB.Container(RunContainer(activity))
+	if c == nil {
+		return nil, nil, fmt.Errorf("meta: unknown activity %q", activity)
+	}
+	runs := make([]Run, len(c.Entries))
+	for i, e := range c.Entries {
+		if err := e.Decode(&runs[i]); err != nil {
+			return nil, nil, fmt.Errorf("meta: run %s: %w", e.ID, err)
+		}
+	}
+	return append([]*store.Entry(nil), c.Entries...), runs, nil
+}

@@ -1,0 +1,231 @@
+package meta
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"flowsched/internal/design"
+	"flowsched/internal/schema"
+	"flowsched/internal/store"
+)
+
+var t0 = time.Date(1995, time.June, 5, 9, 0, 0, 0, time.UTC)
+
+const fig4 = `
+schema circuit
+data netlist, stimuli, performance
+tool editor, simulator
+rule Create:   netlist     <- editor()
+rule Simulate: performance <- simulator(netlist, stimuli)
+`
+
+func newSpace(t *testing.T) *Space {
+	t.Helper()
+	s, err := NewSpace(store.NewDB(), schema.MustParse(fig4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSpaceCreatesContainers(t *testing.T) {
+	s := newSpace(t)
+	for _, name := range []string{"netlist", "stimuli", "performance", "run:Create", "run:Simulate"} {
+		if s.DB.Container(name) == nil {
+			t.Errorf("container %q missing", name)
+		}
+	}
+	if got := len(s.DB.ContainersIn(store.ExecutionSpace)); got != 5 {
+		t.Fatalf("execution containers = %d, want 5", got)
+	}
+}
+
+func TestNewSpaceRejectsInvalidSchema(t *testing.T) {
+	if _, err := NewSpace(store.NewDB(), schema.New("empty")); err == nil {
+		t.Fatal("invalid schema accepted")
+	}
+}
+
+func TestImportEntity(t *testing.T) {
+	s := newSpace(t)
+	ref := design.Ref{Class: "stimuli", Version: 1, Sum: 42}
+	e, err := s.ImportEntity("stimuli", ref, "jbb", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ent Entity
+	if err := e.Decode(&ent); err != nil {
+		t.Fatal(err)
+	}
+	if ent.Class != "stimuli" || ent.Data != ref || ent.Activity != "" || ent.By != "jbb" {
+		t.Fatalf("entity = %+v", ent)
+	}
+	if _, err := s.ImportEntity("editor", ref, "jbb", t0); err == nil {
+		t.Fatal("imported into tool class")
+	}
+	if _, err := s.ImportEntity("ghost", ref, "jbb", t0); err == nil {
+		t.Fatal("imported into unknown class")
+	}
+}
+
+func TestRunLifecycle(t *testing.T) {
+	s := newSpace(t)
+	r1, err := s.BeginRun("Create", "editor#1", "ewj", t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var run Run
+	r1e := s.DB.Get(r1.ID)
+	r1e.Decode(&run)
+	if run.Iteration != 1 || run.Status != RunInProgress || run.Tool != "editor#1" {
+		t.Fatalf("run = %+v", run)
+	}
+	if err := s.FinishRun(r1.ID, t0.Add(2*time.Hour), RunSucceeded); err != nil {
+		t.Fatal(err)
+	}
+	r1e.Decode(&run)
+	if run.Status != RunSucceeded || !run.Finished.Equal(t0.Add(2*time.Hour)) {
+		t.Fatalf("finished run = %+v", run)
+	}
+	// Second run gets iteration 2.
+	r2, _ := s.BeginRun("Create", "editor#1", "ewj", t0.Add(3*time.Hour))
+	var run2 Run
+	s.DB.Get(r2.ID).Decode(&run2)
+	if run2.Iteration != 2 {
+		t.Fatalf("iteration = %d, want 2", run2.Iteration)
+	}
+}
+
+func TestRunLifecycleErrors(t *testing.T) {
+	s := newSpace(t)
+	if _, err := s.BeginRun("Nope", "t", "d", t0); err == nil {
+		t.Fatal("unknown activity accepted")
+	}
+	if err := s.FinishRun("ghost/1", t0, RunSucceeded); err == nil {
+		t.Fatal("unknown run accepted")
+	}
+	r, _ := s.BeginRun("Create", "e", "d", t0)
+	if err := s.FinishRun(r.ID, t0.Add(-time.Hour), RunSucceeded); err == nil {
+		t.Fatal("finish before start accepted")
+	}
+	s.FinishRun(r.ID, t0.Add(time.Hour), RunFailed)
+	if err := s.FinishRun(r.ID, t0.Add(2*time.Hour), RunSucceeded); err == nil {
+		t.Fatal("double finish accepted")
+	}
+}
+
+func TestRecordEntity(t *testing.T) {
+	s := newSpace(t)
+	stim, _ := s.ImportEntity("stimuli", design.Ref{Class: "stimuli", Version: 1}, "jbb", t0)
+	run, _ := s.BeginRun("Create", "editor#1", "ewj", t0)
+	s.FinishRun(run.ID, t0.Add(time.Hour), RunSucceeded)
+	nref := design.Ref{Class: "netlist", Version: 1, Sum: 7}
+	ne, err := s.RecordEntity("netlist", run.ID, nref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ent Entity
+	s.DB.Get(ne.ID).Decode(&ent)
+	if ent.Activity != "Create" || ent.RunID != run.ID || ent.Data != nref {
+		t.Fatalf("entity = %+v", ent)
+	}
+	if ent.By != "ewj" || !ent.Finished.Equal(t0.Add(time.Hour)) {
+		t.Fatalf("entity attribution = %+v", ent)
+	}
+
+	// Simulate consumes netlist + stimuli; deps recorded.
+	run2, _ := s.BeginRun("Simulate", "sim#1", "ewj", t0.Add(time.Hour))
+	s.FinishRun(run2.ID, t0.Add(3*time.Hour), RunSucceeded)
+	pe, err := s.RecordEntity("performance", run2.ID,
+		design.Ref{Class: "performance", Version: 1}, ne.ID, stim.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deps := s.DB.Get(pe.ID).Deps
+	if len(deps) != 3 { // run + two entity deps
+		t.Fatalf("deps = %v", deps)
+	}
+}
+
+func TestRecordEntityErrors(t *testing.T) {
+	s := newSpace(t)
+	run, _ := s.BeginRun("Create", "e", "d", t0)
+	s.FinishRun(run.ID, t0.Add(time.Hour), RunSucceeded)
+	if _, err := s.RecordEntity("stimuli", run.ID, design.Ref{}); err == nil {
+		t.Fatal("recorded entity for primary input class")
+	}
+	if _, err := s.RecordEntity("performance", run.ID, design.Ref{}); err == nil {
+		t.Fatal("recorded entity under wrong activity's run")
+	}
+	if _, err := s.RecordEntity("netlist", "ghost/1", design.Ref{}); err == nil {
+		t.Fatal("unknown run accepted")
+	}
+}
+
+func TestEntitiesAndRunsQueries(t *testing.T) {
+	s := newSpace(t)
+	run, _ := s.BeginRun("Create", "e", "d", t0)
+	s.FinishRun(run.ID, t0.Add(time.Hour), RunSucceeded)
+	s.RecordEntity("netlist", run.ID, design.Ref{Class: "netlist", Version: 1})
+	run2, _ := s.BeginRun("Create", "e", "d", t0.Add(2*time.Hour))
+	s.FinishRun(run2.ID, t0.Add(3*time.Hour), RunSucceeded)
+	s.RecordEntity("netlist", run2.ID, design.Ref{Class: "netlist", Version: 2})
+
+	entries, ents, err := s.Entities("netlist")
+	if err != nil || len(entries) != 2 || len(ents) != 2 {
+		t.Fatalf("Entities = %d/%d, %v", len(entries), len(ents), err)
+	}
+	if ents[1].Data.Version != 2 {
+		t.Fatalf("second entity = %+v", ents[1])
+	}
+	_, latest, err := s.LatestEntity("netlist")
+	if err != nil || latest == nil || latest.Data.Version != 2 {
+		t.Fatalf("LatestEntity = %+v, %v", latest, err)
+	}
+	_, none, err := s.LatestEntity("performance")
+	if err != nil || none != nil {
+		t.Fatalf("LatestEntity(empty) = %+v, %v", none, err)
+	}
+	_, runs, err := s.Runs("Create")
+	if err != nil || len(runs) != 2 || runs[1].Iteration != 2 {
+		t.Fatalf("Runs = %+v, %v", runs, err)
+	}
+	if _, _, err := s.Entities("ghost"); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	if _, _, err := s.Runs("ghost"); err == nil {
+		t.Fatal("unknown activity accepted")
+	}
+	if _, _, err := s.LatestEntity("ghost"); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}
+
+// Reproduces the instance population of the paper's Fig. 6: after two
+// Create iterations and two Simulate iterations, the netlist and
+// performance containers each hold two entity instances.
+func TestFig6Population(t *testing.T) {
+	s := newSpace(t)
+	stim, _ := s.ImportEntity("stimuli", design.Ref{Class: "stimuli", Version: 1}, "jbb", t0)
+	at := t0
+	var lastNetlist *store.Entry
+	for i := 0; i < 2; i++ {
+		r, _ := s.BeginRun("Create", "editor#1", "ewj", at)
+		at = at.Add(time.Hour)
+		s.FinishRun(r.ID, at, RunSucceeded)
+		lastNetlist, _ = s.RecordEntity("netlist", r.ID,
+			design.Ref{Class: "netlist", Version: i + 1})
+		r2, _ := s.BeginRun("Simulate", "sim#1", "ewj", at)
+		at = at.Add(time.Hour)
+		s.FinishRun(r2.ID, at, RunSucceeded)
+		s.RecordEntity("performance", r2.ID,
+			design.Ref{Class: "performance", Version: i + 1}, lastNetlist.ID, stim.ID)
+	}
+	dump := s.DB.Dump()
+	for _, want := range []string{"netlist/2", "performance/2", "run:Create/2", "run:Simulate/2"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("Fig. 6 dump missing %q:\n%s", want, dump)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package monte implements Monte-Carlo schedule risk analysis: the
+// paper's planning-by-simulation (§III) taken statistically. Where a
+// single planning pass simulates one execution of the flow with point
+// estimates, a Monte-Carlo run samples many executions — activity
+// durations drawn from per-activity distributions, iteration counts
+// drawn geometrically — and reports the empirical distribution of the
+// project finish. It complements the analytic PERT approximation of
+// package pert with a distribution-free answer, and exposes per-activity
+// criticality (how often each activity lies on the sampled critical
+// path).
+package monte
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// ActivityModel is the stochastic model of one activity.
+type ActivityModel struct {
+	Name string
+	// Min, Mode, Max parameterize a triangular duration distribution for
+	// one iteration of the activity.
+	Min, Mode, Max time.Duration
+	// MeanIterations is the expected number of iterations until the
+	// design goals are met (geometric; >= 1).
+	MeanIterations float64
+	// Preds are the producing activities that must finish first.
+	Preds []string
+}
+
+func (a ActivityModel) validate() error {
+	if a.Name == "" {
+		return fmt.Errorf("monte: activity with empty name")
+	}
+	if a.Min <= 0 || a.Mode < a.Min || a.Max < a.Mode {
+		return fmt.Errorf("monte: activity %q needs 0 < Min <= Mode <= Max (got %v/%v/%v)",
+			a.Name, a.Min, a.Mode, a.Max)
+	}
+	if a.MeanIterations < 1 {
+		return fmt.Errorf("monte: activity %q mean iterations %v must be >= 1", a.Name, a.MeanIterations)
+	}
+	return nil
+}
+
+// Config tunes a simulation.
+type Config struct {
+	// Trials is the number of sampled executions (default 1000).
+	Trials int
+	// Seed makes the simulation reproducible.
+	Seed int64
+}
+
+// Result is the outcome of a Monte-Carlo run.
+type Result struct {
+	// Durations holds each trial's project span, sorted ascending.
+	Durations []time.Duration
+	// Criticality maps each activity to the fraction of trials in which
+	// it lay on the critical path.
+	Criticality map[string]float64
+	// MeanIterObserved maps each activity to the mean sampled iteration
+	// count.
+	MeanIterObserved map[string]float64
+}
+
+// Mean returns the mean project span.
+func (r *Result) Mean() time.Duration {
+	if len(r.Durations) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, d := range r.Durations {
+		total += d
+	}
+	return total / time.Duration(len(r.Durations))
+}
+
+// Percentile returns the q-quantile (q in [0,1]) of the project span.
+func (r *Result) Percentile(q float64) time.Duration {
+	if len(r.Durations) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return r.Durations[0]
+	}
+	if q >= 1 {
+		return r.Durations[len(r.Durations)-1]
+	}
+	i := int(q * float64(len(r.Durations)-1))
+	return r.Durations[i]
+}
+
+// ProbWithin returns the empirical probability that the project finishes
+// within the target span.
+func (r *Result) ProbWithin(target time.Duration) float64 {
+	n := sort.Search(len(r.Durations), func(i int) bool {
+		return r.Durations[i] > target
+	})
+	if len(r.Durations) == 0 {
+		return 0
+	}
+	return float64(n) / float64(len(r.Durations))
+}
+
+// Simulate runs the Monte-Carlo analysis over the activity network.
+func Simulate(acts []ActivityModel, cfg Config) (*Result, error) {
+	if len(acts) == 0 {
+		return nil, fmt.Errorf("monte: no activities")
+	}
+	idx := make(map[string]int, len(acts))
+	for i, a := range acts {
+		if err := a.validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := idx[a.Name]; dup {
+			return nil, fmt.Errorf("monte: duplicate activity %q", a.Name)
+		}
+		idx[a.Name] = i
+	}
+	order, err := topo(acts, idx)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Trials <= 0 {
+		cfg.Trials = 1000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	res := &Result{
+		Durations:        make([]time.Duration, 0, cfg.Trials),
+		Criticality:      make(map[string]float64, len(acts)),
+		MeanIterObserved: make(map[string]float64, len(acts)),
+	}
+	critCount := make(map[string]int, len(acts))
+	iterTotal := make(map[string]int, len(acts))
+
+	finish := make([]time.Duration, len(acts))
+	critPred := make([]int, len(acts)) // index of the pred on the longest chain, -1 for none
+	for t := 0; t < cfg.Trials; t++ {
+		var projectFinish time.Duration
+		last := -1
+		for _, i := range order {
+			a := acts[i]
+			var start time.Duration
+			critPred[i] = -1
+			for _, p := range a.Preds {
+				pi := idx[p]
+				if finish[pi] > start {
+					start = finish[pi]
+					critPred[i] = pi
+				}
+			}
+			iters := sampleIterations(rng, a.MeanIterations)
+			iterTotal[a.Name] += iters
+			var work time.Duration
+			for k := 0; k < iters; k++ {
+				work += sampleTriangular(rng, a.Min, a.Mode, a.Max)
+			}
+			finish[i] = start + work
+			if finish[i] > projectFinish {
+				projectFinish = finish[i]
+				last = i
+			}
+		}
+		res.Durations = append(res.Durations, projectFinish)
+		// Walk the sampled critical chain backwards.
+		for i := last; i >= 0; i = critPred[i] {
+			critCount[acts[i].Name]++
+		}
+	}
+	sort.Slice(res.Durations, func(i, j int) bool { return res.Durations[i] < res.Durations[j] })
+	for _, a := range acts {
+		res.Criticality[a.Name] = float64(critCount[a.Name]) / float64(cfg.Trials)
+		res.MeanIterObserved[a.Name] = float64(iterTotal[a.Name]) / float64(cfg.Trials)
+	}
+	return res, nil
+}
+
+// topo orders activity indices producers-first, detecting cycles and
+// dangling predecessors.
+func topo(acts []ActivityModel, idx map[string]int) ([]int, error) {
+	state := make([]int, len(acts))
+	var order []int
+	var visit func(i int) error
+	visit = func(i int) error {
+		switch state[i] {
+		case 1:
+			return fmt.Errorf("monte: precedence cycle through %q", acts[i].Name)
+		case 2:
+			return nil
+		}
+		state[i] = 1
+		for _, p := range acts[i].Preds {
+			pi, ok := idx[p]
+			if !ok {
+				return fmt.Errorf("monte: activity %q references unknown predecessor %q", acts[i].Name, p)
+			}
+			if pi == i {
+				return fmt.Errorf("monte: activity %q is its own predecessor", acts[i].Name)
+			}
+			if err := visit(pi); err != nil {
+				return err
+			}
+		}
+		state[i] = 2
+		order = append(order, i)
+		return nil
+	}
+	for i := range acts {
+		if err := visit(i); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// sampleTriangular draws from a triangular distribution.
+func sampleTriangular(rng *rand.Rand, min, mode, max time.Duration) time.Duration {
+	a, c, b := float64(min), float64(mode), float64(max)
+	if a == b {
+		return min
+	}
+	u := rng.Float64()
+	fc := (c - a) / (b - a)
+	var x float64
+	if u < fc {
+		x = a + math.Sqrt(u*(b-a)*(c-a))
+	} else {
+		x = b - math.Sqrt((1-u)*(b-a)*(b-c))
+	}
+	return time.Duration(x)
+}
+
+// sampleIterations draws a geometric iteration count with the given mean
+// (success probability 1/mean), capped at 2×mean like the simulated
+// tools.
+func sampleIterations(rng *rand.Rand, mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	limit := int(2 * mean)
+	if limit < 1 {
+		limit = 1
+	}
+	n := 1
+	for rng.Float64() >= p && n < limit {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,200 @@
+package monte
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func h(n int) time.Duration { return time.Duration(n) * time.Hour }
+
+// diamond with deterministic durations (Min=Mode=Max) and single
+// iterations: behaves exactly like CPM.
+func deterministicDiamond() []ActivityModel {
+	return []ActivityModel{
+		{Name: "A", Min: h(8), Mode: h(8), Max: h(8), MeanIterations: 1},
+		{Name: "B", Min: h(8), Mode: h(8), Max: h(8), MeanIterations: 1, Preds: []string{"A"}},
+		{Name: "C", Min: h(16), Mode: h(16), Max: h(16), MeanIterations: 1, Preds: []string{"A"}},
+		{Name: "D", Min: h(8), Mode: h(8), Max: h(8), MeanIterations: 1, Preds: []string{"B", "C"}},
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		acts []ActivityModel
+		want string
+	}{
+		{"empty", nil, "no activities"},
+		{"empty name", []ActivityModel{{Min: h(1), Mode: h(1), Max: h(1), MeanIterations: 1}}, "empty name"},
+		{"zero min", []ActivityModel{{Name: "A", Mode: h(1), Max: h(1), MeanIterations: 1}}, "Min <= Mode"},
+		{"inverted", []ActivityModel{{Name: "A", Min: h(2), Mode: h(1), Max: h(3), MeanIterations: 1}}, "Min <= Mode"},
+		{"iterations", []ActivityModel{{Name: "A", Min: h(1), Mode: h(1), Max: h(1), MeanIterations: 0.5}}, "iterations"},
+		{"duplicate", []ActivityModel{
+			{Name: "A", Min: h(1), Mode: h(1), Max: h(1), MeanIterations: 1},
+			{Name: "A", Min: h(1), Mode: h(1), Max: h(1), MeanIterations: 1},
+		}, "duplicate"},
+		{"unknown pred", []ActivityModel{
+			{Name: "A", Min: h(1), Mode: h(1), Max: h(1), MeanIterations: 1, Preds: []string{"X"}},
+		}, "unknown predecessor"},
+		{"self pred", []ActivityModel{
+			{Name: "A", Min: h(1), Mode: h(1), Max: h(1), MeanIterations: 1, Preds: []string{"A"}},
+		}, "own predecessor"},
+		{"cycle", []ActivityModel{
+			{Name: "A", Min: h(1), Mode: h(1), Max: h(1), MeanIterations: 1, Preds: []string{"B"}},
+			{Name: "B", Min: h(1), Mode: h(1), Max: h(1), MeanIterations: 1, Preds: []string{"A"}},
+		}, "cycle"},
+	}
+	for _, tc := range cases {
+		if _, err := Simulate(tc.acts, Config{Trials: 10}); err == nil ||
+			!strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDeterministicMatchesCPM(t *testing.T) {
+	res, err := Simulate(deterministicDiamond(), Config{Trials: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every trial must give exactly the CPM duration: 8+16+8 = 32h.
+	for _, d := range res.Durations {
+		if d != h(32) {
+			t.Fatalf("deterministic trial span = %v, want 32h", d)
+		}
+	}
+	if res.Mean() != h(32) {
+		t.Fatalf("mean = %v", res.Mean())
+	}
+	// Critical path is A, C, D in every trial; B never.
+	for _, act := range []string{"A", "C", "D"} {
+		if res.Criticality[act] != 1.0 {
+			t.Errorf("criticality[%s] = %v, want 1", act, res.Criticality[act])
+		}
+	}
+	if res.Criticality["B"] != 0 {
+		t.Errorf("criticality[B] = %v, want 0", res.Criticality["B"])
+	}
+}
+
+func TestStochasticSpread(t *testing.T) {
+	acts := []ActivityModel{
+		{Name: "A", Min: h(4), Mode: h(8), Max: h(20), MeanIterations: 2},
+	}
+	res, err := Simulate(acts, Config{Trials: 2000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p10, p90 := res.Percentile(0.1), res.Percentile(0.9)
+	if p10 >= p90 {
+		t.Fatalf("no spread: p10=%v p90=%v", p10, p90)
+	}
+	// Bounds: at least one iteration of at least Min; at most 4 (=2×mean)
+	// iterations of at most Max.
+	if res.Durations[0] < h(4) || res.Durations[len(res.Durations)-1] > 4*h(20) {
+		t.Fatalf("range [%v, %v] out of bounds",
+			res.Durations[0], res.Durations[len(res.Durations)-1])
+	}
+	// Observed mean iterations near 2 (capped geometric shifts it some).
+	if mi := res.MeanIterObserved["A"]; mi < 1.3 || mi > 2.5 {
+		t.Fatalf("mean iterations observed = %v", mi)
+	}
+}
+
+func TestProbWithinMonotone(t *testing.T) {
+	acts := []ActivityModel{
+		{Name: "A", Min: h(4), Mode: h(8), Max: h(16), MeanIterations: 1.5},
+	}
+	res, err := Simulate(acts, Config{Trials: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := res.ProbWithin(0); p != 0 {
+		t.Fatalf("P(0) = %v", p)
+	}
+	if p := res.ProbWithin(h(1000)); p != 1 {
+		t.Fatalf("P(huge) = %v", p)
+	}
+	prev := -1.0
+	for _, target := range []time.Duration{h(4), h(8), h(16), h(32), h(64)} {
+		p := res.ProbWithin(target)
+		if p < prev {
+			t.Fatalf("ProbWithin not monotone at %v", target)
+		}
+		prev = p
+	}
+	// Median consistency: P(p50) ≈ 0.5.
+	if p := res.ProbWithin(res.Percentile(0.5)); math.Abs(p-0.5) > 0.05 {
+		t.Fatalf("P(median) = %v", p)
+	}
+}
+
+func TestDeterministicSeed(t *testing.T) {
+	acts := deterministicDiamond()
+	acts[2].Max = h(30) // add randomness
+	a, _ := Simulate(acts, Config{Trials: 100, Seed: 5})
+	b, _ := Simulate(acts, Config{Trials: 100, Seed: 5})
+	for i := range a.Durations {
+		if a.Durations[i] != b.Durations[i] {
+			t.Fatal("not reproducible per seed")
+		}
+	}
+	c, _ := Simulate(acts, Config{Trials: 100, Seed: 6})
+	same := true
+	for i := range a.Durations {
+		if a.Durations[i] != c.Durations[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed has no effect")
+	}
+}
+
+func TestDefaultTrials(t *testing.T) {
+	res, err := Simulate(deterministicDiamond(), Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Durations) != 1000 {
+		t.Fatalf("default trials = %d", len(res.Durations))
+	}
+}
+
+func TestEmptyResultAccessors(t *testing.T) {
+	r := &Result{}
+	if r.Mean() != 0 || r.Percentile(0.5) != 0 || r.ProbWithin(h(1)) != 0 {
+		t.Fatal("empty result accessors not zero")
+	}
+}
+
+// Property: sampled spans always lie within the analytic bounds
+// [sum over critical chain of Min, sum over all activities of 2*mean*Max].
+func TestSpanBoundsProperty(t *testing.T) {
+	f := func(seed int64, spreadRaw uint8) bool {
+		spread := time.Duration(int(spreadRaw%10)+1) * time.Hour
+		acts := []ActivityModel{
+			{Name: "A", Min: h(2), Mode: h(2) + spread/2, Max: h(2) + spread, MeanIterations: 1.5},
+			{Name: "B", Min: h(1), Mode: h(2), Max: h(4), MeanIterations: 1, Preds: []string{"A"}},
+		}
+		res, err := Simulate(acts, Config{Trials: 50, Seed: seed})
+		if err != nil {
+			return false
+		}
+		lo := h(2) + h(1)
+		hi := 3*(h(2)+spread) + h(4) // A up to 3 iterations (2×1.5), B one
+		for _, d := range res.Durations {
+			if d < lo || d > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

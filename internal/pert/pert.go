@@ -1,0 +1,260 @@
+// Package pert implements the network schedule models that "predominate in
+// project planning" (paper §III): CPM forward/backward passes with slack
+// and critical-path extraction, plus PERT three-point variance analysis
+// and completion-probability estimates.
+//
+// The package operates on an abstract activity network in working-time
+// units, so it serves both the schedule space (analysing a plan) and the
+// stand-alone baseline project-management system (package baseline).
+package pert
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Activity is one node of an activity network.
+type Activity struct {
+	Name string
+	// Duration is the expected working time.
+	Duration time.Duration
+	// Optimistic/Pessimistic bound Duration for PERT variance; both zero
+	// means a point estimate (zero variance).
+	Optimistic, Pessimistic time.Duration
+	// Preds are the names of activities that must finish first.
+	Preds []string
+}
+
+// Network is a set of activities with precedence constraints.
+type Network struct {
+	acts  []Activity
+	index map[string]int
+}
+
+// NewNetwork validates and builds a network: names unique and non-empty,
+// durations positive, predecessors declared, no cycles.
+func NewNetwork(acts []Activity) (*Network, error) {
+	n := &Network{acts: append([]Activity(nil), acts...), index: make(map[string]int, len(acts))}
+	if len(acts) == 0 {
+		return nil, fmt.Errorf("pert: empty network")
+	}
+	for i, a := range n.acts {
+		if a.Name == "" {
+			return nil, fmt.Errorf("pert: activity %d has empty name", i)
+		}
+		if _, dup := n.index[a.Name]; dup {
+			return nil, fmt.Errorf("pert: duplicate activity %q", a.Name)
+		}
+		if a.Duration <= 0 {
+			return nil, fmt.Errorf("pert: activity %q duration %v must be positive", a.Name, a.Duration)
+		}
+		if a.Optimistic < 0 || (a.Pessimistic != 0 && a.Pessimistic < a.Optimistic) {
+			return nil, fmt.Errorf("pert: activity %q has inverted bounds", a.Name)
+		}
+		n.index[a.Name] = i
+	}
+	for _, a := range n.acts {
+		for _, p := range a.Preds {
+			if _, ok := n.index[p]; !ok {
+				return nil, fmt.Errorf("pert: activity %q references undeclared predecessor %q", a.Name, p)
+			}
+			if p == a.Name {
+				return nil, fmt.Errorf("pert: activity %q is its own predecessor", a.Name)
+			}
+		}
+	}
+	if _, err := n.topo(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// topo returns activity indices in topological order.
+func (n *Network) topo() ([]int, error) {
+	indeg := make([]int, len(n.acts))
+	succ := make([][]int, len(n.acts))
+	for i, a := range n.acts {
+		for _, p := range a.Preds {
+			pi := n.index[p]
+			succ[pi] = append(succ[pi], i)
+			indeg[i]++
+		}
+	}
+	var queue []int
+	for i := range n.acts {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	var order []int
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		order = append(order, i)
+		for _, s := range succ[i] {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if len(order) != len(n.acts) {
+		var stuck []string
+		for i, a := range n.acts {
+			if indeg[i] > 0 {
+				stuck = append(stuck, a.Name)
+			}
+		}
+		sort.Strings(stuck)
+		return nil, fmt.Errorf("pert: precedence cycle among %v", stuck)
+	}
+	return order, nil
+}
+
+// Timing is the CPM analysis of one activity.
+type Timing struct {
+	Name                    string
+	EarlyStart, EarlyFinish time.Duration
+	LateStart, LateFinish   time.Duration
+	Slack                   time.Duration
+	Critical                bool
+}
+
+// Result is a full CPM/PERT analysis.
+type Result struct {
+	// Timings per activity, in input order.
+	Timings []Timing
+	// Duration is the project span (longest path).
+	Duration time.Duration
+	// CriticalPath is one longest chain of critical activities, in order.
+	CriticalPath []string
+	// Variance is the summed PERT variance along CriticalPath, in hours².
+	Variance float64
+}
+
+// Analyze runs the CPM forward and backward passes.
+func (n *Network) Analyze() (*Result, error) {
+	order, err := n.topo()
+	if err != nil {
+		return nil, err
+	}
+	es := make([]time.Duration, len(n.acts))
+	ef := make([]time.Duration, len(n.acts))
+	for _, i := range order {
+		for _, p := range n.acts[i].Preds {
+			if pf := ef[n.index[p]]; pf > es[i] {
+				es[i] = pf
+			}
+		}
+		ef[i] = es[i] + n.acts[i].Duration
+	}
+	var project time.Duration
+	for i := range n.acts {
+		if ef[i] > project {
+			project = ef[i]
+		}
+	}
+	lf := make([]time.Duration, len(n.acts))
+	ls := make([]time.Duration, len(n.acts))
+	for i := range lf {
+		lf[i] = project
+	}
+	// Backward pass: walk reverse topological order; a predecessor's late
+	// finish is the min late start of its successors.
+	for k := len(order) - 1; k >= 0; k-- {
+		i := order[k]
+		ls[i] = lf[i] - n.acts[i].Duration
+		for _, p := range n.acts[i].Preds {
+			pi := n.index[p]
+			if ls[i] < lf[pi] {
+				lf[pi] = ls[i]
+			}
+		}
+	}
+	res := &Result{Duration: project}
+	for i, a := range n.acts {
+		slack := ls[i] - es[i]
+		res.Timings = append(res.Timings, Timing{
+			Name: a.Name, EarlyStart: es[i], EarlyFinish: ef[i],
+			LateStart: ls[i], LateFinish: lf[i],
+			Slack: slack, Critical: slack == 0,
+		})
+	}
+	res.CriticalPath = n.criticalChain(order, es, ef)
+	for _, name := range res.CriticalPath {
+		res.Variance += n.acts[n.index[name]].varianceHours2()
+	}
+	return res, nil
+}
+
+// criticalChain extracts one longest path by walking critical activities
+// whose early finish feeds the next early start.
+func (n *Network) criticalChain(order []int, es, ef []time.Duration) []string {
+	// Find terminal activity with maximum early finish.
+	best := order[0]
+	for _, i := range order {
+		if ef[i] > ef[best] {
+			best = i
+		}
+	}
+	var rev []string
+	for i := best; ; {
+		rev = append(rev, n.acts[i].Name)
+		// Predecessor on the critical chain: ef == es of current.
+		next := -1
+		for _, p := range n.acts[i].Preds {
+			pi := n.index[p]
+			if ef[pi] == es[i] {
+				next = pi
+				break
+			}
+		}
+		if next < 0 {
+			break
+		}
+		i = next
+	}
+	// Reverse.
+	for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+		rev[l], rev[r] = rev[r], rev[l]
+	}
+	return rev
+}
+
+// varianceHours2 is the PERT activity variance ((P-O)/6)² in hours².
+func (a Activity) varianceHours2() float64 {
+	if a.Optimistic == 0 && a.Pessimistic == 0 {
+		return 0
+	}
+	d := (a.Pessimistic - a.Optimistic).Hours() / 6
+	return d * d
+}
+
+// CompletionProbability estimates P(project finishes within target
+// working time) under the PERT normal approximation along the critical
+// path. With zero variance it is a step function at the expected
+// duration.
+func (r *Result) CompletionProbability(target time.Duration) float64 {
+	mean := r.Duration.Hours()
+	sigma := math.Sqrt(r.Variance)
+	if sigma == 0 {
+		if target.Hours() >= mean {
+			return 1
+		}
+		return 0
+	}
+	z := (target.Hours() - mean) / sigma
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}
+
+// Timing returns the timing row for an activity name, or nil.
+func (r *Result) Timing(name string) *Timing {
+	for i := range r.Timings {
+		if r.Timings[i].Name == name {
+			return &r.Timings[i]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,234 @@
+package pert
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func h(n int) time.Duration { return time.Duration(n) * time.Hour }
+
+// diamond: A(8) -> B(8), C(16) -> D(8); critical path A,C,D = 32h.
+func diamond() []Activity {
+	return []Activity{
+		{Name: "A", Duration: h(8)},
+		{Name: "B", Duration: h(8), Preds: []string{"A"}},
+		{Name: "C", Duration: h(16), Preds: []string{"A"}},
+		{Name: "D", Duration: h(8), Preds: []string{"B", "C"}},
+	}
+}
+
+func analyze(t *testing.T, acts []Activity) *Result {
+	t.Helper()
+	n, err := NewNetwork(acts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := n.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		acts []Activity
+		want string
+	}{
+		{"empty", nil, "empty network"},
+		{"empty name", []Activity{{Name: "", Duration: h(1)}}, "empty name"},
+		{"duplicate", []Activity{{Name: "A", Duration: h(1)}, {Name: "A", Duration: h(1)}}, "duplicate"},
+		{"zero duration", []Activity{{Name: "A"}}, "positive"},
+		{"undeclared pred", []Activity{{Name: "A", Duration: h(1), Preds: []string{"X"}}}, "undeclared"},
+		{"self pred", []Activity{{Name: "A", Duration: h(1), Preds: []string{"A"}}}, "own predecessor"},
+		{"inverted bounds", []Activity{{Name: "A", Duration: h(4), Optimistic: h(8), Pessimistic: h(2)}}, "inverted"},
+		{"cycle", []Activity{
+			{Name: "A", Duration: h(1), Preds: []string{"B"}},
+			{Name: "B", Duration: h(1), Preds: []string{"A"}},
+		}, "cycle"},
+	}
+	for _, tc := range cases {
+		_, err := NewNetwork(tc.acts)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestAnalyzeDiamond(t *testing.T) {
+	r := analyze(t, diamond())
+	if r.Duration != h(32) {
+		t.Fatalf("project duration = %v, want 32h", r.Duration)
+	}
+	want := []string{"A", "C", "D"}
+	if len(r.CriticalPath) != 3 {
+		t.Fatalf("critical path = %v", r.CriticalPath)
+	}
+	for i, name := range want {
+		if r.CriticalPath[i] != name {
+			t.Fatalf("critical path = %v, want %v", r.CriticalPath, want)
+		}
+	}
+	b := r.Timing("B")
+	if b.Slack != h(8) || b.Critical {
+		t.Fatalf("B timing = %+v, want 8h slack non-critical", b)
+	}
+	for _, name := range want {
+		tm := r.Timing(name)
+		if tm.Slack != 0 || !tm.Critical {
+			t.Fatalf("%s should be critical with zero slack: %+v", name, tm)
+		}
+	}
+	if r.Timing("C").EarlyStart != h(8) || r.Timing("C").EarlyFinish != h(24) {
+		t.Fatalf("C timing = %+v", r.Timing("C"))
+	}
+	if r.Timing("B").LateStart != h(16) {
+		t.Fatalf("B late start = %v, want 16h", r.Timing("B").LateStart)
+	}
+	if r.Timing("missing") != nil {
+		t.Fatal("Timing for missing returned non-nil")
+	}
+}
+
+func TestAnalyzeSingle(t *testing.T) {
+	r := analyze(t, []Activity{{Name: "only", Duration: h(5)}})
+	if r.Duration != h(5) || len(r.CriticalPath) != 1 || r.CriticalPath[0] != "only" {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+func TestAnalyzeParallelChains(t *testing.T) {
+	r := analyze(t, []Activity{
+		{Name: "a1", Duration: h(4)},
+		{Name: "a2", Duration: h(4), Preds: []string{"a1"}},
+		{Name: "b1", Duration: h(10)},
+	})
+	if r.Duration != h(10) {
+		t.Fatalf("duration = %v", r.Duration)
+	}
+	if len(r.CriticalPath) != 1 || r.CriticalPath[0] != "b1" {
+		t.Fatalf("critical path = %v", r.CriticalPath)
+	}
+	if r.Timing("a1").Slack != h(2) || r.Timing("a2").Slack != h(2) {
+		t.Fatalf("slacks = %v %v", r.Timing("a1").Slack, r.Timing("a2").Slack)
+	}
+}
+
+func TestVarianceAndProbability(t *testing.T) {
+	acts := []Activity{
+		{Name: "A", Duration: h(8), Optimistic: h(5), Pessimistic: h(17)},
+		{Name: "B", Duration: h(8), Optimistic: h(2), Pessimistic: h(14)},
+	}
+	acts[1].Preds = []string{"A"}
+	r := analyze(t, acts)
+	// Variance = ((17-5)/6)² + ((14-2)/6)² = 4 + 4 = 8 h².
+	if math.Abs(r.Variance-8) > 1e-9 {
+		t.Fatalf("variance = %v, want 8", r.Variance)
+	}
+	// At the mean the probability is 0.5.
+	if p := r.CompletionProbability(h(16)); math.Abs(p-0.5) > 1e-9 {
+		t.Fatalf("P(16h) = %v, want 0.5", p)
+	}
+	if p := r.CompletionProbability(h(30)); p < 0.99 {
+		t.Fatalf("P(30h) = %v, want ~1", p)
+	}
+	if p := r.CompletionProbability(h(2)); p > 0.01 {
+		t.Fatalf("P(2h) = %v, want ~0", p)
+	}
+}
+
+func TestZeroVarianceStep(t *testing.T) {
+	r := analyze(t, diamond())
+	if r.Variance != 0 {
+		t.Fatalf("variance = %v", r.Variance)
+	}
+	if r.CompletionProbability(h(32)) != 1 || r.CompletionProbability(h(31)) != 0 {
+		t.Fatal("zero-variance probability not a step at the mean")
+	}
+}
+
+// Property: on random chains, project duration is the sum of durations and
+// every activity is critical.
+func TestChainProperty(t *testing.T) {
+	f := func(durs []uint8) bool {
+		if len(durs) == 0 {
+			return true
+		}
+		if len(durs) > 12 {
+			durs = durs[:12]
+		}
+		var acts []Activity
+		var total time.Duration
+		for i, d := range durs {
+			dur := time.Duration(int(d)%20+1) * time.Hour
+			total += dur
+			a := Activity{Name: string(rune('a' + i)), Duration: dur}
+			if i > 0 {
+				a.Preds = []string{string(rune('a' + i - 1))}
+			}
+			acts = append(acts, a)
+		}
+		n, err := NewNetwork(acts)
+		if err != nil {
+			return false
+		}
+		r, err := n.Analyze()
+		if err != nil {
+			return false
+		}
+		if r.Duration != total || len(r.CriticalPath) != len(acts) {
+			return false
+		}
+		for _, tm := range r.Timings {
+			if !tm.Critical || tm.Slack != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: slack is never negative and EarlyFinish-EarlyStart equals the
+// duration for arbitrary two-layer networks.
+func TestTimingInvariants(t *testing.T) {
+	f := func(w uint8) bool {
+		width := int(w%6) + 1
+		acts := []Activity{{Name: "src", Duration: h(3)}}
+		for i := 0; i < width; i++ {
+			acts = append(acts, Activity{
+				Name: "mid" + string(rune('a'+i)), Duration: h(i + 1),
+				Preds: []string{"src"},
+			})
+		}
+		n, err := NewNetwork(acts)
+		if err != nil {
+			return false
+		}
+		r, err := n.Analyze()
+		if err != nil {
+			return false
+		}
+		for i, tm := range r.Timings {
+			if tm.Slack < 0 {
+				return false
+			}
+			if tm.EarlyFinish-tm.EarlyStart != acts[i].Duration {
+				return false
+			}
+			if tm.LateFinish-tm.LateStart != acts[i].Duration {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,194 @@
+// Package petri implements a minimal place/transition Petri net — the
+// representation the Hilda CAD framework uses to describe design flows
+// (paper §II, [2]). The fourlevel package builds its Hilda adapter on this
+// engine, demonstrating that the paper's schedule model attaches to a
+// Petri-net-based flow manager just as it does to Hercules.
+package petri
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Net is a place/transition net with integer markings. Build one with
+// AddPlace/AddTransition, set the initial marking, then fire transitions.
+type Net struct {
+	places      map[string]int // current marking
+	placeOrder  []string
+	transitions map[string]*Transition
+	transOrder  []string
+	fired       int
+}
+
+// Transition consumes tokens from its input places and produces tokens on
+// its output places.
+type Transition struct {
+	Name    string
+	Inputs  map[string]int // place -> weight
+	Outputs map[string]int // place -> weight
+}
+
+// NewNet returns an empty net.
+func NewNet() *Net {
+	return &Net{
+		places:      make(map[string]int),
+		transitions: make(map[string]*Transition),
+	}
+}
+
+// AddPlace declares a place with an initial marking. Redeclaring a place
+// is an error.
+func (n *Net) AddPlace(name string, tokens int) error {
+	if name == "" {
+		return fmt.Errorf("petri: empty place name")
+	}
+	if tokens < 0 {
+		return fmt.Errorf("petri: place %q initial marking %d negative", name, tokens)
+	}
+	if _, dup := n.places[name]; dup {
+		return fmt.Errorf("petri: duplicate place %q", name)
+	}
+	n.places[name] = tokens
+	n.placeOrder = append(n.placeOrder, name)
+	return nil
+}
+
+// AddTransition declares a transition with weighted input and output arcs.
+// All referenced places must exist; weights must be positive.
+func (n *Net) AddTransition(name string, inputs, outputs map[string]int) error {
+	if name == "" {
+		return fmt.Errorf("petri: empty transition name")
+	}
+	if _, dup := n.transitions[name]; dup {
+		return fmt.Errorf("petri: duplicate transition %q", name)
+	}
+	check := func(arcs map[string]int, kind string) error {
+		for p, w := range arcs {
+			if _, ok := n.places[p]; !ok {
+				return fmt.Errorf("petri: transition %q %s arc to undeclared place %q", name, kind, p)
+			}
+			if w <= 0 {
+				return fmt.Errorf("petri: transition %q %s arc weight %d must be positive", name, kind, w)
+			}
+		}
+		return nil
+	}
+	if err := check(inputs, "input"); err != nil {
+		return err
+	}
+	if err := check(outputs, "output"); err != nil {
+		return err
+	}
+	t := &Transition{Name: name, Inputs: copyArcs(inputs), Outputs: copyArcs(outputs)}
+	n.transitions[name] = t
+	n.transOrder = append(n.transOrder, name)
+	return nil
+}
+
+func copyArcs(a map[string]int) map[string]int {
+	out := make(map[string]int, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}
+
+// Marking returns the current token count of a place (-1 if undeclared).
+func (n *Net) Marking(place string) int {
+	if v, ok := n.places[place]; ok {
+		return v
+	}
+	return -1
+}
+
+// TotalTokens sums the marking.
+func (n *Net) TotalTokens() int {
+	total := 0
+	for _, v := range n.places {
+		total += v
+	}
+	return total
+}
+
+// Fired reports how many transition firings have occurred.
+func (n *Net) Fired() int { return n.fired }
+
+// Enabled reports whether the named transition can fire.
+func (n *Net) Enabled(name string) bool {
+	t, ok := n.transitions[name]
+	if !ok {
+		return false
+	}
+	for p, w := range t.Inputs {
+		if n.places[p] < w {
+			return false
+		}
+	}
+	return true
+}
+
+// EnabledTransitions lists all enabled transitions in declaration order.
+func (n *Net) EnabledTransitions() []string {
+	var out []string
+	for _, name := range n.transOrder {
+		if n.Enabled(name) {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Fire fires one transition, updating the marking.
+func (n *Net) Fire(name string) error {
+	t, ok := n.transitions[name]
+	if !ok {
+		return fmt.Errorf("petri: unknown transition %q", name)
+	}
+	if !n.Enabled(name) {
+		return fmt.Errorf("petri: transition %q not enabled", name)
+	}
+	for p, w := range t.Inputs {
+		n.places[p] -= w
+	}
+	for p, w := range t.Outputs {
+		n.places[p] += w
+	}
+	n.fired++
+	return nil
+}
+
+// Run fires enabled transitions deterministically (declaration order)
+// until none is enabled or maxFirings is reached. It returns the firing
+// sequence. maxFirings guards nets with live cycles.
+func (n *Net) Run(maxFirings int) ([]string, error) {
+	if maxFirings <= 0 {
+		return nil, fmt.Errorf("petri: maxFirings must be positive")
+	}
+	var seq []string
+	for len(seq) < maxFirings {
+		en := n.EnabledTransitions()
+		if len(en) == 0 {
+			return seq, nil
+		}
+		if err := n.Fire(en[0]); err != nil {
+			return seq, err
+		}
+		seq = append(seq, en[0])
+	}
+	return seq, fmt.Errorf("petri: firing limit %d reached; net may be live", maxFirings)
+}
+
+// Dead reports whether no transition is enabled.
+func (n *Net) Dead() bool { return len(n.EnabledTransitions()) == 0 }
+
+// String renders the marking compactly: "p1:2 p2:0 ...".
+func (n *Net) String() string {
+	parts := make([]string, 0, len(n.placeOrder))
+	names := append([]string(nil), n.placeOrder...)
+	sort.Strings(names)
+	for _, p := range names {
+		parts = append(parts, fmt.Sprintf("%s:%d", p, n.places[p]))
+	}
+	return strings.Join(parts, " ")
+}

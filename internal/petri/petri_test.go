@@ -1,0 +1,195 @@
+package petri
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// fig4Net models the paper's Fig. 4 flow as a Petri net: tokens in rtl
+// sources flow through Create and Simulate.
+func fig4Net(t *testing.T) *Net {
+	t.Helper()
+	n := NewNet()
+	for _, p := range []struct {
+		name   string
+		tokens int
+	}{{"ready", 1}, {"netlist", 0}, {"stimuli", 1}, {"performance", 0}} {
+		if err := n.AddPlace(p.name, p.tokens); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.AddTransition("Create",
+		map[string]int{"ready": 1}, map[string]int{"netlist": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddTransition("Simulate",
+		map[string]int{"netlist": 1, "stimuli": 1},
+		map[string]int{"performance": 1}); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestAddPlaceValidation(t *testing.T) {
+	n := NewNet()
+	if err := n.AddPlace("", 0); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := n.AddPlace("p", -1); err == nil {
+		t.Fatal("negative marking accepted")
+	}
+	if err := n.AddPlace("p", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddPlace("p", 0); err == nil {
+		t.Fatal("duplicate place accepted")
+	}
+}
+
+func TestAddTransitionValidation(t *testing.T) {
+	n := NewNet()
+	n.AddPlace("p", 1)
+	cases := []struct {
+		name    string
+		tname   string
+		in, out map[string]int
+	}{
+		{"empty name", "", nil, nil},
+		{"undeclared input", "t", map[string]int{"ghost": 1}, nil},
+		{"undeclared output", "t", nil, map[string]int{"ghost": 1}},
+		{"zero weight", "t", map[string]int{"p": 0}, nil},
+	}
+	for _, tc := range cases {
+		if err := n.AddTransition(tc.tname, tc.in, tc.out); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+	if err := n.AddTransition("t", map[string]int{"p": 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddTransition("t", nil, nil); err == nil {
+		t.Fatal("duplicate transition accepted")
+	}
+}
+
+func TestEnabledAndFire(t *testing.T) {
+	n := fig4Net(t)
+	if !n.Enabled("Create") {
+		t.Fatal("Create should be enabled")
+	}
+	if n.Enabled("Simulate") {
+		t.Fatal("Simulate enabled without netlist token")
+	}
+	if n.Enabled("Ghost") {
+		t.Fatal("unknown transition enabled")
+	}
+	if err := n.Fire("Simulate"); err == nil {
+		t.Fatal("fired disabled transition")
+	}
+	if err := n.Fire("Create"); err != nil {
+		t.Fatal(err)
+	}
+	if n.Marking("ready") != 0 || n.Marking("netlist") != 1 {
+		t.Fatalf("marking after Create: %s", n)
+	}
+	if !n.Enabled("Simulate") {
+		t.Fatal("Simulate should be enabled now")
+	}
+	if err := n.Fire("Simulate"); err != nil {
+		t.Fatal(err)
+	}
+	if n.Marking("performance") != 1 || n.Marking("stimuli") != 0 {
+		t.Fatalf("final marking: %s", n)
+	}
+	if n.Fired() != 2 {
+		t.Fatalf("fired = %d", n.Fired())
+	}
+	if n.Marking("ghost") != -1 {
+		t.Fatal("unknown place marking not -1")
+	}
+}
+
+func TestRunToCompletion(t *testing.T) {
+	n := fig4Net(t)
+	seq, err := n.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 2 || seq[0] != "Create" || seq[1] != "Simulate" {
+		t.Fatalf("sequence = %v", seq)
+	}
+	if !n.Dead() {
+		t.Fatal("net should be dead after completion")
+	}
+}
+
+func TestRunLimitOnLiveNet(t *testing.T) {
+	n := NewNet()
+	n.AddPlace("p", 1)
+	n.AddTransition("loop", map[string]int{"p": 1}, map[string]int{"p": 1})
+	if _, err := n.Run(10); err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("err = %v, want limit error", err)
+	}
+	if _, err := n.Run(0); err == nil {
+		t.Fatal("zero limit accepted")
+	}
+}
+
+func TestString(t *testing.T) {
+	n := fig4Net(t)
+	s := n.String()
+	for _, want := range []string{"ready:1", "netlist:0", "stimuli:1", "performance:0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+}
+
+// Property: firing a transition conserves tokens exactly per arc weights.
+func TestFireConservationProperty(t *testing.T) {
+	f := func(inW, outW uint8) bool {
+		iw := int(inW%3) + 1
+		ow := int(outW%3) + 1
+		n := NewNet()
+		n.AddPlace("a", 10)
+		n.AddPlace("b", 0)
+		n.AddTransition("t", map[string]int{"a": iw}, map[string]int{"b": ow})
+		before := n.TotalTokens()
+		if err := n.Fire("t"); err != nil {
+			return false
+		}
+		return n.TotalTokens() == before-iw+ow &&
+			n.Marking("a") == 10-iw && n.Marking("b") == ow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a chain net of length k runs to completion in exactly k
+// firings.
+func TestChainRunsProperty(t *testing.T) {
+	f := func(k uint8) bool {
+		depth := int(k%8) + 1
+		n := NewNet()
+		n.AddPlace("p0", 1)
+		for i := 1; i <= depth; i++ {
+			n.AddPlace(name(i), 0)
+			n.AddTransition("t"+name(i),
+				map[string]int{name(i - 1): 1}, map[string]int{name(i): 1})
+		}
+		seq, err := n.Run(1000)
+		return err == nil && len(seq) == depth && n.Marking(name(depth)) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func name(i int) string {
+	if i == 0 {
+		return "p0"
+	}
+	return "p" + string(rune('0'+i))
+}

@@ -1,0 +1,72 @@
+package predict
+
+import (
+	"testing"
+	"time"
+
+	"flowsched/internal/flow"
+	"flowsched/internal/meta"
+	"flowsched/internal/sched"
+	"flowsched/internal/schema"
+	"flowsched/internal/store"
+	"flowsched/internal/vclock"
+)
+
+// Helpers for HistoryOf tests, which need a populated schedule space.
+
+const fig4 = `
+schema circuit
+data netlist, stimuli, performance
+tool editor, simulator
+rule Create:   netlist     <- editor()
+rule Simulate: performance <- simulator(netlist, stimuli)
+`
+
+func schemaMustParse(t *testing.T) *schema.Schema {
+	t.Helper()
+	return schema.MustParse(fig4)
+}
+
+func storeNew() *store.DB { return store.NewDB() }
+
+func schedNewSpace(db *store.DB, sch *schema.Schema) (*sched.Space, error) {
+	// The execution space must exist too, so entity containers are
+	// available for completion links.
+	if _, err := meta.NewSpace(db, sch); err != nil {
+		return nil, err
+	}
+	return sched.NewSpace(db, sch, vclock.Standard())
+}
+
+func extractPerformance(t *testing.T, sch *schema.Schema) *flow.Tree {
+	t.Helper()
+	g, err := flow.FromSchema(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := g.Extract("performance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func fixedEst(hours int) sched.Fixed {
+	return sched.Fixed{Default: time.Duration(hours) * time.Hour}
+}
+
+func planOptions() sched.PlanOptions { return sched.PlanOptions{} }
+
+func epoch() time.Time { return vclock.Epoch }
+
+func calStandard() *vclock.Calendar { return vclock.Standard() }
+
+// putEntity files a raw netlist entity instance for Complete to link to.
+func putEntity(t *testing.T, sp *sched.Space, db *store.DB) string {
+	t.Helper()
+	e, err := db.Put("netlist", epoch(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.ID
+}

@@ -1,0 +1,172 @@
+// Package predict implements duration prediction from historical schedule
+// metadata — the paper's motivating advantage ("previous schedule data can
+// be used to predict the duration of future projects", §I) and its
+// footnoted future work ("instances of tools and data that are bound to
+// tasks may serve as inputs to such a prediction model", §IV.A).
+//
+// A predictor maps an activity's history of (duration, size) samples to a
+// duration estimate for a new task of known size. Three predictors are
+// provided: the sample mean, an exponentially weighted moving average that
+// favours recent projects, and a least-squares regression on task size for
+// workloads whose duration scales with a measurable input (gate count,
+// net count, …).
+package predict
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"flowsched/internal/sched"
+	"flowsched/internal/vclock"
+)
+
+// Sample is one historical observation of an activity.
+type Sample struct {
+	// Duration is the measured working time of the completed task.
+	Duration time.Duration
+	// Size quantifies the task input (e.g. cell count). Predictors that
+	// ignore size accept zero.
+	Size float64
+}
+
+// Predictor estimates the duration of a new task from history.
+type Predictor interface {
+	// Predict returns the estimated working time for a task of the given
+	// size. It errors if the history is insufficient.
+	Predict(history []Sample, size float64) (time.Duration, error)
+}
+
+// Mean predicts the arithmetic mean of historical durations.
+type Mean struct{}
+
+// Predict implements Predictor.
+func (Mean) Predict(history []Sample, _ float64) (time.Duration, error) {
+	if len(history) == 0 {
+		return 0, fmt.Errorf("predict: empty history")
+	}
+	var total time.Duration
+	for _, s := range history {
+		total += s.Duration
+	}
+	return total / time.Duration(len(history)), nil
+}
+
+// EWMA predicts an exponentially weighted moving average, weighting the
+// most recent samples highest. Alpha in (0, 1] is the smoothing factor.
+type EWMA struct{ Alpha float64 }
+
+// Predict implements Predictor.
+func (e EWMA) Predict(history []Sample, _ float64) (time.Duration, error) {
+	if len(history) == 0 {
+		return 0, fmt.Errorf("predict: empty history")
+	}
+	if e.Alpha <= 0 || e.Alpha > 1 {
+		return 0, fmt.Errorf("predict: alpha %v out of (0,1]", e.Alpha)
+	}
+	acc := float64(history[0].Duration)
+	for _, s := range history[1:] {
+		acc = e.Alpha*float64(s.Duration) + (1-e.Alpha)*acc
+	}
+	return time.Duration(acc), nil
+}
+
+// Regression predicts duration = a + b·size by ordinary least squares.
+// It needs at least two samples with distinct sizes; with degenerate
+// sizes it falls back to the mean.
+type Regression struct{}
+
+// Predict implements Predictor.
+func (Regression) Predict(history []Sample, size float64) (time.Duration, error) {
+	if len(history) == 0 {
+		return 0, fmt.Errorf("predict: empty history")
+	}
+	n := float64(len(history))
+	var sx, sy, sxx, sxy float64
+	for _, s := range history {
+		x, y := s.Size, s.Duration.Hours()
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if len(history) < 2 || math.Abs(den) < 1e-12 {
+		return Mean{}.Predict(history, size)
+	}
+	b := (n*sxy - sx*sy) / den
+	a := (sy - b*sx) / n
+	hours := a + b*size
+	if hours <= 0 {
+		// Extrapolation collapsed; a prediction of non-positive duration
+		// is never useful, so fall back to the mean.
+		return Mean{}.Predict(history, size)
+	}
+	return time.Duration(hours * float64(time.Hour)), nil
+}
+
+// HistoryOf extracts the completed-duration samples of an activity from a
+// schedule space, oldest first, attaching the given sizes positionally
+// (sizes may be nil for size-free predictors).
+func HistoryOf(sp *sched.Space, cal *vclock.Calendar, activity string, sizes []float64) ([]Sample, error) {
+	_, insts, err := sp.History(activity)
+	if err != nil {
+		return nil, err
+	}
+	var out []Sample
+	for _, in := range insts {
+		if !in.Done || in.ActualStart.IsZero() {
+			continue
+		}
+		s := Sample{Duration: cal.WorkBetween(in.ActualStart, in.ActualFinish)}
+		if i := len(out); sizes != nil && i < len(sizes) {
+			s.Size = sizes[i]
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Accuracy summarizes prediction error over a test set.
+type Accuracy struct {
+	// MAE is the mean absolute error.
+	MAE time.Duration
+	// MAPE is the mean absolute percentage error in [0, ∞).
+	MAPE float64
+	// N is the number of scored predictions.
+	N int
+}
+
+// Evaluate walks a sample sequence chronologically, predicting each
+// sample from the ones before it, and scores the predictions against the
+// actual durations. The first Warmup samples are used as seed history
+// only (minimum 1).
+func Evaluate(p Predictor, samples []Sample, warmup int) (Accuracy, error) {
+	if warmup < 1 {
+		warmup = 1
+	}
+	if len(samples) <= warmup {
+		return Accuracy{}, fmt.Errorf("predict: need more than %d samples, have %d", warmup, len(samples))
+	}
+	var acc Accuracy
+	var absErr time.Duration
+	var pctErr float64
+	for i := warmup; i < len(samples); i++ {
+		got, err := p.Predict(samples[:i], samples[i].Size)
+		if err != nil {
+			return Accuracy{}, err
+		}
+		diff := got - samples[i].Duration
+		if diff < 0 {
+			diff = -diff
+		}
+		absErr += diff
+		if samples[i].Duration > 0 {
+			pctErr += float64(diff) / float64(samples[i].Duration)
+		}
+		acc.N++
+	}
+	acc.MAE = absErr / time.Duration(acc.N)
+	acc.MAPE = pctErr / float64(acc.N)
+	return acc, nil
+}

@@ -1,0 +1,245 @@
+package predict
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func h(n float64) time.Duration { return time.Duration(n * float64(time.Hour)) }
+
+func samples(durs ...float64) []Sample {
+	out := make([]Sample, len(durs))
+	for i, d := range durs {
+		out[i] = Sample{Duration: h(d)}
+	}
+	return out
+}
+
+func TestMean(t *testing.T) {
+	d, err := Mean{}.Predict(samples(8, 16, 24), 0)
+	if err != nil || d != h(16) {
+		t.Fatalf("Mean = %v, %v", d, err)
+	}
+	if _, err := (Mean{}).Predict(nil, 0); err == nil {
+		t.Fatal("empty history accepted")
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	// Alpha=1 returns the last sample.
+	d, err := EWMA{Alpha: 1}.Predict(samples(8, 16, 40), 0)
+	if err != nil || d != h(40) {
+		t.Fatalf("EWMA(1) = %v, %v", d, err)
+	}
+	// Alpha=0.5 over [8, 16]: 0.5*16 + 0.5*8 = 12.
+	d, err = EWMA{Alpha: 0.5}.Predict(samples(8, 16), 0)
+	if err != nil || d != h(12) {
+		t.Fatalf("EWMA(0.5) = %v, %v", d, err)
+	}
+	if _, err := (EWMA{Alpha: 0}).Predict(samples(8), 0); err == nil {
+		t.Fatal("alpha 0 accepted")
+	}
+	if _, err := (EWMA{Alpha: 2}).Predict(samples(8), 0); err == nil {
+		t.Fatal("alpha 2 accepted")
+	}
+	if _, err := (EWMA{Alpha: 0.5}).Predict(nil, 0); err == nil {
+		t.Fatal("empty history accepted")
+	}
+}
+
+func TestEWMAWeightsRecent(t *testing.T) {
+	// History trending upward: EWMA should exceed the mean.
+	hist := samples(8, 10, 12, 14, 30)
+	ew, _ := EWMA{Alpha: 0.6}.Predict(hist, 0)
+	mn, _ := Mean{}.Predict(hist, 0)
+	if ew <= mn {
+		t.Fatalf("EWMA %v not above mean %v on rising trend", ew, mn)
+	}
+}
+
+func TestRegressionPerfectLine(t *testing.T) {
+	// duration = 2 + 3*size hours.
+	hist := []Sample{
+		{Duration: h(5), Size: 1},
+		{Duration: h(8), Size: 2},
+		{Duration: h(11), Size: 3},
+	}
+	d, err := Regression{}.Predict(hist, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Hours()-17) > 1e-6 {
+		t.Fatalf("Regression(5) = %v, want 17h", d)
+	}
+}
+
+func TestRegressionDegenerateFallsBack(t *testing.T) {
+	// All sizes equal: slope undefined, falls back to mean.
+	hist := []Sample{
+		{Duration: h(10), Size: 2},
+		{Duration: h(20), Size: 2},
+	}
+	d, err := Regression{}.Predict(hist, 7)
+	if err != nil || d != h(15) {
+		t.Fatalf("degenerate regression = %v, %v, want mean 15h", d, err)
+	}
+	// Single sample: mean as well.
+	d, err = Regression{}.Predict(hist[:1], 7)
+	if err != nil || d != h(10) {
+		t.Fatalf("single-sample regression = %v, %v", d, err)
+	}
+	if _, err := (Regression{}).Predict(nil, 0); err == nil {
+		t.Fatal("empty history accepted")
+	}
+}
+
+func TestRegressionNonPositiveFallsBack(t *testing.T) {
+	// Steep negative slope: extrapolating far right goes negative.
+	hist := []Sample{
+		{Duration: h(20), Size: 1},
+		{Duration: h(2), Size: 2},
+	}
+	d, err := Regression{}.Predict(hist, 10)
+	if err != nil || d != h(11) {
+		t.Fatalf("collapsed regression = %v, %v, want mean 11h", d, err)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	// Constant history: mean predictor is exact after warmup.
+	acc, err := Evaluate(Mean{}, samples(10, 10, 10, 10, 10), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.N != 3 || acc.MAE != 0 || acc.MAPE != 0 {
+		t.Fatalf("accuracy = %+v", acc)
+	}
+	// Insufficient data.
+	if _, err := Evaluate(Mean{}, samples(10), 1); err == nil {
+		t.Fatal("insufficient samples accepted")
+	}
+	// Warmup below 1 clamps.
+	if _, err := Evaluate(Mean{}, samples(10, 12), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluateImprovesWithHistory(t *testing.T) {
+	// Noisy-but-stationary series: with more history, mean MAE shrinks or
+	// stays comparable versus one-sample warmup on the tail.
+	series := samples(8, 12, 10, 9, 11, 10, 10, 9, 11, 10)
+	short, err := Evaluate(Mean{}, series[:4], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Evaluate(Mean{}, series, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if long.MAE > short.MAE {
+		t.Fatalf("more history worsened MAE: %v > %v", long.MAE, short.MAE)
+	}
+}
+
+// Property: mean prediction always lies within [min, max] of history.
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		hist := make([]Sample, len(raw))
+		lo, hi := time.Duration(math.MaxInt64), time.Duration(0)
+		for i, r := range raw {
+			d := time.Duration(int(r)+1) * time.Hour
+			hist[i] = Sample{Duration: d}
+			if d < lo {
+				lo = d
+			}
+			if d > hi {
+				hi = d
+			}
+		}
+		got, err := Mean{}.Predict(hist, 0)
+		return err == nil && got >= lo && got <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: EWMA prediction also lies within history bounds.
+func TestEWMABoundsProperty(t *testing.T) {
+	f := func(raw []uint8, alphaRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		alpha := (float64(alphaRaw%9) + 1) / 10
+		hist := make([]Sample, len(raw))
+		lo, hi := time.Duration(math.MaxInt64), time.Duration(0)
+		for i, r := range raw {
+			d := time.Duration(int(r)+1) * time.Hour
+			hist[i] = Sample{Duration: d}
+			if d < lo {
+				lo = d
+			}
+			if d > hi {
+				hi = d
+			}
+		}
+		got, err := EWMA{Alpha: alpha}.Predict(hist, 0)
+		return err == nil && got >= lo && got <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistoryOf(t *testing.T) {
+	// Build a schedule space with two completed Create instances.
+	sch := schemaMustParse(t)
+	db := storeNew()
+	sp, err := schedNewSpace(db, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := extractPerformance(t, sch)
+	est := fixedEst(16)
+	for i := 0; i < 2; i++ {
+		res, err := sp.Plan(tree, epoch(), est, planOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := epoch()
+		// 8h of work on the first pass, 16h on the second.
+		finish := calStandard().AddWork(start, time.Duration(8*(i+1))*time.Hour)
+		sp.MarkStarted(&res.Plan, "Create", start)
+		ent := putEntity(t, sp, db)
+		if err := sp.Complete(&res.Plan, "Create", ent, finish); err != nil {
+			t.Fatal(err)
+		}
+	}
+	samples, err := HistoryOf(sp, calStandard(), "Create", []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 2 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	if samples[0].Size != 1 || samples[1].Size != 2 {
+		t.Fatalf("sizes = %+v", samples)
+	}
+	if samples[0].Duration <= 0 || samples[1].Duration <= samples[0].Duration {
+		t.Fatalf("durations = %+v", samples)
+	}
+	// Unknown activity errors.
+	if _, err := HistoryOf(sp, calStandard(), "Ghost", nil); err == nil {
+		t.Fatal("unknown activity accepted")
+	}
+	// nil sizes allowed.
+	s2, err := HistoryOf(sp, calStandard(), "Create", nil)
+	if err != nil || len(s2) != 2 || s2[0].Size != 0 {
+		t.Fatalf("nil sizes = %+v, %v", s2, err)
+	}
+}

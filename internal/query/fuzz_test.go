@@ -1,0 +1,95 @@
+package query
+
+import (
+	"testing"
+	"time"
+
+	"flowsched/internal/design"
+	"flowsched/internal/flow"
+	"flowsched/internal/meta"
+	"flowsched/internal/sched"
+	"flowsched/internal/schema"
+	"flowsched/internal/store"
+	"flowsched/internal/vclock"
+)
+
+// buildFuzzEngine populates a small database without needing *testing.T.
+func buildFuzzEngine() (*Engine, error) {
+	sch := schema.MustParse(fig4)
+	db := store.NewDB()
+	exec, err := meta.NewSpace(db, sch)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := sched.NewSpace(db, sch, vclock.Standard())
+	if err != nil {
+		return nil, err
+	}
+	g, err := flow.FromSchema(sch)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := g.Extract("performance")
+	if err != nil {
+		return nil, err
+	}
+	res, err := sp.Plan(tree, t0, sched.Fixed{Default: 8 * time.Hour}, sched.PlanOptions{
+		Assignments: map[string][]string{"Create": {"ewj"}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	run, err := exec.BeginRun("Create", "editor#1", "ewj", t0)
+	if err != nil {
+		return nil, err
+	}
+	finish := t0.Add(8 * time.Hour)
+	if err := exec.FinishRun(run.ID, finish, meta.RunSucceeded); err != nil {
+		return nil, err
+	}
+	ent, err := exec.RecordEntity("netlist", run.ID, design.Ref{Class: "netlist", Version: 1})
+	if err != nil {
+		return nil, err
+	}
+	if err := sp.MarkStarted(&res.Plan, "Create", t0); err != nil {
+		return nil, err
+	}
+	if err := sp.Complete(&res.Plan, "Create", ent.ID, finish); err != nil {
+		return nil, err
+	}
+	return New(sp, exec)
+}
+
+// FuzzEval checks the textual query parser never panics on arbitrary
+// input against a populated database, and never returns an empty answer
+// without an error.
+func FuzzEval(f *testing.F) {
+	seeds := []string{
+		"",
+		"duration of Create",
+		"durations of Create",
+		"mean duration of Create",
+		"estimate of Simulate",
+		"slip of Create at 1995-06-06T17:00:00Z",
+		"slip of Create at",
+		"lineage",
+		"load",
+		"runs of Create",
+		"duration of",
+		"slip of  at bogus",
+		"mean duration of mean duration of",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	eng, err := buildFuzzEngine()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, q string) {
+		ans, err := eng.Eval(q)
+		if err == nil && ans == "" {
+			t.Fatalf("empty answer without error for %q", q)
+		}
+	})
+}

@@ -1,0 +1,265 @@
+package query
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"flowsched/internal/design"
+	"flowsched/internal/flow"
+	"flowsched/internal/meta"
+	"flowsched/internal/sched"
+	"flowsched/internal/schema"
+	"flowsched/internal/store"
+	"flowsched/internal/vclock"
+)
+
+var t0 = vclock.Epoch
+
+const fig4 = `
+schema circuit
+data netlist, stimuli, performance
+tool editor, simulator
+rule Create:   netlist     <- editor()
+rule Simulate: performance <- simulator(netlist, stimuli)
+`
+
+// fixture: plans twice (v2 based on v1), completes Create under plan 2
+// with a 16h actual duration.
+type fixture struct {
+	eng  *Engine
+	plan sched.Plan
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	sch := schema.MustParse(fig4)
+	db := store.NewDB()
+	exec, err := meta.NewSpace(db, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := sched.NewSpace(db, sch, vclock.Standard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ := flow.FromSchema(sch)
+	tree, _ := g.Extract("performance")
+	est := sched.Fixed{ByActivity: map[string]time.Duration{
+		"Create": 16 * time.Hour, "Simulate": 8 * time.Hour,
+	}}
+	assign := map[string][]string{"Create": {"ewj"}, "Simulate": {"ewj", "jbb"}}
+	r1, err := sp.Plan(tree, t0, est, sched.PlanOptions{Assignments: assign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sp.Plan(tree, t0, est, sched.PlanOptions{
+		Assignments: assign, BasedOn: []string{r1.Entry.ID}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Execute Create: one run, 16h working (Mon 09:00 - Tue 17:00).
+	finish := time.Date(1995, time.June, 6, 17, 0, 0, 0, time.UTC)
+	run, _ := exec.BeginRun("Create", "editor#1", "ewj", t0)
+	exec.FinishRun(run.ID, finish, meta.RunSucceeded)
+	ent, _ := exec.RecordEntity("netlist", run.ID, design.Ref{Class: "netlist", Version: 1})
+	sp.MarkStarted(&r2.Plan, "Create", t0)
+	if err := sp.Complete(&r2.Plan, "Create", ent.ID, finish); err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(sp, exec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{eng: eng, plan: r2.Plan}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Fatal("nil sched accepted")
+	}
+}
+
+func TestLastDuration(t *testing.T) {
+	fx := newFixture(t)
+	d, err := fx.eng.LastDuration("Create")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 16*time.Hour {
+		t.Fatalf("LastDuration = %v, want 16h", d)
+	}
+	if _, err := fx.eng.LastDuration("Simulate"); err == nil {
+		t.Fatal("uncompleted activity accepted")
+	}
+	if _, err := fx.eng.LastDuration("Nope"); err == nil {
+		t.Fatal("unknown activity accepted")
+	}
+}
+
+func TestDurationsAndMean(t *testing.T) {
+	fx := newFixture(t)
+	ds, err := fx.eng.Durations("Create")
+	if err != nil || len(ds) != 1 || ds[0] != 16*time.Hour {
+		t.Fatalf("Durations = %v, %v", ds, err)
+	}
+	m, err := fx.eng.MeanDuration("Create")
+	if err != nil || m != 16*time.Hour {
+		t.Fatalf("MeanDuration = %v, %v", m, err)
+	}
+	if _, err := fx.eng.MeanDuration("Simulate"); err == nil {
+		t.Fatal("mean of empty accepted")
+	}
+}
+
+func TestEstimate(t *testing.T) {
+	fx := newFixture(t)
+	in, err := fx.eng.Estimate("Simulate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.EstWork != 8*time.Hour || in.PlanVersion != 2 {
+		t.Fatalf("Estimate = %+v", in)
+	}
+	if _, err := fx.eng.Estimate("Nope"); err == nil {
+		t.Fatal("unknown activity accepted")
+	}
+}
+
+func TestSlip(t *testing.T) {
+	fx := newFixture(t)
+	// Create planned to finish Tue 17:00, actually finished Tue 17:00: no slip.
+	d, err := fx.eng.Slip("Create", time.Date(1995, time.June, 6, 17, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("Slip = %v, want 0", d)
+	}
+	if _, err := fx.eng.Slip("Nope", t0); err == nil {
+		t.Fatal("unknown activity accepted")
+	}
+}
+
+func TestLineage(t *testing.T) {
+	fx := newFixture(t)
+	chain, err := fx.eng.Lineage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 2 || chain[0] != "schedule/1" || chain[1] != "schedule/2" {
+		t.Fatalf("Lineage = %v", chain)
+	}
+}
+
+func TestResourceLoad(t *testing.T) {
+	fx := newFixture(t)
+	load, err := fx.eng.ResourceLoad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load["ewj"] != 24*time.Hour || load["jbb"] != 8*time.Hour {
+		t.Fatalf("load = %v", load)
+	}
+}
+
+func TestIterations(t *testing.T) {
+	fx := newFixture(t)
+	n, err := fx.eng.Iterations("Create")
+	if err != nil || n != 1 {
+		t.Fatalf("Iterations = %d, %v", n, err)
+	}
+	noExec := &Engine{Sched: fx.eng.Sched}
+	if _, err := noExec.Iterations("Create"); err == nil {
+		t.Fatal("missing exec space accepted")
+	}
+}
+
+func TestEval(t *testing.T) {
+	fx := newFixture(t)
+	cases := []struct{ q, want string }{
+		{"duration of Create", "= 16h"},
+		{"durations of Create", "[16h]"},
+		{"mean duration of Create", "= 16h"},
+		{"estimate of Simulate", "8h (fixed)"},
+		{"lineage", "schedule/1 -> schedule/2"},
+		{"load", "ewj=24h"},
+		{"runs of Create", "= 1"},
+		{"slip of Create at 1995-06-06T17:00:00Z", "= 0h"},
+	}
+	for _, tc := range cases {
+		got, err := fx.eng.Eval(tc.q)
+		if err != nil {
+			t.Errorf("Eval(%q): %v", tc.q, err)
+			continue
+		}
+		if !strings.Contains(got, tc.want) {
+			t.Errorf("Eval(%q) = %q, want contains %q", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	fx := newFixture(t)
+	for _, q := range []string{
+		"", "bogus", "duration of Nope", "slip of Create", "slip of Create at yesterday",
+	} {
+		if _, err := fx.eng.Eval(q); err == nil {
+			t.Errorf("Eval(%q) accepted", q)
+		}
+	}
+}
+
+func TestQueriesWithoutPlan(t *testing.T) {
+	sch := schema.MustParse(fig4)
+	sp, _ := sched.NewSpace(store.NewDB(), sch, vclock.Standard())
+	eng, _ := New(sp, nil)
+	if _, err := eng.Estimate("Create"); err == nil {
+		t.Fatal("Estimate without plan accepted")
+	}
+	if _, err := eng.Lineage(); err == nil {
+		t.Fatal("Lineage without plan accepted")
+	}
+	if _, err := eng.ResourceLoad(); err == nil {
+		t.Fatal("ResourceLoad without plan accepted")
+	}
+	if _, err := eng.Slip("Create", t0); err == nil {
+		t.Fatal("Slip without plan accepted")
+	}
+}
+
+func TestEvalPlansAndMilestones(t *testing.T) {
+	fx := newFixture(t)
+	got, err := fx.eng.Eval("plans")
+	if err != nil || !strings.Contains(got, "v1(") || !strings.Contains(got, "v2(") {
+		t.Fatalf("plans = %q, %v", got, err)
+	}
+	// No milestones set yet.
+	got, err = fx.eng.Eval("milestones")
+	if err != nil || got != "no milestones set" {
+		t.Fatalf("milestones = %q, %v", got, err)
+	}
+	// Set one and query again.
+	_, p, _ := fx.eng.Sched.CurrentPlan()
+	target := time.Date(1995, time.June, 9, 17, 0, 0, 0, time.UTC)
+	if _, err := fx.eng.Sched.SetMilestone(p, "netlist-frozen", "netlist", target); err != nil {
+		t.Fatal(err)
+	}
+	got, err = fx.eng.Eval("milestones")
+	if err != nil || !strings.Contains(got, "netlist-frozen(achieved") {
+		t.Fatalf("milestones = %q, %v", got, err)
+	}
+}
+
+func TestEvalPlansEmpty(t *testing.T) {
+	sch := schema.MustParse(fig4)
+	sp, _ := sched.NewSpace(store.NewDB(), sch, vclock.Standard())
+	eng, _ := New(sp, nil)
+	got, err := eng.Eval("plans")
+	if err != nil || got != "no plans exist" {
+		t.Fatalf("plans = %q, %v", got, err)
+	}
+	if _, err := eng.Eval("milestones"); err == nil {
+		t.Fatal("milestones without plan accepted")
+	}
+}

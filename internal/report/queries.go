@@ -1,0 +1,10 @@
+package report
+
+import (
+	"flowsched/internal/query"
+)
+
+// newQueryEngine builds the §IV.B query engine over a scenario's database.
+func newQueryEngine(s *Scenario) (*query.Engine, error) {
+	return query.New(s.Mgr.Sched, s.Mgr.Exec)
+}

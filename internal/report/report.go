@@ -1,0 +1,356 @@
+// Package report regenerates every exhibit of the paper — Table I and
+// Figs. 1–8 — from live system objects, plus the quantitative experiments
+// E1–E5 described in DESIGN.md. The cmd/experiments binary prints these;
+// EXPERIMENTS.md records the outputs against the paper's versions.
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"flowsched/internal/engine"
+	"flowsched/internal/flow"
+	"flowsched/internal/fourlevel"
+	"flowsched/internal/gantt"
+	"flowsched/internal/sched"
+	"flowsched/internal/tools"
+	"flowsched/internal/vclock"
+	"flowsched/internal/workload"
+)
+
+// scriptedTool is a tools.Tool whose goal decision is fully scripted: the
+// activity iterates exactly Iterations times, each run taking Work. It
+// gives the paper-scenario figures their exact instance populations
+// (N1/N2, P1/P2, …).
+type scriptedTool struct {
+	class, instance string
+	work            time.Duration
+	iterations      int
+}
+
+func (s *scriptedTool) Instance() string { return s.instance }
+func (s *scriptedTool) Class() string    { return s.class }
+
+func (s *scriptedTool) Run(inputs map[string][]byte, iteration int) (tools.Result, error) {
+	out := fmt.Sprintf("# %s output, iteration %d of %d\n", s.instance, iteration, s.iterations)
+	return tools.Result{
+		Output:  []byte(out),
+		Work:    s.work,
+		GoalMet: iteration >= s.iterations,
+	}, nil
+}
+
+// Scenario is the canonical paper scenario: the Fig. 4 circuit schema,
+// two planning passes, then an execution in which each activity iterates
+// exactly twice before its goals are met — reproducing the database
+// states of Figs. 5, 6, and 7.
+type Scenario struct {
+	Mgr   *engine.Manager
+	Tree  *flow.Tree
+	Plan1 *sched.PlanResult
+	Plan2 *sched.PlanResult
+	Exec  *engine.ExecResult
+}
+
+// NewScenario builds the scenario up to (but not including) execution.
+func NewScenario() (*Scenario, error) {
+	m, err := engine.New(workload.Fig4(), vclock.Standard(), vclock.Epoch, "ewj")
+	if err != nil {
+		return nil, err
+	}
+	if err := m.BindTool("Create", &scriptedTool{
+		class: "editor", instance: "editor#1", work: 6 * time.Hour, iterations: 2,
+	}); err != nil {
+		return nil, err
+	}
+	if err := m.BindTool("Simulate", &scriptedTool{
+		class: "simulator", instance: "simulator#1", work: 3 * time.Hour, iterations: 2,
+	}); err != nil {
+		return nil, err
+	}
+	if _, err := m.Import("stimuli", []byte("pulse 0 5 1ns 1ns 1ns 10ns 20ns\n")); err != nil {
+		return nil, err
+	}
+	tree, err := m.ExtractTree("performance")
+	if err != nil {
+		return nil, err
+	}
+	est := sched.Fixed{ByActivity: map[string]time.Duration{
+		"Create": 16 * time.Hour, "Simulate": 8 * time.Hour,
+	}}
+	assign := map[string][]string{"Create": {"ewj"}, "Simulate": {"ewj"}}
+	p1, err := m.Plan(tree, est, sched.PlanOptions{Assignments: assign})
+	if err != nil {
+		return nil, err
+	}
+	// The plan is refined once before execution (Fig. 5 shows two
+	// schedule-instance versions per activity).
+	est.ByActivity["Create"] = 12 * time.Hour
+	p2, err := m.Plan(tree, est, sched.PlanOptions{
+		Assignments: assign, BasedOn: []string{p1.Entry.ID},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario{Mgr: m, Tree: tree, Plan1: p1, Plan2: p2}, nil
+}
+
+// Execute runs the scenario's task against plan 2 with auto-completion.
+func (s *Scenario) Execute() error {
+	res, err := s.Mgr.ExecuteTask(s.Tree, engine.ExecOptions{
+		Plan: &s.Plan2.Plan, AutoComplete: true,
+	})
+	if err != nil {
+		return err
+	}
+	s.Exec = res
+	return nil
+}
+
+// Fig1 renders the schedule model within the system representation: the
+// Level 2 flow above the two Level 3 populations (proposed milestones and
+// actual design metadata) with their links.
+func Fig1() (string, error) {
+	s, err := NewScenario()
+	if err != nil {
+		return "", err
+	}
+	if err := s.Execute(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Fig. 1 — Schedule Model within the System Representation\n\n")
+	b.WriteString("Level 2 (pre-execution): process flow\n")
+	for _, arc := range s.Mgr.Graph.Arcs() {
+		fmt.Fprintf(&b, "  %s --%s--> %s\n", arc.From, arc.Class, arc.To)
+	}
+	b.WriteString("\nLevel 3 (post-execution):\n")
+	b.WriteString("  proposed schedule          actual design metadata\n")
+	for _, act := range s.Tree.Activities() {
+		se, in, err := s.Mgr.Sched.Instance(&s.Plan2.Plan, act)
+		if err != nil {
+			return "", err
+		}
+		link := "(unlinked)"
+		if in.LinkedEntity != "" {
+			link = "<-> " + in.LinkedEntity
+		}
+		fmt.Fprintf(&b, "  %-26s %s\n", se.ID, link)
+	}
+	return b.String(), nil
+}
+
+// Fig2 renders the Hercules four-level architecture populated with live
+// object counts.
+func Fig2() (string, error) {
+	s, err := NewScenario()
+	if err != nil {
+		return "", err
+	}
+	if err := s.Execute(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Fig. 2 — Hercules Architecture Representation\n\n")
+	fmt.Fprintf(&b, "Level 1  task schema: %d entity classes, %d construction rules\n",
+		len(s.Mgr.Schema.Classes()), len(s.Mgr.Schema.Rules()))
+	fmt.Fprintf(&b, "Level 2  flow model:  %d task nodes, %d arcs\n",
+		len(s.Mgr.Graph.Nodes()), len(s.Mgr.Graph.Arcs()))
+	st := s.Mgr.DB.Stats()
+	for _, sp := range []struct {
+		name string
+		key  string
+	}{{"execution space", "execution"}, {"schedule space", "schedule"}} {
+		for space, v := range st {
+			if string(space) == sp.key {
+				fmt.Fprintf(&b, "Level 3  %s: %d containers, %d instances\n",
+					sp.name, v.Containers, v.Instances)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "Level 4  design data: %d objects, %d bytes\n",
+		s.Mgr.Data.TotalObjects(), s.Mgr.Data.TotalBytes())
+	return b.String(), nil
+}
+
+// Fig3 renders the mirrored Level 3 spaces: execution objects beside
+// their schedule counterparts.
+func Fig3() (string, error) {
+	s, err := NewScenario()
+	if err != nil {
+		return "", err
+	}
+	if err := s.Execute(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Fig. 3 — Execution and Schedule Model in Hercules (Level 3)\n\n")
+	b.WriteString("  execution space              schedule space\n")
+	b.WriteString("  ---------------              --------------\n")
+	fmt.Fprintf(&b, "  %-28s %s\n", "Run (per tool application)", "Schedule (per planning pass)")
+	fmt.Fprintf(&b, "  %-28s %s\n", "Entity instance", "Schedule instance")
+	fmt.Fprintf(&b, "  %-28s %s\n\n", "Instance dependency", "Schedule dependency")
+	for _, act := range s.Tree.Activities() {
+		_, runs, err := s.Mgr.Exec.Runs(act)
+		if err != nil {
+			return "", err
+		}
+		_, hist, err := s.Mgr.Sched.History(act)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "  %-10s %d runs %14s %d schedule instances\n",
+			act, len(runs), "", len(hist))
+	}
+	return b.String(), nil
+}
+
+// Fig4 renders the example task schema.
+func Fig4() string {
+	s := workload.Fig4()
+	var b strings.Builder
+	b.WriteString("Fig. 4 — Example Task Schema\n\n")
+	b.WriteString(s.Format())
+	b.WriteString("\nconstruction rules as expressions:\n")
+	for _, r := range s.Rules() {
+		fmt.Fprintf(&b, "  %s <- %s(%s)\n", r.Output, r.Tool, strings.Join(r.Inputs, ", "))
+	}
+	return b.String()
+}
+
+// Fig5 renders the database during the planning phase: two planning
+// passes populate the schedule containers with two versions each (CC1,
+// CC2, SC1, SC2) while the execution space holds only the imported
+// stimuli.
+func Fig5() (string, error) {
+	s, err := NewScenario()
+	if err != nil {
+		return "", err
+	}
+	return "Fig. 5 — Hercules Database during Planning Phase\n\n" + s.Mgr.DB.Dump(), nil
+}
+
+// Fig6 renders the database during the execution phase: each activity
+// iterated twice, so netlist and performance each hold two entity
+// instances, with two runs per activity — and no links yet.
+func Fig6() (string, error) {
+	s, err := NewScenario()
+	if err != nil {
+		return "", err
+	}
+	// Execute without auto-completion: Fig. 6 precedes task sign-off.
+	if _, err := s.Mgr.ExecuteTask(s.Tree, engine.ExecOptions{Plan: &s.Plan2.Plan}); err != nil {
+		return "", err
+	}
+	return "Fig. 6 — Hercules Database during Execution Phase\n\n" + s.Mgr.DB.Dump(), nil
+}
+
+// Fig7 renders the database at completion of execution: the final entity
+// instances are linked to the current schedule instances.
+func Fig7() (string, error) {
+	s, err := NewScenario()
+	if err != nil {
+		return "", err
+	}
+	if err := s.Execute(); err != nil {
+		return "", err
+	}
+	return "Fig. 7 — Hercules Database at Completion of Execution\n\n" + s.Mgr.DB.Dump(), nil
+}
+
+// Fig8 renders the user-interface view: the task tree with schedule
+// state, and the Gantt chart of planned versus accomplished schedule.
+func Fig8() (string, error) {
+	s, err := NewScenario()
+	if err != nil {
+		return "", err
+	}
+	if err := s.Execute(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Fig. 8 — Hercules User Interface (task tree + schedule view)\n\n")
+	b.WriteString(TaskTree(s.Mgr, s.Tree, &s.Plan2.Plan))
+	b.WriteString("\n")
+	chart, err := Chart(s.Mgr, &s.Plan2.Plan, s.Mgr.Clock.Now())
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(chart)
+	return b.String(), nil
+}
+
+// TaskTree renders the task tree with per-node schedule state, the
+// central feature of the Hercules UI.
+func TaskTree(m *engine.Manager, tree *flow.Tree, p *sched.Plan) string {
+	var b strings.Builder
+	b.WriteString("task tree (targets: " + strings.Join(tree.Targets, ", ") + ")\n")
+	for _, act := range tree.Activities() {
+		state := "unplanned"
+		detail := ""
+		if p != nil {
+			if _, in, err := m.Sched.Instance(p, act); err == nil {
+				switch {
+				case in.Done:
+					state = "done"
+					detail = fmt.Sprintf(" -> %s", in.LinkedEntity)
+				case in.Started():
+					state = "in-progress"
+				default:
+					state = "planned"
+				}
+				detail += fmt.Sprintf("  [%s .. %s]",
+					in.PlannedStart.Format("01-02"), in.PlannedFinish.Format("01-02"))
+			}
+		}
+		rule := m.Schema.RuleByActivity(act)
+		fmt.Fprintf(&b, "  %-10s %s(%s) -> %s  [%s]%s\n",
+			act, rule.Tool, strings.Join(rule.Inputs, ","), rule.Output, state, detail)
+	}
+	return b.String()
+}
+
+// Chart renders the plan's Gantt chart at time now.
+func Chart(m *engine.Manager, p *sched.Plan, now time.Time) (string, error) {
+	_, insts, err := m.Sched.Instances(p)
+	if err != nil {
+		return "", err
+	}
+	rows := make([]gantt.Row, 0, len(insts))
+	for _, in := range insts {
+		rows = append(rows, gantt.Row{
+			Name: in.Activity, Resources: in.Resources,
+			PlannedStart: in.PlannedStart, PlannedFinish: in.PlannedFinish,
+			ActualStart: in.ActualStart, ActualFinish: in.ActualFinish,
+			Done: in.Done,
+		})
+	}
+	// Refresh achievement state first — the integrated system updates the
+	// schedule automatically, so the chart never shows a stale milestone.
+	milestones, err := m.Sched.RefreshMilestones(p)
+	if err != nil {
+		return "", err
+	}
+	markers := make([]gantt.Marker, 0, len(milestones))
+	for _, ms := range milestones {
+		markers = append(markers, gantt.Marker{Name: ms.Name, At: ms.Target, Achieved: ms.Achieved})
+	}
+	c := &gantt.Chart{
+		Title:    fmt.Sprintf("plan v%d (targets %s)", p.Version, strings.Join(p.Targets, ",")),
+		Calendar: m.Calendar, Rows: rows, Milestones: markers, Now: now,
+	}
+	return c.Render(), nil
+}
+
+// TableIText renders the paper's Table I from live adapters instantiated
+// on the Fig. 4 schema.
+func TableIText() (string, error) {
+	systems := fourlevel.AllSystems()
+	for _, sys := range systems {
+		if err := sys.Instantiate(workload.Fig4()); err != nil {
+			return "", fmt.Errorf("report: instantiate %s: %w", sys.Name(), err)
+		}
+	}
+	return fourlevel.TableI(systems), nil
+}

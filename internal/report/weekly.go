@@ -1,0 +1,91 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"flowsched/internal/engine"
+	"flowsched/internal/sched"
+)
+
+// StatusReport renders the project-manager's periodic report for the
+// window [from, to): what ran, what completed, what slipped, and what
+// the plan expects next. Everything is drawn from the manager's event
+// stream and the current plan — the integrated system's answer to the
+// weekly status meeting the separate-PM baseline depends on.
+func StatusReport(m *engine.Manager, p *sched.Plan, from, to time.Time) (string, error) {
+	if m == nil {
+		return "", fmt.Errorf("report: nil manager")
+	}
+	if !to.After(from) {
+		return "", fmt.Errorf("report: empty window %v .. %v", from, to)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "status report %s .. %s\n\n",
+		from.Format("2006-01-02"), to.Format("2006-01-02"))
+
+	inWindow := func(at time.Time) bool { return !at.Before(from) && at.Before(to) }
+	counts := map[engine.EventKind]int{}
+	var completed, slips, violations []engine.Event
+	for _, ev := range m.Events() {
+		if !inWindow(ev.At) {
+			continue
+		}
+		counts[ev.Kind]++
+		switch ev.Kind {
+		case engine.EvTaskComplete:
+			completed = append(completed, ev)
+		case engine.EvSlip:
+			slips = append(slips, ev)
+		case engine.EvConstraint:
+			violations = append(violations, ev)
+		}
+	}
+	fmt.Fprintf(&b, "activity: %d runs started, %d finished, %d failed; %d data versions created\n",
+		counts[engine.EvRunStarted], counts[engine.EvRunFinished],
+		counts[engine.EvRunFailed], counts[engine.EvEntityCreated])
+	if len(completed) > 0 {
+		b.WriteString("\ncompleted tasks:\n")
+		for _, ev := range completed {
+			fmt.Fprintf(&b, "  %-12s %s (%s)\n", ev.Activity,
+				ev.At.Format("Mon 01-02 15:04"), ev.Detail)
+		}
+	}
+	if len(violations) > 0 {
+		b.WriteString("\nconstraint violations:\n")
+		for _, ev := range violations {
+			fmt.Fprintf(&b, "  %-12s %s\n", ev.Activity, ev.Detail)
+		}
+	}
+	if len(slips) > 0 {
+		b.WriteString("\nschedule slips:\n")
+		for _, ev := range slips {
+			fmt.Fprintf(&b, "  %s\n", ev.Detail)
+		}
+	}
+	if p != nil {
+		var upcoming []string
+		for _, act := range p.Activities {
+			_, in, err := m.Sched.Instance(p, act)
+			if err != nil {
+				return "", err
+			}
+			if in.Done || in.Started() {
+				continue
+			}
+			if !in.PlannedStart.Before(to) && in.PlannedStart.Before(to.Add(to.Sub(from))) {
+				upcoming = append(upcoming, fmt.Sprintf("  %-12s starts %s (%v)",
+					act, in.PlannedStart.Format("Mon 01-02"), in.Resources))
+			}
+		}
+		if len(upcoming) > 0 {
+			b.WriteString("\nnext period:\n")
+			b.WriteString(strings.Join(upcoming, "\n"))
+			b.WriteString("\n")
+		}
+		fmt.Fprintf(&b, "\nprojected project finish: %s\n",
+			p.Finish.Format("Mon 2006-01-02 15:04"))
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,86 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"flowsched/internal/vclock"
+)
+
+func TestStatusReport(t *testing.T) {
+	s, err := NewScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	from := vclock.Epoch
+	to := from.Add(7 * 24 * time.Hour)
+	out, err := StatusReport(s.Mgr, &s.Plan2.Plan, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"status report 1995-06-05 .. 1995-06-12",
+		"4 runs started, 4 finished",
+		"completed tasks:",
+		"Create",
+		"Simulate",
+		"projected project finish:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStatusReportEmptyWindow(t *testing.T) {
+	s, err := NewScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := StatusReport(s.Mgr, &s.Plan2.Plan, vclock.Epoch, vclock.Epoch); err == nil {
+		t.Fatal("empty window accepted")
+	}
+	if _, err := StatusReport(nil, nil, vclock.Epoch, vclock.Epoch.Add(time.Hour)); err == nil {
+		t.Fatal("nil manager accepted")
+	}
+}
+
+func TestStatusReportQuietWindow(t *testing.T) {
+	s, err := NewScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	// A window a year later: nothing happened, nothing upcoming.
+	from := vclock.Epoch.AddDate(1, 0, 0)
+	out, err := StatusReport(s.Mgr, &s.Plan2.Plan, from, from.Add(7*24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "0 runs started") {
+		t.Fatalf("quiet window report:\n%s", out)
+	}
+	if strings.Contains(out, "completed tasks:") {
+		t.Fatalf("stale completions in quiet window:\n%s", out)
+	}
+}
+
+func TestStatusReportWithoutPlan(t *testing.T) {
+	s, err := NewScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := StatusReport(s.Mgr, nil, vclock.Epoch, vclock.Epoch.Add(24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "projected project finish") {
+		t.Fatalf("plan section without plan:\n%s", out)
+	}
+}

@@ -1,0 +1,156 @@
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"flowsched/internal/meta"
+	"flowsched/internal/schema"
+)
+
+// Estimate is one activity-duration estimate.
+type Estimate struct {
+	// Work is the expected working time.
+	Work time.Duration
+	// Optimistic and Pessimistic bound Work for PERT-style analysis; both
+	// zero when the basis provides only a point estimate.
+	Optimistic, Pessimistic time.Duration
+	// Basis names the strategy ("fixed", "pert", "historical", …).
+	Basis string
+}
+
+// Estimator produces duration estimates during schedule planning. §III:
+// "the duration of an activity can be based either on the designer's
+// intuition or on the measured results of similar tasks" — Fixed/PERT
+// capture intuition, Historical captures measurement.
+type Estimator interface {
+	Estimate(activity string, rule *schema.Rule) (Estimate, error)
+}
+
+// Fixed estimates from a per-activity table with an optional default.
+type Fixed struct {
+	// ByActivity maps activity names to working-time estimates.
+	ByActivity map[string]time.Duration
+	// Default is used for activities missing from ByActivity; if zero,
+	// missing activities are an error.
+	Default time.Duration
+}
+
+// Estimate implements Estimator.
+func (f Fixed) Estimate(activity string, _ *schema.Rule) (Estimate, error) {
+	if d, ok := f.ByActivity[activity]; ok {
+		return Estimate{Work: d, Basis: "fixed"}, nil
+	}
+	if f.Default > 0 {
+		return Estimate{Work: f.Default, Basis: "fixed-default"}, nil
+	}
+	return Estimate{}, fmt.Errorf("no fixed estimate for activity %q", activity)
+}
+
+// ThreePoint is a PERT three-point estimate for one activity.
+type ThreePoint struct {
+	Optimistic, Likely, Pessimistic time.Duration
+}
+
+// PERT estimates with the classic (O + 4M + P)/6 expected value.
+type PERT struct {
+	ByActivity map[string]ThreePoint
+}
+
+// Estimate implements Estimator.
+func (p PERT) Estimate(activity string, _ *schema.Rule) (Estimate, error) {
+	tp, ok := p.ByActivity[activity]
+	if !ok {
+		return Estimate{}, fmt.Errorf("no three-point estimate for activity %q", activity)
+	}
+	if tp.Optimistic <= 0 || tp.Likely < tp.Optimistic || tp.Pessimistic < tp.Likely {
+		return Estimate{}, fmt.Errorf("three-point estimate for %q not ordered (O=%v M=%v P=%v)",
+			activity, tp.Optimistic, tp.Likely, tp.Pessimistic)
+	}
+	expected := (tp.Optimistic + 4*tp.Likely + tp.Pessimistic) / 6
+	return Estimate{
+		Work: expected, Optimistic: tp.Optimistic, Pessimistic: tp.Pessimistic,
+		Basis: "pert",
+	}, nil
+}
+
+// Historical estimates an activity's duration from the measured spans of
+// its prior completed schedule instances and, failing that, from the runs
+// recorded in an execution space — "the metadata from previous designs is
+// available" (§III). Fallback is used when an activity has no history.
+type Historical struct {
+	// Sched supplies prior schedule instances (may be from an earlier
+	// project's database). Optional.
+	Sched *Space
+	// Exec supplies prior run metadata. Optional.
+	Exec *meta.Space
+	// Fallback handles activities with no history. Required.
+	Fallback Estimator
+}
+
+// Estimate implements Estimator.
+func (h Historical) Estimate(activity string, rule *schema.Rule) (Estimate, error) {
+	if h.Fallback == nil {
+		return Estimate{}, fmt.Errorf("historical estimator needs a fallback")
+	}
+	if d, n := h.fromSchedule(activity); n > 0 {
+		return Estimate{Work: d, Basis: fmt.Sprintf("historical-schedule(n=%d)", n)}, nil
+	}
+	if d, n := h.fromRuns(activity); n > 0 {
+		return Estimate{Work: d, Basis: fmt.Sprintf("historical-runs(n=%d)", n)}, nil
+	}
+	return h.Fallback.Estimate(activity, rule)
+}
+
+// fromSchedule averages the actual working spans of completed schedule
+// instances of the activity.
+func (h Historical) fromSchedule(activity string) (time.Duration, int) {
+	if h.Sched == nil {
+		return 0, 0
+	}
+	_, insts, err := h.Sched.History(activity)
+	if err != nil {
+		return 0, 0
+	}
+	var total time.Duration
+	n := 0
+	for _, in := range insts {
+		if !in.Done || in.ActualStart.IsZero() || in.ActualFinish.IsZero() {
+			continue
+		}
+		total += h.Sched.Calendar.WorkBetween(in.ActualStart, in.ActualFinish)
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return total / time.Duration(n), n
+}
+
+// fromRuns sums, per task completion, the working spans of the activity's
+// successful runs; with no completion markers it falls back to the mean
+// run span times the observed iteration count.
+func (h Historical) fromRuns(activity string) (time.Duration, int) {
+	if h.Exec == nil || h.Sched == nil {
+		return 0, 0
+	}
+	_, runs, err := h.Exec.Runs(activity)
+	if err != nil {
+		return 0, 0
+	}
+	var total time.Duration
+	n := 0
+	for _, r := range runs {
+		if r.Status == meta.RunInProgress || r.Finished.IsZero() {
+			continue
+		}
+		total += h.Sched.Calendar.WorkBetween(r.Started, r.Finished)
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	// All iterations of an activity contribute to one task's duration,
+	// so the estimate is the total work across runs (iteration included).
+	return total, n
+}

@@ -1,0 +1,194 @@
+package sched_test
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"flowsched/internal/flow"
+	"flowsched/internal/sched"
+	"flowsched/internal/store"
+	"flowsched/internal/vclock"
+	"flowsched/internal/workload"
+)
+
+// planRandom plans a random layered workload and returns the space, plan,
+// and instances, or false on generation failure (never expected).
+func planRandom(t *testing.T, depth, width int, seed int64, constrained bool) (*sched.Space, sched.Plan, []sched.Instance) {
+	t.Helper()
+	sch, err := workload.Layered(workload.LayeredConfig{
+		Depth: depth, Width: width, FanIn: 2, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := flow.FromSchema(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := g.Extract(sch.PrimaryOutputs()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := sched.NewSpace(store.NewDB(), sch, vclock.Standard())
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := workload.Estimates(sch, 8*time.Hour, 0.3, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	team := []string{"a", "b", "c"}
+	res, err := sp.Plan(tree, vclock.Epoch, est, sched.PlanOptions{
+		Assignments:         workload.Assignments(sch, team),
+		ResourceConstrained: constrained,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, insts, err := sp.Instances(&res.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp, res.Plan, insts
+}
+
+// Property: every planned window lies inside working time — starts and
+// finishes are working instants, and the window length equals the
+// estimate in working time.
+func TestPlanWindowsAreWorkingTime(t *testing.T) {
+	cal := vclock.Standard()
+	f := func(seed int64, d, w uint8) bool {
+		depth, width := int(d%4)+1, int(w%4)+1
+		_, _, insts := planRandom(t, depth, width, seed, false)
+		for _, in := range insts {
+			if !cal.NextWorkInstant(in.PlannedStart).Equal(in.PlannedStart) {
+				return false
+			}
+			if cal.WorkBetween(in.PlannedStart, in.PlannedFinish) != in.EstWork {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the schedule space mirrors the planned scope — exactly one
+// instance per activity per plan version (DESIGN.md invariant).
+func TestMirrorInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		sp, plan, insts := planRandom(t, 3, 3, seed, false)
+		if len(insts) != len(plan.Activities) {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, in := range insts {
+			if in.PlanVersion != plan.Version || seen[in.Activity] {
+				return false
+			}
+			seen[in.Activity] = true
+		}
+		// Each activity container holds exactly plan-version instances.
+		for _, act := range plan.Activities {
+			_, hist, err := sp.History(act)
+			if err != nil || len(hist) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: under resource constraints, activities sharing a resource
+// never overlap, and the constrained finish is never earlier than the
+// unconstrained one.
+func TestResourceConstraintProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		_, planU, _ := planRandom(t, 3, 3, seed, false)
+		_, planC, instsC := planRandom(t, 3, 3, seed, true)
+		if planC.Finish.Before(planU.Finish) {
+			return false
+		}
+		byResource := map[string][]sched.Instance{}
+		for _, in := range instsC {
+			for _, r := range in.Resources {
+				byResource[r] = append(byResource[r], in)
+			}
+		}
+		for _, list := range byResource {
+			for i := range list {
+				for j := i + 1; j < len(list); j++ {
+					a, b := list[i], list[j]
+					if a.PlannedStart.Before(b.PlannedFinish) && b.PlannedStart.Before(a.PlannedFinish) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: propagation at arbitrary future instants preserves precedence
+// and never projects a finish before `now` for unfinished work.
+func TestPropagateProperty(t *testing.T) {
+	f := func(seed int64, hoursAhead uint16) bool {
+		sp, plan, _ := planRandom(t, 3, 2, seed, false)
+		now := vclock.Epoch.Add(time.Duration(hoursAhead%2000) * time.Hour)
+		projected, err := sp.Propagate(&plan, now)
+		if err != nil {
+			return false
+		}
+		if projected.Before(vclock.Standard().NextWorkInstant(now)) && projected.Before(now) {
+			return false
+		}
+		finish := map[string]time.Time{}
+		for _, act := range plan.Activities {
+			_, in, err := sp.Instance(&plan, act)
+			if err != nil {
+				return false
+			}
+			if in.PlannedFinish.Before(now) {
+				return false
+			}
+			for _, pred := range producersIn(sp, &plan, act) {
+				if in.PlannedStart.Before(finish[pred]) {
+					return false
+				}
+			}
+			finish[act] = in.PlannedFinish
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// producersIn returns the in-plan producer activities of act.
+func producersIn(sp *sched.Space, p *sched.Plan, act string) []string {
+	inPlan := make(map[string]bool, len(p.Activities))
+	for _, a := range p.Activities {
+		inPlan[a] = true
+	}
+	rule := sp.Schema.RuleByActivity(act)
+	if rule == nil {
+		return nil
+	}
+	var out []string
+	for _, in := range rule.Inputs {
+		if prod := sp.Schema.Producer(in); prod != nil && inPlan[prod.Activity] {
+			out = append(out, prod.Activity)
+		}
+	}
+	return out
+}

@@ -1,0 +1,353 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"flowsched/internal/design"
+	"flowsched/internal/meta"
+	"flowsched/internal/store"
+	"flowsched/internal/vclock"
+)
+
+// trackedFixture sets up fig4 with both schedule and execution spaces on
+// one DB, plans, and provides an entity instance to link against.
+type trackedFixture struct {
+	*fixture
+	exec *meta.Space
+	plan Plan
+}
+
+func newTracked(t *testing.T) *trackedFixture {
+	t.Helper()
+	fx := newFixture(t, fig4, "performance")
+	exec, err := meta.NewSpace(fx.space.DB, fx.space.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fx.space.Plan(fx.tree, t0,
+		fixedEst(map[string]int{"Create": 16, "Simulate": 8}), PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &trackedFixture{fixture: fx, exec: exec, plan: res.Plan}
+}
+
+// recordNetlist runs Create once and records a netlist entity.
+func (fx *trackedFixture) recordNetlist(t *testing.T, start, finish time.Time) *store.Entry {
+	t.Helper()
+	r, err := fx.exec.BeginRun("Create", "editor#1", "ewj", start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fx.exec.FinishRun(r.ID, finish, meta.RunSucceeded); err != nil {
+		t.Fatal(err)
+	}
+	e, err := fx.exec.RecordEntity("netlist", r.ID, design.Ref{Class: "netlist", Version: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestMarkStarted(t *testing.T) {
+	fx := newTracked(t)
+	at := t0.Add(2 * time.Hour)
+	if err := fx.space.MarkStarted(&fx.plan, "Create", at); err != nil {
+		t.Fatal(err)
+	}
+	_, in, _ := fx.space.Instance(&fx.plan, "Create")
+	if !in.ActualStart.Equal(at) {
+		t.Fatalf("ActualStart = %v", in.ActualStart)
+	}
+	// Second mark is a no-op (first data instance sets the date).
+	if err := fx.space.MarkStarted(&fx.plan, "Create", at.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	_, in, _ = fx.space.Instance(&fx.plan, "Create")
+	if !in.ActualStart.Equal(at) {
+		t.Fatalf("ActualStart overwritten: %v", in.ActualStart)
+	}
+	if err := fx.space.MarkStarted(&fx.plan, "Nope", at); err == nil {
+		t.Fatal("unknown activity accepted")
+	}
+}
+
+func TestCompleteLinksEntity(t *testing.T) {
+	fx := newTracked(t)
+	finish := t0.Add(8 * time.Hour)
+	ent := fx.recordNetlist(t, t0, finish)
+	if err := fx.space.MarkStarted(&fx.plan, "Create", t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fx.space.Complete(&fx.plan, "Create", ent.ID, finish); err != nil {
+		t.Fatal(err)
+	}
+	se, in, _ := fx.space.Instance(&fx.plan, "Create")
+	if !in.Done || in.LinkedEntity != ent.ID || !in.ActualFinish.Equal(finish) {
+		t.Fatalf("instance = %+v", in)
+	}
+	// Fig. 7: link is recorded bidirectionally in the database.
+	if !fx.space.DB.Linked(se.ID, ent.ID) || !fx.space.DB.Linked(ent.ID, se.ID) {
+		t.Fatal("schedule<->entity link missing")
+	}
+}
+
+func TestCompleteErrors(t *testing.T) {
+	fx := newTracked(t)
+	finish := t0.Add(8 * time.Hour)
+	ent := fx.recordNetlist(t, t0, finish)
+	if err := fx.space.Complete(&fx.plan, "Create", "ghost/1", finish); err == nil {
+		t.Fatal("missing entity accepted")
+	}
+	// Linking the wrong class: entity is a netlist, Simulate produces
+	// performance.
+	if err := fx.space.Complete(&fx.plan, "Simulate", ent.ID, finish); err == nil {
+		t.Fatal("class-mismatched link accepted")
+	}
+	fx.space.MarkStarted(&fx.plan, "Create", t0)
+	if err := fx.space.Complete(&fx.plan, "Create", ent.ID, t0.Add(-time.Hour)); err == nil {
+		t.Fatal("finish before start accepted")
+	}
+	if err := fx.space.Complete(&fx.plan, "Create", ent.ID, finish); err != nil {
+		t.Fatal(err)
+	}
+	if err := fx.space.Complete(&fx.plan, "Create", ent.ID, finish); err == nil {
+		t.Fatal("double completion accepted")
+	}
+	if err := fx.space.MarkStarted(&fx.plan, "Create", finish); err == nil {
+		t.Fatal("MarkStarted after completion accepted")
+	}
+}
+
+func TestCompleteWithoutStartSetsStart(t *testing.T) {
+	fx := newTracked(t)
+	finish := t0.Add(8 * time.Hour)
+	ent := fx.recordNetlist(t, t0, finish)
+	if err := fx.space.Complete(&fx.plan, "Create", ent.ID, finish); err != nil {
+		t.Fatal(err)
+	}
+	_, in, _ := fx.space.Instance(&fx.plan, "Create")
+	if !in.Started() {
+		t.Fatal("completion did not set actual start")
+	}
+}
+
+func TestPropagateSlip(t *testing.T) {
+	fx := newTracked(t)
+	// Create was planned to finish Tue 17:00. It actually finishes
+	// Thursday 17:00 — a two-day slip.
+	lateFinish := time.Date(1995, time.June, 8, 17, 0, 0, 0, time.UTC)
+	ent := fx.recordNetlist(t, t0, lateFinish)
+	fx.space.MarkStarted(&fx.plan, "Create", t0)
+	if err := fx.space.Complete(&fx.plan, "Create", ent.ID, lateFinish); err != nil {
+		t.Fatal(err)
+	}
+	projected, err := fx.space.Propagate(&fx.plan, lateFinish)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate (8h) now starts Friday 09:00 and finishes Friday 17:00.
+	_, sim, _ := fx.space.Instance(&fx.plan, "Simulate")
+	wantStart := time.Date(1995, time.June, 9, 9, 0, 0, 0, time.UTC)
+	wantFinish := time.Date(1995, time.June, 9, 17, 0, 0, 0, time.UTC)
+	if !sim.PlannedStart.Equal(wantStart) || !sim.PlannedFinish.Equal(wantFinish) {
+		t.Fatalf("Simulate replanned to %v..%v, want %v..%v",
+			sim.PlannedStart, sim.PlannedFinish, wantStart, wantFinish)
+	}
+	if !projected.Equal(wantFinish) {
+		t.Fatalf("projected finish = %v, want %v", projected, wantFinish)
+	}
+	// The plan entry itself was updated.
+	_, p, _ := fx.space.PlanByVersion(fx.plan.Version)
+	if !p.Finish.Equal(wantFinish) {
+		t.Fatalf("persisted plan finish = %v", p.Finish)
+	}
+}
+
+func TestPropagateRunningTaskCannotFinishInPast(t *testing.T) {
+	fx := newTracked(t)
+	fx.space.MarkStarted(&fx.plan, "Create", t0)
+	// It is now Friday; Create (16h, planned to finish Tuesday) still
+	// isn't done — the projected finish must be pushed to now.
+	now := time.Date(1995, time.June, 9, 13, 0, 0, 0, time.UTC)
+	if _, err := fx.space.Propagate(&fx.plan, now); err != nil {
+		t.Fatal(err)
+	}
+	_, in, _ := fx.space.Instance(&fx.plan, "Create")
+	if in.PlannedFinish.Before(now) {
+		t.Fatalf("running task projected to finish in the past: %v < %v", in.PlannedFinish, now)
+	}
+	if !in.PlannedStart.Equal(t0) {
+		t.Fatalf("running task lost its actual start: %v", in.PlannedStart)
+	}
+}
+
+func TestPropagateNoSlipKeepsPlan(t *testing.T) {
+	fx := newTracked(t)
+	// Propagate immediately at project start: dates should be unchanged.
+	orig := map[string][2]time.Time{}
+	for _, act := range fx.plan.Activities {
+		_, in, _ := fx.space.Instance(&fx.plan, act)
+		orig[act] = [2]time.Time{in.PlannedStart, in.PlannedFinish}
+	}
+	if _, err := fx.space.Propagate(&fx.plan, t0); err != nil {
+		t.Fatal(err)
+	}
+	for _, act := range fx.plan.Activities {
+		_, in, _ := fx.space.Instance(&fx.plan, act)
+		if !in.PlannedStart.Equal(orig[act][0]) || !in.PlannedFinish.Equal(orig[act][1]) {
+			t.Errorf("%s moved without slip: %v..%v", act, in.PlannedStart, in.PlannedFinish)
+		}
+	}
+}
+
+func TestPropagatePrecedencePreserved(t *testing.T) {
+	fx := newFixture(t, diamond, "merged")
+	res, err := fx.space.Plan(fx.tree, t0, Fixed{Default: 8 * time.Hour}, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := t0.Add(7 * 24 * time.Hour)
+	if _, err := fx.space.Propagate(&res.Plan, now); err != nil {
+		t.Fatal(err)
+	}
+	finish := map[string]time.Time{}
+	for _, act := range res.Plan.Activities {
+		_, in, _ := fx.space.Instance(&res.Plan, act)
+		for _, pred := range predecessorsIn(&res.Plan, fx.space, act) {
+			if in.PlannedStart.Before(finish[pred]) {
+				t.Errorf("after propagate, %s starts before producer %s finishes", act, pred)
+			}
+		}
+		finish[act] = in.PlannedFinish
+	}
+}
+
+func TestStatus(t *testing.T) {
+	fx := newTracked(t)
+	ent := fx.recordNetlist(t, t0, t0.Add(8*time.Hour))
+	fx.space.MarkStarted(&fx.plan, "Create", t0)
+	now := t0.Add(8 * time.Hour)
+	st, err := fx.space.Status(&fx.plan, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st) != 2 {
+		t.Fatalf("status rows = %d", len(st))
+	}
+	if st[0].Activity != "Create" || st[0].State != InProgress {
+		t.Fatalf("Create status = %+v", st[0])
+	}
+	if st[1].State != Pending {
+		t.Fatalf("Simulate status = %+v", st[1])
+	}
+	// Complete with a slip: planned Tue 17:00, actual Wed 17:00 → 8h slip.
+	late := time.Date(1995, time.June, 7, 17, 0, 0, 0, time.UTC)
+	if err := fx.space.Complete(&fx.plan, "Create", ent.ID, late); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = fx.space.Status(&fx.plan, late)
+	if st[0].State != Done || st[0].Slip != 8*time.Hour {
+		t.Fatalf("completed status = %+v, want 8h slip", st[0])
+	}
+}
+
+func TestHistoricalEstimator(t *testing.T) {
+	fx := newTracked(t)
+	// Complete Create with an actual span of 24 working hours (3 days).
+	finish := time.Date(1995, time.June, 7, 17, 0, 0, 0, time.UTC)
+	ent := fx.recordNetlist(t, t0, finish)
+	fx.space.MarkStarted(&fx.plan, "Create", t0)
+	fx.space.Complete(&fx.plan, "Create", ent.ID, finish)
+
+	h := Historical{Sched: fx.space, Exec: fx.exec, Fallback: Fixed{Default: 4 * time.Hour}}
+	est, err := h.Estimate("Create", fx.space.Schema.RuleByActivity("Create"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Work != 24*time.Hour {
+		t.Fatalf("historical estimate = %v, want 24h working time", est.Work)
+	}
+	if est.Basis != "historical-schedule(n=1)" {
+		t.Fatalf("basis = %q", est.Basis)
+	}
+	// Simulate has no completed history; falls back.
+	est2, err := h.Estimate("Simulate", fx.space.Schema.RuleByActivity("Simulate"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est2.Work != 4*time.Hour || est2.Basis != "fixed-default" {
+		t.Fatalf("fallback estimate = %+v", est2)
+	}
+}
+
+func TestHistoricalFromRuns(t *testing.T) {
+	fx := newTracked(t)
+	// Two finished Create runs of 8h working time each, no schedule
+	// completion: fromRuns totals 16h.
+	fx.recordNetlist(t, t0, t0.Add(8*time.Hour))
+	day2 := t0.Add(24 * time.Hour)
+	fx.recordNetlist(t, day2, day2.Add(8*time.Hour))
+
+	// Use a fresh schedule space so no completed schedule instances exist.
+	h := Historical{Sched: fx.space, Exec: fx.exec, Fallback: Fixed{Default: time.Hour}}
+	// Clear completion state: plan instances are not Done, so
+	// fromSchedule yields nothing and runs are consulted.
+	est, err := h.Estimate("Create", fx.space.Schema.RuleByActivity("Create"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Work != 16*time.Hour {
+		t.Fatalf("runs-based estimate = %v, want 16h", est.Work)
+	}
+}
+
+func TestHistoricalNeedsFallback(t *testing.T) {
+	h := Historical{}
+	if _, err := h.Estimate("X", nil); err == nil {
+		t.Fatal("missing fallback accepted")
+	}
+}
+
+func TestPERTEstimator(t *testing.T) {
+	p := PERT{ByActivity: map[string]ThreePoint{
+		"Create": {Optimistic: 8 * time.Hour, Likely: 14 * time.Hour, Pessimistic: 32 * time.Hour},
+	}}
+	est, err := p.Estimate("Create", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (8*time.Hour + 4*14*time.Hour + 32*time.Hour) / 6
+	if est.Work != want {
+		t.Fatalf("PERT expected = %v, want %v", est.Work, want)
+	}
+	if est.Optimistic != 8*time.Hour || est.Pessimistic != 32*time.Hour {
+		t.Fatalf("bounds = %v/%v", est.Optimistic, est.Pessimistic)
+	}
+	if _, err := p.Estimate("Missing", nil); err == nil {
+		t.Fatal("missing activity accepted")
+	}
+	bad := PERT{ByActivity: map[string]ThreePoint{
+		"X": {Optimistic: 10 * time.Hour, Likely: 5 * time.Hour, Pessimistic: 20 * time.Hour},
+	}}
+	if _, err := bad.Estimate("X", nil); err == nil {
+		t.Fatal("unordered three-point accepted")
+	}
+}
+
+func TestPlanKeepsLevel12Untouched(t *testing.T) {
+	// Invariant from §IV.A: planning creates only Level 3 schedule data.
+	fx := newTracked(t)
+	before := fx.space.DB.Stats()[store.ExecutionSpace]
+	fx.space.Plan(fx.tree, t0, fixedEst(map[string]int{"Create": 8, "Simulate": 8}), PlanOptions{})
+	after := fx.space.DB.Stats()[store.ExecutionSpace]
+	if before != after {
+		t.Fatalf("planning changed execution space: %+v -> %+v", before, after)
+	}
+	if fx.space.Schema.Format() == "" {
+		t.Fatal("schema lost")
+	}
+}
+
+var _ = vclock.Standard // keep import if fixtures change

@@ -1,0 +1,42 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the DSL parser never panics and that every
+// schema it accepts survives a Format/Parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"schema x\ndata d\ntool t\nrule A: d <- t()",
+		"data a, b\ntool t\na <- t()\nb <- t(a)",
+		"# comment only",
+		"rule broken",
+		"data d\ntool t\nrule A: d <- t(",
+		"schema é\ndata d\ntool t\nrule A: d <- t()",
+		"data d\ntool t\nrule A: d <- t()\nrule A: d <- t()",
+		strings.Repeat("data d\n", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Accepted schemas must be valid and round-trippable.
+		if err := s.Validate(); err != nil {
+			t.Fatalf("accepted invalid schema: %v\n%s", err, src)
+		}
+		re, err := Parse(s.Format())
+		if err != nil {
+			t.Fatalf("Format output unparseable: %v\n%s", err, s.Format())
+		}
+		if re.Format() != s.Format() {
+			t.Fatalf("Format not stable:\n%s\nvs\n%s", s.Format(), re.Format())
+		}
+	})
+}

@@ -1,0 +1,146 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads a task schema from its textual DSL. The grammar, one
+// statement per line:
+//
+//	schema NAME                      (optional, at most once, first)
+//	data NAME[, NAME...]             declare data classes
+//	tool NAME[, NAME...]             declare tool classes
+//	rule ACT: OUT <- TOOL(IN, ...)   construction rule with explicit activity
+//	OUT <- TOOL(IN, ...)             rule; activity name derived from TOOL
+//	# comment                        (also trailing comments)
+//
+// Blank lines are ignored. Parse validates the schema before returning it.
+func Parse(src string) (*Schema, error) {
+	s := New("schema")
+	named := false
+	sawStmt := false
+	for lineno, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := parseLine(s, line, &named, sawStmt); err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineno+1, err)
+		}
+		sawStmt = true
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func parseLine(s *Schema, line string, named *bool, sawStmt bool) error {
+	switch {
+	case strings.HasPrefix(line, "schema "):
+		name := strings.TrimSpace(strings.TrimPrefix(line, "schema "))
+		if *named {
+			return fmt.Errorf("duplicate schema statement")
+		}
+		if sawStmt {
+			return fmt.Errorf("schema statement must come first")
+		}
+		if err := validName(name); err != nil {
+			return err
+		}
+		s.Name = name
+		*named = true
+		return nil
+	case strings.HasPrefix(line, "data "):
+		return parseClassList(line[len("data "):], s.AddDataClass)
+	case strings.HasPrefix(line, "tool "):
+		return parseClassList(line[len("tool "):], s.AddToolClass)
+	default:
+		return parseRule(s, line)
+	}
+}
+
+func parseClassList(list string, add func(string) (*Class, error)) error {
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return fmt.Errorf("empty class name in list")
+		}
+		if _, err := add(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseRule handles both "rule ACT: OUT <- TOOL(IN,...)" and the
+// activity-less form "OUT <- TOOL(IN,...)".
+func parseRule(s *Schema, line string) error {
+	activity := ""
+	body := line
+	if strings.HasPrefix(line, "rule ") {
+		rest := strings.TrimPrefix(line, "rule ")
+		colon := strings.IndexByte(rest, ':')
+		if colon < 0 {
+			return fmt.Errorf("rule statement missing ':' in %q", line)
+		}
+		activity = strings.TrimSpace(rest[:colon])
+		body = strings.TrimSpace(rest[colon+1:])
+	}
+	arrow := strings.Index(body, "<-")
+	if arrow < 0 {
+		return fmt.Errorf("expected construction rule (OUT <- TOOL(...)), got %q", line)
+	}
+	out := strings.TrimSpace(body[:arrow])
+	app := strings.TrimSpace(body[arrow+2:])
+	open := strings.IndexByte(app, '(')
+	if open < 0 || !strings.HasSuffix(app, ")") {
+		return fmt.Errorf("rule application must be TOOL(inputs), got %q", app)
+	}
+	tool := strings.TrimSpace(app[:open])
+	argsText := strings.TrimSpace(app[open+1 : len(app)-1])
+	var inputs []string
+	if argsText != "" {
+		for _, a := range strings.Split(argsText, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				return fmt.Errorf("empty input in rule %q", line)
+			}
+			inputs = append(inputs, a)
+		}
+	}
+	if activity == "" {
+		// Derive the activity name from the tool, capitalized: the paper
+		// names activities after their function ("Simulate" for simulator).
+		activity = deriveActivity(s, tool)
+	}
+	_, err := s.AddRule(activity, out, tool, inputs...)
+	return err
+}
+
+// deriveActivity builds an unused activity name from a tool class name.
+func deriveActivity(s *Schema, tool string) string {
+	base := tool
+	if base != "" {
+		base = strings.ToUpper(base[:1]) + base[1:]
+	}
+	name := base
+	for i := 2; s.RuleByActivity(name) != nil; i++ {
+		name = fmt.Sprintf("%s%d", base, i)
+	}
+	return name
+}
+
+// MustParse is Parse that panics on error, for tests and fixed fixtures.
+func MustParse(src string) *Schema {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,171 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseActivityDerivedFromTool(t *testing.T) {
+	s, err := Parse(`
+data netlist
+tool editor
+netlist <- editor()
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RuleByActivity("Editor") == nil {
+		t.Fatalf("derived activity Editor missing; rules: %v", s.Rules())
+	}
+}
+
+func TestParseDerivedActivityDisambiguated(t *testing.T) {
+	s, err := Parse(`
+data a, b
+tool t
+a <- t()
+b <- t(a)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RuleByActivity("T") == nil || s.RuleByActivity("T2") == nil {
+		t.Fatalf("want activities T and T2; rules: %v", s.Rules())
+	}
+}
+
+func TestParseCommentsAndBlank(t *testing.T) {
+	s, err := Parse(`
+# leading comment
+schema c   # not a trailing comment target? yes it is
+
+data d  # trailing
+tool t
+rule A: d <- t()  # rule comment
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "c" {
+		t.Fatalf("Name = %q", s.Name)
+	}
+	if len(s.Rules()) != 1 {
+		t.Fatalf("rules = %d, want 1", len(s.Rules()))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"missing colon", "data d\ntool t\nrule A d <- t()", "missing ':'"},
+		{"missing arrow", "data d\ntool t\nrule A: d t()", "construction rule"},
+		{"garbage line", "data d\ntool t\nwhatever", "construction rule"},
+		{"missing parens", "data d\ntool t\nrule A: d <- t", "TOOL(inputs)"},
+		{"empty input", "data d,e\ntool t\nrule A: d <- t(e,)", "empty input"},
+		{"duplicate schema stmt", "schema a\nschema b\ndata d\ntool t\nrule A: d <- t()", "duplicate schema"},
+		{"schema not first", "data d\nschema b\ntool t\nrule A: d <- t()", "must come first"},
+		{"empty class in list", "data d,,e\ntool t\nrule A: d <- t()", "empty class name"},
+		{"validation failure propagates", "data d\ntool t, idle\nrule A: d <- t()", "not used"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want contains %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseErrorReportsLine(t *testing.T) {
+	_, err := Parse("data d\ntool t\nbogus line here\nrule A: d <- t()")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("err = %v, want line 3", err)
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	src := `
+schema asic
+data rtl, netlist, layout, drcreport
+tool synthesizer, router, checker
+rule Synthesize: netlist <- synthesizer(rtl)
+rule Route:      layout  <- router(netlist)
+rule Check:      drcreport <- checker(layout, netlist)
+`
+	s1, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Parse(s1.Format())
+	if err != nil {
+		t.Fatalf("re-parse of Format output: %v\n%s", err, s1.Format())
+	}
+	if s1.Format() != s2.Format() {
+		t.Fatalf("Format not a fixed point:\n%s\nvs\n%s", s1.Format(), s2.Format())
+	}
+	if len(s2.Rules()) != 3 || s2.Name != "asic" {
+		t.Fatalf("round trip lost content: %s", s2.Format())
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse on bad input did not panic")
+		}
+	}()
+	MustParse("nonsense")
+}
+
+// Property: any schema built from a random chain of activities parses its
+// own Format output back to an equivalent schema.
+func TestFormatRoundTripProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		depth := int(n%8) + 1
+		s := New("chain")
+		s.AddToolClass("tool0")
+		prev := ""
+		for i := 0; i <= depth; i++ {
+			name := "d" + string(rune('a'+i))
+			s.AddDataClass(name)
+			if i > 0 {
+				if _, err := s.AddRule("A"+string(rune('a'+i)), name, "tool0", prev); err != nil {
+					return false
+				}
+			}
+			prev = name
+		}
+		if err := s.Validate(); err != nil {
+			return false
+		}
+		re, err := Parse(s.Format())
+		if err != nil {
+			return false
+		}
+		return re.Format() == s.Format() && len(re.Rules()) == depth
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TopoRules emits producers before consumers.
+func TestTopoOrderProperty(t *testing.T) {
+	s := buildFig4(t)
+	order, err := s.TopoRules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[string]int)
+	for i, r := range order {
+		pos[r.Output] = i
+	}
+	for i, r := range order {
+		for _, in := range r.Inputs {
+			if p, produced := pos[in]; produced && p >= i {
+				t.Fatalf("consumer %s at %d before producer of %s at %d", r.Activity, i, in, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,373 @@
+// Package schema implements Level 1 of the four-level flow-management
+// architecture: the basic elements from which design flows are created.
+//
+// A task schema declares the entity classes of a design process — data
+// classes (netlist, stimuli, performance, …) and tool classes (editor,
+// simulator, …) — and a set of construction rules of the form
+//
+//	d_i <- f(d_1, ..., d_n)
+//
+// stating that an instance of data class d_i is created by applying tool f
+// to instances of classes d_1..d_n (paper §IV.A). Each rule corresponds to
+// one design activity; the example of the paper's Fig. 4 is
+//
+//	rule Create:   netlist     <- editor()
+//	rule Simulate: performance <- simulator(netlist, stimuli)
+//
+// The schema is the only Level 1 object; instantiating it yields Level 2
+// flows (package flow), and parsing it into a task database creates the
+// entity and schedule containers of Level 3 (packages meta and sched).
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ClassKind distinguishes the two kinds of entity class in a task schema.
+type ClassKind int
+
+const (
+	// DataClass describes design data (netlists, layouts, reports …).
+	DataClass ClassKind = iota
+	// ToolClass describes CAD tools that transform design data.
+	ToolClass
+)
+
+// String returns "data" or "tool".
+func (k ClassKind) String() string {
+	switch k {
+	case DataClass:
+		return "data"
+	case ToolClass:
+		return "tool"
+	default:
+		return fmt.Sprintf("ClassKind(%d)", int(k))
+	}
+}
+
+// Class is an entity class: a named data or tool type declared by a schema.
+type Class struct {
+	Name string
+	Kind ClassKind
+	// Attrs carries free-form annotations (e.g. "format": "spice").
+	Attrs map[string]string
+}
+
+// Rule is a construction rule: Output <- Tool(Inputs...). Each rule defines
+// one design activity.
+type Rule struct {
+	// Activity names the design activity the rule describes (e.g.
+	// "Simulate"). Activity names are unique within a schema.
+	Activity string
+	// Output is the data class the activity produces.
+	Output string
+	// Tool is the tool class applied.
+	Tool string
+	// Inputs are the data classes consumed, in declaration order. Empty for
+	// source activities such as Create.
+	Inputs []string
+}
+
+// String renders the rule in the DSL syntax.
+func (r *Rule) String() string {
+	return fmt.Sprintf("rule %s: %s <- %s(%s)",
+		r.Activity, r.Output, r.Tool, strings.Join(r.Inputs, ", "))
+}
+
+// Schema is a complete task schema: entity classes plus construction rules.
+// Build one programmatically with New/AddDataClass/AddToolClass/AddRule, or
+// parse the DSL with Parse. A schema must pass Validate before it is used
+// to instantiate flows.
+type Schema struct {
+	Name    string
+	classes map[string]*Class
+	order   []string // class declaration order, for stable output
+	rules   []*Rule
+	byAct   map[string]*Rule
+	byOut   map[string]*Rule
+}
+
+// New returns an empty schema with the given name.
+func New(name string) *Schema {
+	return &Schema{
+		Name:    name,
+		classes: make(map[string]*Class),
+		byAct:   make(map[string]*Rule),
+		byOut:   make(map[string]*Rule),
+	}
+}
+
+func validName(s string) error {
+	if s == "" {
+		return fmt.Errorf("schema: empty name")
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9', r == '_', r == '-':
+		default:
+			return fmt.Errorf("schema: name %q contains invalid character %q", s, r)
+		}
+	}
+	return nil
+}
+
+func (s *Schema) addClass(name string, kind ClassKind) (*Class, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	if c, ok := s.classes[name]; ok {
+		if c.Kind != kind {
+			return nil, fmt.Errorf("schema: class %q redeclared as %v (was %v)", name, kind, c.Kind)
+		}
+		return c, nil // idempotent redeclaration
+	}
+	c := &Class{Name: name, Kind: kind, Attrs: make(map[string]string)}
+	s.classes[name] = c
+	s.order = append(s.order, name)
+	return c, nil
+}
+
+// AddDataClass declares a data class. Redeclaring an existing data class is
+// a no-op; redeclaring a tool class as data is an error.
+func (s *Schema) AddDataClass(name string) (*Class, error) {
+	return s.addClass(name, DataClass)
+}
+
+// AddToolClass declares a tool class.
+func (s *Schema) AddToolClass(name string) (*Class, error) {
+	return s.addClass(name, ToolClass)
+}
+
+// AddRule adds the construction rule `output <- tool(inputs...)` for the
+// named activity. All referenced classes must already be declared with the
+// correct kind; activity names and output classes must be unique.
+func (s *Schema) AddRule(activity, output, tool string, inputs ...string) (*Rule, error) {
+	if err := validName(activity); err != nil {
+		return nil, fmt.Errorf("schema: invalid activity: %w", err)
+	}
+	if _, dup := s.byAct[activity]; dup {
+		return nil, fmt.Errorf("schema: duplicate activity %q", activity)
+	}
+	out, ok := s.classes[output]
+	if !ok {
+		return nil, fmt.Errorf("schema: rule %s: undeclared output class %q", activity, output)
+	}
+	if out.Kind != DataClass {
+		return nil, fmt.Errorf("schema: rule %s: output %q is a %v class, want data", activity, output, out.Kind)
+	}
+	if _, dup := s.byOut[output]; dup {
+		return nil, fmt.Errorf("schema: data class %q already produced by activity %q",
+			output, s.byOut[output].Activity)
+	}
+	tl, ok := s.classes[tool]
+	if !ok {
+		return nil, fmt.Errorf("schema: rule %s: undeclared tool class %q", activity, tool)
+	}
+	if tl.Kind != ToolClass {
+		return nil, fmt.Errorf("schema: rule %s: %q is a %v class, want tool", activity, tool, tl.Kind)
+	}
+	seen := make(map[string]bool, len(inputs))
+	for _, in := range inputs {
+		ic, ok := s.classes[in]
+		if !ok {
+			return nil, fmt.Errorf("schema: rule %s: undeclared input class %q", activity, in)
+		}
+		if ic.Kind != DataClass {
+			return nil, fmt.Errorf("schema: rule %s: input %q is a %v class, want data", activity, in, ic.Kind)
+		}
+		if in == output {
+			return nil, fmt.Errorf("schema: rule %s: output %q listed as its own input", activity, in)
+		}
+		if seen[in] {
+			return nil, fmt.Errorf("schema: rule %s: duplicate input %q", activity, in)
+		}
+		seen[in] = true
+	}
+	r := &Rule{Activity: activity, Output: output, Tool: tool, Inputs: append([]string(nil), inputs...)}
+	s.rules = append(s.rules, r)
+	s.byAct[activity] = r
+	s.byOut[output] = r
+	return r, nil
+}
+
+// Class returns the named class, or nil if undeclared.
+func (s *Schema) Class(name string) *Class { return s.classes[name] }
+
+// Classes returns all classes in declaration order.
+func (s *Schema) Classes() []*Class {
+	out := make([]*Class, 0, len(s.order))
+	for _, n := range s.order {
+		out = append(out, s.classes[n])
+	}
+	return out
+}
+
+// DataClasses returns the data classes in declaration order.
+func (s *Schema) DataClasses() []*Class { return s.classesOf(DataClass) }
+
+// ToolClasses returns the tool classes in declaration order.
+func (s *Schema) ToolClasses() []*Class { return s.classesOf(ToolClass) }
+
+func (s *Schema) classesOf(k ClassKind) []*Class {
+	var out []*Class
+	for _, n := range s.order {
+		if c := s.classes[n]; c.Kind == k {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Rules returns the construction rules in declaration order.
+func (s *Schema) Rules() []*Rule { return append([]*Rule(nil), s.rules...) }
+
+// RuleByActivity returns the rule for the named activity, or nil.
+func (s *Schema) RuleByActivity(activity string) *Rule { return s.byAct[activity] }
+
+// Producer returns the rule whose output is the given data class, or nil if
+// the class is a primary input.
+func (s *Schema) Producer(dataClass string) *Rule { return s.byOut[dataClass] }
+
+// Consumers returns the rules that take the given data class as an input,
+// in declaration order.
+func (s *Schema) Consumers(dataClass string) []*Rule {
+	var out []*Rule
+	for _, r := range s.rules {
+		for _, in := range r.Inputs {
+			if in == dataClass {
+				out = append(out, r)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// PrimaryInputs returns the data classes not produced by any rule, in
+// declaration order. These are the leaves to which the designer binds
+// concrete data instances before execution.
+func (s *Schema) PrimaryInputs() []string {
+	var out []string
+	for _, n := range s.order {
+		c := s.classes[n]
+		if c.Kind == DataClass && s.byOut[n] == nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// PrimaryOutputs returns the data classes produced by some rule but
+// consumed by none, in declaration order: the final products of the
+// design process.
+func (s *Schema) PrimaryOutputs() []string {
+	consumed := make(map[string]bool)
+	for _, r := range s.rules {
+		for _, in := range r.Inputs {
+			consumed[in] = true
+		}
+	}
+	var out []string
+	for _, n := range s.order {
+		c := s.classes[n]
+		if c.Kind == DataClass && s.byOut[n] != nil && !consumed[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Validate checks global schema consistency: at least one rule, no unused
+// tool classes, no data-dependency cycles, and every non-primary data class
+// reachable from some rule. AddRule already enforces local well-formedness.
+func (s *Schema) Validate() error {
+	if len(s.rules) == 0 {
+		return fmt.Errorf("schema %s: no construction rules", s.Name)
+	}
+	usedTools := make(map[string]bool)
+	for _, r := range s.rules {
+		usedTools[r.Tool] = true
+	}
+	for _, c := range s.ToolClasses() {
+		if !usedTools[c.Name] {
+			return fmt.Errorf("schema %s: tool class %q is not used by any rule", s.Name, c.Name)
+		}
+	}
+	if _, err := s.TopoRules(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopoRules returns the rules in a topological order of their data
+// dependencies (producers before consumers), or an error naming a cycle.
+// The order is deterministic: among ready rules, declaration order wins.
+func (s *Schema) TopoRules() ([]*Rule, error) {
+	// indegree = number of inputs that are produced by some rule and not
+	// yet emitted.
+	indeg := make(map[string]int, len(s.rules))
+	for _, r := range s.rules {
+		n := 0
+		for _, in := range r.Inputs {
+			if s.byOut[in] != nil {
+				n++
+			}
+		}
+		indeg[r.Activity] = n
+	}
+	var order []*Rule
+	emitted := make(map[string]bool)
+	for len(order) < len(s.rules) {
+		progress := false
+		for _, r := range s.rules {
+			if emitted[r.Activity] || indeg[r.Activity] != 0 {
+				continue
+			}
+			emitted[r.Activity] = true
+			order = append(order, r)
+			progress = true
+			for _, c := range s.Consumers(r.Output) {
+				indeg[c.Activity]--
+			}
+		}
+		if !progress {
+			var stuck []string
+			for _, r := range s.rules {
+				if !emitted[r.Activity] {
+					stuck = append(stuck, r.Activity)
+				}
+			}
+			sort.Strings(stuck)
+			return nil, fmt.Errorf("schema %s: dependency cycle among activities %v", s.Name, stuck)
+		}
+	}
+	return order, nil
+}
+
+// Format renders the schema in the DSL accepted by Parse, suitable for
+// round-tripping and for reproducing the paper's Fig. 4 textually.
+func (s *Schema) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schema %s\n", s.Name)
+	if dc := s.DataClasses(); len(dc) > 0 {
+		names := make([]string, len(dc))
+		for i, c := range dc {
+			names[i] = c.Name
+		}
+		fmt.Fprintf(&b, "data %s\n", strings.Join(names, ", "))
+	}
+	if tc := s.ToolClasses(); len(tc) > 0 {
+		names := make([]string, len(tc))
+		for i, c := range tc {
+			names[i] = c.Name
+		}
+		fmt.Fprintf(&b, "tool %s\n", strings.Join(names, ", "))
+	}
+	for _, r := range s.rules {
+		fmt.Fprintf(&b, "%s\n", r)
+	}
+	return b.String()
+}

@@ -1,0 +1,226 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+// fig4 is the paper's Fig. 4 example task schema.
+const fig4 = `
+schema circuit
+data netlist, stimuli, performance
+tool editor, simulator
+rule Create:   netlist     <- editor()
+rule Simulate: performance <- simulator(netlist, stimuli)
+`
+
+func buildFig4(t *testing.T) *Schema {
+	t.Helper()
+	s, err := Parse(fig4)
+	if err != nil {
+		t.Fatalf("Parse(fig4): %v", err)
+	}
+	return s
+}
+
+func TestParseFig4(t *testing.T) {
+	s := buildFig4(t)
+	if s.Name != "circuit" {
+		t.Errorf("Name = %q, want circuit", s.Name)
+	}
+	if got := len(s.DataClasses()); got != 3 {
+		t.Errorf("data classes = %d, want 3", got)
+	}
+	if got := len(s.ToolClasses()); got != 2 {
+		t.Errorf("tool classes = %d, want 2", got)
+	}
+	if got := len(s.Rules()); got != 2 {
+		t.Fatalf("rules = %d, want 2", got)
+	}
+	sim := s.RuleByActivity("Simulate")
+	if sim == nil {
+		t.Fatal("no Simulate rule")
+	}
+	if sim.Output != "performance" || sim.Tool != "simulator" {
+		t.Errorf("Simulate rule = %v", sim)
+	}
+	if len(sim.Inputs) != 2 || sim.Inputs[0] != "netlist" || sim.Inputs[1] != "stimuli" {
+		t.Errorf("Simulate inputs = %v", sim.Inputs)
+	}
+}
+
+func TestPrimaryInputsOutputs(t *testing.T) {
+	s := buildFig4(t)
+	if got := s.PrimaryInputs(); len(got) != 1 || got[0] != "stimuli" {
+		t.Errorf("PrimaryInputs = %v, want [stimuli]", got)
+	}
+	if got := s.PrimaryOutputs(); len(got) != 1 || got[0] != "performance" {
+		t.Errorf("PrimaryOutputs = %v, want [performance]", got)
+	}
+}
+
+func TestProducerConsumers(t *testing.T) {
+	s := buildFig4(t)
+	if p := s.Producer("netlist"); p == nil || p.Activity != "Create" {
+		t.Errorf("Producer(netlist) = %v, want Create", p)
+	}
+	if p := s.Producer("stimuli"); p != nil {
+		t.Errorf("Producer(stimuli) = %v, want nil", p)
+	}
+	cons := s.Consumers("netlist")
+	if len(cons) != 1 || cons[0].Activity != "Simulate" {
+		t.Errorf("Consumers(netlist) = %v", cons)
+	}
+}
+
+func TestTopoRules(t *testing.T) {
+	s := buildFig4(t)
+	order, err := s.TopoRules()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0].Activity != "Create" || order[1].Activity != "Simulate" {
+		acts := make([]string, len(order))
+		for i, r := range order {
+			acts[i] = r.Activity
+		}
+		t.Fatalf("TopoRules = %v, want [Create Simulate]", acts)
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	s := New("cyclic")
+	mustClass(t, s.AddDataClass, "a")
+	mustClass(t, s.AddDataClass, "b")
+	mustClass(t, s.AddToolClass, "t")
+	if _, err := s.AddRule("A", "a", "t", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddRule("B", "b", "t", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("Validate = %v, want cycle error", err)
+	}
+}
+
+func mustClass(t *testing.T, add func(string) (*Class, error), name string) {
+	t.Helper()
+	if _, err := add(name); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddRuleRejections(t *testing.T) {
+	mk := func() *Schema {
+		s := New("x")
+		s.AddDataClass("d1")
+		s.AddDataClass("d2")
+		s.AddToolClass("t1")
+		return s
+	}
+	cases := []struct {
+		name string
+		do   func(s *Schema) error
+		want string
+	}{
+		{"undeclared output", func(s *Schema) error {
+			_, err := s.AddRule("A", "nope", "t1")
+			return err
+		}, "undeclared output"},
+		{"tool as output", func(s *Schema) error {
+			_, err := s.AddRule("A", "t1", "t1")
+			return err
+		}, "want data"},
+		{"undeclared tool", func(s *Schema) error {
+			_, err := s.AddRule("A", "d1", "nope")
+			return err
+		}, "undeclared tool"},
+		{"data as tool", func(s *Schema) error {
+			_, err := s.AddRule("A", "d1", "d2")
+			return err
+		}, "want tool"},
+		{"undeclared input", func(s *Schema) error {
+			_, err := s.AddRule("A", "d1", "t1", "nope")
+			return err
+		}, "undeclared input"},
+		{"self input", func(s *Schema) error {
+			_, err := s.AddRule("A", "d1", "t1", "d1")
+			return err
+		}, "own input"},
+		{"duplicate input", func(s *Schema) error {
+			_, err := s.AddRule("A", "d1", "t1", "d2", "d2")
+			return err
+		}, "duplicate input"},
+		{"duplicate activity", func(s *Schema) error {
+			if _, err := s.AddRule("A", "d1", "t1"); err != nil {
+				return err
+			}
+			_, err := s.AddRule("A", "d2", "t1")
+			return err
+		}, "duplicate activity"},
+		{"duplicate producer", func(s *Schema) error {
+			if _, err := s.AddRule("A", "d1", "t1"); err != nil {
+				return err
+			}
+			_, err := s.AddRule("B", "d1", "t1")
+			return err
+		}, "already produced"},
+		{"empty activity", func(s *Schema) error {
+			_, err := s.AddRule("", "d1", "t1")
+			return err
+		}, "empty name"},
+	}
+	for _, tc := range cases {
+		err := tc.do(mk())
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want contains %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestClassRedeclaration(t *testing.T) {
+	s := New("x")
+	if _, err := s.AddDataClass("d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddDataClass("d"); err != nil {
+		t.Fatalf("idempotent data redeclaration failed: %v", err)
+	}
+	if _, err := s.AddToolClass("d"); err == nil {
+		t.Fatal("kind-changing redeclaration accepted")
+	}
+	if got := len(s.Classes()); got != 1 {
+		t.Fatalf("classes = %d, want 1", got)
+	}
+}
+
+func TestValidateUnusedTool(t *testing.T) {
+	s := New("x")
+	s.AddDataClass("d")
+	s.AddToolClass("used")
+	s.AddToolClass("idle")
+	if _, err := s.AddRule("A", "d", "used"); err != nil {
+		t.Fatal(err)
+	}
+	err := s.Validate()
+	if err == nil || !strings.Contains(err.Error(), "idle") {
+		t.Fatalf("Validate = %v, want unused-tool error naming idle", err)
+	}
+}
+
+func TestValidateEmpty(t *testing.T) {
+	if err := New("x").Validate(); err == nil {
+		t.Fatal("empty schema validated")
+	}
+}
+
+func TestInvalidClassName(t *testing.T) {
+	s := New("x")
+	if _, err := s.AddDataClass("bad name"); err == nil {
+		t.Fatal("space in class name accepted")
+	}
+	if _, err := s.AddDataClass(""); err == nil {
+		t.Fatal("empty class name accepted")
+	}
+}

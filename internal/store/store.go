@@ -1,0 +1,377 @@
+// Package store implements the Hercules-style task database: a set of
+// containers, one per entity or schedule class, each holding versioned
+// instances created during flow execution or schedule planning.
+//
+// The database is the shared substrate beneath Level 3 of the four-level
+// architecture. The execution space (package meta) and the schedule space
+// (package sched) both store their instances here, which is precisely what
+// lets the paper's schedule model mirror the execution model and link the
+// two spaces together (paper Figs. 3, 5–7).
+//
+// Instances are append-only and versioned densely per container (version 1,
+// 2, 3, …), matching the paper's CC1/CC2, SC1/SC2, N1/N2 labelling. Typed
+// payloads are carried as JSON so the database itself stays schema-neutral.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Space identifies which Level 3 space a container belongs to.
+type Space string
+
+const (
+	// ExecutionSpace containers hold design metadata from actual runs.
+	ExecutionSpace Space = "execution"
+	// ScheduleSpace containers hold schedule instances from simulated runs.
+	ScheduleSpace Space = "schedule"
+)
+
+// Entry is one versioned instance inside a container.
+type Entry struct {
+	// ID is the globally unique identifier "container/version".
+	ID string `json:"id"`
+	// Container names the owning container.
+	Container string `json:"container"`
+	// Version is the dense, 1-based version within the container.
+	Version int `json:"version"`
+	// Created is the virtual time at which the instance was created.
+	Created time.Time `json:"created"`
+	// Deps are the IDs of the entries this instance was created from
+	// (instance dependencies, drawn as lines in the paper's figures).
+	Deps []string `json:"deps,omitempty"`
+	// Links are cross-space associations: a schedule instance linked to the
+	// entity instance that completed its task, and vice versa (Fig. 7).
+	Links []string `json:"links,omitempty"`
+	// Payload carries the typed instance data (run metadata, schedule
+	// parameters, …) marshalled as JSON by the owning package.
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// Container groups the versioned instances of one class.
+type Container struct {
+	// Name is the container name, unique within the database (e.g.
+	// "netlist", "sched:Create").
+	Name string `json:"name"`
+	// Space tells whether the container belongs to the execution or the
+	// schedule space.
+	Space Space `json:"space"`
+	// Class is the schema class or activity the container was created for.
+	Class string `json:"class"`
+	// Entries holds instances in version order.
+	Entries []*Entry `json:"entries"`
+}
+
+// Latest returns the highest-version entry, or nil for an empty container.
+func (c *Container) Latest() *Entry {
+	if len(c.Entries) == 0 {
+		return nil
+	}
+	return c.Entries[len(c.Entries)-1]
+}
+
+// DB is the task database. The zero value is not usable; call NewDB.
+// DB is safe for concurrent use.
+type DB struct {
+	mu         sync.RWMutex
+	containers map[string]*Container
+	order      []string
+	byID       map[string]*Entry
+}
+
+// NewDB returns an empty task database.
+func NewDB() *DB {
+	return &DB{
+		containers: make(map[string]*Container),
+		byID:       make(map[string]*Entry),
+	}
+}
+
+// CreateContainer adds an empty container. Creating an existing container
+// with identical space and class is a no-op; mismatching redefinition is an
+// error.
+func (db *DB) CreateContainer(name string, space Space, class string) (*Container, error) {
+	if name == "" {
+		return nil, fmt.Errorf("store: empty container name")
+	}
+	if strings.ContainsRune(name, '/') {
+		return nil, fmt.Errorf("store: container name %q must not contain '/'", name)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if c, ok := db.containers[name]; ok {
+		if c.Space != space || c.Class != class {
+			return nil, fmt.Errorf("store: container %q redefined (%s/%s vs %s/%s)",
+				name, c.Space, c.Class, space, class)
+		}
+		return c, nil
+	}
+	c := &Container{Name: name, Space: space, Class: class}
+	db.containers[name] = c
+	db.order = append(db.order, name)
+	return c, nil
+}
+
+// Container returns the named container, or nil.
+func (db *DB) Container(name string) *Container {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.containers[name]
+}
+
+// Containers returns all containers in creation order.
+func (db *DB) Containers() []*Container {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]*Container, 0, len(db.order))
+	for _, n := range db.order {
+		out = append(out, db.containers[n])
+	}
+	return out
+}
+
+// ContainersIn returns the containers of one space, in creation order.
+func (db *DB) ContainersIn(space Space) []*Container {
+	var out []*Container
+	for _, c := range db.Containers() {
+		if c.Space == space {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Put appends a new instance to the named container, assigning the next
+// version. All deps must reference existing entries. payload may be nil.
+func (db *DB) Put(container string, created time.Time, payload any, deps ...string) (*Entry, error) {
+	var raw json.RawMessage
+	if payload != nil {
+		b, err := json.Marshal(payload)
+		if err != nil {
+			return nil, fmt.Errorf("store: marshal payload for %q: %w", container, err)
+		}
+		raw = b
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	c, ok := db.containers[container]
+	if !ok {
+		return nil, fmt.Errorf("store: unknown container %q", container)
+	}
+	for _, d := range deps {
+		if db.byID[d] == nil {
+			return nil, fmt.Errorf("store: dependency %q does not exist", d)
+		}
+	}
+	e := &Entry{
+		ID:        fmt.Sprintf("%s/%d", container, len(c.Entries)+1),
+		Container: container,
+		Version:   len(c.Entries) + 1,
+		Created:   created,
+		Deps:      append([]string(nil), deps...),
+		Payload:   raw,
+	}
+	c.Entries = append(c.Entries, e)
+	db.byID[e.ID] = e
+	return e, nil
+}
+
+// Get returns the entry with the given ID, or nil.
+func (db *DB) Get(id string) *Entry {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.byID[id]
+}
+
+// Decode unmarshals an entry's payload into out.
+func (e *Entry) Decode(out any) error {
+	if len(e.Payload) == 0 {
+		return fmt.Errorf("store: entry %s has no payload", e.ID)
+	}
+	return json.Unmarshal(e.Payload, out)
+}
+
+// SetPayload replaces an entry's payload. Instances are append-only in
+// identity and dependencies, but their typed payloads evolve (a schedule
+// instance acquires actual dates as execution proceeds).
+func (db *DB) SetPayload(id string, payload any) error {
+	b, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("store: marshal payload for %s: %w", id, err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	e := db.byID[id]
+	if e == nil {
+		return fmt.Errorf("store: unknown entry %q", id)
+	}
+	e.Payload = b
+	return nil
+}
+
+// Link records a bidirectional cross-space association between two entries,
+// typically a schedule instance and the entity instance that completed its
+// task. Linking the same pair twice is a no-op.
+func (db *DB) Link(a, b string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ea, eb := db.byID[a], db.byID[b]
+	if ea == nil {
+		return fmt.Errorf("store: link endpoint %q does not exist", a)
+	}
+	if eb == nil {
+		return fmt.Errorf("store: link endpoint %q does not exist", b)
+	}
+	if a == b {
+		return fmt.Errorf("store: cannot link %q to itself", a)
+	}
+	ea.Links = addUnique(ea.Links, b)
+	eb.Links = addUnique(eb.Links, a)
+	return nil
+}
+
+func addUnique(s []string, v string) []string {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// Linked reports whether entries a and b are linked.
+func (db *DB) Linked(a, b string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	ea := db.byID[a]
+	if ea == nil {
+		return false
+	}
+	for _, l := range ea.Links {
+		if l == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats summarizes the database: containers and instances per space.
+func (db *DB) Stats() map[Space]struct{ Containers, Instances int } {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make(map[Space]struct{ Containers, Instances int })
+	for _, c := range db.containers {
+		s := out[c.Space]
+		s.Containers++
+		s.Instances += len(c.Entries)
+		out[c.Space] = s
+	}
+	return out
+}
+
+// ParseID splits an entry ID into container name and version.
+func ParseID(id string) (container string, version int, err error) {
+	i := strings.LastIndexByte(id, '/')
+	if i < 0 {
+		return "", 0, fmt.Errorf("store: malformed id %q", id)
+	}
+	v, err := strconv.Atoi(id[i+1:])
+	if err != nil || v < 1 {
+		return "", 0, fmt.Errorf("store: malformed version in id %q", id)
+	}
+	return id[:i], v, nil
+}
+
+// snapshot is the JSON persistence format.
+type snapshot struct {
+	Containers []*Container `json:"containers"`
+}
+
+// MarshalJSON serializes the whole database deterministically.
+func (db *DB) MarshalJSON() ([]byte, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := snapshot{Containers: make([]*Container, 0, len(db.order))}
+	for _, n := range db.order {
+		s.Containers = append(s.Containers, db.containers[n])
+	}
+	return json.Marshal(s)
+}
+
+// UnmarshalJSON restores a database serialized by MarshalJSON into an empty
+// DB. Restoring into a non-empty DB is an error.
+func (db *DB) UnmarshalJSON(data []byte) error {
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("store: restore: %w", err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if len(db.containers) != 0 {
+		return fmt.Errorf("store: restore into non-empty database")
+	}
+	if db.containers == nil {
+		db.containers = make(map[string]*Container)
+		db.byID = make(map[string]*Entry)
+	}
+	for _, c := range s.Containers {
+		if _, dup := db.containers[c.Name]; dup {
+			return fmt.Errorf("store: restore: duplicate container %q", c.Name)
+		}
+		db.containers[c.Name] = c
+		db.order = append(db.order, c.Name)
+		for i, e := range c.Entries {
+			if e.Version != i+1 {
+				return fmt.Errorf("store: restore: container %q has non-dense versions", c.Name)
+			}
+			if want := fmt.Sprintf("%s/%d", c.Name, e.Version); e.ID != want {
+				return fmt.Errorf("store: restore: entry id %q, want %q", e.ID, want)
+			}
+			db.byID[e.ID] = e
+		}
+	}
+	// Verify referential integrity of deps and links.
+	for _, c := range s.Containers {
+		for _, e := range c.Entries {
+			for _, d := range append(append([]string(nil), e.Deps...), e.Links...) {
+				if db.byID[d] == nil {
+					return fmt.Errorf("store: restore: entry %s references missing %q", e.ID, d)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Dump renders the database as text, one container per line with its
+// instances — the form used to reproduce the paper's Figs. 5–7.
+func (db *DB) Dump() string {
+	var b strings.Builder
+	for _, space := range []Space{ExecutionSpace, ScheduleSpace} {
+		cs := db.ContainersIn(space)
+		if len(cs) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%s space:\n", space)
+		for _, c := range cs {
+			ids := make([]string, 0, len(c.Entries))
+			for _, e := range c.Entries {
+				label := e.ID
+				if len(e.Links) > 0 {
+					linked := append([]string(nil), e.Links...)
+					sort.Strings(linked)
+					label += "->{" + strings.Join(linked, ",") + "}"
+				}
+				ids = append(ids, label)
+			}
+			fmt.Fprintf(&b, "  %-24s [%s]\n", c.Name, strings.Join(ids, " "))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,228 @@
+// Package tools provides simulated CAD tools.
+//
+// The paper's Hercules installation drove real Mentor Graphics tools; this
+// reproduction substitutes deterministic pseudo-tools (DESIGN.md §5). Each
+// simulated tool consumes design data bytes, produces derived output bytes,
+// and reports how much *working time* the application took on the virtual
+// clock. Runtimes, goal attainment (does the designer accept this version
+// or iterate?), and failures are drawn from a PRNG seeded by the tool
+// instance and iteration number, so every experiment is reproducible while
+// still exercising the iterate-until-goals-met behaviour the schedule
+// tracker must handle.
+package tools
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Result is the outcome of one tool application.
+type Result struct {
+	// Output is the produced design data.
+	Output []byte
+	// Work is the working time the application consumed.
+	Work time.Duration
+	// GoalMet reports whether the produced version meets the design goals;
+	// if false the designer will iterate the activity.
+	GoalMet bool
+}
+
+// Tool is a runnable tool instance bound to an activity.
+type Tool interface {
+	// Instance is the unique tool instance reference, e.g. "hspice#1".
+	Instance() string
+	// Class is the schema tool class, e.g. "simulator".
+	Class() string
+	// Run applies the tool to the named inputs for the given 1-based
+	// iteration. It returns an error to model a failed run (crash, license
+	// loss); failed runs consume time but produce no data.
+	Run(inputs map[string][]byte, iteration int) (Result, error)
+}
+
+// Profile parameterizes a simulated tool.
+type Profile struct {
+	// Base is the nominal working time of one application.
+	Base time.Duration
+	// Jitter is the relative runtime spread: actual runtime is uniform in
+	// [Base*(1-Jitter), Base*(1+Jitter)]. Must be in [0, 1).
+	Jitter float64
+	// MeanIterations is the expected number of applications before the
+	// design goals are met (≥ 1). Goal attainment per iteration has
+	// probability 1/MeanIterations, with the final safeguard that
+	// iteration 2*MeanIterations always succeeds.
+	MeanIterations float64
+	// FailureRate is the probability that an application fails outright.
+	FailureRate float64
+}
+
+func (p Profile) validate() error {
+	if p.Base <= 0 {
+		return fmt.Errorf("tools: profile base %v must be positive", p.Base)
+	}
+	if p.Jitter < 0 || p.Jitter >= 1 {
+		return fmt.Errorf("tools: profile jitter %v out of [0,1)", p.Jitter)
+	}
+	if p.MeanIterations < 1 {
+		return fmt.Errorf("tools: mean iterations %v must be >= 1", p.MeanIterations)
+	}
+	if p.FailureRate < 0 || p.FailureRate >= 1 {
+		return fmt.Errorf("tools: failure rate %v out of [0,1)", p.FailureRate)
+	}
+	return nil
+}
+
+// SimTool is a deterministic simulated tool.
+type SimTool struct {
+	instance string
+	class    string
+	profile  Profile
+	seed     uint64
+}
+
+var _ Tool = (*SimTool)(nil)
+
+// NewSim builds a simulated tool instance. The seed namespace is the
+// instance name, so distinct instances of the same class behave
+// differently but reproducibly.
+func NewSim(class, instance string, p Profile) (*SimTool, error) {
+	if class == "" || instance == "" {
+		return nil, fmt.Errorf("tools: class and instance must be non-empty")
+	}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	h := fnv.New64a()
+	h.Write([]byte(class))
+	h.Write([]byte{0})
+	h.Write([]byte(instance))
+	return &SimTool{instance: instance, class: class, profile: p, seed: h.Sum64()}, nil
+}
+
+// Instance implements Tool.
+func (t *SimTool) Instance() string { return t.instance }
+
+// Class implements Tool.
+func (t *SimTool) Class() string { return t.class }
+
+// Profile returns the tool's simulation parameters.
+func (t *SimTool) Profile() Profile { return t.profile }
+
+// rng returns the deterministic PRNG for one application: it depends on
+// the tool identity, the iteration, and the input content, so re-running
+// the same application reproduces the same result.
+func (t *SimTool) rng(inputs map[string][]byte, iteration int) *rand.Rand {
+	h := fnv.New64a()
+	var keys []string
+	for k := range inputs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write([]byte{0})
+		h.Write(inputs[k])
+		h.Write([]byte{0})
+	}
+	seed := t.seed ^ h.Sum64() ^ (uint64(iteration) * 0x9e3779b97f4a7c15)
+	return rand.New(rand.NewSource(int64(seed)))
+}
+
+// Run implements Tool.
+func (t *SimTool) Run(inputs map[string][]byte, iteration int) (Result, error) {
+	if iteration < 1 {
+		return Result{}, fmt.Errorf("tools: iteration %d must be >= 1", iteration)
+	}
+	rng := t.rng(inputs, iteration)
+	spread := 1 + t.profile.Jitter*(2*rng.Float64()-1)
+	work := time.Duration(float64(t.profile.Base) * spread)
+	if rng.Float64() < t.profile.FailureRate {
+		return Result{Work: work}, fmt.Errorf("tools: %s failed on iteration %d", t.instance, iteration)
+	}
+	goalMet := rng.Float64() < 1/t.profile.MeanIterations ||
+		float64(iteration) >= 2*t.profile.MeanIterations
+	out := t.synthesize(inputs, iteration, rng)
+	return Result{Output: out, Work: work, GoalMet: goalMet}, nil
+}
+
+// synthesize derives output design data from the inputs: a deterministic
+// text artifact whose content reflects the tool, iteration, and an input
+// digest — enough to give Level 4 distinct, traceable versions.
+func (t *SimTool) synthesize(inputs map[string][]byte, iteration int, rng *rand.Rand) []byte {
+	h := fnv.New64a()
+	var keys []string
+	for k := range inputs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h.Write(inputs[k])
+	}
+	return []byte(fmt.Sprintf("# produced by %s (class %s)\n# iteration %d\n# input digest %016x\n# quality %.4f\n",
+		t.instance, t.class, iteration, h.Sum64(), rng.Float64()))
+}
+
+// Registry maps activities to bound tool instances for an execution
+// session: the "binding tools to tasks" half of task preparation.
+type Registry struct {
+	byActivity map[string]Tool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{byActivity: make(map[string]Tool)} }
+
+// Bind assigns a tool instance to an activity, replacing any previous
+// binding (tools "are not tied to specific tasks" — rebinding is normal).
+func (r *Registry) Bind(activity string, t Tool) error {
+	if activity == "" {
+		return fmt.Errorf("tools: empty activity")
+	}
+	if t == nil {
+		return fmt.Errorf("tools: nil tool for activity %q", activity)
+	}
+	r.byActivity[activity] = t
+	return nil
+}
+
+// For returns the tool bound to an activity, or nil.
+func (r *Registry) For(activity string) Tool { return r.byActivity[activity] }
+
+// Activities returns the bound activities, sorted.
+func (r *Registry) Activities() []string {
+	out := make([]string, 0, len(r.byActivity))
+	for a := range r.byActivity {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StandardProfiles returns representative profiles for the CAD tool
+// classes used across the examples and benchmarks. Times are working time
+// on a designer's calendar.
+func StandardProfiles() map[string]Profile {
+	h := time.Hour
+	return map[string]Profile{
+		"editor":      {Base: 6 * h, Jitter: 0.40, MeanIterations: 1.6},
+		"simulator":   {Base: 3 * h, Jitter: 0.30, MeanIterations: 2.2},
+		"synthesizer": {Base: 8 * h, Jitter: 0.25, MeanIterations: 1.8},
+		"planner":     {Base: 5 * h, Jitter: 0.35, MeanIterations: 1.4},
+		"router":      {Base: 12 * h, Jitter: 0.30, MeanIterations: 2.0},
+		"checker":     {Base: 2 * h, Jitter: 0.20, MeanIterations: 1.3},
+		"sta":         {Base: 3 * h, Jitter: 0.20, MeanIterations: 1.5},
+		"extractor":   {Base: 4 * h, Jitter: 0.25, MeanIterations: 1.2},
+		"lvs":         {Base: 2 * h, Jitter: 0.20, MeanIterations: 1.3},
+	}
+}
+
+// DefaultFor builds a simulated instance for a tool class, using its
+// standard profile when known and a generic profile otherwise.
+func DefaultFor(class, instance string) (*SimTool, error) {
+	p, ok := StandardProfiles()[class]
+	if !ok {
+		p = Profile{Base: 4 * time.Hour, Jitter: 0.3, MeanIterations: 1.7}
+	}
+	return NewSim(class, instance, p)
+}

@@ -1,0 +1,177 @@
+// Package trace implements a VOV-style design trace (paper §II, [3]):
+// instead of a flow planned a priori, the system records design activity
+// as it happens, building a bipartite graph of data nodes and tool
+// invocations. The trace supports the operations VOV is known for —
+// out-of-date propagation when an input changes, and retracing (replaying
+// the affected invocations in dependency order).
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Invocation is one recorded tool run with its data inputs and outputs.
+type Invocation struct {
+	ID      int
+	Tool    string
+	Inputs  []string
+	Outputs []string
+	// UpToDate is false when some transitive input changed after the
+	// invocation ran.
+	UpToDate bool
+}
+
+// Trace is the growing record of design activity.
+type Trace struct {
+	data        map[string]bool // known data nodes
+	invocations []*Invocation
+	producerOf  map[string]int   // data -> invocation ID
+	consumersOf map[string][]int // data -> invocation IDs
+}
+
+// New returns an empty trace.
+func New() *Trace {
+	return &Trace{
+		data:        make(map[string]bool),
+		producerOf:  make(map[string]int),
+		consumersOf: make(map[string][]int),
+	}
+}
+
+// AddData declares a data node (an input file the designer supplies).
+// Declaring an existing node is a no-op.
+func (t *Trace) AddData(name string) error {
+	if name == "" {
+		return fmt.Errorf("trace: empty data name")
+	}
+	t.data[name] = true
+	return nil
+}
+
+// Record appends a tool invocation. Inputs must be known data nodes;
+// outputs are created (an output may be re-produced by a later invocation,
+// which then becomes its producer). Recording returns the invocation.
+func (t *Trace) Record(tool string, inputs, outputs []string) (*Invocation, error) {
+	if tool == "" {
+		return nil, fmt.Errorf("trace: empty tool name")
+	}
+	if len(outputs) == 0 {
+		return nil, fmt.Errorf("trace: invocation of %s has no outputs", tool)
+	}
+	for _, in := range inputs {
+		if !t.data[in] {
+			return nil, fmt.Errorf("trace: input %q unknown; record or add it first", in)
+		}
+	}
+	inv := &Invocation{
+		ID: len(t.invocations), Tool: tool,
+		Inputs:   append([]string(nil), inputs...),
+		Outputs:  append([]string(nil), outputs...),
+		UpToDate: true,
+	}
+	t.invocations = append(t.invocations, inv)
+	for _, in := range inputs {
+		t.consumersOf[in] = append(t.consumersOf[in], inv.ID)
+	}
+	for _, out := range outputs {
+		if out == "" {
+			return nil, fmt.Errorf("trace: empty output name")
+		}
+		t.data[out] = true
+		t.producerOf[out] = inv.ID
+	}
+	return inv, nil
+}
+
+// Invocations returns the recorded invocations in order.
+func (t *Trace) Invocations() []*Invocation {
+	return append([]*Invocation(nil), t.invocations...)
+}
+
+// Data returns the known data nodes, sorted.
+func (t *Trace) Data() []string {
+	out := make([]string, 0, len(t.data))
+	for d := range t.data {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Producer returns the invocation that currently produces a data node,
+// or nil for designer-supplied data.
+func (t *Trace) Producer(data string) *Invocation {
+	id, ok := t.producerOf[data]
+	if !ok {
+		return nil
+	}
+	return t.invocations[id]
+}
+
+// MarkChanged declares that a data node changed (the designer edited an
+// input). Every invocation downstream of it becomes out of date. The
+// affected invocation IDs are returned in dependency order.
+func (t *Trace) MarkChanged(data string) ([]int, error) {
+	if !t.data[data] {
+		return nil, fmt.Errorf("trace: unknown data %q", data)
+	}
+	seenInv := make(map[int]bool)
+	var order []int
+	var visitData func(d string)
+	var visitInv func(id int)
+	visitData = func(d string) {
+		for _, id := range t.consumersOf[d] {
+			visitInv(id)
+		}
+	}
+	visitInv = func(id int) {
+		if seenInv[id] {
+			return
+		}
+		seenInv[id] = true
+		t.invocations[id].UpToDate = false
+		order = append(order, id)
+		for _, out := range t.invocations[id].Outputs {
+			// Only propagate through outputs this invocation still owns.
+			if t.producerOf[out] == id {
+				visitData(out)
+			}
+		}
+	}
+	visitData(data)
+	sort.Ints(order)
+	return order, nil
+}
+
+// Retrace re-runs the out-of-date invocations in ID (dependency) order
+// using the supplied runner and marks them up to date again. It returns
+// the re-run IDs.
+func (t *Trace) Retrace(run func(inv *Invocation) error) ([]int, error) {
+	if run == nil {
+		return nil, fmt.Errorf("trace: nil runner")
+	}
+	var redone []int
+	for _, inv := range t.invocations {
+		if inv.UpToDate {
+			continue
+		}
+		if err := run(inv); err != nil {
+			return redone, fmt.Errorf("trace: retrace %s (#%d): %w", inv.Tool, inv.ID, err)
+		}
+		inv.UpToDate = true
+		redone = append(redone, inv.ID)
+	}
+	return redone, nil
+}
+
+// OutOfDate lists the IDs of stale invocations.
+func (t *Trace) OutOfDate() []int {
+	var out []int
+	for _, inv := range t.invocations {
+		if !inv.UpToDate {
+			out = append(out, inv.ID)
+		}
+	}
+	return out
+}

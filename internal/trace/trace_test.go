@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// buildASIC records a small VOV-style session:
+//
+//	rtl --synth--> netlist --route--> layout --drc--> report
+//	                  \--sta(netlist, sdc)--> timing
+func buildASIC(t *testing.T) *Trace {
+	t.Helper()
+	tr := New()
+	for _, d := range []string{"rtl", "sdc"} {
+		if err := tr.AddData(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	steps := []struct {
+		tool    string
+		in, out []string
+	}{
+		{"synth", []string{"rtl"}, []string{"netlist"}},
+		{"route", []string{"netlist"}, []string{"layout"}},
+		{"drc", []string{"layout"}, []string{"report"}},
+		{"sta", []string{"netlist", "sdc"}, []string{"timing"}},
+	}
+	for _, s := range steps {
+		if _, err := tr.Record(s.tool, s.in, s.out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func TestAddDataValidation(t *testing.T) {
+	tr := New()
+	if err := tr.AddData(""); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := tr.AddData("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AddData("x"); err != nil {
+		t.Fatal("redeclaration should be a no-op")
+	}
+}
+
+func TestRecordValidation(t *testing.T) {
+	tr := New()
+	tr.AddData("in")
+	if _, err := tr.Record("", []string{"in"}, []string{"out"}); err == nil {
+		t.Fatal("empty tool accepted")
+	}
+	if _, err := tr.Record("t", []string{"ghost"}, []string{"out"}); err == nil {
+		t.Fatal("unknown input accepted")
+	}
+	if _, err := tr.Record("t", []string{"in"}, nil); err == nil {
+		t.Fatal("no outputs accepted")
+	}
+	if _, err := tr.Record("t", []string{"in"}, []string{""}); err == nil {
+		t.Fatal("empty output accepted")
+	}
+}
+
+func TestRecordBuildsGraph(t *testing.T) {
+	tr := buildASIC(t)
+	if got := len(tr.Invocations()); got != 4 {
+		t.Fatalf("invocations = %d", got)
+	}
+	if got := tr.Data(); len(got) != 6 {
+		t.Fatalf("data nodes = %v", got)
+	}
+	p := tr.Producer("layout")
+	if p == nil || p.Tool != "route" {
+		t.Fatalf("Producer(layout) = %+v", p)
+	}
+	if tr.Producer("rtl") != nil {
+		t.Fatal("designer data has a producer")
+	}
+	for _, inv := range tr.Invocations() {
+		if !inv.UpToDate {
+			t.Fatalf("fresh invocation stale: %+v", inv)
+		}
+	}
+}
+
+func TestMarkChangedPropagates(t *testing.T) {
+	tr := buildASIC(t)
+	affected, err := tr.MarkChanged("rtl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything downstream of rtl: synth(0), route(1), drc(2), sta(3).
+	if len(affected) != 4 {
+		t.Fatalf("affected = %v", affected)
+	}
+	if got := tr.OutOfDate(); len(got) != 4 {
+		t.Fatalf("OutOfDate = %v", got)
+	}
+}
+
+func TestMarkChangedPartial(t *testing.T) {
+	tr := buildASIC(t)
+	affected, err := tr.MarkChanged("sdc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only sta consumes sdc.
+	if len(affected) != 1 || tr.Invocations()[affected[0]].Tool != "sta" {
+		t.Fatalf("affected = %v", affected)
+	}
+	if _, err := tr.MarkChanged("ghost"); err == nil {
+		t.Fatal("unknown data accepted")
+	}
+}
+
+func TestRetraceOrder(t *testing.T) {
+	tr := buildASIC(t)
+	tr.MarkChanged("rtl")
+	var order []string
+	redone, err := tr.Retrace(func(inv *Invocation) error {
+		order = append(order, inv.Tool)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(redone) != 4 {
+		t.Fatalf("redone = %v", redone)
+	}
+	// Dependency order: synth before route before drc; sta after synth.
+	idx := map[string]int{}
+	for i, tool := range order {
+		idx[tool] = i
+	}
+	if !(idx["synth"] < idx["route"] && idx["route"] < idx["drc"] && idx["synth"] < idx["sta"]) {
+		t.Fatalf("retrace order = %v", order)
+	}
+	if len(tr.OutOfDate()) != 0 {
+		t.Fatal("stale invocations remain after retrace")
+	}
+}
+
+func TestRetraceErrors(t *testing.T) {
+	tr := buildASIC(t)
+	if _, err := tr.Retrace(nil); err == nil {
+		t.Fatal("nil runner accepted")
+	}
+	tr.MarkChanged("rtl")
+	n := 0
+	_, err := tr.Retrace(func(inv *Invocation) error {
+		n++
+		if n == 2 {
+			return fmt.Errorf("license lost")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "license lost") {
+		t.Fatalf("err = %v", err)
+	}
+	// One invocation was redone, three remain stale.
+	if got := len(tr.OutOfDate()); got != 3 {
+		t.Fatalf("OutOfDate after failed retrace = %d", got)
+	}
+}
+
+func TestReproducedOutputChangesProducer(t *testing.T) {
+	tr := buildASIC(t)
+	// Re-run synth: the new invocation now owns netlist.
+	inv, err := tr.Record("synth", []string{"rtl"}, []string{"netlist"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := tr.Producer("netlist"); p.ID != inv.ID {
+		t.Fatalf("producer not updated: %+v", p)
+	}
+	// Changing rtl still reaches downstream consumers through the new
+	// producer's outputs.
+	affected, _ := tr.MarkChanged("rtl")
+	if len(affected) < 2 {
+		t.Fatalf("affected = %v", affected)
+	}
+}

@@ -1,0 +1,170 @@
+package vclock
+
+import (
+	"fmt"
+	"time"
+)
+
+// Calendar models working time: which weekdays are worked and the daily
+// working window. Schedule arithmetic (AddWork, WorkBetween) skips
+// non-working time, so a 16h task started Friday 09:00 on a standard
+// calendar finishes Monday 17:00, not Saturday 01:00.
+//
+// The zero Calendar is invalid; use Standard or NewCalendar.
+type Calendar struct {
+	workdays [7]bool       // indexed by time.Weekday
+	dayStart time.Duration // offset from midnight, e.g. 9h
+	dayEnd   time.Duration // offset from midnight, e.g. 17h
+	daily    time.Duration // dayEnd - dayStart
+	perWeek  int           // number of working days per week
+	hols     map[civilDate]bool
+}
+
+type civilDate struct {
+	y int
+	m time.Month
+	d int
+}
+
+func toCivil(t time.Time) civilDate {
+	y, m, d := t.Date()
+	return civilDate{y, m, d}
+}
+
+// Standard returns the conventional Monday–Friday, 09:00–17:00 calendar.
+func Standard() *Calendar {
+	c, err := NewCalendar([]time.Weekday{
+		time.Monday, time.Tuesday, time.Wednesday, time.Thursday, time.Friday,
+	}, 9*time.Hour, 17*time.Hour)
+	if err != nil {
+		panic(err) // static arguments; cannot fail
+	}
+	return c
+}
+
+// Continuous returns a 24×7 calendar in which working time equals elapsed
+// time. It is useful for benchmarks and for compute-farm activities that
+// run unattended.
+func Continuous() *Calendar {
+	c, err := NewCalendar([]time.Weekday{
+		time.Sunday, time.Monday, time.Tuesday, time.Wednesday,
+		time.Thursday, time.Friday, time.Saturday,
+	}, 0, 24*time.Hour)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NewCalendar builds a calendar from a set of working weekdays and a daily
+// window [dayStart, dayEnd) expressed as offsets from midnight.
+func NewCalendar(days []time.Weekday, dayStart, dayEnd time.Duration) (*Calendar, error) {
+	if len(days) == 0 {
+		return nil, fmt.Errorf("vclock: calendar needs at least one working day")
+	}
+	if dayStart < 0 || dayEnd > 24*time.Hour || dayStart >= dayEnd {
+		return nil, fmt.Errorf("vclock: invalid daily window [%v, %v)", dayStart, dayEnd)
+	}
+	c := &Calendar{dayStart: dayStart, dayEnd: dayEnd, daily: dayEnd - dayStart,
+		hols: make(map[civilDate]bool)}
+	for _, d := range days {
+		if d < 0 || d > 6 {
+			return nil, fmt.Errorf("vclock: invalid weekday %d", d)
+		}
+		if !c.workdays[d] {
+			c.workdays[d] = true
+			c.perWeek++
+		}
+	}
+	return c, nil
+}
+
+// AddHoliday marks the civil date containing t as non-working.
+func (c *Calendar) AddHoliday(t time.Time) { c.hols[toCivil(t)] = true }
+
+// DailyHours reports the length of the working window of one working day.
+func (c *Calendar) DailyHours() time.Duration { return c.daily }
+
+// IsWorkday reports whether the date containing t is a working day.
+func (c *Calendar) IsWorkday(t time.Time) bool {
+	return c.workdays[t.Weekday()] && !c.hols[toCivil(t)]
+}
+
+// dayWindow returns the working window for the date containing t.
+func (c *Calendar) dayWindow(t time.Time) (start, end time.Time) {
+	y, m, d := t.Date()
+	midnight := time.Date(y, m, d, 0, 0, 0, 0, t.Location())
+	return midnight.Add(c.dayStart), midnight.Add(c.dayEnd)
+}
+
+// NextWorkInstant returns the earliest instant ≥ t that lies inside a
+// working window.
+func (c *Calendar) NextWorkInstant(t time.Time) time.Time {
+	for i := 0; ; i++ {
+		if i > 366*8 {
+			// A calendar with ≥1 working weekday always finds a day within
+			// two weeks plus holidays; this guard catches corrupted state.
+			panic("vclock: no working day found within 8 years")
+		}
+		ws, we := c.dayWindow(t)
+		if c.IsWorkday(t) {
+			if t.Before(ws) {
+				return ws
+			}
+			if t.Before(we) {
+				return t
+			}
+		}
+		// advance to next midnight
+		y, m, d := t.Date()
+		t = time.Date(y, m, d, 0, 0, 0, 0, t.Location()).Add(24 * time.Hour)
+	}
+}
+
+// AddWork returns the instant at which an amount of working time `work`,
+// started at t, completes. Starting instants outside working windows are
+// first rolled forward to the next working instant. AddWork panics on
+// negative work.
+func (c *Calendar) AddWork(t time.Time, work time.Duration) time.Time {
+	if work < 0 {
+		panic(fmt.Sprintf("vclock: AddWork negative duration %v", work))
+	}
+	t = c.NextWorkInstant(t)
+	for work > 0 {
+		_, we := c.dayWindow(t)
+		avail := we.Sub(t)
+		if avail >= work {
+			return t.Add(work)
+		}
+		work -= avail
+		t = c.NextWorkInstant(we)
+	}
+	return t
+}
+
+// WorkBetween reports the amount of working time between a and b.
+// If b precedes a the result is zero.
+func (c *Calendar) WorkBetween(a, b time.Time) time.Duration {
+	if !b.After(a) {
+		return 0
+	}
+	var total time.Duration
+	t := c.NextWorkInstant(a)
+	for t.Before(b) {
+		_, we := c.dayWindow(t)
+		end := we
+		if b.Before(we) {
+			end = b
+		}
+		if end.After(t) {
+			total += end.Sub(t)
+		}
+		t = c.NextWorkInstant(we)
+	}
+	return total
+}
+
+// Workdays converts a number of whole working days into working time.
+func (c *Calendar) Workdays(n int) time.Duration {
+	return time.Duration(n) * c.daily
+}

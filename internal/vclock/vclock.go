@@ -1,0 +1,71 @@
+// Package vclock provides the virtual time base used throughout flowsched.
+//
+// All flow executions, schedule simulations, and tool runs advance a
+// simulated clock rather than wall time, which makes every experiment
+// deterministic and lets a multi-week design project "run" in microseconds.
+// The package also models business calendars (working days and hours) so
+// that schedule arithmetic — "this task takes three working days" — matches
+// what a project-management system would compute.
+package vclock
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Epoch is the default project start used when none is specified:
+// Monday, 1995-06-05 09:00 UTC (the week DAC 1995 took place).
+var Epoch = time.Date(1995, time.June, 5, 9, 0, 0, 0, time.UTC)
+
+// Clock is a monotonic virtual clock. The zero value is not usable; create
+// one with New or NewAt. Clock is safe for concurrent use.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// New returns a clock starting at Epoch.
+func New() *Clock { return NewAt(Epoch) }
+
+// NewAt returns a clock starting at the given instant.
+func NewAt(start time.Time) *Clock { return &Clock{now: start} }
+
+// Now reports the current virtual time.
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d and returns the new time.
+// Advancing by a negative duration is a programming error and panics:
+// virtual time, like real time, is monotonic.
+func (c *Clock) Advance(d time.Duration) time.Time {
+	if d < 0 {
+		panic(fmt.Sprintf("vclock: Advance by negative duration %v", d))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	return c.now
+}
+
+// AdvanceTo moves the clock forward to t. If t is not after the current
+// time the clock is unchanged. It returns the (possibly unchanged) time.
+func (c *Clock) AdvanceTo(t time.Time) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.After(c.now) {
+		c.now = t
+	}
+	return c.now
+}
+
+// Set rewinds or forwards the clock unconditionally. It exists for tests
+// and for restoring persisted sessions; simulation code should use Advance.
+func (c *Clock) Set(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = t
+}

@@ -1,0 +1,59 @@
+package flowsched
+
+import (
+	"testing"
+	"time"
+)
+
+func TestOptimizeTeamDiamondShape(t *testing.T) {
+	// ASIC flow: signoff activities (DRC, LVS, STA, GateSim) parallelize,
+	// so a small team should capture most of the parallelism.
+	p, err := New(ASICSchema, Options{Designer: "lead"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := Fixed{Default: 8 * time.Hour}
+	targets := []string{"drcreport", "lvsreport", "timingreport", "simreport"}
+
+	tp, err := p.OptimizeTeam(targets, est, 6, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Size < 1 || tp.Size > 6 {
+		t.Fatalf("team size = %d", tp.Size)
+	}
+	if tp.Makespan < tp.CriticalPath {
+		t.Fatalf("makespan %v below critical path %v", tp.Makespan, tp.CriticalPath)
+	}
+	if len(tp.Assignments) != 8 {
+		t.Fatalf("assignments = %d", len(tp.Assignments))
+	}
+	// With tolerance 1.0 the returned makespan must equal the lower bound
+	// (the ASIC flow has enough slack structure for a small team to hit it).
+	if tp.Makespan != tp.CriticalPath {
+		t.Fatalf("tolerance 1.0 returned makespan %v != CP %v (size %d)",
+			tp.Makespan, tp.CriticalPath, tp.Size)
+	}
+
+	// A solo team serializes: strictly worse than the optimized one.
+	solo, err := p.OptimizeTeam(targets, est, 1, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.Makespan <= tp.Makespan {
+		t.Fatalf("solo makespan %v not worse than team %v", solo.Makespan, tp.Makespan)
+	}
+}
+
+func TestOptimizeTeamErrors(t *testing.T) {
+	p, _ := New(Fig4Schema, Options{})
+	if _, err := p.OptimizeTeam([]string{"ghost"}, Fixed{Default: time.Hour}, 3, 1.1); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+	if _, err := p.OptimizeTeam([]string{"performance"}, Fixed{}, 3, 1.1); err == nil {
+		t.Fatal("empty estimator accepted")
+	}
+	if _, err := p.OptimizeTeam([]string{"performance"}, Fixed{Default: time.Hour}, 0, 1.1); err == nil {
+		t.Fatal("maxTeam 0 accepted")
+	}
+}

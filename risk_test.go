@@ -1,0 +1,70 @@
+package flowsched
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSimulateRisk(t *testing.T) {
+	p := prepared(t)
+	res, err := p.SimulateRisk([]string{"performance"}, 500, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Durations) != 500 {
+		t.Fatalf("trials = %d", len(res.Durations))
+	}
+	// Fig4 defaults: editor 6h×~1.6 iters + simulator 3h×~2.2 iters: mean
+	// span well above the single-iteration sum (9h) and below the cap.
+	mean := res.Mean()
+	if mean < 9*time.Hour || mean > 40*time.Hour {
+		t.Fatalf("mean span = %v", mean)
+	}
+	if res.Percentile(0.9) <= res.Percentile(0.1) {
+		t.Fatal("no distribution spread")
+	}
+	// Chain flow: both activities are always critical.
+	if res.Criticality["Create"] != 1 || res.Criticality["Simulate"] != 1 {
+		t.Fatalf("criticality = %v", res.Criticality)
+	}
+	// Reproducible.
+	res2, _ := p.SimulateRisk([]string{"performance"}, 500, 11)
+	if res.Mean() != res2.Mean() {
+		t.Fatal("risk analysis not reproducible")
+	}
+}
+
+func TestSimulateRiskConsistentWithExecution(t *testing.T) {
+	// The risk model and the real execution share the tool profiles, so
+	// the actual span must land inside the sampled range.
+	p := prepared(t)
+	res, err := p.SimulateRisk([]string{"performance"}, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := p.Run([]string{"performance"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var actual time.Duration
+	for _, o := range exec.Outcomes {
+		actual += p.Calendar().WorkBetween(o.Started, o.Finished)
+	}
+	lo := res.Durations[0]
+	hi := res.Durations[len(res.Durations)-1]
+	if actual < lo/2 || actual > hi*2 {
+		t.Fatalf("actual %v far outside sampled range [%v, %v]", actual, lo, hi)
+	}
+}
+
+func TestSimulateRiskErrors(t *testing.T) {
+	p := newProject(t)
+	if _, err := p.SimulateRisk([]string{"performance"}, 10, 1); err == nil ||
+		!strings.Contains(err.Error(), "no tool bound") {
+		t.Fatalf("err = %v, want no-tool", err)
+	}
+	if _, err := p.SimulateRisk([]string{"ghost"}, 10, 1); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+}
