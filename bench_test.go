@@ -387,9 +387,10 @@ func BenchmarkAblation_ArchRollup(b *testing.B) {
 	}
 }
 
-// BenchmarkE6_RiskSimulation measures a 1000-trial Monte-Carlo risk
-// analysis over the Fig. 4 flow with default tool profiles.
-func BenchmarkE6_RiskSimulation(b *testing.B) {
+// benchRisk measures a 1000-trial Monte-Carlo risk analysis over the
+// Fig. 4 flow with default tool profiles at a fixed worker count.
+func benchRisk(b *testing.B, workers int) {
+	b.Helper()
 	p, err := New(Fig4Schema, Options{Designer: "bench"})
 	if err != nil {
 		b.Fatal(err)
@@ -397,13 +398,22 @@ func BenchmarkE6_RiskSimulation(b *testing.B) {
 	if err := p.UseSimulatedTools(); err != nil {
 		b.Fatal(err)
 	}
+	opt := RiskOptions{Trials: 1000, Seed: 7, Workers: workers}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := p.SimulateRisk([]string{"performance"}, 1000, 7); err != nil {
+		if _, err := p.SimulateRiskWith([]string{"performance"}, opt); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
+
+// BenchmarkE6_RiskSimulation is the serial (1-worker) risk engine;
+// BenchmarkE6_RiskSimulation_Parallel runs the same sharded engine on
+// all cores and must return bit-identical results (see
+// internal/monte's equivalence test). cmd/benchrisk records the
+// serial/parallel trials sweep into BENCH_risk.json.
+func BenchmarkE6_RiskSimulation(b *testing.B)          { benchRisk(b, 1) }
+func BenchmarkE6_RiskSimulation_Parallel(b *testing.B) { benchRisk(b, 0) }
 
 // benchExecMode measures tracked ASIC execution under one timeline mode.
 func benchExecMode(b *testing.B, parallel bool) {

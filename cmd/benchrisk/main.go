@@ -1,0 +1,160 @@
+// Command benchrisk measures the Monte-Carlo risk engine over a trials
+// sweep and records the numbers in BENCH_risk.json, the repo's
+// performance-trajectory file for the risk path. Each invocation
+// appends one labelled entry (machine, engine configuration, and
+// ns/op per sweep point) to the existing file, so successive runs
+// across PRs accumulate into a history.
+//
+//	benchrisk -label after-parallel                 # sweep, append to BENCH_risk.json
+//	benchrisk -workers 1 -label serial-only         # force the serial path
+//	benchrisk -out /tmp/b.json -trials 1000,10000   # custom sweep
+//
+// The workload is the E6 exhibit's ASIC-flow model (the repo's
+// heaviest risk network), so the numbers line up with
+// BenchmarkE6_RiskSimulation and the E6 exhibit timings.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"flowsched/internal/monte"
+	"flowsched/internal/report"
+)
+
+// sweepPoint is one measured (trials, workers) cell.
+type sweepPoint struct {
+	Trials       int     `json:"trials"`
+	Workers      int     `json:"workers"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	TrialsPerSec float64 `json:"trials_per_sec"`
+}
+
+// entry is one benchrisk invocation.
+type entry struct {
+	Label     string       `json:"label"`
+	Date      string       `json:"date"`
+	GoVersion string       `json:"go"`
+	GOOS      string       `json:"goos"`
+	GOARCH    string       `json:"goarch"`
+	CPUs      int          `json:"cpus"`
+	Results   []sweepPoint `json:"results"`
+}
+
+// file is the BENCH_risk.json document.
+type file struct {
+	Description string  `json:"description"`
+	Benchmarks  []entry `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_risk.json", "trajectory file to append to")
+	label := flag.String("label", "run", "label for this entry")
+	trialsFlag := flag.String("trials", "1000,10000,100000", "comma-separated trials sweep")
+	workersFlag := flag.String("workers", "", "comma-separated worker counts (default \"1,<cores>\")")
+	seed := flag.Int64("seed", 1995, "simulation seed")
+	flag.Parse()
+
+	trials, err := parseInts(*trialsFlag)
+	if err != nil {
+		fatal("bad -trials: %v", err)
+	}
+	workersDefault := fmt.Sprintf("1,%d", runtime.GOMAXPROCS(0))
+	if *workersFlag == "" {
+		*workersFlag = workersDefault
+	}
+	workers, err := parseInts(*workersFlag)
+	if err != nil {
+		fatal("bad -workers: %v", err)
+	}
+	workers = dedupe(workers)
+
+	// Validate the trajectory file before spending minutes on the sweep.
+	doc := file{Description: "Monte-Carlo risk engine performance trajectory (cmd/benchrisk over the E6 ASIC model)"}
+	if blob, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(blob, &doc); err != nil {
+			fatal("existing %s is not a benchrisk file: %v", *out, err)
+		}
+	}
+
+	models, err := report.ASICRiskModels()
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	e := entry{
+		Label: *label, Date: time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		CPUs: runtime.NumCPU(),
+	}
+	for _, w := range workers {
+		for _, n := range trials {
+			cfg := monte.Config{Trials: n, Seed: *seed, Workers: w}
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := monte.Simulate(models, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			ns := r.NsPerOp()
+			p := sweepPoint{
+				Trials: n, Workers: w, Iterations: r.N, NsPerOp: ns,
+				TrialsPerSec: float64(n) / (float64(ns) / 1e9),
+			}
+			e.Results = append(e.Results, p)
+			fmt.Printf("trials=%-7d workers=%-2d %12d ns/op  %10.0f trials/s\n",
+				n, w, ns, p.TrialsPerSec)
+		}
+	}
+
+	doc.Benchmarks = append(doc.Benchmarks, e)
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("appended entry %q to %s\n", *label, *out)
+}
+
+func parseInts(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("value %d out of range", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func dedupe(ns []int) []int {
+	seen := make(map[int]bool, len(ns))
+	var out []int
+	for _, n := range ns {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchrisk: "+format+"\n", args...)
+	os.Exit(1)
+}

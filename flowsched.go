@@ -513,6 +513,18 @@ func (p *Project) ImportActualsCSV(r io.Reader) (int, error) {
 // RiskResult is the outcome of a Monte-Carlo schedule risk analysis.
 type RiskResult = monte.Result
 
+// RiskOptions tunes a Monte-Carlo schedule risk analysis.
+type RiskOptions struct {
+	// Trials is the number of sampled executions (default 1000).
+	Trials int
+	// Seed makes the analysis reproducible.
+	Seed int64
+	// Workers caps the engine's parallelism: 0 uses all cores, 1 forces
+	// the serial path. The result is bit-identical for every value —
+	// trials are sharded deterministically (see docs/risk.md).
+	Workers int
+}
+
 // SimulateRisk runs a Monte-Carlo schedule risk analysis for the targets:
 // planning-by-simulation taken statistically. The stochastic model is
 // derived from the *bound simulated tools* — each activity's duration is
@@ -520,7 +532,27 @@ type RiskResult = monte.Result
 // iteration count — so the risk analysis and the actual execution share
 // one model. Every in-scope activity must be bound to a simulated tool
 // (UseSimulatedTools or a NewSimTool binding).
+//
+// The engine runs sharded across all cores; use SimulateRiskWith to cap
+// the worker count. Results are identical either way.
 func (p *Project) SimulateRisk(targets []string, trials int, seed int64) (*RiskResult, error) {
+	return p.SimulateRiskWith(targets, RiskOptions{Trials: trials, Seed: seed})
+}
+
+// SimulateRiskWith is SimulateRisk with full engine options.
+func (p *Project) SimulateRiskWith(targets []string, opt RiskOptions) (*RiskResult, error) {
+	models, err := p.riskModels(targets)
+	if err != nil {
+		return nil, err
+	}
+	return monte.Simulate(models, monte.Config{
+		Trials: opt.Trials, Seed: opt.Seed, Workers: opt.Workers,
+	})
+}
+
+// riskModels derives the stochastic activity models for the targets from
+// the bound simulated tools.
+func (p *Project) riskModels(targets []string) ([]monte.ActivityModel, error) {
 	tree, err := p.mgr.ExtractTree(targets...)
 	if err != nil {
 		return nil, err
@@ -552,7 +584,7 @@ func (p *Project) SimulateRisk(targets []string, trials int, seed int64) (*RiskR
 			MeanIterations: prof.MeanIterations, Preds: preds,
 		})
 	}
-	return monte.Simulate(models, monte.Config{Trials: trials, Seed: seed})
+	return models, nil
 }
 
 // TeamPlan is the result of OptimizeTeam: the smallest interchangeable

@@ -13,9 +13,11 @@ package monte
 import (
 	"fmt"
 	"math"
-	"math/rand"
+	"slices"
 	"sort"
 	"time"
+
+	"flowsched/internal/par"
 )
 
 // ActivityModel is the stochastic model of one activity.
@@ -51,6 +53,10 @@ type Config struct {
 	Trials int
 	// Seed makes the simulation reproducible.
 	Seed int64
+	// Workers caps how many shards run concurrently: 0 uses all cores
+	// (runtime.GOMAXPROCS), 1 forces the serial path. The result is
+	// bit-identical for every value — see docs/risk.md.
+	Workers int
 }
 
 // Result is the outcome of a Monte-Carlo run.
@@ -77,34 +83,92 @@ func (r *Result) Mean() time.Duration {
 	return total / time.Duration(len(r.Durations))
 }
 
-// Percentile returns the q-quantile (q in [0,1]) of the project span.
+// Percentile returns the q-quantile (q in [0,1]) of the project span,
+// using nearest-rank rounding over the sorted trials.
 func (r *Result) Percentile(q float64) time.Duration {
-	if len(r.Durations) == 0 {
+	n := len(r.Durations)
+	if n == 0 {
 		return 0
 	}
 	if q <= 0 {
 		return r.Durations[0]
 	}
 	if q >= 1 {
-		return r.Durations[len(r.Durations)-1]
+		return r.Durations[n-1]
 	}
-	i := int(q * float64(len(r.Durations)-1))
-	return r.Durations[i]
+	return r.Durations[int(math.Round(q*float64(n-1)))]
 }
 
 // ProbWithin returns the empirical probability that the project finishes
 // within the target span.
 func (r *Result) ProbWithin(target time.Duration) float64 {
-	n := sort.Search(len(r.Durations), func(i int) bool {
-		return r.Durations[i] > target
-	})
 	if len(r.Durations) == 0 {
 		return 0
 	}
+	n := sort.Search(len(r.Durations), func(i int) bool {
+		return r.Durations[i] > target
+	})
 	return float64(n) / float64(len(r.Durations))
 }
 
+// numShards is the fixed shard count of a simulation. Trials are split
+// into numShards contiguous blocks, each sampled from its own RNG
+// stream, so the set of drawn samples depends only on (Trials, Seed) —
+// never on the worker count — and merges commute. 64 shards keep all
+// cores of any realistic machine busy while staying coarse enough that
+// per-shard setup cost is noise.
+const numShards = 64
+
+// compiled is an ActivityModel lowered for the trial loop: predecessor
+// names resolved to indices, triangular and geometric parameters
+// precomputed, no map lookups or string hashing on the hot path.
+type compiled struct {
+	lo, hi    float64 // triangular min/max in float ns
+	fc        float64 // CDF split point (mode-min)/(max-min)
+	upWidth   float64 // (max-min)*(mode-min)
+	downWidth float64 // (max-min)*(max-mode)
+	point     bool    // min == max: constant duration
+	p         float64 // geometric success probability 1/mean (0 → single iteration)
+	limit     int     // iteration cap 2×mean
+	preds     []int32
+}
+
+func compileActs(acts []ActivityModel, idx map[string]int) []compiled {
+	comp := make([]compiled, len(acts))
+	for i, act := range acts {
+		a, c, b := float64(act.Min), float64(act.Mode), float64(act.Max)
+		ca := compiled{
+			lo: a, hi: b, point: a == b,
+			limit: 1,
+		}
+		if !ca.point {
+			ca.fc = (c - a) / (b - a)
+			ca.upWidth = (b - a) * (c - a)
+			ca.downWidth = (b - a) * (b - c)
+		}
+		if act.MeanIterations > 1 {
+			ca.p = 1 / act.MeanIterations
+			ca.limit = int(2 * act.MeanIterations)
+			if ca.limit < 1 {
+				ca.limit = 1
+			}
+		}
+		ca.preds = make([]int32, len(act.Preds))
+		for j, p := range act.Preds {
+			ca.preds[j] = int32(idx[p])
+		}
+		comp[i] = ca
+	}
+	return comp
+}
+
 // Simulate runs the Monte-Carlo analysis over the activity network.
+//
+// Trials are partitioned into a fixed number of shards executed on a
+// bounded worker pool (Config.Workers; see internal/par). Each shard
+// draws from its own seed-derived RNG stream, so the returned Result is
+// bit-identical for every worker count, including a 1-worker serial
+// run.
 func Simulate(acts []ActivityModel, cfg Config) (*Result, error) {
 	if len(acts) == 0 {
 		return nil, fmt.Errorf("monte: no activities")
@@ -126,54 +190,78 @@ func Simulate(acts []ActivityModel, cfg Config) (*Result, error) {
 	if cfg.Trials <= 0 {
 		cfg.Trials = 1000
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	comp := compileActs(acts, idx)
 
 	res := &Result{
-		Durations:        make([]time.Duration, 0, cfg.Trials),
+		Durations:        make([]time.Duration, cfg.Trials),
 		Criticality:      make(map[string]float64, len(acts)),
 		MeanIterObserved: make(map[string]float64, len(acts)),
 	}
-	critCount := make(map[string]int, len(acts))
-	iterTotal := make(map[string]int, len(acts))
 
-	finish := make([]time.Duration, len(acts))
-	critPred := make([]int, len(acts)) // index of the pred on the longest chain, -1 for none
-	for t := 0; t < cfg.Trials; t++ {
-		var projectFinish time.Duration
-		last := -1
-		for _, i := range order {
-			a := acts[i]
-			var start time.Duration
-			critPred[i] = -1
-			for _, p := range a.Preds {
-				pi := idx[p]
-				if finish[pi] > start {
-					start = finish[pi]
-					critPred[i] = pi
-				}
-			}
-			iters := sampleIterations(rng, a.MeanIterations)
-			iterTotal[a.Name] += iters
-			var work time.Duration
-			for k := 0; k < iters; k++ {
-				work += sampleTriangular(rng, a.Min, a.Mode, a.Max)
-			}
-			finish[i] = start + work
-			if finish[i] > projectFinish {
-				projectFinish = finish[i]
-				last = i
-			}
-		}
-		res.Durations = append(res.Durations, projectFinish)
-		// Walk the sampled critical chain backwards.
-		for i := last; i >= 0; i = critPred[i] {
-			critCount[acts[i].Name]++
+	// Contiguous trial blocks per shard; the first Trials%numShards
+	// shards absorb the remainder.
+	offsets := make([]int, numShards+1)
+	base, rem := cfg.Trials/numShards, cfg.Trials%numShards
+	for s := 0; s < numShards; s++ {
+		offsets[s+1] = offsets[s] + base
+		if s < rem {
+			offsets[s+1]++
 		}
 	}
-	sort.Slice(res.Durations, func(i, j int) bool { return res.Durations[i] < res.Durations[j] })
-	for _, a := range acts {
-		res.Criticality[a.Name] = float64(critCount[a.Name]) / float64(cfg.Trials)
-		res.MeanIterObserved[a.Name] = float64(iterTotal[a.Name]) / float64(cfg.Trials)
+
+	critCounts := make([][]int64, numShards)
+	iterTotals := make([][]int64, numShards)
+	par.New(cfg.Workers).ForEach(numShards, func(s int) {
+		critCount := make([]int64, len(acts))
+		iterTotal := make([]int64, len(acts))
+		finish := make([]time.Duration, len(acts))
+		critPred := make([]int32, len(acts)) // pred on the longest chain, -1 for none
+		r := newShardRNG(cfg.Seed, s)
+		out := res.Durations[offsets[s]:offsets[s+1]]
+		for t := range out {
+			var projectFinish time.Duration
+			last := int32(-1)
+			for _, i := range order {
+				ca := &comp[i]
+				var start time.Duration
+				critPred[i] = -1
+				for _, pi := range ca.preds {
+					if finish[pi] > start {
+						start = finish[pi]
+						critPred[i] = pi
+					}
+				}
+				iters := ca.sampleIterations(&r)
+				iterTotal[i] += int64(iters)
+				var work time.Duration
+				for k := 0; k < iters; k++ {
+					work += ca.sampleWork(&r)
+				}
+				finish[i] = start + work
+				if finish[i] > projectFinish {
+					projectFinish = finish[i]
+					last = int32(i)
+				}
+			}
+			out[t] = projectFinish
+			// Walk the sampled critical chain backwards.
+			for i := last; i >= 0; i = critPred[i] {
+				critCount[i]++
+			}
+		}
+		critCounts[s] = critCount
+		iterTotals[s] = iterTotal
+	})
+
+	slices.Sort(res.Durations)
+	for i, a := range acts {
+		var crit, iter int64
+		for s := 0; s < numShards; s++ {
+			crit += critCounts[s][i]
+			iter += iterTotals[s][i]
+		}
+		res.Criticality[a.Name] = float64(crit) / float64(cfg.Trials)
+		res.MeanIterObserved[a.Name] = float64(iter) / float64(cfg.Trials)
 	}
 	return res, nil
 }
@@ -216,37 +304,31 @@ func topo(acts []ActivityModel, idx map[string]int) ([]int, error) {
 	return order, nil
 }
 
-// sampleTriangular draws from a triangular distribution.
-func sampleTriangular(rng *rand.Rand, min, mode, max time.Duration) time.Duration {
-	a, c, b := float64(min), float64(mode), float64(max)
-	if a == b {
-		return min
+// sampleWork draws one iteration's duration from the activity's
+// triangular distribution via inverse-CDF sampling.
+func (ca *compiled) sampleWork(r *rng) time.Duration {
+	if ca.point {
+		return time.Duration(ca.lo)
 	}
-	u := rng.Float64()
-	fc := (c - a) / (b - a)
+	u := r.float64()
 	var x float64
-	if u < fc {
-		x = a + math.Sqrt(u*(b-a)*(c-a))
+	if u < ca.fc {
+		x = ca.lo + math.Sqrt(u*ca.upWidth)
 	} else {
-		x = b - math.Sqrt((1-u)*(b-a)*(b-c))
+		x = ca.hi - math.Sqrt((1-u)*ca.downWidth)
 	}
 	return time.Duration(x)
 }
 
-// sampleIterations draws a geometric iteration count with the given mean
-// (success probability 1/mean), capped at 2×mean like the simulated
-// tools.
-func sampleIterations(rng *rand.Rand, mean float64) int {
-	if mean <= 1 {
+// sampleIterations draws a geometric iteration count with the modelled
+// mean (success probability 1/mean), capped at 2×mean like the
+// simulated tools.
+func (ca *compiled) sampleIterations(r *rng) int {
+	if ca.p <= 0 {
 		return 1
 	}
-	p := 1 / mean
-	limit := int(2 * mean)
-	if limit < 1 {
-		limit = 1
-	}
 	n := 1
-	for rng.Float64() >= p && n < limit {
+	for r.float64() >= ca.p && n < ca.limit {
 		n++
 	}
 	return n

@@ -1,0 +1,236 @@
+package monte
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// branchy is a stochastic network with parallel branches and a join —
+// enough structure that criticality is genuinely split between paths.
+func branchy() []ActivityModel {
+	return []ActivityModel{
+		{Name: "spec", Min: h(2), Mode: h(4), Max: h(8), MeanIterations: 1.3},
+		{Name: "rtl", Min: h(6), Mode: h(10), Max: h(20), MeanIterations: 2, Preds: []string{"spec"}},
+		{Name: "tb", Min: h(4), Mode: h(8), Max: h(18), MeanIterations: 1.8, Preds: []string{"spec"}},
+		{Name: "syn", Min: h(3), Mode: h(5), Max: h(9), MeanIterations: 1.5, Preds: []string{"rtl"}},
+		{Name: "sim", Min: h(2), Mode: h(6), Max: h(14), MeanIterations: 2.5, Preds: []string{"rtl", "tb"}},
+		{Name: "signoff", Min: h(1), Mode: h(2), Max: h(4), MeanIterations: 1, Preds: []string{"syn", "sim"}},
+	}
+}
+
+// TestSerialParallelEquivalence is the engine's determinism contract:
+// the same seed must produce bit-identical results whether the shards
+// run on 1, 2, or 8 workers.
+func TestSerialParallelEquivalence(t *testing.T) {
+	for _, trials := range []int{1, 50, 1000} {
+		serial, err := Simulate(branchy(), Config{Trials: trials, Seed: 42, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			got, err := Simulate(branchy(), Config{Trials: trials, Seed: 42, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Durations) != len(serial.Durations) {
+				t.Fatalf("trials=%d workers=%d: %d durations, want %d",
+					trials, workers, len(got.Durations), len(serial.Durations))
+			}
+			for i := range serial.Durations {
+				if got.Durations[i] != serial.Durations[i] {
+					t.Fatalf("trials=%d workers=%d: Durations[%d] = %v, serial %v",
+						trials, workers, i, got.Durations[i], serial.Durations[i])
+				}
+			}
+			for name, want := range serial.Criticality {
+				if got.Criticality[name] != want {
+					t.Fatalf("trials=%d workers=%d: Criticality[%s] = %v, serial %v",
+						trials, workers, name, got.Criticality[name], want)
+				}
+			}
+			for name, want := range serial.MeanIterObserved {
+				if got.MeanIterObserved[name] != want {
+					t.Fatalf("trials=%d workers=%d: MeanIterObserved[%s] = %v, serial %v",
+						trials, workers, name, got.MeanIterObserved[name], want)
+				}
+			}
+		}
+	}
+}
+
+// TestWorkersDefaultMatchesSerial pins the facade-facing default:
+// Workers 0 (all cores) is still bit-identical to the serial run.
+func TestWorkersDefaultMatchesSerial(t *testing.T) {
+	serial, err := Simulate(branchy(), Config{Trials: 500, Seed: 9, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := Simulate(branchy(), Config{Trials: 500, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Durations {
+		if serial.Durations[i] != auto.Durations[i] {
+			t.Fatalf("Durations[%d] differ between Workers=1 and Workers=0", i)
+		}
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	r := &Result{Durations: []time.Duration{h(1), h(2), h(3), h(4)}}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0, h(1)}, {1, h(4)}, {-0.5, h(1)}, {1.5, h(4)},
+		// rank q*(n-1): 0.5*3 = 1.5 rounds to index 2, not truncates to 1.
+		{0.5, h(3)},
+		// 0.4*3 = 1.2 rounds down to index 1.
+		{0.4, h(2)},
+		// 0.9*3 = 2.7 rounds up to index 3; truncation would give 2.
+		{0.9, h(4)},
+	}
+	for _, tc := range cases {
+		if got := r.Percentile(tc.q); got != tc.want {
+			t.Errorf("Percentile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestProbWithinEmptyResult(t *testing.T) {
+	r := &Result{}
+	// The empty guard must run before the rank search: no NaN, no panic.
+	for _, target := range []time.Duration{0, h(1), -h(1)} {
+		if p := r.ProbWithin(target); p != 0 {
+			t.Errorf("ProbWithin(%v) on empty result = %v, want 0", target, p)
+		}
+	}
+}
+
+func TestPercentileEmptyResult(t *testing.T) {
+	r := &Result{}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := r.Percentile(q); got != 0 {
+			t.Errorf("Percentile(%v) on empty result = %v, want 0", q, got)
+		}
+	}
+}
+
+// Property: percentiles are monotone non-decreasing in q.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	res, err := Simulate(branchy(), Config{Trials: 400, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(qaRaw, qbRaw uint16) bool {
+		qa := float64(qaRaw) / math.MaxUint16
+		qb := float64(qbRaw) / math.MaxUint16
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return res.Percentile(qa) <= res.Percentile(qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ProbWithin is monotone non-decreasing in the target span.
+func TestProbWithinMonotoneProperty(t *testing.T) {
+	res, err := Simulate(branchy(), Config{Trials: 400, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(aRaw, bRaw uint32) bool {
+		a := time.Duration(aRaw) * time.Minute
+		b := time.Duration(bRaw) * time.Minute
+		if a > b {
+			a, b = b, a
+		}
+		return res.ProbWithin(a) <= res.ProbWithin(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: criticality is a probability, and on a pure chain every
+// activity is critical in every trial.
+func TestCriticalityProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		res, err := Simulate(branchy(), Config{Trials: 100, Seed: seed})
+		if err != nil {
+			return false
+		}
+		sawFull := false
+		for _, c := range res.Criticality {
+			if c < 0 || c > 1 {
+				return false
+			}
+			if c == 1 {
+				sawFull = true
+			}
+		}
+		// Some activity (at least the join points) must be on every
+		// sampled critical path.
+		return sawFull
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Chain flow: every activity lies on the single path, so every
+	// criticality is exactly 1.
+	chain := []ActivityModel{
+		{Name: "a", Min: h(1), Mode: h(2), Max: h(4), MeanIterations: 1.5},
+		{Name: "b", Min: h(1), Mode: h(2), Max: h(4), MeanIterations: 2, Preds: []string{"a"}},
+		{Name: "c", Min: h(1), Mode: h(2), Max: h(4), MeanIterations: 1, Preds: []string{"b"}},
+	}
+	res, err := Simulate(chain, Config{Trials: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, c := range res.Criticality {
+		if c != 1 {
+			t.Errorf("chain criticality[%s] = %v, want 1", name, c)
+		}
+	}
+}
+
+// TestShardRNGStreamsDiffer guards against shard streams collapsing to
+// the same sequence (which would silently bias the sample).
+func TestShardRNGStreamsDiffer(t *testing.T) {
+	seen := make(map[uint64]int)
+	for s := 0; s < numShards; s++ {
+		r := newShardRNG(7, s)
+		v := r.next()
+		if prev, dup := seen[v]; dup {
+			t.Fatalf("shards %d and %d start with the same draw", prev, s)
+		}
+		seen[v] = s
+	}
+	// Different seeds must shift every stream.
+	a := newShardRNG(1, 0)
+	b := newShardRNG(2, 0)
+	if a.next() == b.next() {
+		t.Fatal("seed has no effect on shard stream")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := newShardRNG(99, 0)
+	var sum float64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		u := r.float64()
+		if u < 0 || u >= 1 {
+			t.Fatalf("float64 draw %v out of [0,1)", u)
+		}
+		sum += u
+	}
+	if mean := sum / n; mean < 0.48 || mean > 0.52 {
+		t.Fatalf("uniform mean = %v", mean)
+	}
+}

@@ -1,0 +1,45 @@
+// Deterministic per-shard random streams. Each shard of a simulation
+// owns one splitmix64 generator whose initial state is derived from
+// (Config.Seed, shard index) alone, so the sample sequence a shard
+// draws is a pure function of the configuration — independent of how
+// many workers execute the shards or in what order. That is the whole
+// determinism guarantee: bit-identical results for any worker count.
+package monte
+
+// rng is a splitmix64 stream: the state advances by a fixed odd
+// constant (Weyl sequence) and the output is a bijective hash of the
+// state. It is far cheaper than math/rand's generator and more than
+// adequate statistically for Monte-Carlo sampling.
+type rng uint64
+
+// golden is 2^64 / phi, the canonical splitmix64 gamma.
+const golden = 0x9e3779b97f4a7c15
+
+// newShardRNG derives the stream for one shard. The shard index is
+// folded into the seed through two hash rounds so that adjacent seeds
+// and adjacent shards land in decorrelated states.
+func newShardRNG(seed int64, shard int) rng {
+	r := rng(mix64(mix64(uint64(seed)) + golden*uint64(shard+1)))
+	return r
+}
+
+// next returns the stream's next 64 uniform bits.
+func (r *rng) next() uint64 {
+	*r += golden
+	return mix64(uint64(*r))
+}
+
+// float64 returns a uniform draw in [0, 1) with 53 bits of precision.
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// mix64 is the splitmix64 finalizer (Stafford variant 13).
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

@@ -1,0 +1,88 @@
+// Package par provides a small bounded worker pool for data-parallel
+// sweeps over independent work items. It is the shared concurrency
+// substrate for the repo's compute-heavy paths (Monte-Carlo risk
+// shards, workload and report sweeps): callers describe work as a
+// function of an index, the pool bounds how many indices run at once,
+// and ForEach blocks until every index has been processed.
+//
+// The pool is deliberately dumb: no queues, no futures, no context
+// plumbing. Work is claimed index-by-index from an atomic counter, so
+// items of uneven cost balance across workers automatically. A Pool is
+// stateless between calls and safe for concurrent use; the zero-cost
+// way to force serial execution is New(1), which runs every index in
+// order on the calling goroutine.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a reusable bounded worker pool.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool running at most workers items concurrently.
+// workers <= 0 selects runtime.GOMAXPROCS(0), i.e. all usable cores.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// ForEach runs fn(i) for every i in [0, n), using at most
+// p.Workers() goroutines, and blocks until all calls have returned.
+// With one worker (or n == 1) the indices run in order on the calling
+// goroutine. fn must not panic: a panic on a pooled goroutine crashes
+// the program, as with any unrecovered goroutine panic.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEachErr is ForEach for fallible work. Every index runs regardless
+// of other indices' failures (results stay deterministic under any
+// worker count), and the error for the lowest failing index is
+// returned.
+func (p *Pool) ForEachErr(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	p.ForEach(n, func(i int) {
+		errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		for _, n := range []int{0, 1, 7, 100} {
+			counts := make([]int32, n)
+			New(workers).ForEach(n, func(i int) {
+				atomic.AddInt32(&counts[i], 1)
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachSerialOrder(t *testing.T) {
+	var order []int
+	New(1).ForEach(5, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial order = %v", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("ran %d of 5", len(order))
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var running, peak atomic.Int32
+	New(workers).ForEach(64, func(i int) {
+		now := running.Add(1)
+		for {
+			p := peak.Load()
+			if now <= p || peak.CompareAndSwap(p, now) {
+				break
+			}
+		}
+		running.Add(-1)
+	})
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent items, bound is %d", p, workers)
+	}
+}
+
+func TestNewDefaultsToAllCores(t *testing.T) {
+	if w := New(0).Workers(); w < 1 {
+		t.Fatalf("default workers = %d", w)
+	}
+	if w := New(-3).Workers(); w < 1 {
+		t.Fatalf("negative workers = %d", w)
+	}
+	if w := New(6).Workers(); w != 6 {
+		t.Fatalf("explicit workers = %d", w)
+	}
+}
+
+func TestForEachErrReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := New(workers).ForEachErr(10, func(i int) error {
+			if i == 3 || i == 7 {
+				return fmt.Errorf("item %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 3 failed" {
+			t.Fatalf("workers=%d: err = %v, want item 3", workers, err)
+		}
+	}
+}
+
+func TestForEachErrAllIndicesRunDespiteFailure(t *testing.T) {
+	var ran atomic.Int32
+	sentinel := errors.New("boom")
+	err := New(4).ForEachErr(20, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() != 20 {
+		t.Fatalf("ran %d of 20 despite early failure", ran.Load())
+	}
+}
+
+func TestForEachErrNilOnSuccess(t *testing.T) {
+	if err := New(2).ForEachErr(8, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,6 +2,7 @@ package report
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"flowsched/internal/baseline"
 	"flowsched/internal/engine"
 	"flowsched/internal/monte"
+	"flowsched/internal/par"
 	"flowsched/internal/pert"
 	"flowsched/internal/predict"
 	"flowsched/internal/sched"
@@ -113,57 +115,69 @@ func E2Prediction() (string, error) {
 
 // E3Scaling sweeps layered flows to show planning-by-simulation and
 // execution scale with flow size. Columns: activities, plan span, exec
-// instances.
+// instances. The sweep points build isolated engines, so they run on
+// the shared worker pool (internal/par); rows are assembled by index,
+// keeping the exhibit byte-identical to a serial run.
 func E3Scaling() (string, error) {
-	var b strings.Builder
-	b.WriteString("E3 — Scaling of planning and execution with flow size\n\n")
-	b.WriteString("depth width acts  planSpan      execRuns execEntities\n")
-	for _, sz := range []struct{ d, w int }{{2, 2}, {4, 4}, {6, 6}, {8, 8}} {
+	sizes := []struct{ d, w int }{{2, 2}, {4, 4}, {6, 6}, {8, 8}}
+	rows := make([]string, len(sizes))
+	err := par.New(0).ForEachErr(len(sizes), func(i int) error {
+		sz := sizes[i]
 		sch, err := workload.Layered(workload.LayeredConfig{
 			Depth: sz.d, Width: sz.w, FanIn: 2, Seed: 11,
 		})
 		if err != nil {
-			return "", err
+			return err
 		}
 		m, err := engine.New(sch, vclock.Standard(), vclock.Epoch, "bench")
 		if err != nil {
-			return "", err
+			return err
 		}
 		if err := m.BindDefaults(); err != nil {
-			return "", err
+			return err
 		}
 		for _, leaf := range sch.PrimaryInputs() {
 			if _, err := m.Import(leaf, []byte("seed "+leaf)); err != nil {
-				return "", err
+				return err
 			}
 		}
 		tree, err := m.ExtractTree(sch.PrimaryOutputs()...)
 		if err != nil {
-			return "", err
+			return err
 		}
 		est, err := workload.Estimates(sch, 8*time.Hour, 0.2, 5)
 		if err != nil {
-			return "", err
+			return err
 		}
 		pr, err := m.Plan(tree, est, sched.PlanOptions{})
 		if err != nil {
-			return "", err
+			return err
 		}
 		if _, err := m.ExecuteTask(tree, engine.ExecOptions{Plan: &pr.Plan, AutoComplete: true}); err != nil {
-			return "", err
+			return err
 		}
 		span := pr.Plan.Finish.Sub(pr.Plan.Start)
 		runs, entities := 0, 0
 		for _, r := range sch.Rules() {
 			_, rs, err := m.Exec.Runs(r.Activity)
 			if err != nil {
-				return "", err
+				return err
 			}
 			runs += len(rs)
 			entities += len(m.DB.Container(r.Output).Entries)
 		}
-		fmt.Fprintf(&b, "%-5d %-5d %-5d %-13s %-8d %d\n",
+		rows[i] = fmt.Sprintf("%-5d %-5d %-5d %-13s %-8d %d\n",
 			sz.d, sz.w, len(sch.Rules()), span.Round(time.Hour), runs, entities)
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("E3 — Scaling of planning and execution with flow size\n\n")
+	b.WriteString("depth width acts  planSpan      execRuns execEntities\n")
+	for _, row := range rows {
+		b.WriteString(row)
 	}
 	return b.String(), nil
 }
@@ -257,16 +271,17 @@ func E5Queries() (string, error) {
 	return b.String(), nil
 }
 
-// E6Risk runs the Monte-Carlo schedule risk analysis over the ASIC flow,
-// comparing it with the analytic PERT approximation from E4.
-func E6Risk() (string, error) {
+// ASICRiskModels derives the Monte-Carlo activity models for the ASIC
+// flow from the standard tool profiles. It is the stochastic model
+// behind exhibit E6 and the benchrisk harness.
+func ASICRiskModels() ([]monte.ActivityModel, error) {
 	sch := workload.ASIC()
 	profiles := tools.StandardProfiles()
 	var models []monte.ActivityModel
 	for _, r := range sch.Rules() {
 		prof, ok := profiles[r.Tool]
 		if !ok {
-			return "", fmt.Errorf("report: no profile for tool %s", r.Tool)
+			return nil, fmt.Errorf("report: no profile for tool %s", r.Tool)
 		}
 		var preds []string
 		for _, in := range r.Inputs {
@@ -280,6 +295,16 @@ func E6Risk() (string, error) {
 			Name: r.Activity, Min: min, Mode: prof.Base, Max: max,
 			MeanIterations: prof.MeanIterations, Preds: preds,
 		})
+	}
+	return models, nil
+}
+
+// E6Risk runs the Monte-Carlo schedule risk analysis over the ASIC flow,
+// comparing it with the analytic PERT approximation from E4.
+func E6Risk() (string, error) {
+	models, err := ASICRiskModels()
+	if err != nil {
+		return "", err
 	}
 	res, err := monte.Simulate(models, monte.Config{Trials: 5000, Seed: 1995})
 	if err != nil {
@@ -308,5 +333,30 @@ func E6Risk() (string, error) {
 		fmt.Fprintf(&b, "  %-11s %.2f  (mean iterations %.2f)\n",
 			n, res.Criticality[n], res.MeanIterObserved[n])
 	}
+
+	// Engine timings: the sharded engine returns bit-identical results
+	// for every worker count, so the comparison below is pure speed.
+	const timingTrials = 100000
+	serial, err := timeSimulate(models, timingTrials, 1)
+	if err != nil {
+		return "", err
+	}
+	parallel, err := timeSimulate(models, timingTrials, 0)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "\nengine (%d trials, deterministic shards): serial %s; parallel %s on %d cores (%.1fx)\n",
+		timingTrials, serial.Round(time.Millisecond), parallel.Round(time.Millisecond),
+		runtime.GOMAXPROCS(0), float64(serial)/float64(parallel))
 	return b.String(), nil
+}
+
+// timeSimulate measures one wall-clock Simulate run at the given worker
+// count.
+func timeSimulate(models []monte.ActivityModel, trials, workers int) (time.Duration, error) {
+	start := time.Now()
+	if _, err := monte.Simulate(models, monte.Config{Trials: trials, Seed: 1995, Workers: workers}); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil
 }

@@ -215,7 +215,7 @@ func TestE6Risk(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"Monte-Carlo", "p50", "criticality", "Synthesize", "Route"} {
+	for _, want := range []string{"Monte-Carlo", "p50", "criticality", "Synthesize", "Route", "serial", "parallel"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("E6 missing %q:\n%s", want, out)
 		}

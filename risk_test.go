@@ -58,6 +58,51 @@ func TestSimulateRiskConsistentWithExecution(t *testing.T) {
 	}
 }
 
+func TestSimulateRiskWorkerEquivalence(t *testing.T) {
+	// The facade's parallel default must be bit-identical to a forced
+	// serial run: same shards, same per-shard streams, any worker count.
+	p := prepared(t)
+	serial, err := p.SimulateRiskWith([]string{"performance"},
+		RiskOptions{Trials: 800, Seed: 23, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8} {
+		got, err := p.SimulateRiskWith([]string{"performance"},
+			RiskOptions{Trials: 800, Seed: 23, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial.Durations {
+			if got.Durations[i] != serial.Durations[i] {
+				t.Fatalf("workers=%d: Durations[%d] = %v, serial %v",
+					workers, i, got.Durations[i], serial.Durations[i])
+			}
+		}
+		for name, want := range serial.Criticality {
+			if got.Criticality[name] != want {
+				t.Fatalf("workers=%d: Criticality[%s] differs", workers, name)
+			}
+		}
+		for name, want := range serial.MeanIterObserved {
+			if got.MeanIterObserved[name] != want {
+				t.Fatalf("workers=%d: MeanIterObserved[%s] differs", workers, name)
+			}
+		}
+	}
+}
+
+func TestSimulateRiskDefaultTrials(t *testing.T) {
+	p := prepared(t)
+	res, err := p.SimulateRiskWith([]string{"performance"}, RiskOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Durations) != 1000 {
+		t.Fatalf("default trials = %d", len(res.Durations))
+	}
+}
+
 func TestSimulateRiskErrors(t *testing.T) {
 	p := newProject(t)
 	if _, err := p.SimulateRisk([]string{"performance"}, 10, 1); err == nil ||
