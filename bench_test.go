@@ -389,9 +389,14 @@ func BenchmarkAblation_ArchRollup(b *testing.B) {
 
 // benchRisk measures a 1000-trial Monte-Carlo risk analysis over the
 // Fig. 4 flow with default tool profiles at a fixed worker count.
-func benchRisk(b *testing.B, workers int) {
+// With instrumented, the project carries the full observability layer
+// (metrics + tracing), measuring its overhead on the risk path.
+func benchRisk(b *testing.B, workers int, instrumented bool) {
 	b.Helper()
-	p, err := New(Fig4Schema, Options{Designer: "bench"})
+	p, err := New(Fig4Schema, Options{
+		Designer: "bench",
+		Obs:      ObsOptions{Enabled: instrumented},
+	})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -412,8 +417,12 @@ func benchRisk(b *testing.B, workers int) {
 // all cores and must return bit-identical results (see
 // internal/monte's equivalence test). cmd/benchrisk records the
 // serial/parallel trials sweep into BENCH_risk.json.
-func BenchmarkE6_RiskSimulation(b *testing.B)          { benchRisk(b, 1) }
-func BenchmarkE6_RiskSimulation_Parallel(b *testing.B) { benchRisk(b, 0) }
+// BenchmarkE6_RiskSimulation_Instrumented is the same serial run with
+// the observability layer enabled; the overhead budget is <5% (see
+// BENCH_obs.json, recorded by cmd/benchrisk -obs).
+func BenchmarkE6_RiskSimulation(b *testing.B)              { benchRisk(b, 1, false) }
+func BenchmarkE6_RiskSimulation_Parallel(b *testing.B)     { benchRisk(b, 0, false) }
+func BenchmarkE6_RiskSimulation_Instrumented(b *testing.B) { benchRisk(b, 1, true) }
 
 // benchExecMode measures tracked ASIC execution under one timeline mode.
 func benchExecMode(b *testing.B, parallel bool) {

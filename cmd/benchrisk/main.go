@@ -8,6 +8,12 @@
 //	benchrisk -label after-parallel                 # sweep, append to BENCH_risk.json
 //	benchrisk -workers 1 -label serial-only         # force the serial path
 //	benchrisk -out /tmp/b.json -trials 1000,10000   # custom sweep
+//	benchrisk -obs -label overhead                  # plain vs instrumented, BENCH_obs.json
+//
+// With -obs each sweep point is measured twice — the plain engine and
+// the same engine under the full observability layer (metrics +
+// per-shard spans) — and the entry records both plus the overhead
+// percentage, appending to BENCH_obs.json by default.
 //
 // The workload is the E6 exhibit's ASIC-flow model (the repo's
 // heaviest risk network), so the numbers line up with
@@ -26,16 +32,22 @@ import (
 	"time"
 
 	"flowsched/internal/monte"
+	"flowsched/internal/obs"
 	"flowsched/internal/report"
 )
 
-// sweepPoint is one measured (trials, workers) cell.
+// sweepPoint is one measured (trials, workers) cell. The instrumented
+// fields are recorded only in -obs mode.
 type sweepPoint struct {
 	Trials       int     `json:"trials"`
 	Workers      int     `json:"workers"`
 	Iterations   int     `json:"iterations"`
 	NsPerOp      int64   `json:"ns_per_op"`
 	TrialsPerSec float64 `json:"trials_per_sec"`
+	// NsPerOpObs is the instrumented engine's time; OverheadPct its
+	// cost relative to the plain run (positive = slower).
+	NsPerOpObs  int64   `json:"ns_per_op_instrumented,omitempty"`
+	OverheadPct float64 `json:"overhead_pct,omitempty"`
 }
 
 // entry is one benchrisk invocation.
@@ -56,12 +68,20 @@ type file struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_risk.json", "trajectory file to append to")
+	out := flag.String("out", "", "trajectory file to append to (default BENCH_risk.json, or BENCH_obs.json with -obs)")
 	label := flag.String("label", "run", "label for this entry")
 	trialsFlag := flag.String("trials", "1000,10000,100000", "comma-separated trials sweep")
 	workersFlag := flag.String("workers", "", "comma-separated worker counts (default \"1,<cores>\")")
 	seed := flag.Int64("seed", 1995, "simulation seed")
+	obsMode := flag.Bool("obs", false, "also measure the instrumented engine and record the overhead")
 	flag.Parse()
+	if *out == "" {
+		if *obsMode {
+			*out = "BENCH_obs.json"
+		} else {
+			*out = "BENCH_risk.json"
+		}
+	}
 
 	trials, err := parseInts(*trialsFlag)
 	if err != nil {
@@ -79,6 +99,9 @@ func main() {
 
 	// Validate the trajectory file before spending minutes on the sweep.
 	doc := file{Description: "Monte-Carlo risk engine performance trajectory (cmd/benchrisk over the E6 ASIC model)"}
+	if *obsMode {
+		doc.Description = "Observability overhead trajectory: plain vs instrumented risk engine (cmd/benchrisk -obs over the E6 ASIC model)"
+	}
 	if blob, err := os.ReadFile(*out); err == nil {
 		if err := json.Unmarshal(blob, &doc); err != nil {
 			fatal("existing %s is not a benchrisk file: %v", *out, err)
@@ -98,21 +121,24 @@ func main() {
 	for _, w := range workers {
 		for _, n := range trials {
 			cfg := monte.Config{Trials: n, Seed: *seed, Workers: w}
-			r := testing.Benchmark(func(b *testing.B) {
-				for i := 0; i < b.N; i++ {
-					if _, err := monte.Simulate(models, cfg); err != nil {
-						b.Fatal(err)
-					}
-				}
-			})
-			ns := r.NsPerOp()
+			ns, iters := measure(models, cfg)
 			p := sweepPoint{
-				Trials: n, Workers: w, Iterations: r.N, NsPerOp: ns,
+				Trials: n, Workers: w, Iterations: iters, NsPerOp: ns,
 				TrialsPerSec: float64(n) / (float64(ns) / 1e9),
 			}
+			if *obsMode {
+				// One Obs for the whole point, as a project would hold
+				// one across many analyses.
+				cfg.Obs = obs.New()
+				p.NsPerOpObs, _ = measure(models, cfg)
+				p.OverheadPct = 100 * (float64(p.NsPerOpObs) - float64(p.NsPerOp)) / float64(p.NsPerOp)
+				fmt.Printf("trials=%-7d workers=%-2d plain %12d ns/op  instrumented %12d ns/op  overhead %+.2f%%\n",
+					n, w, p.NsPerOp, p.NsPerOpObs, p.OverheadPct)
+			} else {
+				fmt.Printf("trials=%-7d workers=%-2d %12d ns/op  %10.0f trials/s\n",
+					n, w, ns, p.TrialsPerSec)
+			}
 			e.Results = append(e.Results, p)
-			fmt.Printf("trials=%-7d workers=%-2d %12d ns/op  %10.0f trials/s\n",
-				n, w, ns, p.TrialsPerSec)
 		}
 	}
 
@@ -125,6 +151,19 @@ func main() {
 		fatal("%v", err)
 	}
 	fmt.Printf("appended entry %q to %s\n", *label, *out)
+}
+
+// measure times one Simulate configuration, returning ns/op and the
+// iteration count testing.Benchmark settled on.
+func measure(models []monte.ActivityModel, cfg monte.Config) (int64, int) {
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := monte.Simulate(models, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return r.NsPerOp(), r.N
 }
 
 func parseInts(csv string) ([]int, error) {

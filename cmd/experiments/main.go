@@ -1,5 +1,5 @@
 // Command experiments regenerates every exhibit of the paper — Table I
-// and Figures 1–8 — plus the quantitative experiments E1–E5 described in
+// and Figures 1–8 — plus the quantitative experiments E1–E7 described in
 // DESIGN.md.
 //
 //	experiments               # print every exhibit to stdout
@@ -37,11 +37,12 @@ func exhibits() []exhibit {
 		{"e4", report.E4CriticalPath},
 		{"e5", report.E5Queries},
 		{"e6", report.E6Risk},
+		{"e7", report.E7Observability},
 	}
 }
 
 func main() {
-	which := flag.String("exhibit", "all", "exhibit to regenerate (all, tableI, fig1..fig8, e1..e6)")
+	which := flag.String("exhibit", "all", "exhibit to regenerate (all, tableI, fig1..fig8, e1..e7)")
 	list := flag.Bool("list", false, "list exhibit names and exit")
 	flag.Parse()
 

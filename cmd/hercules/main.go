@@ -38,6 +38,9 @@
 //	milestones                                milestone report (achieved/pending, margin)
 //	export csv|mpx <path>                     export the plan for PM tooling
 //	actuals <path>                            import hand-collected actual dates (CSV)
+//	stats [json]                              observability metrics (Prometheus text or JSON)
+//	trace [depth]                             dual-clock span tree (virtual + wall time)
+//	events                                    new manager events since the last call
 //	save <path>                               persist the whole session as JSON
 //	load <path>                               restore a saved session (rebind tools after)
 //	quit                                      end the session
@@ -65,6 +68,9 @@ func main() {
 type session struct {
 	project *flowsched.Project
 	out     *bufio.Writer
+	// eventSeq is the events cursor: how many manager events the
+	// "events" command has already printed (reset on schema/load).
+	eventSeq int
 }
 
 func run(in io.Reader, out io.Writer) error {
@@ -104,11 +110,12 @@ func (s *session) dispatch(line string) error {
 		if err != nil {
 			return err
 		}
-		p, err := flowsched.Load(blob, flowsched.Options{})
+		p, err := flowsched.Load(blob, flowsched.Options{Obs: flowsched.ObsOptions{Enabled: true}})
 		if err != nil {
 			return err
 		}
 		s.project = p
+		s.eventSeq = 0
 		fmt.Fprintf(s.out, "restored session at %s (rebind tools before run)\n",
 			p.Now().Format("2006-01-02 15:04"))
 		return nil
@@ -221,6 +228,12 @@ func (s *session) dispatch(line string) error {
 				m.Margin.Round(time.Minute))
 		}
 		return nil
+	case "stats":
+		return s.stats(args)
+	case "trace":
+		return s.trace(args)
+	case "events":
+		return s.events(args)
 	case "export":
 		return s.export(args)
 	case "actuals":
@@ -277,11 +290,15 @@ func (s *session) loadSchema(args []string) error {
 		}
 		src = string(b)
 	}
-	p, err := flowsched.New(src, flowsched.Options{Designer: username()})
+	p, err := flowsched.New(src, flowsched.Options{
+		Designer: username(),
+		Obs:      flowsched.ObsOptions{Enabled: true},
+	})
 	if err != nil {
 		return err
 	}
 	s.project = p
+	s.eventSeq = 0
 	sch := p.Schema()
 	fmt.Fprintf(s.out, "schema %s: %d activities, primary inputs %v, primary outputs %v\n",
 		sch.Name, len(sch.Rules()), sch.PrimaryInputs(), sch.PrimaryOutputs())
@@ -434,6 +451,74 @@ func (s *session) optimize(args []string) error {
 		tp.Size, tp.Makespan, tp.CriticalPath)
 	for _, a := range tp.Assignments {
 		fmt.Fprintf(s.out, "  %-12s %-4s %8s .. %s\n", a.Task, a.Resource, a.Start, a.Finish)
+	}
+	return nil
+}
+
+func (s *session) stats(args []string) error {
+	if len(args) > 1 || (len(args) == 1 && args[0] != "json") {
+		return fmt.Errorf("usage: stats [json]")
+	}
+	if len(args) == 1 {
+		blob, err := s.project.MetricsJSON()
+		if err != nil {
+			return err
+		}
+		s.out.Write(blob)
+		fmt.Fprintln(s.out)
+		return nil
+	}
+	text := s.project.MetricsText()
+	if text == "" {
+		fmt.Fprintln(s.out, "no metrics recorded yet")
+		return nil
+	}
+	fmt.Fprint(s.out, text)
+	return nil
+}
+
+func (s *session) trace(args []string) error {
+	depth := 0
+	if len(args) == 1 {
+		d, err := strconv.Atoi(args[0])
+		if err != nil || d < 1 {
+			return fmt.Errorf("bad depth %q", args[0])
+		}
+		depth = d
+	} else if len(args) > 1 {
+		return fmt.Errorf("usage: trace [max-depth]")
+	}
+	tree := s.project.TraceTree(depth)
+	if tree == "" {
+		fmt.Fprintln(s.out, "no spans recorded yet")
+		return nil
+	}
+	fmt.Fprint(s.out, tree)
+	if n := s.project.TraceDropped(); n > 0 {
+		fmt.Fprintf(s.out, "(%d span(s) dropped over the retention bound)\n", n)
+	}
+	return nil
+}
+
+// events prints only the manager events appended since the last call,
+// using the EventsSince cursor instead of re-copying the full stream.
+func (s *session) events(args []string) error {
+	if len(args) != 0 {
+		return fmt.Errorf("usage: events")
+	}
+	evs := s.project.EventsSince(s.eventSeq)
+	if len(evs) == 0 {
+		fmt.Fprintln(s.out, "no new events")
+		return nil
+	}
+	s.eventSeq += len(evs)
+	for _, e := range evs {
+		act := e.Activity
+		if act == "" {
+			act = "-"
+		}
+		fmt.Fprintf(s.out, "  %s  %-20s %-12s %s\n",
+			e.At.Format("2006-01-02 15:04"), e.Kind, act, e.Detail)
 	}
 	return nil
 }

@@ -290,6 +290,44 @@ func TestBoardAndAnalogBuiltins(t *testing.T) {
 	}
 }
 
+func TestStatsTraceAndEventsCommands(t *testing.T) {
+	out := script(t,
+		"schema builtin:fig4",
+		"tools",
+		"import stimuli vec",
+		"plan performance 8",
+		"run performance",
+		"stats",
+		"stats json",
+		"stats xml",
+		"trace",
+		"trace 1",
+		"trace zero",
+		"events",
+		"events",
+		"events now",
+	)
+	for _, want := range []string{
+		"# TYPE engine_events_total counter",
+		"# TYPE store_puts_total counter",
+		"engine_event_plan_created_total 1",
+		`"kind": "histogram"`, // JSON form
+		"usage: stats",
+		"engine.execute", // trace tree roots
+		"engine.plan",
+		"nested span(s)", // depth-limited rendering
+		"bad depth",
+		"plan-created",
+		"run-started",
+		"no new events", // cursor advanced: second call prints nothing
+		"usage: events",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunParallelCommand(t *testing.T) {
 	out := script(t,
 		"schema builtin:asic",

@@ -39,6 +39,7 @@ import (
 	"flowsched/internal/hier"
 	"flowsched/internal/level"
 	"flowsched/internal/monte"
+	"flowsched/internal/obs"
 	"flowsched/internal/pert"
 	"flowsched/internal/query"
 	"flowsched/internal/report"
@@ -83,6 +84,10 @@ type (
 	ToolProfile = tools.Profile
 	// Event is one workflow-manager event.
 	Event = engine.Event
+	// MetricSnapshot is one observability metric's point-in-time value.
+	MetricSnapshot = obs.MetricSnapshot
+	// Span is one finished dual-clock trace span (wall + virtual time).
+	Span = obs.SpanData
 	// ExecResult summarizes a task execution.
 	ExecResult = engine.ExecResult
 	// CPMResult is a critical-path analysis of a plan.
@@ -115,6 +120,17 @@ func NewSimTool(class, instance string, p ToolProfile) (Tool, error) {
 	return tools.NewSim(class, instance, p)
 }
 
+// ObsOptions controls a project's observability layer.
+type ObsOptions struct {
+	// Enabled turns on the metrics registry and the dual-clock span
+	// tracer. Off by default: an uninstrumented project pays only nil
+	// checks on the instrumented paths.
+	Enabled bool
+	// MaxSpans bounds the retained trace spans (default 16384); spans
+	// past the bound are dropped and counted.
+	MaxSpans int
+}
+
 // Options configures a new Project.
 type Options struct {
 	// Designer is recorded on runs and entity instances. Default "designer".
@@ -124,12 +140,16 @@ type Options struct {
 	Start time.Time
 	// Calendar is the working calendar. Default StandardCalendar.
 	Calendar *Calendar
+	// Obs enables metrics and tracing (see Metrics, MetricsText,
+	// TraceSpans, TraceTree).
+	Obs ObsOptions
 }
 
 // Project is a design process under integrated flow + schedule management.
 type Project struct {
 	mgr  *engine.Manager
-	plan *Plan // current tracked plan, nil before first Plan
+	plan *Plan    // current tracked plan, nil before first Plan
+	obs  *obs.Obs // nil unless Options.Obs.Enabled
 }
 
 // New creates a project from schema DSL source.
@@ -156,7 +176,12 @@ func NewFromSchema(sch *Schema, opt Options) (*Project, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Project{mgr: m}, nil
+	p := &Project{mgr: m}
+	if opt.Obs.Enabled {
+		p.obs = obs.NewWith(obs.NewRegistry(), obs.NewTracer(opt.Obs.MaxSpans))
+		m.Instrument(p.obs)
+	}
+	return p, nil
 }
 
 // Schema returns the project's task schema.
@@ -339,6 +364,39 @@ func (p *Project) Analyze() (*CPMResult, error) {
 
 // Events returns the workflow manager's event stream.
 func (p *Project) Events() []Event { return p.mgr.Events() }
+
+// EventsSince returns the events from sequence number seq on (seq
+// counts events already seen; 0 means all). The stream is append-only,
+// so a poller resumes with seq += len(returned) without re-copying the
+// full history each time.
+func (p *Project) EventsSince(seq int) []Event { return p.mgr.EventsSince(seq) }
+
+// Metrics returns a point-in-time snapshot of every registered metric,
+// sorted by name. Empty unless Options.Obs enabled observability.
+func (p *Project) Metrics() []MetricSnapshot { return p.obs.Metrics().Snapshot() }
+
+// MetricsText renders the metrics in Prometheus text exposition format.
+// Empty unless observability is enabled.
+func (p *Project) MetricsText() string { return p.obs.Metrics().PromText() }
+
+// MetricsJSON renders the metrics snapshot as JSON. Empty ("[]") unless
+// observability is enabled.
+func (p *Project) MetricsJSON() ([]byte, error) { return p.obs.Metrics().JSON() }
+
+// TraceSpans returns the finished dual-clock trace spans in end order.
+// Empty unless observability is enabled.
+func (p *Project) TraceSpans() []Span { return p.obs.Tracer().Spans() }
+
+// TraceTree renders the trace spans as an indented tree showing both
+// clocks per span. maxDepth > 0 limits the printed depth (0 =
+// unlimited). Empty unless observability is enabled.
+func (p *Project) TraceTree(maxDepth int) string {
+	return obs.RenderTree(p.obs.Tracer().Spans(), maxDepth)
+}
+
+// TraceDropped reports how many spans were discarded over the
+// ObsOptions.MaxSpans bound.
+func (p *Project) TraceDropped() int64 { return p.obs.Tracer().Dropped() }
 
 // MilestoneStatus is a milestone report row (target vs projected/actual).
 type MilestoneStatus = sched.MilestoneStatus
@@ -547,6 +605,7 @@ func (p *Project) SimulateRiskWith(targets []string, opt RiskOptions) (*RiskResu
 	}
 	return monte.Simulate(models, monte.Config{
 		Trials: opt.Trials, Seed: opt.Seed, Workers: opt.Workers,
+		Obs: p.obs, VirtNow: p.Now(),
 	})
 }
 
@@ -713,6 +772,10 @@ func Load(snapshot []byte, opt Options) (*Project, error) {
 		return nil, err
 	}
 	p := &Project{mgr: m}
+	if opt.Obs.Enabled {
+		p.obs = obs.NewWith(obs.NewRegistry(), obs.NewTracer(opt.Obs.MaxSpans))
+		m.Instrument(p.obs)
+	}
 	if s.PlanVersion > 0 {
 		_, plan, err := m.Sched.PlanByVersion(s.PlanVersion)
 		if err != nil {

@@ -21,11 +21,14 @@ package engine
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"flowsched/internal/design"
 	"flowsched/internal/flow"
 	"flowsched/internal/meta"
+	"flowsched/internal/obs"
 	"flowsched/internal/sched"
 	"flowsched/internal/schema"
 	"flowsched/internal/store"
@@ -70,6 +73,18 @@ type Manager struct {
 	Designer string
 
 	events []Event
+
+	// Observability (nil until Instrument): the tracer carries
+	// dual-clock spans for plan/execute/activity/run, the registry the
+	// event and duration metrics. The Manager is single-goroutine (the
+	// Parallel exec mode composes virtual timelines, not goroutines), so
+	// the handles and the lazily-grown event-counter map need no lock.
+	tr         *obs.Tracer
+	reg        *obs.Registry
+	mEvents    *obs.Counter
+	hActivity  *obs.Histogram
+	hSlip      *obs.Histogram
+	evCounters map[EventKind]*obs.Counter
 }
 
 // New builds a manager for a schema: it creates the task database with
@@ -137,13 +152,64 @@ func Restore(sch *schema.Schema, cal *vclock.Calendar, db *store.DB,
 	}, nil
 }
 
-// Events returns the event stream so far.
+// Instrument attaches an observability bundle: manager events and
+// durations feed the metrics registry, plan/execute/activity/run work
+// is traced as dual-clock spans, and the task database counts its
+// container operations. Instrumenting is optional — an uninstrumented
+// manager pays only nil checks. Returns m for chaining.
+func (m *Manager) Instrument(o *obs.Obs) *Manager {
+	if o == nil {
+		return m
+	}
+	m.tr = o.Tracer()
+	if reg := o.Metrics(); reg != nil {
+		m.reg = reg
+		m.mEvents = reg.Counter("engine_events_total")
+		m.hActivity = reg.Histogram("engine_activity_virtual_seconds", nil)
+		m.hSlip = reg.Histogram("engine_slip_seconds", nil)
+		m.evCounters = make(map[EventKind]*obs.Counter)
+	}
+	m.DB.Instrument(o)
+	return m
+}
+
+// Events returns a copy of the whole event stream. Pollers that only
+// need the tail should use EventsSince.
 func (m *Manager) Events() []Event { return append([]Event(nil), m.events...) }
+
+// EventsSince returns a copy of the events from sequence number seq on
+// (seq counts events already seen; 0 means all). The stream is
+// append-only, so a poller can resume with seq += len(returned) without
+// re-copying the full history each time.
+func (m *Manager) EventsSince(seq int) []Event {
+	if seq < 0 {
+		seq = 0
+	}
+	if seq >= len(m.events) {
+		return nil
+	}
+	return append([]Event(nil), m.events[seq:]...)
+}
 
 func (m *Manager) emit(kind EventKind, activity string, at time.Time, format string, args ...any) {
 	m.events = append(m.events, Event{
 		Kind: kind, Activity: activity, At: at, Detail: fmt.Sprintf(format, args...),
 	})
+	if m.reg != nil {
+		m.mEvents.Inc()
+		m.eventCounter(kind).Inc()
+	}
+}
+
+// eventCounter returns the per-kind counter (engine_event_<kind>_total,
+// dashes folded to underscores), creating it on first use.
+func (m *Manager) eventCounter(kind EventKind) *obs.Counter {
+	c, ok := m.evCounters[kind]
+	if !ok {
+		c = m.reg.Counter("engine_event_" + strings.ReplaceAll(string(kind), "-", "_") + "_total")
+		m.evCounters[kind] = c
+	}
+	return c
 }
 
 // ExtractTree extracts the task tree covering the targets.
@@ -196,10 +262,16 @@ func (m *Manager) Import(class string, data []byte) (*store.Entry, error) {
 // Plan simulates the execution of the tree from the current virtual time,
 // creating a new plan version (see sched.Space.Plan).
 func (m *Manager) Plan(tree *flow.Tree, est sched.Estimator, opt sched.PlanOptions) (*sched.PlanResult, error) {
+	// The plan span's virtual interval covers the simulated horizon:
+	// from now to the projected project finish.
+	sp := m.tr.Start(nil, "engine.plan", m.Clock.Now())
 	res, err := m.Sched.Plan(tree, m.Clock.Now(), est, opt)
 	if err != nil {
+		sp.End(m.Clock.Now())
 		return nil, err
 	}
+	sp.SetDetail("plan v" + strconv.Itoa(res.Plan.Version))
+	sp.End(res.Plan.Finish)
 	m.emit(EvPlanCreated, "", m.Clock.Now(), "plan v%d: finish %s",
 		res.Plan.Version, res.Plan.Finish.Format("2006-01-02 15:04"))
 	return res, nil
@@ -278,6 +350,12 @@ func (m *Manager) ExecuteTask(tree *flow.Tree, opt ExecOptions) (*ExecResult, er
 		return nil, err
 	}
 	res := &ExecResult{Started: m.Clock.Now()}
+	root := m.tr.Start(nil, "engine.execute", res.Started)
+	root.SetDetail("activities=" + strconv.Itoa(len(tree.Activities())))
+	// Deferred so error paths publish too; a child activity whose local
+	// cursor ran past the global clock stretches the root (see
+	// obs.Span.End), keeping virtual containment intact.
+	defer func() { root.End(m.Clock.Now()) }()
 	// latest accepted bytes + entity per data class, seeded from imports.
 	bytesOf := make(map[string][]byte)
 	entityOf := make(map[string]*store.Entry)
@@ -307,22 +385,30 @@ func (m *Manager) ExecuteTask(tree *flow.Tree, opt ExecOptions) (*ExecResult, er
 		} else {
 			startAt = m.Clock.Now()
 		}
-		out, err := m.runActivity(tree, act, startAt, bytesOf, entityOf, opt)
+		out, err := m.runActivity(tree, act, startAt, bytesOf, entityOf, opt, root)
 		if err != nil {
 			return res, err
 		}
 		finishOf[act] = out.Finished
+		m.hActivity.Observe(out.Finished.Sub(out.Started).Seconds())
 		m.Clock.AdvanceTo(out.Finished)
 		res.Outcomes = append(res.Outcomes, *out)
 	}
 	res.Finished = m.Clock.Now()
 	if opt.Plan != nil {
+		// Propagation consumes no virtual time: a point-interval span
+		// whose detail carries the projected finish.
+		psp := m.tr.Start(root, "engine.propagate", m.Clock.Now())
 		before := opt.Plan.Finish
 		projected, err := m.Sched.Propagate(opt.Plan, m.Clock.Now())
 		if err != nil {
+			psp.End(m.Clock.Now())
 			return res, err
 		}
+		psp.SetDetail("projected finish " + projected.Format("2006-01-02"))
+		psp.End(m.Clock.Now())
 		if projected.After(before) {
+			m.hSlip.Observe(projected.Sub(before).Seconds())
 			m.emit(EvSlip, "", m.Clock.Now(), "project finish slipped %s -> %s",
 				before.Format("2006-01-02"), projected.Format("2006-01-02"))
 		}
@@ -354,7 +440,8 @@ func (m *Manager) checkReady(tree *flow.Tree) error {
 // rather than the global clock, so the caller decides how activity
 // timelines compose (serial or parallel).
 func (m *Manager) runActivity(tree *flow.Tree, act string, startAt time.Time,
-	bytesOf map[string][]byte, entityOf map[string]*store.Entry, opt ExecOptions) (*ActivityOutcome, error) {
+	bytesOf map[string][]byte, entityOf map[string]*store.Entry, opt ExecOptions,
+	parent *obs.Span) (*ActivityOutcome, error) {
 
 	rule := m.Schema.RuleByActivity(act)
 	tool := m.Tools.For(act)
@@ -362,6 +449,10 @@ func (m *Manager) runActivity(tree *flow.Tree, act string, startAt time.Time,
 	failStreak := 0
 	goalReached := false
 	now := startAt
+
+	asp := m.tr.Start(parent, "engine.activity", startAt)
+	asp.SetDetail(act)
+	defer func() { asp.End(now) }()
 
 	for iter := 1; iter <= opt.MaxIterations; iter++ {
 		inputs := make(map[string][]byte, len(rule.Inputs))
@@ -385,9 +476,12 @@ func (m *Manager) runActivity(tree *flow.Tree, act string, startAt time.Time,
 		}
 		m.emit(EvRunStarted, act, start, "run %s (iteration %d)", runEntry.ID, iter)
 
+		rsp := m.tr.Start(asp, "engine.run", start)
+		rsp.SetDetail(runEntry.ID + " iter=" + strconv.Itoa(iter))
 		result, runErr := tool.Run(inputs, iter)
 		finish := m.Calendar.AddWork(start, result.Work)
 		now = finish
+		rsp.End(finish)
 
 		if runErr != nil {
 			if err := m.Exec.FinishRun(runEntry.ID, finish, meta.RunFailed); err != nil {

@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"flowsched/internal/obs"
+	"flowsched/internal/sched"
+)
+
+// TestInstrumentedExecuteTraceContainment runs a planned parallel
+// execution under full instrumentation and checks the dual-clock
+// invariant plus the span and metric inventory the engine promises.
+func TestInstrumentedExecuteTraceContainment(t *testing.T) {
+	o := obs.New()
+	m := diamondManager(t).Instrument(o)
+	tree, _ := m.ExtractTree("merged")
+	pr, err := m.Plan(tree, sched.Fixed{Default: 8 * time.Hour}, sched.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.ExecuteTask(tree, ExecOptions{Plan: &pr.Plan, AutoComplete: true, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spans := o.Tracer().Spans()
+	if err := obs.ValidateContainment(spans); err != nil {
+		t.Fatal(err)
+	}
+	count := map[string]int{}
+	var root obs.SpanData
+	for _, s := range spans {
+		count[s.Name]++
+		if s.Name == "engine.execute" {
+			root = s
+		}
+	}
+	want := map[string]int{
+		"engine.plan": 1, "engine.execute": 1, "engine.propagate": 1,
+		"engine.activity": 4, "engine.run": 4,
+	}
+	for name, n := range want {
+		if count[name] != n {
+			t.Errorf("%s spans = %d, want %d", name, count[name], n)
+		}
+	}
+	// The execute root covers the whole result interval on the virtual
+	// clock.
+	if !root.VStart.Equal(res.Started) || !root.VEnd.Equal(res.Finished) {
+		t.Errorf("execute span virtual [%v, %v], want [%v, %v]",
+			root.VStart, root.VEnd, res.Started, res.Finished)
+	}
+
+	reg := o.Metrics()
+	if got := reg.Counter("engine_event_run_started_total").Value(); got != 4 {
+		t.Errorf("engine_event_run_started_total = %d, want 4", got)
+	}
+	if got := reg.Histogram("engine_activity_virtual_seconds", nil).Count(); got != 4 {
+		t.Errorf("engine_activity_virtual_seconds count = %d, want 4", got)
+	}
+	if got := reg.Counter("engine_events_total").Value(); got < 8 {
+		t.Errorf("engine_events_total = %d, suspiciously low", got)
+	}
+}
+
+// TestErrorPathTraceContainment exercises the vfloor mechanism: when an
+// activity aborts, its local virtual cursor has run past the global
+// clock, so the published activity span ends later than the clock the
+// deferred execute root ends at. The root must be stretched to cover
+// it — containment holds even on the error path.
+func TestErrorPathTraceContainment(t *testing.T) {
+	o := obs.New()
+	m := diamondManager(t).Instrument(o)
+	// D fails every run: three consecutive failures abort the task with
+	// three calendar-hours on D's local cursor that the global clock
+	// never saw.
+	m.BindTool("D", &flakyTool{class: "t", instance: "bad#1", failures: 99})
+	tree, _ := m.ExtractTree("merged")
+	if _, err := m.ExecuteTask(tree, ExecOptions{Parallel: true}); err == nil {
+		t.Fatal("expected execution to fail")
+	}
+
+	spans := o.Tracer().Spans()
+	if err := obs.ValidateContainment(spans); err != nil {
+		t.Fatal(err)
+	}
+	var dspan, root obs.SpanData
+	for _, s := range spans {
+		switch {
+		case s.Name == "engine.activity" && s.Detail == "D":
+			dspan = s
+		case s.Name == "engine.execute":
+			root = s
+		}
+	}
+	if dspan.ID == 0 || root.ID == 0 {
+		t.Fatalf("missing spans: activity D %d, execute root %d", dspan.ID, root.ID)
+	}
+	if !dspan.VEnd.After(dspan.VStart) {
+		t.Errorf("failed activity span has empty virtual interval [%v, %v]", dspan.VStart, dspan.VEnd)
+	}
+	// The stretch really happened: the root ends at D's end, which is
+	// past the global clock's resting point.
+	if !root.VEnd.Equal(dspan.VEnd) {
+		t.Errorf("root VEnd %v != aborted activity VEnd %v", root.VEnd, dspan.VEnd)
+	}
+	if !root.VEnd.After(m.Clock.Now()) {
+		t.Errorf("root VEnd %v not after global clock %v; vfloor stretch did not happen",
+			root.VEnd, m.Clock.Now())
+	}
+	if got := o.Metrics().Counter("engine_event_run_failed_total").Value(); got != 3 {
+		t.Errorf("engine_event_run_failed_total = %d, want 3", got)
+	}
+}

@@ -15,8 +15,10 @@ import (
 	"math"
 	"slices"
 	"sort"
+	"strconv"
 	"time"
 
+	"flowsched/internal/obs"
 	"flowsched/internal/par"
 )
 
@@ -57,6 +59,17 @@ type Config struct {
 	// (runtime.GOMAXPROCS), 1 forces the serial path. The result is
 	// bit-identical for every value — see docs/risk.md.
 	Workers int
+	// Obs, when non-nil, records a simulation span, trial counters,
+	// and — for runs whose shards are big enough to amortize the clock
+	// stamps — per-shard spans and timings. Instrumentation never
+	// affects the sampled results: the RNG streams are untouched, so
+	// bit-identical determinism holds with and without it.
+	Obs *obs.Obs
+	// VirtNow anchors the simulation's spans on the virtual clock (a
+	// Monte-Carlo run consumes no virtual design time, so its spans are
+	// point intervals at VirtNow). Zero is fine for uninstrumented or
+	// facade-less use.
+	VirtNow time.Time
 }
 
 // Result is the outcome of a Monte-Carlo run.
@@ -118,6 +131,25 @@ func (r *Result) ProbWithin(target time.Duration) float64 {
 // cores of any realistic machine busy while staying coarse enough that
 // per-shard setup cost is noise.
 const numShards = 64
+
+// shardObsMinTrials is the per-shard trial count below which per-shard
+// spans and shard timings are skipped (the root span and the trial
+// counters still cover the whole run). Stamping the clock twice per
+// shard costs a few hundred nanoseconds; a shard below this size does
+// only a few microseconds of sampling, so per-shard observation would
+// cost more than the 5% overhead budget it is meant to police. From
+// this size up the cost amortizes to well under 1%.
+const shardObsMinTrials = 256
+
+// shardLabels precomputes the span annotations so the instrumented
+// shard loop does no string formatting.
+var shardLabels = func() [numShards]string {
+	var a [numShards]string
+	for i := range a {
+		a[i] = "shard=" + strconv.Itoa(i)
+	}
+	return a
+}()
 
 // compiled is an ActivityModel lowered for the trial loop: predecessor
 // names resolved to indices, triangular and geometric parameters
@@ -209,9 +241,32 @@ func Simulate(acts []ActivityModel, cfg Config) (*Result, error) {
 		}
 	}
 
+	// Observability: one root span for the simulation, plus — when the
+	// shards are big enough to amortize the clock stamps — one child
+	// span and one shard-seconds sample per shard. All spans are point
+	// intervals on the virtual clock (risk analysis consumes no design
+	// time). Metric handles are resolved once, outside the shard loop.
+	tr := cfg.Obs.Tracer()
+	root := tr.Start(nil, "monte.simulate", cfg.VirtNow)
+	root.SetDetail("trials=" + strconv.Itoa(cfg.Trials))
+	if m := cfg.Obs.Metrics(); m != nil {
+		m.Counter("monte_simulations_total").Inc()
+		m.Counter("monte_trials_total").Add(int64(cfg.Trials))
+	}
+	shardObs := tr != nil && cfg.Trials/numShards >= shardObsMinTrials
+	var hShard *obs.Histogram
+	if shardObs {
+		hShard = cfg.Obs.Metrics().Histogram("monte_shard_seconds", nil)
+	}
+
 	critCounts := make([][]int64, numShards)
 	iterTotals := make([][]int64, numShards)
-	par.New(cfg.Workers).ForEach(numShards, func(s int) {
+	par.New(cfg.Workers).Instrument(cfg.Obs).ForEach(numShards, func(s int) {
+		var sp *obs.Span
+		if shardObs {
+			sp = tr.Start(root, "monte.shard", cfg.VirtNow)
+			sp.SetDetail(shardLabels[s])
+		}
 		critCount := make([]int64, len(acts))
 		iterTotal := make([]int64, len(acts))
 		finish := make([]time.Duration, len(acts))
@@ -251,7 +306,11 @@ func Simulate(acts []ActivityModel, cfg Config) (*Result, error) {
 		}
 		critCounts[s] = critCount
 		iterTotals[s] = iterTotal
+		if sp != nil {
+			hShard.Observe(sp.End(cfg.VirtNow).Seconds())
+		}
 	})
+	root.End(cfg.VirtNow)
 
 	slices.Sort(res.Durations)
 	for i, a := range acts {

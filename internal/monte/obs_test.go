@@ -1,0 +1,121 @@
+package monte
+
+import (
+	"testing"
+	"time"
+
+	"flowsched/internal/obs"
+)
+
+func obsModels() []ActivityModel {
+	return []ActivityModel{
+		{Name: "a", Min: time.Hour, Mode: 2 * time.Hour, Max: 4 * time.Hour, MeanIterations: 2},
+		{Name: "b", Min: time.Hour, Mode: time.Hour, Max: 3 * time.Hour, MeanIterations: 1.5, Preds: []string{"a"}},
+	}
+}
+
+// TestObsDoesNotPerturbResults is the determinism contract under
+// instrumentation: the sampled distribution is bit-identical with and
+// without an Obs attached, at any worker count.
+func TestObsDoesNotPerturbResults(t *testing.T) {
+	cfg := Config{Trials: 2000, Seed: 7}
+	plain, err := Simulate(obsModels(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		cfg := cfg
+		cfg.Workers = workers
+		cfg.Obs = obs.New()
+		inst, err := Simulate(obsModels(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(inst.Durations) != len(plain.Durations) {
+			t.Fatalf("workers=%d: %d durations, want %d", workers, len(inst.Durations), len(plain.Durations))
+		}
+		for i := range plain.Durations {
+			if inst.Durations[i] != plain.Durations[i] {
+				t.Fatalf("workers=%d: durations diverge at %d: %v != %v",
+					workers, i, inst.Durations[i], plain.Durations[i])
+			}
+		}
+	}
+}
+
+func TestObsRecordsShardSpansAndTrials(t *testing.T) {
+	o := obs.New()
+	vnow := time.Date(1995, 6, 5, 9, 0, 0, 0, time.UTC)
+	// Big enough that every shard clears shardObsMinTrials, so the
+	// per-shard spans and timings are recorded.
+	trials := numShards * shardObsMinTrials
+	if _, err := Simulate(obsModels(), Config{Trials: trials, Seed: 1, Workers: 2, Obs: o, VirtNow: vnow}); err != nil {
+		t.Fatal(err)
+	}
+	m := o.Metrics()
+	if got := m.Counter("monte_trials_total").Value(); got != int64(trials) {
+		t.Fatalf("monte_trials_total = %d, want %d", got, trials)
+	}
+	if got := m.Counter("monte_simulations_total").Value(); got != 1 {
+		t.Fatalf("monte_simulations_total = %d, want 1", got)
+	}
+	if got := m.Histogram("monte_shard_seconds", nil).Count(); got != numShards {
+		t.Fatalf("monte_shard_seconds count = %d, want %d", got, numShards)
+	}
+	if got := m.Counter("par_items_total").Value(); got != numShards {
+		t.Fatalf("par_items_total = %d, want %d", got, numShards)
+	}
+
+	spans := o.Tracer().Spans()
+	if len(spans) != numShards+1 {
+		t.Fatalf("got %d spans, want %d", len(spans), numShards+1)
+	}
+	var roots, shards int
+	for _, s := range spans {
+		switch s.Name {
+		case "monte.simulate":
+			roots++
+			if !s.VStart.Equal(vnow) || !s.VEnd.Equal(vnow) {
+				t.Fatalf("root virtual interval [%v, %v], want point at %v", s.VStart, s.VEnd, vnow)
+			}
+		case "monte.shard":
+			shards++
+		}
+	}
+	if roots != 1 || shards != numShards {
+		t.Fatalf("roots=%d shards=%d", roots, shards)
+	}
+	if err := obs.ValidateContainment(spans); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSmallRunSkipsShardSpans pins the adaptive gate: a run whose
+// shards are tiny records only the root span and trial counters — the
+// per-shard clock stamps would otherwise dominate the work measured.
+func TestSmallRunSkipsShardSpans(t *testing.T) {
+	o := obs.New()
+	vnow := time.Date(1995, 6, 5, 9, 0, 0, 0, time.UTC)
+	trials := numShards*shardObsMinTrials - 1
+	if _, err := Simulate(obsModels(), Config{Trials: trials, Seed: 1, Workers: 2, Obs: o, VirtNow: vnow}); err != nil {
+		t.Fatal(err)
+	}
+	m := o.Metrics()
+	if got := m.Counter("monte_trials_total").Value(); got != int64(trials) {
+		t.Fatalf("monte_trials_total = %d, want %d", got, trials)
+	}
+	if got := m.Histogram("monte_shard_seconds", nil).Count(); got != 0 {
+		t.Fatalf("monte_shard_seconds count = %d, want 0 below the gate", got)
+	}
+	spans := o.Tracer().Spans()
+	if len(spans) != 1 || spans[0].Name != "monte.simulate" {
+		t.Fatalf("spans = %v, want the root span only", spans)
+	}
+}
+
+func TestUninstrumentedSimulateHasNoObsSideEffects(t *testing.T) {
+	// Plain config: just make sure the nil path runs under -race.
+	if _, err := Simulate(obsModels(), Config{Trials: 200, Seed: 3, Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkCounterAdd is the instrumented hot-path cost: one atomic add.
+func BenchmarkCounterAdd(b *testing.B) {
+	c := NewRegistry().Counter("x_total")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkCounterAddNil is the uninstrumented cost: one nil check.
+func BenchmarkCounterAddNil(b *testing.B) {
+	var c *Counter
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkSpanStartEnd measures a full span lifecycle (two time.Now
+// calls plus one mutexed append). The tracer is emptied outside the
+// timed region so the loop measures the steady publish path, not
+// b.N-sized slice growth and GC pressure.
+func BenchmarkSpanStartEnd(b *testing.B) {
+	const batch = 1024
+	tr := NewTracer(batch)
+	v := time.Unix(0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%batch == 0 {
+			b.StopTimer()
+			tr.mu.Lock()
+			tr.spans = tr.spans[:0]
+			tr.mu.Unlock()
+			b.StartTimer()
+		}
+		tr.Start(nil, "s", v).End(v)
+	}
+}
+
+// BenchmarkSpanStartEndNil is the uninstrumented tracer cost.
+func BenchmarkSpanStartEndNil(b *testing.B) {
+	var tr *Tracer
+	v := time.Unix(0, 0)
+	for i := 0; i < b.N; i++ {
+		tr.Start(nil, "s", v).End(v)
+	}
+}

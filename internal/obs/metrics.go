@@ -1,0 +1,335 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is not
+// usable; obtain one from Registry.Counter. All methods are nil-safe
+// and safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative n is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reports the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down (pool occupancy, sizes).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add moves the gauge by n (n may be negative).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value reports the current gauge value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed cumulative-style buckets
+// (recorded per-bucket, exposed cumulatively like Prometheus).
+type Histogram struct {
+	bounds []float64      // ascending upper bounds; implicit +Inf last
+	counts []atomic.Int64 // len(bounds)+1
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// DefBuckets covers both clocks: sub-millisecond wall compute up
+// through multi-week virtual design time, in seconds.
+var DefBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10, 60, 600,
+	3600, 4 * 3600, 24 * 3600, 7 * 24 * 3600,
+}
+
+// SizeBuckets suits byte-size observations (snapshot sizes).
+var SizeBuckets = []float64{
+	256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20,
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the running sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Registry is a thread-safe named-metric registry. Metrics are created
+// lazily on first use and live for the registry's lifetime; hot paths
+// should look a metric up once and cache the handle. All methods are
+// nil-safe, returning nil (no-op) handles from a nil registry.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram. buckets
+// are ascending upper bounds in the observed unit; nil selects
+// DefBuckets. The first registration wins: later callers get the
+// existing histogram regardless of the buckets they pass.
+func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h := r.histograms[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.histograms[name]; h == nil {
+		bounds := append([]float64(nil), buckets...)
+		sort.Float64s(bounds)
+		h = &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Bucket is one cumulative histogram bucket in a snapshot.
+type Bucket struct {
+	// UpperBound is the bucket's inclusive upper bound;
+	// math.Inf(1) for the last bucket.
+	UpperBound float64 `json:"-"`
+	// Count is the cumulative observation count up to UpperBound.
+	Count int64 `json:"count"`
+}
+
+// MarshalJSON renders the bound as a Prometheus-style string ("+Inf"
+// for the last bucket) — JSON has no infinity literal.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	le := "+Inf"
+	if !math.IsInf(b.UpperBound, 1) {
+		le = formatFloat(b.UpperBound)
+	}
+	return json.Marshal(struct {
+		Le    string `json:"le"`
+		Count int64  `json:"count"`
+	}{le, b.Count})
+}
+
+// MetricSnapshot is one metric's point-in-time state.
+type MetricSnapshot struct {
+	Name string `json:"name"`
+	// Kind is "counter", "gauge", or "histogram".
+	Kind string `json:"kind"`
+	// Value holds the counter/gauge value, or the histogram sum.
+	Value float64 `json:"value"`
+	// Count is the histogram observation count (histograms only).
+	Count int64 `json:"observations,omitempty"`
+	// Buckets are the cumulative histogram buckets (histograms only).
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot captures every metric, sorted by name.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]MetricSnapshot, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for name, c := range r.counters {
+		out = append(out, MetricSnapshot{Name: name, Kind: "counter", Value: float64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, MetricSnapshot{Name: name, Kind: "gauge", Value: float64(g.Value())})
+	}
+	for name, h := range r.histograms {
+		s := MetricSnapshot{Name: name, Kind: "histogram", Value: h.Sum(), Count: h.Count()}
+		var cum int64
+		for i := range h.counts {
+			cum += h.counts[i].Load()
+			ub := math.Inf(1)
+			if i < len(h.bounds) {
+				ub = h.bounds[i]
+			}
+			s.Buckets = append(s.Buckets, Bucket{UpperBound: ub, Count: cum})
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteProm writes the registry in the Prometheus text exposition
+// format, metrics sorted by name.
+func (r *Registry) WriteProm(w io.Writer) error {
+	for _, m := range r.Snapshot() {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Kind); err != nil {
+			return err
+		}
+		switch m.Kind {
+		case "histogram":
+			for _, b := range m.Buckets {
+				le := "+Inf"
+				if !math.IsInf(b.UpperBound, 1) {
+					le = formatFloat(b.UpperBound)
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.Name, le, b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+				m.Name, formatFloat(m.Value), m.Name, m.Count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s %s\n", m.Name, formatFloat(m.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PromText renders the Prometheus exposition as a string.
+func (r *Registry) PromText() string {
+	var b strings.Builder
+	_ = r.WriteProm(&b)
+	return b.String()
+}
+
+// JSON dumps the full snapshot as indented JSON.
+func (r *Registry) JSON() ([]byte, error) {
+	snap := r.Snapshot()
+	if snap == nil {
+		snap = []MetricSnapshot{}
+	}
+	return json.MarshalIndent(snap, "", "  ")
+}
+
+// formatFloat renders v the way Prometheus text format expects:
+// integral values without an exponent, others in shortest form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("runs_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("runs_total") != c {
+		t.Fatal("same name must return the same counter")
+	}
+	g := r.Gauge("occupancy")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if want := 556.5; h.Sum() != want {
+		t.Fatalf("sum = %v, want %v", h.Sum(), want)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Kind != "histogram" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	// Cumulative counts: le=1 -> 2 (0.5 and 1), le=10 -> 3, le=100 -> 4, +Inf -> 5.
+	wantCum := []int64{2, 3, 4, 5}
+	for i, b := range snap[0].Buckets {
+		if b.Count != wantCum[i] {
+			t.Fatalf("bucket %d (le=%v) = %d, want %d", i, b.UpperBound, b.Count, wantCum[i])
+		}
+	}
+	if !math.IsInf(snap[0].Buckets[3].UpperBound, 1) {
+		t.Fatalf("last bucket bound = %v, want +Inf", snap[0].Buckets[3].UpperBound)
+	}
+	// First registration wins.
+	if r.Histogram("lat_seconds", []float64{42}) != h {
+		t.Fatal("re-registration must return the existing histogram")
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("work_seconds", nil) // DefBuckets
+	h.ObserveDuration(90 * time.Second)
+	if h.Sum() != 90 {
+		t.Fatalf("sum = %v, want 90", h.Sum())
+	}
+}
+
+func TestPromExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(3)
+	r.Gauge("a_gauge").Set(2)
+	r.Histogram("c_seconds", []float64{0.1, 1}).Observe(0.05)
+	text := r.PromText()
+	for _, want := range []string{
+		"# TYPE a_gauge gauge\na_gauge 2\n",
+		"# TYPE b_total counter\nb_total 3\n",
+		"# TYPE c_seconds histogram\n",
+		`c_seconds_bucket{le="0.1"} 1`,
+		`c_seconds_bucket{le="1"} 1`,
+		`c_seconds_bucket{le="+Inf"} 1`,
+		"c_seconds_sum 0.05",
+		"c_seconds_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// Sorted by name: a before b before c.
+	if !(strings.Index(text, "a_gauge") < strings.Index(text, "b_total") &&
+		strings.Index(text, "b_total") < strings.Index(text, "c_seconds")) {
+		t.Fatalf("metrics not sorted:\n%s", text)
+	}
+}
+
+func TestJSONDump(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total").Inc()
+	blob, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap []MetricSnapshot
+	if err := json.Unmarshal(blob, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 1 || snap[0].Name != "x_total" || snap[0].Value != 1 {
+		t.Fatalf("json roundtrip = %+v", snap)
+	}
+}
+
+// TestJSONDumpWithHistogram guards the +Inf bucket bound: JSON has no
+// infinity literal, so the last bucket must marshal as the string
+// "+Inf" rather than failing the whole dump.
+func TestJSONDumpWithHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h_seconds", []float64{1, 10}).Observe(42)
+	blob, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"le": "+Inf"`, `"le": "10"`, `"observations": 1`} {
+		if !strings.Contains(string(blob), want) {
+			t.Fatalf("json dump missing %s:\n%s", want, blob)
+		}
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var o *Obs
+	// Every chained call on the uninstrumented handle must be a no-op.
+	o.Metrics().Counter("x").Inc()
+	o.Metrics().Gauge("y").Set(1)
+	o.Metrics().Histogram("z", nil).Observe(1)
+	o.Tracer().Start(nil, "root", time.Time{}).End(time.Time{})
+	if o.Metrics().Snapshot() != nil || o.Tracer().Spans() != nil {
+		t.Fatal("nil handles must report empty state")
+	}
+	if NewWith(nil, nil) != nil {
+		t.Fatal("NewWith(nil, nil) must be the nil handle")
+	}
+	var c *Counter
+	c.Add(1)
+	var g *Gauge
+	g.Add(1)
+	var h *Histogram
+	h.Observe(1)
+	var s *Span
+	s.End(time.Time{})
+	s.Detailf("x")
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared_total").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h_seconds", nil).Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h_seconds", nil).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,54 @@
+// Package obs is the repo's zero-dependency observability substrate: a
+// thread-safe metrics registry (atomic counters, gauges, fixed-bucket
+// histograms with Prometheus-style text exposition and a JSON dump) and
+// a dual-clock span tracer.
+//
+// The dual clock is the flowsched twist: every span carries both the
+// wall-clock compute interval (what the Go process spent) and the
+// virtual design-time interval on the project's vclock (what the
+// simulated project spent). One trace therefore answers "where did the
+// CPU go" and "where did the design schedule go" simultaneously —
+// exactly the runtime provenance that makes a flow manager operable
+// (cf. Souza et al., distributed in-memory workflow telemetry).
+//
+// Everything is nil-safe: methods on a nil *Obs, *Registry, *Tracer,
+// *Counter, *Gauge, *Histogram, or *Span are no-ops, so instrumented
+// code paths thread a possibly-nil handle and uninstrumented callers
+// pay only a nil check.
+package obs
+
+// Obs bundles a metrics registry and a span tracer. Either part may be
+// nil (metrics-only or tracing-only instrumentation).
+type Obs struct {
+	reg *Registry
+	tr  *Tracer
+}
+
+// New returns an Obs with a fresh registry and a default-capacity
+// tracer.
+func New() *Obs { return &Obs{reg: NewRegistry(), tr: NewTracer(0)} }
+
+// NewWith assembles an Obs from the given parts. If both are nil it
+// returns nil, the uninstrumented handle.
+func NewWith(reg *Registry, tr *Tracer) *Obs {
+	if reg == nil && tr == nil {
+		return nil
+	}
+	return &Obs{reg: reg, tr: tr}
+}
+
+// Metrics returns the registry, or nil on a nil or tracing-only Obs.
+func (o *Obs) Metrics() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Tracer returns the tracer, or nil on a nil or metrics-only Obs.
+func (o *Obs) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.tr
+}

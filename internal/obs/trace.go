@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultMaxSpans bounds a tracer's retained spans unless overridden.
+const DefaultMaxSpans = 16384
+
+// SpanData is one finished span: a named piece of work carrying both
+// clocks. The wall interval measures real compute on the Go process;
+// the virtual interval measures simulated design time on the project's
+// vclock. A span whose work does not advance virtual time (a
+// Monte-Carlo shard, a database snapshot) has VStart == VEnd.
+type SpanData struct {
+	// ID is unique within the tracer; Parent is the enclosing span's ID,
+	// 0 for a root span.
+	ID     int64 `json:"id"`
+	Parent int64 `json:"parent,omitempty"`
+	// Name classifies the work (e.g. "engine.execute", "monte.shard").
+	Name string `json:"name"`
+	// Detail is an optional free-form annotation.
+	Detail string `json:"detail,omitempty"`
+	// WallStart and WallDur are the real-time clock.
+	WallStart time.Time     `json:"wallStart"`
+	WallDur   time.Duration `json:"wallDur"`
+	// VStart and VEnd are the virtual design-time clock.
+	VStart time.Time `json:"vStart"`
+	VEnd   time.Time `json:"vEnd"`
+}
+
+// VDur is the span's virtual design-time duration.
+func (s SpanData) VDur() time.Duration { return s.VEnd.Sub(s.VStart) }
+
+// Span is an in-flight span handle. It is owned by the goroutine that
+// started it until End, which publishes the finished SpanData to the
+// tracer. All methods are nil-safe.
+type Span struct {
+	tr        *Tracer
+	id        int64
+	parent    int64
+	parentSp  *Span
+	name      string
+	detail    string
+	wallStart time.Time
+	vstart    time.Time
+	ended     bool
+	// vfloor is the maximum virtual end among ended children
+	// (UnixNano; math.MinInt64 when unset). A parent that ends while a
+	// child's virtual cursor ran ahead (e.g. an aborted activity whose
+	// local timeline outran the global clock) is stretched to cover it,
+	// so finished traces satisfy containment by construction.
+	vfloor atomic.Int64
+}
+
+// Tracer records finished spans, bounded at max spans (later spans are
+// dropped and counted). Safe for concurrent use.
+type Tracer struct {
+	nextID  atomic.Int64
+	dropped atomic.Int64
+	max     int
+	mu      sync.Mutex
+	spans   []SpanData
+}
+
+// NewTracer returns a tracer retaining at most max spans; max <= 0
+// selects DefaultMaxSpans.
+func NewTracer(max int) *Tracer {
+	if max <= 0 {
+		max = DefaultMaxSpans
+	}
+	return &Tracer{max: max}
+}
+
+// Start opens a span under parent (nil for a root span) beginning at
+// virtual time vnow. The wall clock starts immediately. A child's
+// virtual start is clamped to its parent's so that finished traces
+// always satisfy parent-interval containment.
+func (t *Tracer) Start(parent *Span, name string, vnow time.Time) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tr: t, id: t.nextID.Add(1), name: name, wallStart: time.Now(), vstart: vnow}
+	s.vfloor.Store(math.MinInt64)
+	if parent != nil {
+		s.parent = parent.id
+		s.parentSp = parent
+		if vnow.Before(parent.vstart) {
+			s.vstart = parent.vstart
+		}
+	}
+	return s
+}
+
+// Detailf attaches a formatted annotation to the span.
+func (s *Span) Detailf(format string, args ...any) {
+	if s == nil {
+		return
+	}
+	s.detail = fmt.Sprintf(format, args...)
+}
+
+// SetDetail attaches a preformatted annotation (no fmt cost).
+func (s *Span) SetDetail(d string) {
+	if s == nil {
+		return
+	}
+	s.detail = d
+}
+
+// End closes the span at virtual time vend, publishes it, and returns
+// the span's wall duration (0 on a nil or already-ended span) so the
+// caller can feed a histogram without a second clock read. A vend
+// before the span's virtual start is clamped to it, and a vend before
+// an already-ended child's is stretched to cover it (virtual time is
+// monotonic and parent intervals contain their children's). Ending
+// twice is a no-op; a child ending after its parent ended cannot
+// stretch the published parent.
+func (s *Span) End(vend time.Time) time.Duration {
+	if s == nil || s.ended {
+		return 0
+	}
+	s.ended = true
+	if vend.Before(s.vstart) {
+		vend = s.vstart
+	}
+	if f := s.vfloor.Load(); f != math.MinInt64 {
+		if ft := time.Unix(0, f).UTC(); ft.After(vend) {
+			vend = ft
+		}
+	}
+	if p := s.parentSp; p != nil {
+		n := vend.UnixNano()
+		for {
+			old := p.vfloor.Load()
+			if old >= n || p.vfloor.CompareAndSwap(old, n) {
+				break
+			}
+		}
+	}
+	wall := time.Since(s.wallStart)
+	data := SpanData{
+		ID: s.id, Parent: s.parent, Name: s.name, Detail: s.detail,
+		WallStart: s.wallStart, WallDur: wall,
+		VStart: s.vstart, VEnd: vend,
+	}
+	t := s.tr
+	t.mu.Lock()
+	if len(t.spans) < t.max {
+		t.spans = append(t.spans, data)
+		t.mu.Unlock()
+		return wall
+	}
+	t.mu.Unlock()
+	t.dropped.Add(1)
+	return wall
+}
+
+// Spans returns a copy of the finished spans in end order.
+func (t *Tracer) Spans() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanData(nil), t.spans...)
+}
+
+// Len reports the number of retained spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Dropped reports how many spans were discarded over the max.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// ValidateContainment checks the dual-clock invariant: every span's
+// virtual interval lies within its parent's. Spans whose parent was
+// dropped (or never ended) are treated as roots. It returns the first
+// violation found, or nil.
+func ValidateContainment(spans []SpanData) error {
+	byID := make(map[int64]SpanData, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	for _, s := range spans {
+		if s.Parent == 0 {
+			continue
+		}
+		p, ok := byID[s.Parent]
+		if !ok {
+			continue
+		}
+		if s.VStart.Before(p.VStart) || s.VEnd.After(p.VEnd) {
+			return fmt.Errorf("obs: span %d %q virtual [%s, %s] escapes parent %d %q [%s, %s]",
+				s.ID, s.Name, s.VStart.Format(time.RFC3339), s.VEnd.Format(time.RFC3339),
+				p.ID, p.Name, p.VStart.Format(time.RFC3339), p.VEnd.Format(time.RFC3339))
+		}
+	}
+	return nil
+}
+
+// RenderTree renders spans as an indented tree, children under their
+// parents, siblings in virtual-start order (ties broken by ID). Each
+// line shows both clocks: the virtual interval and duration, and the
+// wall compute time. maxDepth > 0 limits the printed depth (roots are
+// depth 1); deeper spans are summarized per parent.
+func RenderTree(spans []SpanData, maxDepth int) string {
+	children := make(map[int64][]SpanData)
+	byID := make(map[int64]bool, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = true
+	}
+	var roots []SpanData
+	for _, s := range spans {
+		if s.Parent != 0 && byID[s.Parent] {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	order := func(ss []SpanData) {
+		sort.Slice(ss, func(i, j int) bool {
+			if !ss[i].VStart.Equal(ss[j].VStart) {
+				return ss[i].VStart.Before(ss[j].VStart)
+			}
+			return ss[i].ID < ss[j].ID
+		})
+	}
+	order(roots)
+	var b strings.Builder
+	var walk func(s SpanData, depth int)
+	walk = func(s SpanData, depth int) {
+		indent := strings.Repeat("  ", depth-1)
+		detail := ""
+		if s.Detail != "" {
+			detail = "  (" + s.Detail + ")"
+		}
+		fmt.Fprintf(&b, "%s%-*s  virt %s..%s (%s)  wall %s%s\n",
+			indent, 24-2*(depth-1), s.Name,
+			s.VStart.Format("01-02 15:04"), s.VEnd.Format("01-02 15:04"),
+			s.VDur().Round(time.Minute), s.WallDur.Round(time.Microsecond), detail)
+		kids := append([]SpanData(nil), children[s.ID]...)
+		if len(kids) == 0 {
+			return
+		}
+		if maxDepth > 0 && depth >= maxDepth {
+			fmt.Fprintf(&b, "%s  … %d nested span(s)\n", indent, countNested(children, s.ID))
+			return
+		}
+		order(kids)
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 1)
+	}
+	return b.String()
+}
+
+func countNested(children map[int64][]SpanData, id int64) int {
+	n := len(children[id])
+	for _, k := range children[id] {
+		n += countNested(children, k.ID)
+	}
+	return n
+}

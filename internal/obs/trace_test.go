@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var v0 = time.Date(1995, time.June, 5, 9, 0, 0, 0, time.UTC)
+
+func TestSpanDualClock(t *testing.T) {
+	tr := NewTracer(0)
+	root := tr.Start(nil, "execute", v0)
+	child := tr.Start(root, "activity", v0.Add(time.Hour))
+	child.SetDetail("Create")
+	child.End(v0.Add(9 * time.Hour))
+	root.End(v0.Add(24 * time.Hour))
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// End order: child first.
+	c, r := spans[0], spans[1]
+	if c.Name != "activity" || r.Name != "execute" {
+		t.Fatalf("span order: %q, %q", c.Name, r.Name)
+	}
+	if c.Parent != r.ID || r.Parent != 0 {
+		t.Fatalf("parentage: child.Parent=%d root.ID=%d root.Parent=%d", c.Parent, r.ID, r.Parent)
+	}
+	if c.VDur() != 8*time.Hour {
+		t.Fatalf("child virtual duration = %v, want 8h", c.VDur())
+	}
+	if c.WallDur < 0 || r.WallDur < c.WallDur {
+		t.Fatalf("wall durations: child %v, root %v", c.WallDur, r.WallDur)
+	}
+	if c.Detail != "Create" {
+		t.Fatalf("detail = %q", c.Detail)
+	}
+	if err := ValidateContainment(spans); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVirtualClamping(t *testing.T) {
+	tr := NewTracer(0)
+	root := tr.Start(nil, "root", v0)
+	// Child claims to start before its parent: clamped up.
+	child := tr.Start(root, "child", v0.Add(-time.Hour))
+	// Child claims to end before it started: clamped to a point interval.
+	child.End(v0.Add(-2 * time.Hour))
+	root.End(v0.Add(time.Hour))
+	spans := tr.Spans()
+	c := spans[0]
+	if !c.VStart.Equal(v0) || !c.VEnd.Equal(v0) {
+		t.Fatalf("clamped interval = [%v, %v], want point at %v", c.VStart, c.VEnd, v0)
+	}
+	if err := ValidateContainment(spans); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChildRaisesParentVirtualEnd covers the error-path shape in the
+// engine: an activity's local virtual cursor runs past the global
+// clock, so the parent is asked to end before its child did. The
+// child's end must floor the parent's.
+func TestChildRaisesParentVirtualEnd(t *testing.T) {
+	tr := NewTracer(0)
+	root := tr.Start(nil, "execute", v0)
+	child := tr.Start(root, "activity", v0)
+	grand := tr.Start(child, "run", v0)
+	grand.End(v0.Add(12 * time.Hour))
+	child.End(v0.Add(10 * time.Hour)) // floored to 12h by grand
+	root.End(v0)                      // floored to 12h by child
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	for _, s := range spans {
+		if !s.VEnd.Equal(v0.Add(12 * time.Hour)) {
+			t.Fatalf("span %q VEnd = %v, want %v", s.Name, s.VEnd, v0.Add(12*time.Hour))
+		}
+	}
+	if err := ValidateContainment(spans); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateContainmentCatchesEscape(t *testing.T) {
+	spans := []SpanData{
+		{ID: 1, Name: "p", VStart: v0, VEnd: v0.Add(time.Hour)},
+		{ID: 2, Parent: 1, Name: "c", VStart: v0, VEnd: v0.Add(2 * time.Hour)},
+	}
+	if err := ValidateContainment(spans); err == nil {
+		t.Fatal("want containment violation")
+	}
+}
+
+func TestDoubleEndIsNoop(t *testing.T) {
+	tr := NewTracer(0)
+	s := tr.Start(nil, "x", v0)
+	s.End(v0)
+	s.End(v0.Add(time.Hour))
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d, want 1", tr.Len())
+	}
+}
+
+func TestMaxSpansDropsAndCounts(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < 5; i++ {
+		tr.Start(nil, "s", v0).End(v0)
+	}
+	if tr.Len() != 2 || tr.Dropped() != 3 {
+		t.Fatalf("len=%d dropped=%d, want 2/3", tr.Len(), tr.Dropped())
+	}
+}
+
+func TestTracerConcurrency(t *testing.T) {
+	tr := NewTracer(0)
+	root := tr.Start(nil, "root", v0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				tr.Start(root, "shard", v0).End(v0)
+			}
+		}()
+	}
+	wg.Wait()
+	root.End(v0)
+	if tr.Len() != 1601 {
+		t.Fatalf("len = %d, want 1601", tr.Len())
+	}
+	if err := ValidateContainment(tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderTree(t *testing.T) {
+	tr := NewTracer(0)
+	root := tr.Start(nil, "engine.execute", v0)
+	a := tr.Start(root, "activity", v0)
+	a.SetDetail("Create")
+	run := tr.Start(a, "run", v0)
+	run.End(v0.Add(8 * time.Hour))
+	a.End(v0.Add(8 * time.Hour))
+	root.End(v0.Add(8 * time.Hour))
+
+	out := RenderTree(tr.Spans(), 0)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 lines:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[0], "engine.execute") ||
+		!strings.HasPrefix(lines[1], "  activity") ||
+		!strings.HasPrefix(lines[2], "    run") {
+		t.Fatalf("tree shape wrong:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "(Create)") {
+		t.Fatalf("detail missing:\n%s", out)
+	}
+	// Depth-limited rendering summarizes the hidden subtree.
+	limited := RenderTree(tr.Spans(), 1)
+	if !strings.Contains(limited, "… 2 nested span(s)") {
+		t.Fatalf("depth limit summary missing:\n%s", limited)
+	}
+}

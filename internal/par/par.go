@@ -11,17 +11,47 @@
 // stateless between calls and safe for concurrent use; the zero-cost
 // way to force serial execution is New(1), which runs every index in
 // order on the calling goroutine.
+//
+// A panicking work item does not crash the process from an anonymous
+// goroutine: the panic is recovered, attributed to its index, and
+// re-raised on the caller's goroutine as a *PanicError.
 package par
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"flowsched/internal/obs"
 )
+
+// PanicError is re-raised on the ForEach caller when a work item
+// panics: it attributes the panic to the failing index and preserves
+// the original value and stack.
+type PanicError struct {
+	// Index is the work-item index whose fn panicked.
+	Index int
+	// Value is the original panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: work item %d panicked: %v", e.Index, e.Value)
+}
 
 // Pool is a reusable bounded worker pool.
 type Pool struct {
 	workers int
+
+	// Cached observability handles (nil = uninstrumented, no-op).
+	items  *obs.Counter   // par_items_total: work items claimed
+	active *obs.Gauge     // par_active_workers: currently running workers
+	wait   *obs.Histogram // par_claim_wait_seconds: ForEach start -> each worker's first claim
 }
 
 // New returns a pool running at most workers items concurrently.
@@ -33,41 +63,97 @@ func New(workers int) *Pool {
 	return &Pool{workers: workers}
 }
 
+// Instrument attaches observability to the pool (pool occupancy, items
+// claimed, claim wait) and returns it for chaining. A nil Obs leaves
+// the pool uninstrumented.
+func (p *Pool) Instrument(o *obs.Obs) *Pool {
+	m := o.Metrics()
+	if m != nil {
+		p.items = m.Counter("par_items_total")
+		p.active = m.Gauge("par_active_workers")
+		p.wait = m.Histogram("par_claim_wait_seconds", nil)
+	}
+	return p
+}
+
 // Workers reports the pool's concurrency bound.
 func (p *Pool) Workers() int { return p.workers }
 
 // ForEach runs fn(i) for every i in [0, n), using at most
 // p.Workers() goroutines, and blocks until all calls have returned.
 // With one worker (or n == 1) the indices run in order on the calling
-// goroutine. fn must not panic: a panic on a pooled goroutine crashes
-// the program, as with any unrecovered goroutine panic.
+// goroutine. If fn panics, the panic is recovered on the worker,
+// remaining items may be skipped, and a *PanicError naming the lowest
+// observed failing index is re-raised on the caller's goroutine.
 func (p *Pool) ForEach(n int, fn func(i int)) {
+	var t0 time.Time
+	if p.wait != nil {
+		t0 = time.Now()
+	}
+	run := func(i int) (pe *PanicError) {
+		defer func() {
+			if v := recover(); v != nil {
+				pe = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+			}
+		}()
+		p.items.Inc()
+		fn(i)
+		return nil
+	}
+
 	w := p.workers
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
+		p.active.Add(1)
+		defer p.active.Add(-1)
+		if p.wait != nil && n > 0 {
+			p.wait.Observe(time.Since(t0).Seconds())
+		}
 		for i := 0; i < n; i++ {
-			fn(i)
+			if pe := run(i); pe != nil {
+				panic(pe)
+			}
 		}
 		return
 	}
+
 	var next atomic.Int64
+	var mu sync.Mutex
+	var first *PanicError
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for g := 0; g < w; g++ {
 		go func() {
 			defer wg.Done()
+			p.active.Add(1)
+			defer p.active.Add(-1)
+			if p.wait != nil {
+				p.wait.Observe(time.Since(t0).Seconds())
+			}
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				if pe := run(i); pe != nil {
+					mu.Lock()
+					if first == nil || pe.Index < first.Index {
+						first = pe
+					}
+					mu.Unlock()
+					// Stop claiming further items on this worker; the
+					// other workers drain what they already claimed.
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	if first != nil {
+		panic(first)
+	}
 }
 
 // ForEachErr is ForEach for fallible work. Every index runs regardless

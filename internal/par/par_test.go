@@ -3,8 +3,11 @@ package par
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
+
+	"flowsched/internal/obs"
 )
 
 func TestForEachRunsEveryIndexOnce(t *testing.T) {
@@ -101,5 +104,114 @@ func TestForEachErrAllIndicesRunDespiteFailure(t *testing.T) {
 func TestForEachErrNilOnSuccess(t *testing.T) {
 	if err := New(2).ForEachErr(8, func(int) error { return nil }); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// capturePanic runs f and returns the recovered panic value.
+func capturePanic(t *testing.T, f func()) any {
+	t.Helper()
+	var got any
+	func() {
+		defer func() { got = recover() }()
+		f()
+	}()
+	if got == nil {
+		t.Fatal("expected a panic")
+	}
+	return got
+}
+
+func TestForEachRecoversWorkerPanicWithIndex(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		got := capturePanic(t, func() {
+			New(workers).ForEach(10, func(i int) {
+				if i == 6 {
+					panic("kaboom")
+				}
+			})
+		})
+		pe, ok := got.(*PanicError)
+		if !ok {
+			t.Fatalf("workers=%d: panic value %T, want *PanicError", workers, got)
+		}
+		if pe.Index != 6 || pe.Value != "kaboom" {
+			t.Fatalf("workers=%d: PanicError = index %d value %v", workers, pe.Index, pe.Value)
+		}
+		if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "goroutine") {
+			t.Fatalf("workers=%d: missing stack trace", workers)
+		}
+		if !strings.Contains(pe.Error(), "work item 6") {
+			t.Fatalf("workers=%d: Error() = %q", workers, pe.Error())
+		}
+	}
+}
+
+func TestForEachPanicReportsLowestObservedIndex(t *testing.T) {
+	// Serial: index 2 panics first and is reported immediately.
+	got := capturePanic(t, func() {
+		New(1).ForEach(10, func(i int) {
+			if i >= 2 {
+				panic(i)
+			}
+		})
+	})
+	if pe := got.(*PanicError); pe.Index != 2 {
+		t.Fatalf("serial: index %d, want 2", pe.Index)
+	}
+	// Parallel with every item panicking: the reported index is the
+	// lowest among the panics actually observed, and the pool must not
+	// deadlock or crash the process.
+	got = capturePanic(t, func() {
+		New(4).ForEach(10, func(i int) { panic(i) })
+	})
+	pe := got.(*PanicError)
+	if pe.Index < 0 || pe.Index >= 10 {
+		t.Fatalf("parallel: index %d out of range", pe.Index)
+	}
+}
+
+func TestForEachPanicDoesNotPoisonPool(t *testing.T) {
+	p := New(4)
+	capturePanic(t, func() {
+		p.ForEach(8, func(i int) { panic("once") })
+	})
+	// The same pool keeps working after a panic.
+	var ran atomic.Int32
+	p.ForEach(8, func(int) { ran.Add(1) })
+	if ran.Load() != 8 {
+		t.Fatalf("pool ran %d of 8 after recovery", ran.Load())
+	}
+}
+
+func TestInstrumentedPoolCountsWork(t *testing.T) {
+	o := obs.New()
+	p := New(3).Instrument(o)
+	var ran atomic.Int32
+	p.ForEach(32, func(int) { ran.Add(1) })
+	p.ForEach(10, func(int) { ran.Add(1) })
+	if ran.Load() != 42 {
+		t.Fatalf("ran %d of 42", ran.Load())
+	}
+	m := o.Metrics()
+	if got := m.Counter("par_items_total").Value(); got != 42 {
+		t.Fatalf("par_items_total = %d, want 42", got)
+	}
+	if got := m.Gauge("par_active_workers").Value(); got != 0 {
+		t.Fatalf("par_active_workers = %d after ForEach, want 0", got)
+	}
+	// Claim wait is observed once per worker per ForEach (3 workers x 2
+	// calls), not per item — the histogram tracks pool spin-up, and a
+	// per-item clock stamp would dominate cheap work items.
+	if got := m.Histogram("par_claim_wait_seconds", nil).Count(); got != 6 {
+		t.Fatalf("par_claim_wait_seconds count = %d, want 6", got)
+	}
+}
+
+func TestUninstrumentedPoolIsNoop(t *testing.T) {
+	// Instrument(nil) and a plain pool behave identically.
+	var ran atomic.Int32
+	New(2).Instrument(nil).ForEach(5, func(int) { ran.Add(1) })
+	if ran.Load() != 5 {
+		t.Fatalf("ran %d of 5", ran.Load())
 	}
 }

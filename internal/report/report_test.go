@@ -225,3 +225,22 @@ func TestE6Risk(t *testing.T) {
 		t.Errorf("Route not fully critical:\n%s", out)
 	}
 }
+
+func TestE7Observability(t *testing.T) {
+	out, err := E7Observability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"span tree",
+		"engine.plan", "engine.execute", "monte.simulate",
+		"nested span(s)", // depth-2 rendering summarizes runs and shards
+		"virtual containment: ok",
+		"engine_events_total", "monte_trials_total", "store_puts_total",
+		"engine_activity_virtual_seconds", "histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E7 missing %q:\n%s", want, out)
+		}
+	}
+}

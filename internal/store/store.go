@@ -21,6 +21,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"flowsched/internal/obs"
 )
 
 // Space identifies which Level 3 space a container belongs to.
@@ -83,6 +85,36 @@ type DB struct {
 	containers map[string]*Container
 	order      []string
 	byID       map[string]*Entry
+
+	// Cached observability handles (nil = uninstrumented, no-op).
+	// Written by Instrument and read by container ops, both under mu.
+	mPuts     *obs.Counter   // store_puts_total
+	mGets     *obs.Counter   // store_gets_total
+	mLinks    *obs.Counter   // store_links_total
+	gEntries  *obs.Gauge     // store_entries
+	hSnapshot *obs.Histogram // store_snapshot_bytes
+}
+
+// Instrument attaches observability to the database: container-op
+// counters, a live instance-count gauge, and a snapshot-size
+// histogram. Call it before sharing the DB; a nil Obs is a no-op.
+func (db *DB) Instrument(o *obs.Obs) {
+	m := o.Metrics()
+	if m == nil {
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.mPuts = m.Counter("store_puts_total")
+	db.mGets = m.Counter("store_gets_total")
+	db.mLinks = m.Counter("store_links_total")
+	db.gEntries = m.Gauge("store_entries")
+	db.hSnapshot = m.Histogram("store_snapshot_bytes", obs.SizeBuckets)
+	var entries int64
+	for _, c := range db.containers {
+		entries += int64(len(c.Entries))
+	}
+	db.gEntries.Set(entries)
 }
 
 // NewDB returns an empty task database.
@@ -179,6 +211,8 @@ func (db *DB) Put(container string, created time.Time, payload any, deps ...stri
 	}
 	c.Entries = append(c.Entries, e)
 	db.byID[e.ID] = e
+	db.mPuts.Inc()
+	db.gEntries.Add(1)
 	return e, nil
 }
 
@@ -186,6 +220,7 @@ func (db *DB) Put(container string, created time.Time, payload any, deps ...stri
 func (db *DB) Get(id string) *Entry {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	db.mGets.Inc()
 	return db.byID[id]
 }
 
@@ -233,6 +268,7 @@ func (db *DB) Link(a, b string) error {
 	}
 	ea.Links = addUnique(ea.Links, b)
 	eb.Links = addUnique(eb.Links, a)
+	db.mLinks.Inc()
 	return nil
 }
 
@@ -301,7 +337,11 @@ func (db *DB) MarshalJSON() ([]byte, error) {
 	for _, n := range db.order {
 		s.Containers = append(s.Containers, db.containers[n])
 	}
-	return json.Marshal(s)
+	out, err := json.Marshal(s)
+	if err == nil {
+		db.hSnapshot.Observe(float64(len(out)))
+	}
+	return out, err
 }
 
 // UnmarshalJSON restores a database serialized by MarshalJSON into an empty
