@@ -30,6 +30,10 @@
 //	gantt                                     Gantt chart of the current plan
 //	analyze                                   CPM/PERT critical path of the plan
 //	risk <targets,comma-sep> [trials]         Monte-Carlo schedule risk analysis
+//	whatif <targets> <name=edit;...> ...      what-if sweep over copy-on-write forks;
+//	                                          edits: Act*1.5 (scale tool runtime),
+//	                                          Act+3h / Act+2d (delay; d = 8h workday),
+//	                                          parallel (team execution)
 //	optimize <targets> <hours> <max-team>     smallest team near the critical path
 //	query <text...>                           §IV.B query (see docs)
 //	dump                                      task database dump (Figs. 5–7 view)
@@ -162,6 +166,8 @@ func (s *session) dispatch(line string) error {
 		return s.analyze()
 	case "risk":
 		return s.risk(args)
+	case "whatif":
+		return s.whatif(args)
 	case "optimize":
 		return s.optimize(args)
 	case "query":
@@ -379,6 +385,80 @@ func (s *session) analyze() error {
 		fmt.Fprintf(s.out, " %s %-12s ES=%-8s slack=%s\n", mark, tm.Name, tm.EarlyStart, tm.Slack)
 	}
 	return nil
+}
+
+// whatif runs a what-if sweep: each argument after the targets is one
+// scenario, "name=edit;edit;...".
+func (s *session) whatif(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: whatif <targets,comma-sep> <name=edit;edit;...> ...")
+	}
+	edits := make([]flowsched.ScenarioEdit, 0, len(args)-1)
+	for _, spec := range args[1:] {
+		e, err := parseEdit(spec)
+		if err != nil {
+			return err
+		}
+		edits = append(edits, e)
+	}
+	rep, err := s.project.Scenarios(strings.Split(args[0], ","), edits, flowsched.ScenarioOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(s.out, rep.Render())
+	return nil
+}
+
+// parseEdit parses one scenario spec: "name=Act*1.5;Act+3h;parallel".
+func parseEdit(spec string) (flowsched.ScenarioEdit, error) {
+	var e flowsched.ScenarioEdit
+	name, rest, ok := strings.Cut(spec, "=")
+	if !ok || name == "" {
+		return e, fmt.Errorf("bad scenario %q (want name=edit;edit;...)", spec)
+	}
+	e.Name = name
+	for _, part := range strings.Split(rest, ";") {
+		switch {
+		case part == "parallel":
+			e.Parallel = true
+		case strings.Contains(part, "*"):
+			act, val, _ := strings.Cut(part, "*")
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return e, fmt.Errorf("bad scale %q in scenario %q", part, name)
+			}
+			if e.Scale == nil {
+				e.Scale = make(map[string]float64)
+			}
+			e.Scale[act] = f
+		case strings.Contains(part, "+"):
+			act, val, _ := strings.Cut(part, "+")
+			d, err := parseWorkDuration(val)
+			if err != nil {
+				return e, fmt.Errorf("bad delay %q in scenario %q", part, name)
+			}
+			if e.Delay == nil {
+				e.Delay = make(map[string]time.Duration)
+			}
+			e.Delay[act] = d
+		default:
+			return e, fmt.Errorf("bad edit %q in scenario %q (want Act*factor, Act+duration, or parallel)", part, name)
+		}
+	}
+	return e, nil
+}
+
+// parseWorkDuration accepts Go durations plus a "d" suffix meaning
+// 8-hour working days ("2d" = 16h of working time).
+func parseWorkDuration(v string) (time.Duration, error) {
+	if strings.HasSuffix(v, "d") {
+		n, err := strconv.ParseFloat(strings.TrimSuffix(v, "d"), 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad duration %q", v)
+		}
+		return time.Duration(n * 8 * float64(time.Hour)), nil
+	}
+	return time.ParseDuration(v)
 }
 
 func (s *session) export(args []string) error {

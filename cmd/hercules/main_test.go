@@ -346,3 +346,38 @@ func TestRunParallelCommand(t *testing.T) {
 		}
 	}
 }
+
+func TestWhatifCommand(t *testing.T) {
+	out := script(t,
+		"schema builtin:fig4",
+		"tools",
+		"import stimuli pulse 0 5 1ns",
+		"whatif performance sim-slow=Simulate*2 slip=Create+1d team=parallel",
+		"dump",
+		"whatif performance",
+		"whatif performance bad",
+		"whatif performance x=Simulate*fast",
+		"whatif performance x=Simulate+soon",
+		"whatif performance x=fly",
+	)
+	for _, want := range []string{
+		"What-if sweep toward performance",
+		"baseline",
+		"sim-slow",
+		"slip",
+		"team",
+		"usage: whatif",
+		`bad scenario "bad"`,
+		`bad scale "Simulate*fast"`,
+		`bad delay "Simulate+soon"`,
+		`bad edit "fly"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// The sweep ran on forks: the live project database is untouched.
+	if strings.Contains(out, "run:Create/") {
+		t.Errorf("whatif wrote runs into the live database:\n%s", out)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"flowsched/internal/pert"
 	"flowsched/internal/query"
 	"flowsched/internal/report"
+	"flowsched/internal/scenario"
 	"flowsched/internal/sched"
 	"flowsched/internal/schema"
 	"flowsched/internal/store"
@@ -288,13 +289,23 @@ func (p *Project) Propagate() (time.Time, error) {
 	return p.mgr.Sched.Propagate(p.plan, p.Now())
 }
 
+// readMgr returns a read-only manager bound to a fresh snapshot of the
+// task database. Report and query surfaces render against it so each
+// answers from one consistent moment of the store, even when another
+// goroutine polls while the project executes.
+func (p *Project) readMgr() *engine.Manager { return p.mgr.AtView(nil) }
+
 // Status reports plan-versus-actual state per activity as of the virtual
 // now.
 func (p *Project) Status() ([]ActivityStatus, error) {
 	if p.plan == nil {
 		return nil, fmt.Errorf("flowsched: no plan")
 	}
-	return p.mgr.Sched.Status(p.plan, p.Now())
+	return p.statusWith(p.readMgr())
+}
+
+func (p *Project) statusWith(m *engine.Manager) ([]ActivityStatus, error) {
+	return m.Sched.Status(p.plan, p.Now())
 }
 
 // Gantt renders the current plan's Gantt chart (planned and accomplished
@@ -303,7 +314,7 @@ func (p *Project) Gantt() (string, error) {
 	if p.plan == nil {
 		return "", fmt.Errorf("flowsched: no plan")
 	}
-	return report.Chart(p.mgr, p.plan, p.Now())
+	return report.Chart(p.readMgr(), p.plan, p.Now())
 }
 
 // TaskTreeView renders the task tree with per-node schedule state — the
@@ -313,13 +324,14 @@ func (p *Project) TaskTreeView(targets ...string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return report.TaskTree(p.mgr, tree, p.plan), nil
+	return report.TaskTree(p.readMgr(), tree, p.plan), nil
 }
 
 // Query answers a textual §IV.B query (see internal/query for the
 // grammar).
 func (p *Project) Query(text string) (string, error) {
-	eng, err := query.New(p.mgr.Sched, p.mgr.Exec)
+	r := p.readMgr()
+	eng, err := query.New(r.Sched, r.Exec)
 	if err != nil {
 		return "", err
 	}
@@ -332,7 +344,11 @@ func (p *Project) Analyze() (*CPMResult, error) {
 	if p.plan == nil {
 		return nil, fmt.Errorf("flowsched: no plan")
 	}
-	_, insts, err := p.mgr.Sched.Instances(p.plan)
+	return p.analyzeWith(p.readMgr())
+}
+
+func (p *Project) analyzeWith(m *engine.Manager) (*CPMResult, error) {
+	_, insts, err := m.Sched.Instances(p.plan)
 	if err != nil {
 		return nil, err
 	}
@@ -342,10 +358,10 @@ func (p *Project) Analyze() (*CPMResult, error) {
 	}
 	acts := make([]pert.Activity, 0, len(insts))
 	for _, in := range insts {
-		rule := p.mgr.Schema.RuleByActivity(in.Activity)
+		rule := m.Schema.RuleByActivity(in.Activity)
 		var preds []string
 		for _, input := range rule.Inputs {
-			if prod := p.mgr.Schema.Producer(input); prod != nil && inPlan[prod.Activity] {
+			if prod := m.Schema.Producer(input); prod != nil && inPlan[prod.Activity] {
 				preds = append(preds, prod.Activity)
 			}
 		}
@@ -420,7 +436,7 @@ func (p *Project) MilestoneReport() ([]MilestoneStatus, error) {
 	if p.plan == nil {
 		return nil, fmt.Errorf("flowsched: no plan")
 	}
-	return p.mgr.Sched.MilestoneReport(p.plan)
+	return p.readMgr().Sched.MilestoneReport(p.plan)
 }
 
 // Grouping organizes activities into hierarchical composite tasks.
@@ -448,7 +464,7 @@ func (p *Project) OutlineStatus(g *Grouping) (string, error) {
 	if err := g.CheckCovers(p.plan); err != nil {
 		return "", err
 	}
-	rows, err := p.mgr.Sched.Status(p.plan, p.Now())
+	rows, err := p.statusWith(p.readMgr())
 	if err != nil {
 		return "", err
 	}
@@ -475,12 +491,15 @@ func (p *Project) Dashboard() (string, error) {
 	if p.plan == nil {
 		return "", fmt.Errorf("flowsched: no plan")
 	}
+	// One snapshot serves every section, so the dashboard is a
+	// consistent moment of the database even mid-execution.
+	r := p.readMgr()
 	var b strings.Builder
 	fmt.Fprintf(&b, "project dashboard — plan v%d, targets %v\n",
 		p.plan.Version, p.plan.Targets)
 	fmt.Fprintf(&b, "now %s; projected finish %s\n\n",
 		p.Now().Format("2006-01-02 15:04"), p.plan.Finish.Format("2006-01-02 15:04"))
-	rows, err := p.Status()
+	rows, err := p.statusWith(r)
 	if err != nil {
 		return "", err
 	}
@@ -499,12 +518,12 @@ func (p *Project) Dashboard() (string, error) {
 		fmt.Fprintf(&b, "  %-12s %-12s%s\n", r.Activity, r.State, slip)
 	}
 	b.WriteString("\n")
-	chart, err := p.Gantt()
+	chart, err := report.Chart(r, p.plan, p.Now())
 	if err != nil {
 		return "", err
 	}
 	b.WriteString(chart)
-	cpm, err := p.Analyze()
+	cpm, err := p.analyzeWith(r)
 	if err != nil {
 		return "", err
 	}
@@ -517,7 +536,7 @@ func (p *Project) Dashboard() (string, error) {
 // activity counts, completions, constraint violations, slips, and the
 // next period's planned starts.
 func (p *Project) StatusReport(from, to time.Time) (string, error) {
-	return report.StatusReport(p.mgr, p.plan, from, to)
+	return report.StatusReport(p.readMgr(), p.plan, from, to)
 }
 
 // ExportPlanCSV renders the current plan as CSV for spreadsheet or PM
@@ -612,14 +631,15 @@ func (p *Project) SimulateRiskWith(targets []string, opt RiskOptions) (*RiskResu
 // riskModels derives the stochastic activity models for the targets from
 // the bound simulated tools.
 func (p *Project) riskModels(targets []string) ([]monte.ActivityModel, error) {
-	tree, err := p.mgr.ExtractTree(targets...)
+	m := p.readMgr()
+	tree, err := m.ExtractTree(targets...)
 	if err != nil {
 		return nil, err
 	}
 	type profiled interface{ Profile() tools.Profile }
 	var models []monte.ActivityModel
 	for _, act := range tree.Activities() {
-		tool := p.mgr.Tools.For(act)
+		tool := m.Tools.For(act)
 		if tool == nil {
 			return nil, fmt.Errorf("flowsched: no tool bound to %q", act)
 		}
@@ -629,10 +649,10 @@ func (p *Project) riskModels(targets []string) ([]monte.ActivityModel, error) {
 				tool.Instance(), act)
 		}
 		prof := pt.Profile()
-		rule := p.mgr.Schema.RuleByActivity(act)
+		rule := m.Schema.RuleByActivity(act)
 		var preds []string
 		for _, in := range rule.Inputs {
-			if prod := p.mgr.Schema.Producer(in); prod != nil && tree.Contains(prod.Activity) {
+			if prod := m.Schema.Producer(in); prod != nil && tree.Contains(prod.Activity) {
 				preds = append(preds, prod.Activity)
 			}
 		}
@@ -644,6 +664,61 @@ func (p *Project) riskModels(targets []string) ([]monte.ActivityModel, error) {
 		})
 	}
 	return models, nil
+}
+
+// What-if scenario types (see internal/scenario).
+type (
+	// ScenarioEdit is one named what-if perturbation: tool-runtime
+	// scale factors and injected delays per activity, plus an optional
+	// switch to team-parallel execution.
+	ScenarioEdit = scenario.Edit
+	// ScenarioOptions tunes a what-if sweep (estimator, worker count).
+	ScenarioOptions = scenario.Options
+	// ScenarioOutcome is one scenario's simulated result.
+	ScenarioOutcome = scenario.Outcome
+	// ScenarioReport compares every scenario against the baseline fork.
+	ScenarioReport = scenario.Report
+)
+
+// Fork branches an independent copy of the project at its current state.
+// The task database is forked copy-on-write (O(containers), no per-entry
+// copying), the design store shares its immutable objects, tool bindings
+// are cloned, and the virtual clock continues from the parent's now.
+// Parent and fork never observe each other's subsequent changes — plan,
+// execute, and measure in the fork freely, then discard it. The fork is
+// uninstrumented regardless of the parent's observability options.
+func (p *Project) Fork() (*Project, error) {
+	m, err := p.mgr.Fork()
+	if err != nil {
+		return nil, err
+	}
+	f := &Project{mgr: m}
+	if p.plan != nil {
+		c := *p.plan
+		c.Targets = append([]string(nil), p.plan.Targets...)
+		c.Activities = append([]string(nil), p.plan.Activities...)
+		c.BasedOn = append([]string(nil), p.plan.BasedOn...)
+		c.Instances = make(map[string]string, len(p.plan.Instances))
+		for a, id := range p.plan.Instances {
+			c.Instances[a] = id
+		}
+		f.plan = &c
+	}
+	return f, nil
+}
+
+// Scenarios runs a parallel what-if sweep toward the targets: one
+// copy-on-write fork per edit plus an unedited baseline, each re-planned
+// and re-executed concurrently, with outcomes compared against the
+// baseline (finish dates, working-time deltas, critical paths, slack).
+// The project itself is never modified. Outcomes are bit-identical for
+// every worker count. With project observability enabled, the sweep
+// records a scenario span tree and a scenario_runs_total counter.
+func (p *Project) Scenarios(targets []string, edits []ScenarioEdit, opt ScenarioOptions) (*ScenarioReport, error) {
+	if opt.Obs == nil {
+		opt.Obs = p.obs
+	}
+	return scenario.Sweep(p.mgr, targets, edits, opt)
 }
 
 // TeamPlan is the result of OptimizeTeam: the smallest interchangeable

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"flowsched/internal/design"
@@ -59,6 +60,34 @@ type Event struct {
 	Detail   string
 }
 
+// eventLog is the manager's append-only event stream behind its own small
+// mutex: emit appends from the executing goroutine while pollers read
+// Events/EventsSince concurrently (the hercules `events` command, status
+// dashboards). It lives behind a pointer so Manager stays copyable
+// (AtView) without copying a lock.
+type eventLog struct {
+	mu  sync.Mutex
+	evs []Event
+}
+
+func (l *eventLog) append(e Event) {
+	l.mu.Lock()
+	l.evs = append(l.evs, e)
+	l.mu.Unlock()
+}
+
+func (l *eventLog) since(seq int) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq < 0 {
+		seq = 0
+	}
+	if seq >= len(l.evs) {
+		return nil
+	}
+	return append([]Event(nil), l.evs[seq:]...)
+}
+
 // Manager is the workflow manager.
 type Manager struct {
 	Schema   *schema.Schema
@@ -72,13 +101,15 @@ type Manager struct {
 	Calendar *vclock.Calendar
 	Designer string
 
-	events []Event
+	ev *eventLog
 
 	// Observability (nil until Instrument): the tracer carries
 	// dual-clock spans for plan/execute/activity/run, the registry the
-	// event and duration metrics. The Manager is single-goroutine (the
+	// event and duration metrics. Execution is single-goroutine (the
 	// Parallel exec mode composes virtual timelines, not goroutines), so
-	// the handles and the lazily-grown event-counter map need no lock.
+	// the handles and the lazily-grown event-counter map need no lock;
+	// the event stream itself is lock-guarded because pollers read it
+	// from other goroutines.
 	tr         *obs.Tracer
 	reg        *obs.Registry
 	mEvents    *obs.Counter
@@ -114,6 +145,7 @@ func New(sch *schema.Schema, cal *vclock.Calendar, start time.Time, designer str
 		Schema: sch, Graph: g, DB: db, Data: design.NewStore(),
 		Exec: exec, Sched: sc, Tools: tools.NewRegistry(),
 		Clock: vclock.NewAt(start), Calendar: cal, Designer: designer,
+		ev: &eventLog{},
 	}, nil
 }
 
@@ -149,6 +181,7 @@ func Restore(sch *schema.Schema, cal *vclock.Calendar, db *store.DB,
 		Schema: sch, Graph: g, DB: db, Data: data,
 		Exec: exec, Sched: sc, Tools: tools.NewRegistry(),
 		Clock: vclock.NewAt(now), Calendar: cal, Designer: designer,
+		ev: &eventLog{},
 	}, nil
 }
 
@@ -174,25 +207,19 @@ func (m *Manager) Instrument(o *obs.Obs) *Manager {
 }
 
 // Events returns a copy of the whole event stream. Pollers that only
-// need the tail should use EventsSince.
-func (m *Manager) Events() []Event { return append([]Event(nil), m.events...) }
+// need the tail should use EventsSince. Safe to call while the manager
+// executes on another goroutine.
+func (m *Manager) Events() []Event { return m.ev.since(0) }
 
 // EventsSince returns a copy of the events from sequence number seq on
 // (seq counts events already seen; 0 means all). The stream is
 // append-only, so a poller can resume with seq += len(returned) without
-// re-copying the full history each time.
-func (m *Manager) EventsSince(seq int) []Event {
-	if seq < 0 {
-		seq = 0
-	}
-	if seq >= len(m.events) {
-		return nil
-	}
-	return append([]Event(nil), m.events[seq:]...)
-}
+// re-copying the full history each time. Safe to call while the manager
+// executes on another goroutine.
+func (m *Manager) EventsSince(seq int) []Event { return m.ev.since(seq) }
 
 func (m *Manager) emit(kind EventKind, activity string, at time.Time, format string, args ...any) {
-	m.events = append(m.events, Event{
+	m.ev.append(Event{
 		Kind: kind, Activity: activity, At: at, Detail: fmt.Sprintf(format, args...),
 	})
 	if m.reg != nil {

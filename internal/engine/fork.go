@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"fmt"
+
+	"flowsched/internal/meta"
+	"flowsched/internal/sched"
+	"flowsched/internal/store"
+	"flowsched/internal/vclock"
+)
+
+// Fork branches an independent child manager off the manager's current
+// state: the task database is forked copy-on-write (O(containers), no
+// per-entry copies for untouched containers), the Level 4 design store is
+// forked aliasing its immutable objects, tool bindings are cloned, the
+// clock starts at the parent's current virtual time, and the event stream
+// is copied. Schema, flow graph, and calendar are shared — they are
+// immutable configuration.
+//
+// Parent and child never see each other's subsequent writes, which makes a
+// fork the substrate for what-if exploration: re-plan or re-execute the
+// child under different assumptions, compare, discard. The child is
+// uninstrumented; call Instrument to attach its own observability.
+func (m *Manager) Fork() (*Manager, error) {
+	db := m.DB.ForkAt(nil)
+	exec, err := meta.NewSpace(db, m.Schema)
+	if err != nil {
+		return nil, fmt.Errorf("engine: fork: %w", err)
+	}
+	sc, err := sched.NewSpace(db, m.Schema, m.Calendar)
+	if err != nil {
+		return nil, fmt.Errorf("engine: fork: %w", err)
+	}
+	return &Manager{
+		Schema: m.Schema, Graph: m.Graph, DB: db, Data: m.Data.Fork(),
+		Exec: exec, Sched: sc, Tools: m.Tools.Clone(),
+		Clock: vclock.NewAt(m.Clock.Now()), Calendar: m.Calendar,
+		Designer: m.Designer,
+		ev:       &eventLog{evs: m.Events()},
+	}, nil
+}
+
+// AtView returns a read-only shallow copy of the manager whose schedule
+// and execution spaces answer against the snapshot v — every report or
+// query that takes a *Manager can run against a consistent moment of the
+// database while the original keeps executing. A nil view snapshots the
+// current state. Write paths on the returned manager's spaces fail;
+// Clock, Tools, and the event stream are shared with the original.
+func (m *Manager) AtView(v *store.View) *Manager {
+	if v == nil {
+		v = m.DB.Snapshot()
+	}
+	c := *m
+	c.Sched = m.Sched.AtView(v)
+	c.Exec = m.Exec.AtView(v)
+	return &c
+}

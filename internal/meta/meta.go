@@ -58,9 +58,41 @@ type Entity struct {
 // Space is a typed view of a task database's execution space for one
 // schema. Creating a Space creates the execution containers; it never
 // touches Level 1 or Level 2 data.
+//
+// A Space is normally bound to a live *store.DB. AtView rebinds it to an
+// immutable snapshot: reads answer from a consistent moment of the
+// database and write methods fail.
 type Space struct {
+	// DB is the write target; nil for a view-bound (read-only) space.
 	DB     *store.DB
 	Schema *schema.Schema
+
+	// rd overrides the read source when view-bound; nil means read the DB.
+	rd store.Reader
+}
+
+// Reader returns the space's read source: the bound snapshot for a
+// view-bound space, otherwise the live database.
+func (s *Space) Reader() store.Reader {
+	if s.rd != nil {
+		return s.rd
+	}
+	return s.DB
+}
+
+// AtView returns a read-only copy of the space whose queries execute
+// against the snapshot v. Write methods (ImportEntity, BeginRun, …) return
+// an error on the returned space.
+func (s *Space) AtView(v *store.View) *Space {
+	return &Space{Schema: s.Schema, rd: v}
+}
+
+// writable returns the live DB, or an error for a view-bound space.
+func (s *Space) writable() (*store.DB, error) {
+	if s.DB == nil {
+		return nil, fmt.Errorf("meta: space is bound to a read-only view")
+	}
+	return s.DB, nil
 }
 
 // NewSpace initializes the execution space: one entity container per data
@@ -90,7 +122,11 @@ func (s *Space) ImportEntity(class string, data design.Ref, by string, at time.T
 	if c == nil || c.Kind != schema.DataClass {
 		return nil, fmt.Errorf("meta: %q is not a data class", class)
 	}
-	return s.DB.Put(class, at, Entity{
+	db, err := s.writable()
+	if err != nil {
+		return nil, err
+	}
+	return db.Put(class, at, Entity{
 		Class: class, Data: data, By: by, Started: at, Finished: at,
 	})
 }
@@ -102,9 +138,13 @@ func (s *Space) BeginRun(activity, tool, by string, at time.Time) (*store.Entry,
 	if rule == nil {
 		return nil, fmt.Errorf("meta: unknown activity %q", activity)
 	}
+	db, err := s.writable()
+	if err != nil {
+		return nil, err
+	}
 	cname := RunContainer(activity)
-	iter := len(s.DB.Container(cname).Entries) + 1
-	return s.DB.Put(cname, at, Run{
+	iter := len(db.Container(cname).Entries) + 1
+	return db.Put(cname, at, Run{
 		Activity: activity, Tool: tool, By: by, Iteration: iter,
 		Started: at, Status: RunInProgress,
 	})
@@ -112,7 +152,11 @@ func (s *Space) BeginRun(activity, tool, by string, at time.Time) (*store.Entry,
 
 // FinishRun closes a run with the given status.
 func (s *Space) FinishRun(runID string, at time.Time, status RunStatus) error {
-	e := s.DB.Get(runID)
+	db, err := s.writable()
+	if err != nil {
+		return err
+	}
+	e := db.Get(runID)
 	if e == nil {
 		return fmt.Errorf("meta: unknown run %q", runID)
 	}
@@ -128,7 +172,7 @@ func (s *Space) FinishRun(runID string, at time.Time, status RunStatus) error {
 	}
 	r.Finished = at
 	r.Status = status
-	return s.DB.SetPayload(runID, r)
+	return db.SetPayload(runID, r)
 }
 
 // RecordEntity files the entity instance produced by a successful run,
@@ -139,7 +183,11 @@ func (s *Space) RecordEntity(class, runID string, data design.Ref, deps ...strin
 	if rule == nil {
 		return nil, fmt.Errorf("meta: class %q has no producing activity", class)
 	}
-	re := s.DB.Get(runID)
+	db, err := s.writable()
+	if err != nil {
+		return nil, err
+	}
+	re := db.Get(runID)
 	if re == nil {
 		return nil, fmt.Errorf("meta: unknown run %q", runID)
 	}
@@ -152,7 +200,7 @@ func (s *Space) RecordEntity(class, runID string, data design.Ref, deps ...strin
 			runID, r.Activity, rule.Activity, class)
 	}
 	allDeps := append([]string{runID}, deps...)
-	return s.DB.Put(class, r.Finished, Entity{
+	return db.Put(class, r.Finished, Entity{
 		Class: class, Activity: r.Activity, RunID: runID, Data: data,
 		By: r.By, Started: r.Started, Finished: r.Finished,
 	}, allDeps...)
@@ -161,7 +209,7 @@ func (s *Space) RecordEntity(class, runID string, data design.Ref, deps ...strin
 // Entities returns the decoded entity instances of a class in version
 // order, paired with their entries.
 func (s *Space) Entities(class string) ([]*store.Entry, []Entity, error) {
-	c := s.DB.Container(class)
+	c := s.Reader().Container(class)
 	if c == nil {
 		return nil, nil, fmt.Errorf("meta: unknown class %q", class)
 	}
@@ -177,7 +225,7 @@ func (s *Space) Entities(class string) ([]*store.Entry, []Entity, error) {
 // LatestEntity returns the newest entity instance of a class, or nil if
 // none exist yet.
 func (s *Space) LatestEntity(class string) (*store.Entry, *Entity, error) {
-	c := s.DB.Container(class)
+	c := s.Reader().Container(class)
 	if c == nil {
 		return nil, nil, fmt.Errorf("meta: unknown class %q", class)
 	}
@@ -194,7 +242,7 @@ func (s *Space) LatestEntity(class string) (*store.Entry, *Entity, error) {
 
 // Runs returns the decoded runs of an activity in iteration order.
 func (s *Space) Runs(activity string) ([]*store.Entry, []Run, error) {
-	c := s.DB.Container(RunContainer(activity))
+	c := s.Reader().Container(RunContainer(activity))
 	if c == nil {
 		return nil, nil, fmt.Errorf("meta: unknown activity %q", activity)
 	}

@@ -84,7 +84,13 @@ func TestRunLifecycle(t *testing.T) {
 	if err := s.FinishRun(r1.ID, t0.Add(2*time.Hour), RunSucceeded); err != nil {
 		t.Fatal(err)
 	}
+	// Entries are immutable: the pointer held across FinishRun keeps the
+	// old payload; a fresh Get sees the new one.
 	r1e.Decode(&run)
+	if run.Status != RunInProgress {
+		t.Fatalf("held entry pointer changed under us: %+v", run)
+	}
+	s.DB.Get(r1.ID).Decode(&run)
 	if run.Status != RunSucceeded || !run.Finished.Equal(t0.Add(2*time.Hour)) {
 		t.Fatalf("finished run = %+v", run)
 	}

@@ -247,7 +247,7 @@ func (q *Engine) Eval(text string) (string, error) {
 		}
 		return fmt.Sprintf("slip of %s = %s", act, fmtDur(d)), nil
 	case join == "plans":
-		c := q.Sched.DB.Container(sched.PlanContainer)
+		c := q.Sched.Reader().Container(sched.PlanContainer)
 		if c == nil || len(c.Entries) == 0 {
 			return "no plans exist", nil
 		}

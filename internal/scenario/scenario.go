@@ -1,0 +1,419 @@
+// Package scenario is the what-if engine: it forks a workflow manager
+// into N isolated copies, perturbs each copy's tool profiles per a
+// scenario edit, re-plans and re-executes every copy concurrently, and
+// compares the outcomes against an unedited baseline fork.
+//
+// The paper's schedule manager answers "when will the design finish?"
+// for the plan in force; a what-if sweep answers the manager's next
+// question — "and if simulation runs twice as slow?", "and if layout
+// slips three days?" — without disturbing the live project. Forks are
+// copy-on-write snapshots of the Level 3 task database (store.DB.ForkAt),
+// so a sweep over a large project costs O(containers) per scenario, not
+// O(entries).
+//
+// Determinism: forks are created serially from the same parent state and
+// each fork's execution is driven entirely by its own virtual clock and
+// seeded pseudo-tools, so a sweep's outcomes are bit-identical no matter
+// how many workers run it.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"flowsched/internal/engine"
+	"flowsched/internal/obs"
+	"flowsched/internal/par"
+	"flowsched/internal/pert"
+	"flowsched/internal/sched"
+	"flowsched/internal/schema"
+	"flowsched/internal/tools"
+)
+
+// Edit is one scenario: a named set of perturbations applied to a fork
+// before it re-plans and re-executes.
+type Edit struct {
+	// Name labels the scenario in the report. Required, unique per sweep.
+	Name string
+	// Scale multiplies the named activities' tool base runtimes
+	// (e.g. 1.5 = 50% slower, 0.5 = twice as fast). Factors must be > 0.
+	Scale map[string]float64
+	// Delay adds working time to the named activities' tool base
+	// runtimes (a slip injected at the tool level).
+	Delay map[string]time.Duration
+	// Parallel executes independent branches concurrently on the
+	// scenario's virtual timeline (a fully-staffed team) instead of the
+	// serial single-designer post order.
+	Parallel bool
+}
+
+// activities returns the union of the edit's perturbed activities, sorted.
+func (e *Edit) activities() []string {
+	set := make(map[string]bool, len(e.Scale)+len(e.Delay))
+	for a := range e.Scale {
+		set[a] = true
+	}
+	for a := range e.Delay {
+		set[a] = true
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Options configure a sweep.
+type Options struct {
+	// Estimator produces activity estimates for each scenario's plan.
+	// Nil selects ProfileEstimator over the scenario's (edited) tool
+	// registry, so an edit shifts the plan as well as the execution.
+	Estimator sched.Estimator
+	// Workers bounds concurrent scenario executions (<= 0: GOMAXPROCS).
+	// Outcomes do not depend on it.
+	Workers int
+	// Obs, when non-nil, records a sweep span with one child span per
+	// scenario and a scenario_runs_total counter.
+	Obs *obs.Obs
+}
+
+// Outcome is one scenario's result.
+type Outcome struct {
+	// Name is the scenario name ("baseline" for the unedited fork).
+	Name string
+	// PlanVersion is the plan version the scenario created in its fork.
+	PlanVersion int
+	// PlanFinish is the planned completion date; Finish the simulated
+	// actual completion after executing the whole task tree.
+	PlanFinish, Finish time.Time
+	// Delta is the working-time difference between this scenario's
+	// finish and the baseline's (positive = later than baseline).
+	// Zero for the baseline itself.
+	Delta time.Duration
+	// CriticalPath is the zero-slack chain of the scenario's plan.
+	CriticalPath []string
+	// Slack maps each activity to its scheduling slack in the
+	// scenario's plan.
+	Slack map[string]time.Duration
+}
+
+// Report is a full sweep result.
+type Report struct {
+	// Targets are the data classes the sweep planned toward.
+	Targets []string
+	// Baseline is the unedited fork's outcome.
+	Baseline Outcome
+	// Scenarios are the edited forks' outcomes, in edit order.
+	Scenarios []Outcome
+}
+
+// profiled is implemented by tools that expose simulation parameters
+// (tools.SimTool); scenario edits and profile-derived estimates need it.
+type profiled interface {
+	Profile() tools.Profile
+}
+
+// ProfileEstimator derives schedule estimates from the bound simulated
+// tools: expected work is one application's base runtime times the
+// expected iteration count, with PERT bounds from the runtime jitter and
+// the tool's iteration safeguard (iteration >= 2x mean always succeeds).
+type ProfileEstimator struct {
+	Tools *tools.Registry
+}
+
+// Estimate implements sched.Estimator.
+func (pe ProfileEstimator) Estimate(activity string, _ *schema.Rule) (sched.Estimate, error) {
+	if pe.Tools == nil {
+		return sched.Estimate{}, fmt.Errorf("scenario: no tool registry to estimate from")
+	}
+	t := pe.Tools.For(activity)
+	if t == nil {
+		return sched.Estimate{}, fmt.Errorf("scenario: no tool bound to activity %q", activity)
+	}
+	p, ok := t.(profiled)
+	if !ok {
+		return sched.Estimate{}, fmt.Errorf("scenario: tool %s for %q has no profile", t.Instance(), activity)
+	}
+	prof := p.Profile()
+	return sched.Estimate{
+		Work:        time.Duration(float64(prof.Base) * prof.MeanIterations),
+		Optimistic:  time.Duration(float64(prof.Base) * (1 - prof.Jitter)),
+		Pessimistic: time.Duration(float64(prof.Base) * (1 + prof.Jitter) * 2 * prof.MeanIterations),
+		Basis:       "profile",
+	}, nil
+}
+
+// Sweep forks m once per edit plus an unedited baseline, applies each
+// edit to its fork's tool bindings, then re-plans and re-executes every
+// fork concurrently. The parent manager is never written; all forks
+// observe the identical parent snapshot.
+func Sweep(m *engine.Manager, targets []string, edits []Edit, opt Options) (*Report, error) {
+	if m == nil {
+		return nil, fmt.Errorf("scenario: nil manager")
+	}
+	tree, err := m.ExtractTree(targets...)
+	if err != nil {
+		return nil, err
+	}
+	if err := validate(m, tree.Activities(), edits); err != nil {
+		return nil, err
+	}
+
+	// Fork serially: every fork must branch from the same parent state,
+	// and fork creation mutates parent bookkeeping (shared-container
+	// marks) that is cheap but not worth contending on.
+	runs := make([]run, len(edits)+1)
+	runs[0] = run{name: "baseline"}
+	for i := range edits {
+		runs[i+1] = run{name: edits[i].Name, edit: &edits[i]}
+	}
+	for i := range runs {
+		f, err := m.Fork()
+		if err != nil {
+			return nil, fmt.Errorf("scenario: fork %q: %w", runs[i].name, err)
+		}
+		if runs[i].edit != nil {
+			if err := apply(f, runs[i].edit); err != nil {
+				return nil, err
+			}
+		}
+		runs[i].mgr = f
+	}
+
+	virtStart := m.Clock.Now()
+	outcomes := make([]Outcome, len(runs))
+	execErr := par.New(opt.Workers).ForEachErr(len(runs), func(i int) error {
+		o, err := runOne(runs[i], targets, opt.Estimator)
+		if err != nil {
+			return fmt.Errorf("scenario %q: %w", runs[i].name, err)
+		}
+		outcomes[i] = *o
+		return nil
+	})
+	if execErr != nil {
+		return nil, execErr
+	}
+
+	// Deltas are working time on the project calendar, signed.
+	base := outcomes[0]
+	for i := 1; i < len(outcomes); i++ {
+		outcomes[i].Delta = workDelta(m, base.Finish, outcomes[i].Finish)
+	}
+
+	record(opt.Obs, virtStart, outcomes)
+	return &Report{
+		Targets:   append([]string(nil), tree.Targets...),
+		Baseline:  base,
+		Scenarios: outcomes[1:],
+	}, nil
+}
+
+type run struct {
+	name string
+	edit *Edit // nil for the baseline
+	mgr  *engine.Manager
+}
+
+// validate rejects malformed edits before any fork is created.
+func validate(m *engine.Manager, inScope []string, edits []Edit) error {
+	scope := make(map[string]bool, len(inScope))
+	for _, a := range inScope {
+		scope[a] = true
+	}
+	seen := make(map[string]bool, len(edits)+1)
+	seen["baseline"] = true
+	for i := range edits {
+		e := &edits[i]
+		if e.Name == "" {
+			return fmt.Errorf("scenario: edit %d has no name", i)
+		}
+		if seen[e.Name] {
+			return fmt.Errorf("scenario: duplicate scenario name %q", e.Name)
+		}
+		seen[e.Name] = true
+		for act, factor := range e.Scale {
+			if factor <= 0 {
+				return fmt.Errorf("scenario %q: scale factor %g for %q must be > 0", e.Name, factor, act)
+			}
+		}
+		for _, act := range e.activities() {
+			if !scope[act] {
+				return fmt.Errorf("scenario %q: activity %q is not in the task tree", e.Name, act)
+			}
+			t := m.Tools.For(act)
+			if t == nil {
+				return fmt.Errorf("scenario %q: no tool bound to activity %q", e.Name, act)
+			}
+			if _, ok := t.(profiled); !ok {
+				return fmt.Errorf("scenario %q: tool %s for %q has no profile to edit", e.Name, t.Instance(), act)
+			}
+		}
+	}
+	return nil
+}
+
+// apply rebinds each perturbed activity's tool in the fork with an
+// adjusted profile. The instance name is kept, so the tool's seed — and
+// with it iteration counts and output content — is unchanged: an edit
+// shifts time, not design behaviour.
+func apply(f *engine.Manager, e *Edit) error {
+	for _, act := range e.activities() {
+		t := f.Tools.For(act)
+		p := t.(profiled).Profile()
+		base := float64(p.Base)
+		if factor, ok := e.Scale[act]; ok {
+			base *= factor
+		}
+		p.Base = time.Duration(base) + e.Delay[act]
+		edited, err := tools.NewSim(t.Class(), t.Instance(), p)
+		if err != nil {
+			return fmt.Errorf("scenario %q: edit %q: %w", e.Name, act, err)
+		}
+		if err := f.BindTool(act, edited); err != nil {
+			return fmt.Errorf("scenario %q: rebind %q: %w", e.Name, act, err)
+		}
+	}
+	return nil
+}
+
+// runOne plans and executes one fork and analyzes the resulting plan.
+func runOne(r run, targets []string, est sched.Estimator) (*Outcome, error) {
+	f := r.mgr
+	tree, err := f.ExtractTree(targets...)
+	if err != nil {
+		return nil, err
+	}
+	if est == nil {
+		est = ProfileEstimator{Tools: f.Tools}
+	}
+	res, err := f.Plan(tree, est, sched.PlanOptions{})
+	if err != nil {
+		return nil, err
+	}
+	parallel := r.edit != nil && r.edit.Parallel
+	exec, err := f.ExecuteTask(tree, engine.ExecOptions{
+		Plan: &res.Plan, AutoComplete: true, Parallel: parallel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cpm, err := analyze(f, &res.Plan)
+	if err != nil {
+		return nil, err
+	}
+	slack := make(map[string]time.Duration, len(cpm.Timings))
+	for _, tm := range cpm.Timings {
+		slack[tm.Name] = tm.Slack
+	}
+	return &Outcome{
+		Name:         r.name,
+		PlanVersion:  res.Plan.Version,
+		PlanFinish:   res.Plan.Finish,
+		Finish:       exec.Finished,
+		CriticalPath: cpm.CriticalPath,
+		Slack:        slack,
+	}, nil
+}
+
+// analyze runs CPM/PERT over a fork's plan (the facade's Analyze,
+// against the fork's spaces).
+func analyze(f *engine.Manager, plan *sched.Plan) (*pert.Result, error) {
+	_, insts, err := f.Sched.Instances(plan)
+	if err != nil {
+		return nil, err
+	}
+	inPlan := make(map[string]bool, len(plan.Activities))
+	for _, a := range plan.Activities {
+		inPlan[a] = true
+	}
+	acts := make([]pert.Activity, 0, len(insts))
+	for _, in := range insts {
+		rule := f.Schema.RuleByActivity(in.Activity)
+		var preds []string
+		for _, input := range rule.Inputs {
+			if prod := f.Schema.Producer(input); prod != nil && inPlan[prod.Activity] {
+				preds = append(preds, prod.Activity)
+			}
+		}
+		acts = append(acts, pert.Activity{
+			Name: in.Activity, Duration: in.EstWork,
+			Optimistic: in.Optimistic, Pessimistic: in.Pessimistic,
+			Preds: preds,
+		})
+	}
+	net, err := pert.NewNetwork(acts)
+	if err != nil {
+		return nil, err
+	}
+	return net.Analyze()
+}
+
+// workDelta returns the signed working time between the baseline finish
+// and a scenario finish on the project calendar.
+func workDelta(m *engine.Manager, base, finish time.Time) time.Duration {
+	if finish.After(base) {
+		return m.Calendar.WorkBetween(base, finish)
+	}
+	return -m.Calendar.WorkBetween(finish, base)
+}
+
+// record emits the sweep's observability after the pool has drained:
+// spans and counters are recorded serially, in scenario order, so traces
+// are deterministic regardless of worker interleaving.
+func record(o *obs.Obs, virtStart time.Time, outcomes []Outcome) {
+	if o == nil {
+		return
+	}
+	o.Metrics().Counter("scenario_runs_total").Add(int64(len(outcomes)))
+	tr := o.Tracer()
+	root := tr.Start(nil, "scenario.sweep", virtStart)
+	root.Detailf("%d scenarios", len(outcomes))
+	last := virtStart
+	for i := range outcomes {
+		sp := tr.Start(root, "scenario:"+outcomes[i].Name, virtStart)
+		sp.Detailf("finish %s plan v%d", outcomes[i].Finish.Format("2006-01-02 15:04"), outcomes[i].PlanVersion)
+		sp.End(outcomes[i].Finish)
+		if outcomes[i].Finish.After(last) {
+			last = outcomes[i].Finish
+		}
+	}
+	root.End(last)
+}
+
+// Render formats the sweep as a comparison table: one row per scenario
+// with its simulated finish, working-time delta against the baseline,
+// and critical path.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "What-if sweep toward %s (baseline plan v%d)\n\n",
+		strings.Join(r.Targets, ", "), r.Baseline.PlanVersion)
+	rows := append([]Outcome{r.Baseline}, r.Scenarios...)
+	nameW := len("scenario")
+	for _, o := range rows {
+		if len(o.Name) > nameW {
+			nameW = len(o.Name)
+		}
+	}
+	fmt.Fprintf(&b, "  %-*s  %-17s  %9s  critical path\n", nameW, "scenario", "finish", "delta")
+	for i, o := range rows {
+		delta := "-"
+		if i > 0 {
+			delta = signedDur(o.Delta.Round(time.Minute))
+		}
+		fmt.Fprintf(&b, "  %-*s  %-17s  %9s  %s\n", nameW, o.Name,
+			o.Finish.Format("2006-01-02 15:04"), delta,
+			strings.Join(o.CriticalPath, " > "))
+	}
+	return b.String()
+}
+
+// signedDur renders a duration with an explicit sign ("+6h0m0s").
+func signedDur(d time.Duration) string {
+	if d >= 0 {
+		return "+" + d.String()
+	}
+	return d.String()
+}

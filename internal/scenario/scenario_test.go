@@ -1,0 +1,229 @@
+package scenario
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"flowsched/internal/engine"
+	"flowsched/internal/obs"
+	"flowsched/internal/schema"
+	"flowsched/internal/vclock"
+)
+
+const fig4 = `
+schema circuit
+data netlist, stimuli, performance
+tool editor, simulator
+rule Create:   netlist     <- editor()
+rule Simulate: performance <- simulator(netlist, stimuli)
+`
+
+var t0 = vclock.Epoch
+
+func ready(t *testing.T) *engine.Manager {
+	t.Helper()
+	m, err := engine.New(schema.MustParse(fig4), vclock.Standard(), t0, "ewj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BindDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Import("stimuli", []byte("pulse 0 5 1ns\n")); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// eightEdits is a sweep wide enough to exercise the worker pool.
+func eightEdits() []Edit {
+	return []Edit{
+		{Name: "sim-slow", Scale: map[string]float64{"Simulate": 2}},
+		{Name: "sim-fast", Scale: map[string]float64{"Simulate": 0.5}},
+		{Name: "edit-slow", Scale: map[string]float64{"Create": 1.5}},
+		{Name: "edit-slip", Delay: map[string]time.Duration{"Create": 16 * time.Hour}},
+		{Name: "sim-slip", Delay: map[string]time.Duration{"Simulate": 8 * time.Hour}},
+		{Name: "both-slow", Scale: map[string]float64{"Create": 1.25, "Simulate": 1.25}},
+		{Name: "team", Parallel: true},
+		{Name: "crunch", Scale: map[string]float64{"Create": 0.75, "Simulate": 0.75}},
+	}
+}
+
+func marshal(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	var want string
+	for _, workers := range []int{1, 2, 8} {
+		m := ready(t)
+		rep, err := Sweep(m, []string{"performance"}, eightEdits(), Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := marshal(t, rep)
+		if want == "" {
+			want = got
+		} else if got != want {
+			t.Fatalf("workers=%d sweep differs from workers=1:\n%s\nvs\n%s", workers, got, want)
+		}
+	}
+}
+
+func TestSweepLeavesParentUntouched(t *testing.T) {
+	m := ready(t)
+	before := m.DB.Dump()
+	objects := m.Data.TotalObjects()
+	events := len(m.Events())
+	if _, err := Sweep(m, []string{"performance"}, eightEdits(), Options{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if m.DB.Dump() != before {
+		t.Fatal("sweep wrote the parent task database")
+	}
+	if m.Data.TotalObjects() != objects {
+		t.Fatal("sweep wrote the parent design store")
+	}
+	if len(m.Events()) != events {
+		t.Fatal("sweep appended to the parent event stream")
+	}
+	if m.Clock.Now() != t0 {
+		t.Fatal("sweep advanced the parent clock")
+	}
+}
+
+func TestSweepDeltasAreSigned(t *testing.T) {
+	m := ready(t)
+	rep, err := Sweep(m, []string{"performance"}, []Edit{
+		{Name: "slower", Scale: map[string]float64{"Simulate": 3}},
+		{Name: "faster", Scale: map[string]float64{"Create": 0.25, "Simulate": 0.25}},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slower, faster := rep.Scenarios[0], rep.Scenarios[1]
+	if !slower.Finish.After(rep.Baseline.Finish) || slower.Delta <= 0 {
+		t.Fatalf("slower scenario: finish %v delta %v vs baseline %v",
+			slower.Finish, slower.Delta, rep.Baseline.Finish)
+	}
+	if !faster.Finish.Before(rep.Baseline.Finish) || faster.Delta >= 0 {
+		t.Fatalf("faster scenario: finish %v delta %v vs baseline %v",
+			faster.Finish, faster.Delta, rep.Baseline.Finish)
+	}
+	if rep.Baseline.Delta != 0 {
+		t.Fatalf("baseline delta = %v", rep.Baseline.Delta)
+	}
+}
+
+func TestSweepAnalysis(t *testing.T) {
+	m := ready(t)
+	rep, err := Sweep(m, []string{"performance"}, []Edit{
+		{Name: "slip", Delay: map[string]time.Duration{"Simulate": 6 * time.Hour}},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range append([]Outcome{rep.Baseline}, rep.Scenarios...) {
+		// Create feeds Simulate with no parallel branch: both critical.
+		if len(o.CriticalPath) != 2 || o.CriticalPath[0] != "Create" || o.CriticalPath[1] != "Simulate" {
+			t.Fatalf("%s critical path = %v", o.Name, o.CriticalPath)
+		}
+		for act, slack := range o.Slack {
+			if slack != 0 {
+				t.Fatalf("%s slack[%s] = %v, want 0 on a chain", o.Name, act, slack)
+			}
+		}
+		if o.PlanVersion == 0 || o.PlanFinish.IsZero() || o.Finish.IsZero() {
+			t.Fatalf("%s outcome incomplete: %+v", o.Name, o)
+		}
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	m := ready(t)
+	cases := []struct {
+		label string
+		edits []Edit
+	}{
+		{"empty name", []Edit{{Scale: map[string]float64{"Create": 2}}}},
+		{"duplicate name", []Edit{{Name: "x"}, {Name: "x"}}},
+		{"reserved baseline name", []Edit{{Name: "baseline"}}},
+		{"zero scale", []Edit{{Name: "x", Scale: map[string]float64{"Create": 0}}}},
+		{"negative scale", []Edit{{Name: "x", Scale: map[string]float64{"Create": -1}}}},
+		{"unknown activity", []Edit{{Name: "x", Scale: map[string]float64{"Route": 2}}}},
+	}
+	for _, c := range cases {
+		if _, err := Sweep(m, []string{"performance"}, c.edits, Options{}); err == nil {
+			t.Errorf("%s accepted", c.label)
+		}
+	}
+	if _, err := Sweep(nil, []string{"performance"}, nil, Options{}); err == nil {
+		t.Error("nil manager accepted")
+	}
+	if _, err := Sweep(m, []string{"ghost"}, nil, Options{}); err == nil {
+		t.Error("unknown target accepted")
+	}
+}
+
+func TestProfileEstimatorErrors(t *testing.T) {
+	if _, err := (ProfileEstimator{}).Estimate("Create", nil); err == nil {
+		t.Error("nil registry accepted")
+	}
+	m := ready(t)
+	if _, err := (ProfileEstimator{Tools: m.Tools}).Estimate("Route", nil); err == nil {
+		t.Error("unbound activity accepted")
+	}
+}
+
+func TestSweepObservability(t *testing.T) {
+	m := ready(t)
+	o := obs.NewWith(obs.NewRegistry(), obs.NewTracer(0))
+	if _, err := Sweep(m, []string{"performance"}, eightEdits(), Options{Workers: 2, Obs: o}); err != nil {
+		t.Fatal(err)
+	}
+	var runs int64
+	for _, s := range o.Metrics().Snapshot() {
+		if s.Name == "scenario_runs_total" {
+			runs = int64(s.Value)
+		}
+	}
+	if runs != 9 { // 8 scenarios + baseline
+		t.Fatalf("scenario_runs_total = %d, want 9", runs)
+	}
+	spans := o.Tracer().Spans()
+	var sweep, children int
+	for _, s := range spans {
+		switch {
+		case s.Name == "scenario.sweep":
+			sweep++
+		case strings.HasPrefix(s.Name, "scenario:"):
+			children++
+		}
+	}
+	if sweep != 1 || children != 9 {
+		t.Fatalf("spans: %d sweep, %d scenario (want 1/9)", sweep, children)
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	m := ready(t)
+	rep, err := Sweep(m, []string{"performance"}, []Edit{
+		{Name: "sim-slow", Scale: map[string]float64{"Simulate": 2}},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Render()
+	for _, want := range []string{"What-if sweep toward performance", "baseline", "sim-slow", "Create > Simulate", "+"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -31,7 +31,11 @@ type Milestone struct {
 
 // ensureMilestones creates the milestone container on first use.
 func (s *Space) ensureMilestones() error {
-	_, err := s.DB.CreateContainer(MilestoneContainer, store.ScheduleSpace, "milestone")
+	db, err := s.writable()
+	if err != nil {
+		return err
+	}
+	_, err = db.CreateContainer(MilestoneContainer, store.ScheduleSpace, "milestone")
 	return err
 }
 
@@ -64,10 +68,14 @@ func (s *Space) SetMilestone(p *Plan, name, class string, target time.Time) (*st
 	})
 }
 
+// milestonesWritable reports whether milestone achievement can be persisted
+// (false for a view-bound space, where refreshes are computed in memory).
+func (s *Space) milestonesWritable() bool { return s.DB != nil }
+
 // Milestones returns the milestone instances for a plan version, sorted
 // by target date.
 func (s *Space) Milestones(p *Plan) ([]*store.Entry, []Milestone, error) {
-	c := s.DB.Container(MilestoneContainer)
+	c := s.Reader().Container(MilestoneContainer)
 	if c == nil {
 		return nil, nil, nil // none set
 	}
@@ -97,7 +105,8 @@ func (s *Space) Milestones(p *Plan) ([]*store.Entry, []Milestone, error) {
 // RefreshMilestones updates milestone achievement from the plan's
 // completion state: a milestone is achieved when the producing activity
 // of its class is done, at that activity's actual finish. It returns the
-// refreshed milestones.
+// refreshed milestones. On a view-bound space the achievement is computed
+// in memory only — reporting stays correct, nothing is persisted.
 func (s *Space) RefreshMilestones(p *Plan) ([]Milestone, error) {
 	entries, ms, err := s.Milestones(p)
 	if err != nil {
@@ -118,8 +127,10 @@ func (s *Space) RefreshMilestones(p *Plan) ([]Milestone, error) {
 		if in.Done {
 			ms[i].Achieved = true
 			ms[i].AchievedAt = in.ActualFinish
-			if err := s.DB.SetPayload(entries[i].ID, ms[i]); err != nil {
-				return nil, err
+			if s.milestonesWritable() {
+				if err := s.DB.SetPayload(entries[i].ID, ms[i]); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}

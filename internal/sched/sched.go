@@ -92,10 +92,42 @@ type Plan struct {
 }
 
 // Space is the schedule space of a task database for one schema.
+//
+// A Space is normally bound to a live *store.DB and supports both reads and
+// writes. AtView rebinds it to an immutable snapshot: reads then answer
+// from a consistent moment of the database and every write method fails.
 type Space struct {
+	// DB is the write target; nil for a view-bound (read-only) space.
 	DB       *store.DB
 	Schema   *schema.Schema
 	Calendar *vclock.Calendar
+
+	// rd overrides the read source when view-bound; nil means read the DB.
+	rd store.Reader
+}
+
+// Reader returns the space's read source: the bound snapshot for a
+// view-bound space, otherwise the live database.
+func (s *Space) Reader() store.Reader {
+	if s.rd != nil {
+		return s.rd
+	}
+	return s.DB
+}
+
+// AtView returns a read-only copy of the space whose queries execute
+// against the snapshot v. Write methods (Plan, MarkStarted, Complete,
+// Propagate, SetMilestone, …) return an error on the returned space.
+func (s *Space) AtView(v *store.View) *Space {
+	return &Space{Schema: s.Schema, Calendar: s.Calendar, rd: v}
+}
+
+// writable returns the live DB, or an error for a view-bound space.
+func (s *Space) writable() (*store.DB, error) {
+	if s.DB == nil {
+		return nil, fmt.Errorf("sched: space is bound to a read-only view")
+	}
+	return s.DB, nil
 }
 
 // NewSpace initializes the schedule space. As §IV.A requires, containers
@@ -152,13 +184,17 @@ func (s *Space) Plan(tree *flow.Tree, start time.Time, est Estimator, opt PlanOp
 	if est == nil {
 		return nil, fmt.Errorf("sched: nil estimator")
 	}
+	db, err := s.writable()
+	if err != nil {
+		return nil, err
+	}
 	for _, b := range opt.BasedOn {
-		e := s.DB.Get(b)
+		e := db.Get(b)
 		if e == nil || e.Container != PlanContainer {
 			return nil, fmt.Errorf("sched: basedOn %q is not a plan entry", b)
 		}
 	}
-	version := len(s.DB.Container(PlanContainer).Entries) + 1
+	version := len(db.Container(PlanContainer).Entries) + 1
 	finishOf := make(map[string]time.Time) // activity -> planned finish
 	resFree := make(map[string]time.Time)  // resource -> free at
 	instIDs := make(map[string]string)
@@ -198,7 +234,7 @@ func (s *Space) Plan(tree *flow.Tree, start time.Time, est Estimator, opt PlanOp
 		if pf.After(projectFinish) {
 			projectFinish = pf
 		}
-		entry, err := s.DB.Put(Container(act), start, Instance{
+		entry, err := db.Put(Container(act), start, Instance{
 			Activity: act, PlanVersion: version,
 			Resources: append([]string(nil), resources...),
 			EstWork:   e.Work, Optimistic: e.Optimistic, Pessimistic: e.Pessimistic,
@@ -219,7 +255,7 @@ func (s *Space) Plan(tree *flow.Tree, start time.Time, est Estimator, opt PlanOp
 		Finish:              projectFinish,
 		ResourceConstrained: opt.ResourceConstrained,
 	}
-	entry, err := s.DB.Put(PlanContainer, start, p, opt.BasedOn...)
+	entry, err := db.Put(PlanContainer, start, p, opt.BasedOn...)
 	if err != nil {
 		return nil, err
 	}
@@ -228,7 +264,7 @@ func (s *Space) Plan(tree *flow.Tree, start time.Time, est Estimator, opt PlanOp
 
 // CurrentPlan returns the latest plan, or nil if none has been created.
 func (s *Space) CurrentPlan() (*store.Entry, *Plan, error) {
-	c := s.DB.Container(PlanContainer)
+	c := s.Reader().Container(PlanContainer)
 	if c == nil {
 		return nil, nil, fmt.Errorf("sched: schedule space not initialized")
 	}
@@ -245,7 +281,7 @@ func (s *Space) CurrentPlan() (*store.Entry, *Plan, error) {
 
 // PlanByVersion returns the plan with the given version.
 func (s *Space) PlanByVersion(version int) (*store.Entry, *Plan, error) {
-	e := s.DB.Get(fmt.Sprintf("%s/%d", PlanContainer, version))
+	e := s.Reader().Get(fmt.Sprintf("%s/%d", PlanContainer, version))
 	if e == nil {
 		return nil, nil, fmt.Errorf("sched: no plan version %d", version)
 	}
@@ -262,7 +298,7 @@ func (s *Space) Instance(p *Plan, activity string) (*store.Entry, *Instance, err
 	if !ok {
 		return nil, nil, fmt.Errorf("sched: activity %q not in plan version %d", activity, p.Version)
 	}
-	e := s.DB.Get(id)
+	e := s.Reader().Get(id)
 	if e == nil {
 		return nil, nil, fmt.Errorf("sched: dangling instance %q", id)
 	}
@@ -291,7 +327,7 @@ func (s *Space) Instances(p *Plan) ([]*store.Entry, []Instance, error) {
 // History returns every schedule instance ever created for an activity, in
 // version order — the raw material for §IV.B's schedule-data queries.
 func (s *Space) History(activity string) ([]*store.Entry, []Instance, error) {
-	c := s.DB.Container(Container(activity))
+	c := s.Reader().Container(Container(activity))
 	if c == nil {
 		return nil, nil, fmt.Errorf("sched: unknown activity %q", activity)
 	}
@@ -308,7 +344,7 @@ func (s *Space) History(activity string) ([]*store.Entry, []Instance, error) {
 // based on, transitively), oldest first — §IV.B's schedule-metadata query
 // "show the evolution of a design schedule".
 func (s *Space) Lineage(planID string) ([]string, error) {
-	e := s.DB.Get(planID)
+	e := s.Reader().Get(planID)
 	if e == nil || e.Container != PlanContainer {
 		return nil, fmt.Errorf("sched: %q is not a plan entry", planID)
 	}
@@ -316,7 +352,7 @@ func (s *Space) Lineage(planID string) ([]string, error) {
 	seen := map[string]bool{planID: true}
 	var walk func(id string) error
 	walk = func(id string) error {
-		entry := s.DB.Get(id)
+		entry := s.Reader().Get(id)
 		var p Plan
 		if err := entry.Decode(&p); err != nil {
 			return err

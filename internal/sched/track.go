@@ -10,6 +10,10 @@ import (
 // date for the task is set" (§IV.C). Marking an already-started activity
 // is a no-op, since only the *first* data instance sets the date.
 func (s *Space) MarkStarted(p *Plan, activity string, at time.Time) error {
+	db, err := s.writable()
+	if err != nil {
+		return err
+	}
 	e, in, err := s.Instance(p, activity)
 	if err != nil {
 		return err
@@ -21,7 +25,7 @@ func (s *Space) MarkStarted(p *Plan, activity string, at time.Time) error {
 		return nil
 	}
 	in.ActualStart = at
-	return s.DB.SetPayload(e.ID, in)
+	return db.SetPayload(e.ID, in)
 }
 
 // Complete marks an activity done: the designer has verified that the
@@ -30,6 +34,10 @@ func (s *Space) MarkStarted(p *Plan, activity string, at time.Time) error {
 // to the entity instance (Fig. 7); the link is bidirectional in the
 // database, so schedule queries reach design metadata and vice versa.
 func (s *Space) Complete(p *Plan, activity, entityID string, at time.Time) error {
+	db, err := s.writable()
+	if err != nil {
+		return err
+	}
 	e, in, err := s.Instance(p, activity)
 	if err != nil {
 		return err
@@ -37,7 +45,7 @@ func (s *Space) Complete(p *Plan, activity, entityID string, at time.Time) error
 	if in.Done {
 		return fmt.Errorf("sched: activity %s already complete", activity)
 	}
-	ent := s.DB.Get(entityID)
+	ent := db.Get(entityID)
 	if ent == nil {
 		return fmt.Errorf("sched: entity instance %q does not exist", entityID)
 	}
@@ -55,10 +63,10 @@ func (s *Space) Complete(p *Plan, activity, entityID string, at time.Time) error
 	in.ActualFinish = at
 	in.Done = true
 	in.LinkedEntity = entityID
-	if err := s.DB.SetPayload(e.ID, in); err != nil {
+	if err := db.SetPayload(e.ID, in); err != nil {
 		return err
 	}
-	return s.DB.Link(e.ID, entityID)
+	return db.Link(e.ID, entityID)
 }
 
 // Propagate updates the current plan's dates to reflect reality as of
@@ -68,6 +76,10 @@ func (s *Space) Complete(p *Plan, activity, entityID string, at time.Time) error
 // in the schedule occurs, the schedule plan updates automatically to
 // reflect the new schedule." It returns the new projected project finish.
 func (s *Space) Propagate(p *Plan, now time.Time) (time.Time, error) {
+	db, err := s.writable()
+	if err != nil {
+		return time.Time{}, err
+	}
 	effFinish := make(map[string]time.Time)
 	resFree := make(map[string]time.Time)
 	projected := p.Start
@@ -131,7 +143,7 @@ func (s *Space) Propagate(p *Plan, now time.Time) (time.Time, error) {
 		if in.PlannedFinish.After(projected) {
 			projected = in.PlannedFinish
 		}
-		if err := s.DB.SetPayload(e.ID, in); err != nil {
+		if err := db.SetPayload(e.ID, in); err != nil {
 			return time.Time{}, err
 		}
 	}
@@ -141,7 +153,7 @@ func (s *Space) Propagate(p *Plan, now time.Time) (time.Time, error) {
 		return time.Time{}, err
 	}
 	plan.Finish = projected
-	if err := s.DB.SetPayload(planEntry.ID, plan); err != nil {
+	if err := db.SetPayload(planEntry.ID, plan); err != nil {
 		return time.Time{}, err
 	}
 	p.Finish = projected

@@ -11,12 +11,26 @@
 // Instances are append-only and versioned densely per container (version 1,
 // 2, 3, …), matching the paper's CC1/CC2, SC1/SC2, N1/N2 labelling. Typed
 // payloads are carried as JSON so the database itself stays schema-neutral.
+//
+// # Snapshot isolation and copy-on-write
+//
+// Entries are immutable once appended: SetPayload and Link replace the
+// affected *Entry with a clone rather than mutating it in place. That makes
+// two cheap operations safe:
+//
+//   - Snapshot returns an immutable View of the whole database in
+//     O(containers), sharing the entry slices with the live DB (clipped with
+//     full slice expressions so later appends stay invisible).
+//   - ForkAt branches a child DB off a View in O(containers); parent and
+//     child alias unmodified containers and copy a container's entry slice
+//     only on first write (copy-on-write, tracked by a shared bit).
+//
+// See docs/store.md for the aliasing rules and fork semantics.
 package store
 
 import (
 	"encoding/json"
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -36,6 +50,11 @@ const (
 )
 
 // Entry is one versioned instance inside a container.
+//
+// Entries are immutable once stored: packages outside store must treat every
+// field — including Links and Payload — as read-only. SetPayload and Link
+// swap in a cloned entry instead of mutating, so a pointer obtained from Get
+// (or from a View) is a stable value forever.
 type Entry struct {
 	// ID is the globally unique identifier "container/version".
 	ID string `json:"id"`
@@ -68,6 +87,15 @@ type Container struct {
 	Class string `json:"class"`
 	// Entries holds instances in version order.
 	Entries []*Entry `json:"entries"`
+
+	// shared marks the Entries backing array as possibly aliased by a View
+	// or a forked DB; the next in-place entry replacement must copy the
+	// slice first. Appends never need the copy: aliases are clipped to
+	// their snapshot length, so writing Entries[len] is invisible to them.
+	shared bool
+	// watermark is the owning DB's version counter at this container's last
+	// mutation.
+	watermark uint64
 }
 
 // Latest returns the highest-version entry, or nil for an empty container.
@@ -78,26 +106,36 @@ func (c *Container) Latest() *Entry {
 	return c.Entries[len(c.Entries)-1]
 }
 
+// Watermark returns the owning database's version counter at this
+// container's last mutation. Comparing watermarks across a Snapshot tells
+// which containers changed since.
+func (c *Container) Watermark() uint64 { return c.watermark }
+
 // DB is the task database. The zero value is not usable; call NewDB.
 // DB is safe for concurrent use.
 type DB struct {
 	mu         sync.RWMutex
 	containers map[string]*Container
 	order      []string
-	byID       map[string]*Entry
+	// version counts mutations (container creations, puts, payload swaps,
+	// links); each mutation stamps the touched container's watermark.
+	version uint64
 
 	// Cached observability handles (nil = uninstrumented, no-op).
 	// Written by Instrument and read by container ops, both under mu.
 	mPuts     *obs.Counter   // store_puts_total
 	mGets     *obs.Counter   // store_gets_total
 	mLinks    *obs.Counter   // store_links_total
+	mSnaps    *obs.Counter   // store_snapshots_total
+	mForks    *obs.Counter   // store_forks_total
 	gEntries  *obs.Gauge     // store_entries
 	hSnapshot *obs.Histogram // store_snapshot_bytes
 }
 
 // Instrument attaches observability to the database: container-op
-// counters, a live instance-count gauge, and a snapshot-size
-// histogram. Call it before sharing the DB; a nil Obs is a no-op.
+// counters, fork/snapshot counters, a live instance-count gauge, and a
+// snapshot-size histogram. Call it before sharing the DB; a nil Obs is a
+// no-op.
 func (db *DB) Instrument(o *obs.Obs) {
 	m := o.Metrics()
 	if m == nil {
@@ -108,6 +146,8 @@ func (db *DB) Instrument(o *obs.Obs) {
 	db.mPuts = m.Counter("store_puts_total")
 	db.mGets = m.Counter("store_gets_total")
 	db.mLinks = m.Counter("store_links_total")
+	db.mSnaps = m.Counter("store_snapshots_total")
+	db.mForks = m.Counter("store_forks_total")
 	db.gEntries = m.Gauge("store_entries")
 	db.hSnapshot = m.Histogram("store_snapshot_bytes", obs.SizeBuckets)
 	var entries int64
@@ -119,10 +159,15 @@ func (db *DB) Instrument(o *obs.Obs) {
 
 // NewDB returns an empty task database.
 func NewDB() *DB {
-	return &DB{
-		containers: make(map[string]*Container),
-		byID:       make(map[string]*Entry),
-	}
+	return &DB{containers: make(map[string]*Container)}
+}
+
+// Version returns the database's mutation counter. It increases on every
+// container creation, put, payload swap, and link.
+func (db *DB) Version() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.version
 }
 
 // CreateContainer adds an empty container. Creating an existing container
@@ -144,7 +189,8 @@ func (db *DB) CreateContainer(name string, space Space, class string) (*Containe
 		}
 		return c, nil
 	}
-	c := &Container{Name: name, Space: space, Class: class}
+	db.version++
+	c := &Container{Name: name, Space: space, Class: class, watermark: db.version}
 	db.containers[name] = c
 	db.order = append(db.order, name)
 	return c, nil
@@ -179,6 +225,33 @@ func (db *DB) ContainersIn(space Space) []*Container {
 	return out
 }
 
+// lookupLocked resolves an entry ID by parsing it and indexing the dense
+// version into its container. Caller holds mu (read or write). Entry IDs
+// are "container/version" with versions 1..len(Entries), so no secondary
+// index is needed — which is what keeps Snapshot and ForkAt O(containers).
+func (db *DB) lookupLocked(id string) *Entry {
+	name, v, err := ParseID(id)
+	if err != nil {
+		return nil
+	}
+	c := db.containers[name]
+	if c == nil || v > len(c.Entries) {
+		return nil
+	}
+	return c.Entries[v-1]
+}
+
+// cowLocked prepares a container for an in-place entry replacement: if the
+// Entries backing array may be aliased by a View or a fork, it is copied
+// first. Caller holds mu for writing.
+func (db *DB) cowLocked(c *Container) {
+	if !c.shared {
+		return
+	}
+	c.Entries = append(make([]*Entry, 0, len(c.Entries)+1), c.Entries...)
+	c.shared = false
+}
+
 // Put appends a new instance to the named container, assigning the next
 // version. All deps must reference existing entries. payload may be nil.
 func (db *DB) Put(container string, created time.Time, payload any, deps ...string) (*Entry, error) {
@@ -197,7 +270,7 @@ func (db *DB) Put(container string, created time.Time, payload any, deps ...stri
 		return nil, fmt.Errorf("store: unknown container %q", container)
 	}
 	for _, d := range deps {
-		if db.byID[d] == nil {
+		if db.lookupLocked(d) == nil {
 			return nil, fmt.Errorf("store: dependency %q does not exist", d)
 		}
 	}
@@ -209,19 +282,24 @@ func (db *DB) Put(container string, created time.Time, payload any, deps ...stri
 		Deps:      append([]string(nil), deps...),
 		Payload:   raw,
 	}
+	// Appending is safe even on a shared backing array: every alias is
+	// clipped to cap == its snapshot length, so it cannot observe the new
+	// element whether the append reallocates or writes in place.
 	c.Entries = append(c.Entries, e)
-	db.byID[e.ID] = e
+	db.version++
+	c.watermark = db.version
 	db.mPuts.Inc()
 	db.gEntries.Add(1)
 	return e, nil
 }
 
-// Get returns the entry with the given ID, or nil.
+// Get returns the entry with the given ID, or nil. The returned entry is
+// immutable; it keeps its value even if the payload is later replaced.
 func (db *DB) Get(id string) *Entry {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	db.mGets.Inc()
-	return db.byID[id]
+	return db.lookupLocked(id)
 }
 
 // Decode unmarshals an entry's payload into out.
@@ -234,7 +312,8 @@ func (e *Entry) Decode(out any) error {
 
 // SetPayload replaces an entry's payload. Instances are append-only in
 // identity and dependencies, but their typed payloads evolve (a schedule
-// instance acquires actual dates as execution proceeds).
+// instance acquires actual dates as execution proceeds). The previous
+// *Entry value is left untouched — existing Views keep observing it.
 func (db *DB) SetPayload(id string, payload any) error {
 	b, err := json.Marshal(payload)
 	if err != nil {
@@ -242,21 +321,28 @@ func (db *DB) SetPayload(id string, payload any) error {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	e := db.byID[id]
+	e := db.lookupLocked(id)
 	if e == nil {
 		return fmt.Errorf("store: unknown entry %q", id)
 	}
-	e.Payload = b
+	clone := *e
+	clone.Payload = b
+	c := db.containers[clone.Container]
+	db.cowLocked(c)
+	c.Entries[clone.Version-1] = &clone
+	db.version++
+	c.watermark = db.version
 	return nil
 }
 
 // Link records a bidirectional cross-space association between two entries,
 // typically a schedule instance and the entity instance that completed its
-// task. Linking the same pair twice is a no-op.
+// task. Linking the same pair twice is a no-op. As with SetPayload, the
+// affected entries are replaced by clones, never mutated.
 func (db *DB) Link(a, b string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	ea, eb := db.byID[a], db.byID[b]
+	ea, eb := db.lookupLocked(a), db.lookupLocked(b)
 	if ea == nil {
 		return fmt.Errorf("store: link endpoint %q does not exist", a)
 	}
@@ -266,26 +352,34 @@ func (db *DB) Link(a, b string) error {
 	if a == b {
 		return fmt.Errorf("store: cannot link %q to itself", a)
 	}
-	ea.Links = addUnique(ea.Links, b)
-	eb.Links = addUnique(eb.Links, a)
+	db.linkOneLocked(ea, b)
+	db.linkOneLocked(eb, a)
 	db.mLinks.Inc()
 	return nil
 }
 
-func addUnique(s []string, v string) []string {
-	for _, x := range s {
-		if x == v {
-			return s
+// linkOneLocked adds target to e's links via clone-and-swap, unless already
+// present. Caller holds mu for writing.
+func (db *DB) linkOneLocked(e *Entry, target string) {
+	for _, l := range e.Links {
+		if l == target {
+			return
 		}
 	}
-	return append(s, v)
+	clone := *e
+	clone.Links = append(append([]string(nil), e.Links...), target)
+	c := db.containers[clone.Container]
+	db.cowLocked(c)
+	c.Entries[clone.Version-1] = &clone
+	db.version++
+	c.watermark = db.version
 }
 
 // Linked reports whether entries a and b are linked.
 func (db *DB) Linked(a, b string) bool {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	ea := db.byID[a]
+	ea := db.lookupLocked(a)
 	if ea == nil {
 		return false
 	}
@@ -297,18 +391,10 @@ func (db *DB) Linked(a, b string) bool {
 	return false
 }
 
-// Stats summarizes the database: containers and instances per space.
+// Stats summarizes the database: containers and instances per space. It is
+// computed on a Snapshot, so a concurrent writer cannot skew the counts.
 func (db *DB) Stats() map[Space]struct{ Containers, Instances int } {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make(map[Space]struct{ Containers, Instances int })
-	for _, c := range db.containers {
-		s := out[c.Space]
-		s.Containers++
-		s.Instances += len(c.Entries)
-		out[c.Space] = s
-	}
-	return out
+	return db.Snapshot().Stats()
 }
 
 // ParseID splits an entry ID into container name and version.
@@ -358,7 +444,6 @@ func (db *DB) UnmarshalJSON(data []byte) error {
 	}
 	if db.containers == nil {
 		db.containers = make(map[string]*Container)
-		db.byID = make(map[string]*Entry)
 	}
 	for _, c := range s.Containers {
 		if _, dup := db.containers[c.Name]; dup {
@@ -373,14 +458,15 @@ func (db *DB) UnmarshalJSON(data []byte) error {
 			if want := fmt.Sprintf("%s/%d", c.Name, e.Version); e.ID != want {
 				return fmt.Errorf("store: restore: entry id %q, want %q", e.ID, want)
 			}
-			db.byID[e.ID] = e
+			db.version++
 		}
+		c.watermark = db.version
 	}
 	// Verify referential integrity of deps and links.
 	for _, c := range s.Containers {
 		for _, e := range c.Entries {
 			for _, d := range append(append([]string(nil), e.Deps...), e.Links...) {
-				if db.byID[d] == nil {
+				if db.lookupLocked(d) == nil {
 					return fmt.Errorf("store: restore: entry %s references missing %q", e.ID, d)
 				}
 			}
@@ -390,28 +476,9 @@ func (db *DB) UnmarshalJSON(data []byte) error {
 }
 
 // Dump renders the database as text, one container per line with its
-// instances — the form used to reproduce the paper's Figs. 5–7.
+// instances — the form used to reproduce the paper's Figs. 5–7. The text is
+// produced from a Snapshot, so a dump taken mid-run is a consistent moment
+// of the database, not a torn read.
 func (db *DB) Dump() string {
-	var b strings.Builder
-	for _, space := range []Space{ExecutionSpace, ScheduleSpace} {
-		cs := db.ContainersIn(space)
-		if len(cs) == 0 {
-			continue
-		}
-		fmt.Fprintf(&b, "%s space:\n", space)
-		for _, c := range cs {
-			ids := make([]string, 0, len(c.Entries))
-			for _, e := range c.Entries {
-				label := e.ID
-				if len(e.Links) > 0 {
-					linked := append([]string(nil), e.Links...)
-					sort.Strings(linked)
-					label += "->{" + strings.Join(linked, ",") + "}"
-				}
-				ids = append(ids, label)
-			}
-			fmt.Fprintf(&b, "  %-24s [%s]\n", c.Name, strings.Join(ids, " "))
-		}
-	}
-	return b.String()
+	return db.Snapshot().Dump()
 }

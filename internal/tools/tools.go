@@ -189,6 +189,18 @@ func (r *Registry) Bind(activity string, t Tool) error {
 // For returns the tool bound to an activity, or nil.
 func (r *Registry) For(activity string) Tool { return r.byActivity[activity] }
 
+// Clone returns an independent registry with the same bindings. Tool
+// instances are shared (they are stateless); rebinding in the clone never
+// affects the original — what a forked project needs to explore
+// alternative tool profiles.
+func (r *Registry) Clone() *Registry {
+	c := NewRegistry()
+	for a, t := range r.byActivity {
+		c.byActivity[a] = t
+	}
+	return c
+}
+
 // Activities returns the bound activities, sorted.
 func (r *Registry) Activities() []string {
 	out := make([]string, 0, len(r.byActivity))

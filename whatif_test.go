@@ -1,0 +1,188 @@
+package flowsched
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func sweepEdits() []ScenarioEdit {
+	return []ScenarioEdit{
+		{Name: "sim-slow", Scale: map[string]float64{"Simulate": 2}},
+		{Name: "sim-fast", Scale: map[string]float64{"Simulate": 0.5}},
+		{Name: "edit-slow", Scale: map[string]float64{"Create": 1.5}},
+		{Name: "edit-slip", Delay: map[string]time.Duration{"Create": 16 * time.Hour}},
+		{Name: "sim-slip", Delay: map[string]time.Duration{"Simulate": 8 * time.Hour}},
+		{Name: "both-slow", Scale: map[string]float64{"Create": 1.25, "Simulate": 1.25}},
+		{Name: "team", Parallel: true},
+		{Name: "crunch", Scale: map[string]float64{"Create": 0.75, "Simulate": 0.75}},
+	}
+}
+
+func TestProjectForkIsolation(t *testing.T) {
+	p := prepared(t)
+	if _, err := p.Plan([]string{"performance"}, Fixed{Default: 8 * time.Hour}, PlanOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run([]string{"performance"}, true); err != nil {
+		t.Fatal(err)
+	}
+	parentDump := p.DatabaseDump()
+	parentVersion := p.CurrentPlan().Version
+
+	f, err := p.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.DatabaseDump() != parentDump {
+		t.Fatal("fork database differs from parent at fork time")
+	}
+	if f.CurrentPlan() == nil || f.CurrentPlan().Version != parentVersion {
+		t.Fatal("fork lost the tracked plan")
+	}
+	if f.CurrentPlan() == p.CurrentPlan() {
+		t.Fatal("fork shares the parent's plan struct")
+	}
+
+	// Re-plan and re-run only in the fork.
+	fp, err := f.Plan([]string{"performance"}, Fixed{Default: 2 * time.Hour}, PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Version != parentVersion+1 {
+		t.Fatalf("fork plan version = %d, want %d", fp.Version, parentVersion+1)
+	}
+	if _, err := f.Run([]string{"performance"}, true); err != nil {
+		t.Fatal(err)
+	}
+	if p.DatabaseDump() != parentDump {
+		t.Fatal("fork activity leaked into the parent database")
+	}
+	if p.CurrentPlan().Version != parentVersion {
+		t.Fatal("fork re-plan changed the parent's tracked plan")
+	}
+	// Both sides keep answering reports from their own state.
+	if _, err := f.Status(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Status(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScenariosDeterministicAcrossWorkers(t *testing.T) {
+	var want string
+	for _, workers := range []int{1, 2, 8} {
+		p := prepared(t)
+		rep, err := p.Scenarios([]string{"performance"}, sweepEdits(), ScenarioOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(rep.Scenarios) != 8 {
+			t.Fatalf("workers=%d: %d scenarios, want 8", workers, len(rep.Scenarios))
+		}
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == "" {
+			want = string(b)
+		} else if string(b) != want {
+			t.Fatalf("workers=%d report differs from workers=1", workers)
+		}
+	}
+}
+
+func TestScenariosLeaveProjectUntouched(t *testing.T) {
+	p := prepared(t)
+	if _, err := p.Plan([]string{"performance"}, Fixed{Default: 8 * time.Hour}, PlanOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	before := p.DatabaseDump()
+	plan := p.CurrentPlan()
+	rep, err := p.Scenarios([]string{"performance"}, sweepEdits(), ScenarioOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DatabaseDump() != before {
+		t.Fatal("sweep wrote the project database")
+	}
+	if p.CurrentPlan() != plan {
+		t.Fatal("sweep replaced the tracked plan")
+	}
+	if !strings.Contains(rep.Render(), "baseline") {
+		t.Fatal("report render missing baseline row")
+	}
+}
+
+// Satellite (c): a fork's risk analysis is bit-identical to the parent's
+// — same tool-derived stochastic models, same seed, same trial sharding.
+func TestRiskOnForkMatchesParent(t *testing.T) {
+	p := prepared(t)
+	want, err := p.SimulateRiskWith([]string{"performance"}, RiskOptions{Trials: 400, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := p.Fork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.SimulateRiskWith([]string{"performance"}, RiskOptions{Trials: 400, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, _ := json.Marshal(want)
+	gb, _ := json.Marshal(got)
+	if string(wb) != string(gb) {
+		t.Fatalf("fork risk result differs from parent:\n%s\nvs\n%s", gb, wb)
+	}
+}
+
+// Satellite: report surfaces polled from another goroutine while the
+// project executes answer from consistent snapshots (dump headers and
+// entry counts always agree).
+func TestDumpAndStatusDuringParallelRun(t *testing.T) {
+	p := prepared(t)
+	if _, err := p.Plan([]string{"performance"}, Fixed{Default: 8 * time.Hour}, PlanOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			if dump := p.DatabaseDump(); !strings.Contains(dump, "execution space:") {
+				select {
+				case errs <- fmt.Errorf("dump lost its space header:\n%s", dump):
+				default:
+				}
+			}
+			if _, err := p.Status(); err != nil {
+				select {
+				case errs <- err:
+				default:
+				}
+			}
+			select {
+			case <-done:
+				return
+			default:
+			}
+		}
+	}()
+	if _, err := p.RunParallel([]string{"performance"}, true); err != nil {
+		t.Fatal(err)
+	}
+	close(done)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatalf("concurrent report failed: %v", err)
+	default:
+	}
+}
