@@ -1,0 +1,176 @@
+// Command benchfault measures the cost of the fault-injection hooks
+// when they are armed but quiet, and records it in BENCH_fault.json,
+// the robustness counterpart of BENCH_risk.json / BENCH_obs.json. Each
+// workload is measured twice — plain, and with a zero-probability
+// fault plan wrapped around every tool binding — so the recorded
+// overhead is the pure per-run price of the injector (one seeded draw
+// plus the history append), not of any injected fault.
+//
+//	benchfault -label after-fault-substrate   # append to BENCH_fault.json
+//	benchfault -out /tmp/f.json               # custom file
+//
+// Workloads:
+//
+//	risk-fig4: the serial BenchmarkE6_RiskSimulation workload (1000
+//	  Monte-Carlo trials over the Fig. 4 flow); the wrapped variant
+//	  reads tool profiles through the injector's Profile forwarding.
+//	exec-asic: one tracked plan+execute of the full ASIC flow; the
+//	  wrapped variant pays one fault decision per tool run.
+//
+// The acceptance budget is <2% overhead on the risk workload.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"flowsched"
+)
+
+// cell is one workload measured plain and fault-wrapped.
+type cell struct {
+	Workload       string  `json:"workload"`
+	Iterations     int     `json:"iterations"`
+	NsPerOpPlain   int64   `json:"ns_per_op_plain"`
+	NsPerOpWrapped int64   `json:"ns_per_op_wrapped"`
+	OverheadPct    float64 `json:"overhead_pct"`
+}
+
+// entry is one benchfault invocation.
+type entry struct {
+	Label     string `json:"label"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	Results   []cell `json:"results"`
+}
+
+// file is the BENCH_fault.json document.
+type file struct {
+	Description string  `json:"description"`
+	Benchmarks  []entry `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_fault.json", "trajectory file to append to")
+	label := flag.String("label", "run", "label for this entry")
+	flag.Parse()
+
+	doc := file{Description: "Fault-hook overhead trajectory: plain vs quiet-wrapped tools (cmd/benchfault; budget <2% on the risk workload)"}
+	if blob, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(blob, &doc); err != nil {
+			fatal("existing %s is not a benchfault file: %v", *out, err)
+		}
+	}
+
+	e := entry{
+		Label: *label, Date: time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		CPUs: runtime.NumCPU(),
+	}
+	for _, w := range []struct {
+		name string
+		run  func(wrapped bool) func(b *testing.B)
+	}{
+		{"risk-fig4", riskWorkload},
+		{"exec-asic", execWorkload},
+	} {
+		plain := testing.Benchmark(w.run(false))
+		wrapped := testing.Benchmark(w.run(true))
+		c := cell{
+			Workload:       w.name,
+			Iterations:     plain.N,
+			NsPerOpPlain:   plain.NsPerOp(),
+			NsPerOpWrapped: wrapped.NsPerOp(),
+		}
+		c.OverheadPct = 100 * (float64(c.NsPerOpWrapped) - float64(c.NsPerOpPlain)) / float64(c.NsPerOpPlain)
+		fmt.Printf("%-10s plain %12d ns/op  wrapped %12d ns/op  overhead %+.2f%%\n",
+			w.name, c.NsPerOpPlain, c.NsPerOpWrapped, c.OverheadPct)
+		e.Results = append(e.Results, c)
+	}
+
+	doc.Benchmarks = append(doc.Benchmarks, e)
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("appended entry %q to %s\n", *label, *out)
+}
+
+// quiet is a zero-probability fault plan: every hook fires, nothing is
+// ever injected.
+var quiet = flowsched.FaultConfig{Seed: 1}
+
+// riskWorkload is the serial BenchmarkE6_RiskSimulation configuration;
+// wrapped arms the quiet plan so profiles are read through injectors.
+func riskWorkload(wrapped bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		p, err := flowsched.New(flowsched.Fig4Schema, flowsched.Options{Designer: "bench"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := p.UseSimulatedTools(); err != nil {
+			b.Fatal(err)
+		}
+		if wrapped {
+			if err := p.InjectFaults(quiet); err != nil {
+				b.Fatal(err)
+			}
+		}
+		opt := flowsched.RiskOptions{Trials: 1000, Seed: 7, Workers: 1}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := p.SimulateRiskWith([]string{"performance"}, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// execWorkload plans and executes the full ASIC flow once per op;
+// wrapped pays one quiet fault decision per tool run.
+func execWorkload(wrapped bool) func(b *testing.B) {
+	targets := []string{"drcreport", "lvsreport", "timingreport", "simreport"}
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p, err := flowsched.New(flowsched.ASICSchema, flowsched.Options{Designer: "bench"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := p.UseSimulatedTools(); err != nil {
+				b.Fatal(err)
+			}
+			if wrapped {
+				if err := p.InjectFaults(quiet); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, leaf := range []string{"rtl", "constraints", "testbench"} {
+				if _, err := p.Import(leaf, []byte("x")); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := p.Plan(targets, flowsched.Fixed{Default: 8 * time.Hour}, flowsched.PlanOptions{}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := p.Run(targets, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchfault: "+format+"\n", args...)
+	os.Exit(1)
+}

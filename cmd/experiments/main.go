@@ -1,5 +1,5 @@
 // Command experiments regenerates every exhibit of the paper — Table I
-// and Figures 1–8 — plus the quantitative experiments E1–E8 described in
+// and Figures 1–8 — plus the quantitative experiments E1–E9 described in
 // DESIGN.md.
 //
 //	experiments               # print every exhibit to stdout
@@ -39,11 +39,12 @@ func exhibits() []exhibit {
 		{"e6", report.E6Risk},
 		{"e7", report.E7Observability},
 		{"e8", report.E8Scenarios},
+		{"e9", report.E9FaultTolerance},
 	}
 }
 
 func main() {
-	which := flag.String("exhibit", "all", "exhibit to regenerate (all, tableI, fig1..fig8, e1..e8)")
+	which := flag.String("exhibit", "all", "exhibit to regenerate (all, tableI, fig1..fig8, e1..e9)")
 	list := flag.Bool("list", false, "list exhibit names and exit")
 	flag.Parse()
 

@@ -25,6 +25,15 @@
 //	plan <targets,comma-sep> <hours>          plan: simulate execution, fixed est.
 //	run <targets,comma-sep> [parallel]        execute tracked against current plan;
 //	                                          "parallel" overlaps independent branches
+//	policy default|off                        fault-tolerance policy for run: "default"
+//	                                          enables retry backoff, 72h run deadlines,
+//	                                          tool failover, graceful degradation
+//	faults seed=<n> [crash=p] [hang=p] [corrupt=p] [outages=n]
+//	                                          arm a seeded, replayable fault plan over
+//	                                          every bound tool (chaos testing)
+//	faults                                    show the fault injection log
+//	resume                                    after a failed run: continue from the
+//	                                          checkpoint, re-running nothing completed
 //	status                                    plan-vs-actual table
 //	tree <targets,comma-sep>                  task tree view with schedule state
 //	gantt                                     Gantt chart of the current plan
@@ -52,6 +61,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -75,6 +85,11 @@ type session struct {
 	// eventSeq is the events cursor: how many manager events the
 	// "events" command has already printed (reset on schema/load).
 	eventSeq int
+	// recovery is the fault-tolerance policy "run" executes under
+	// (set by "policy"; zero = historical abort-on-first-exhaustion).
+	recovery flowsched.Recovery
+	// resumeErr holds the last failed run's checkpoint for "resume".
+	resumeErr *flowsched.ExecError
 }
 
 func run(in io.Reader, out io.Writer) error {
@@ -143,6 +158,12 @@ func (s *session) dispatch(line string) error {
 		return s.plan(args)
 	case "run":
 		return s.exec(args)
+	case "policy":
+		return s.policy(args)
+	case "faults":
+		return s.faults(args)
+	case "resume":
+		return s.resume(args)
 	case "status":
 		return s.status()
 	case "tree":
@@ -333,21 +354,152 @@ func (s *session) exec(args []string) error {
 	if len(args) < 1 || len(args) > 2 || (len(args) == 2 && args[1] != "parallel") {
 		return fmt.Errorf("usage: run <targets,comma-sep> [parallel]")
 	}
-	targets := strings.Split(args[0], ",")
-	var res *flowsched.ExecResult
-	var err error
-	if len(args) == 2 {
-		res, err = s.project.RunParallel(targets, true)
-	} else {
-		res, err = s.project.Run(targets, true)
-	}
+	res, err := s.project.RunWith(strings.Split(args[0], ","), flowsched.RunOptions{
+		AutoComplete: true, Parallel: len(args) == 2, Recovery: s.recovery,
+	})
 	if err != nil {
+		var ee *flowsched.ExecError
+		if errors.As(err, &ee) {
+			s.resumeErr = ee
+			fmt.Fprintf(s.out, "run failed: %v\n", err)
+			fmt.Fprintf(s.out, "completed before the failure: %s\n", orNone(ee.Completed()))
+			fmt.Fprintln(s.out, "fix the cause (rebind tools, raise limits) and \"resume\" to continue from the checkpoint")
+			return nil
+		}
 		return err
 	}
+	s.printExec(res)
+	return nil
+}
+
+func (s *session) printExec(res *flowsched.ExecResult) {
 	for _, o := range res.Outcomes {
 		fmt.Fprintf(s.out, "  %-12s %d iteration(s), final %s, finished %s\n",
 			o.Activity, o.Iterations, o.FinalEntity.ID, o.Finished.Format("2006-01-02 15:04"))
 	}
+	if len(res.Resumed) > 0 {
+		fmt.Fprintf(s.out, "  resumed from checkpoint, skipped: %s\n", strings.Join(res.Resumed, ", "))
+	}
+	if len(res.Blocked) > 0 {
+		fmt.Fprintf(s.out, "  blocked (fenced, shown as slip in status): %s\n", strings.Join(res.Blocked, ", "))
+	}
+}
+
+func orNone(list []string) string {
+	if len(list) == 0 {
+		return "(nothing)"
+	}
+	return strings.Join(list, ", ")
+}
+
+// policy selects the fault-tolerance policy subsequent runs use.
+func (s *session) policy(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: policy default|off")
+	}
+	switch args[0] {
+	case "default":
+		s.recovery = flowsched.DefaultRecovery()
+		r := s.recovery
+		fmt.Fprintf(s.out, "policy: backoff %s x%g (max %s), run deadline %s, failover on, continue-on-block on\n",
+			r.Backoff.Initial, r.Backoff.Factor, r.Backoff.Max, r.RunDeadline)
+	case "off":
+		s.recovery = flowsched.Recovery{}
+		fmt.Fprintln(s.out, "policy: off (immediate retries, abort on first exhausted activity)")
+	default:
+		return fmt.Errorf("usage: policy default|off")
+	}
+	return nil
+}
+
+// faults arms a seeded fault plan over the bound tools, or with no
+// arguments prints the injection log of the armed plan.
+func (s *session) faults(args []string) error {
+	if len(args) == 0 {
+		hist := s.project.FaultHistory()
+		if hist == nil {
+			fmt.Fprintln(s.out, "no fault plan armed (faults seed=<n> crash=0.2 ...)")
+			return nil
+		}
+		fmt.Fprintf(s.out, "fault plan: %d decision(s), %d injected\n",
+			len(hist), s.project.FaultsInjected())
+		for _, h := range hist {
+			fmt.Fprintf(s.out, "  %s  %-12s attempt %d  %s\n",
+				h.At.Format("2006-01-02 15:04"), h.Activity, h.Attempt, h.Kind)
+		}
+		return nil
+	}
+	cfg := flowsched.FaultConfig{Seed: -1}
+	for _, a := range args {
+		key, val, ok := strings.Cut(a, "=")
+		if !ok {
+			return fmt.Errorf("bad fault option %q (want key=value)", a)
+		}
+		switch key {
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return fmt.Errorf("bad seed %q", val)
+			}
+			cfg.Seed = n
+		case "crash", "hang", "corrupt":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return fmt.Errorf("bad %s probability %q", key, val)
+			}
+			switch key {
+			case "crash":
+				cfg.Crash = p
+			case "hang":
+				cfg.Hang = p
+			case "corrupt":
+				cfg.Corrupt = p
+			}
+		case "outages":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return fmt.Errorf("bad outage count %q", val)
+			}
+			cfg.LicenseOutages = n
+		default:
+			return fmt.Errorf("unknown fault option %q (seed, crash, hang, corrupt, outages)", key)
+		}
+	}
+	if cfg.Seed < 0 {
+		return fmt.Errorf("faults needs seed=<n> (the plan replays bit-identically per seed)")
+	}
+	if cfg.LicenseOutages > 0 {
+		cfg.LicenseStart = s.project.Now()
+	}
+	if err := s.project.InjectFaults(cfg); err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "fault plan armed (seed %d): crash %g, hang %g, corrupt %g, license outages %d\n",
+		cfg.Seed, cfg.Crash, cfg.Hang, cfg.Corrupt, cfg.LicenseOutages)
+	return nil
+}
+
+// resume continues the last failed run from its checkpoint.
+func (s *session) resume(args []string) error {
+	if len(args) != 0 {
+		return fmt.Errorf("usage: resume")
+	}
+	if s.resumeErr == nil {
+		return fmt.Errorf("nothing to resume (no failed run this session)")
+	}
+	res, err := s.resumeErr.Resume()
+	if err != nil {
+		var ee *flowsched.ExecError
+		if errors.As(err, &ee) {
+			s.resumeErr = ee
+			fmt.Fprintf(s.out, "resume failed again: %v\n", err)
+			fmt.Fprintf(s.out, "completed so far: %s\n", orNone(ee.Completed()))
+			return nil
+		}
+		return err
+	}
+	s.resumeErr = nil
+	s.printExec(res)
 	return nil
 }
 

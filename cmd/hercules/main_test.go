@@ -347,6 +347,74 @@ func TestRunParallelCommand(t *testing.T) {
 	}
 }
 
+func TestPolicyAndFaultsCommands(t *testing.T) {
+	out := script(t,
+		"schema builtin:fig4",
+		"tools",
+		"import stimuli vec",
+		"plan performance 8",
+		"faults", // nothing armed yet
+		"policy default",
+		"faults seed=10 crash=0.3 corrupt=0.3",
+		"run performance",
+		"faults",
+		"resume", // nothing failed
+		"policy off",
+		"policy sideways",
+		"faults crash=0.5",
+		"faults seed=ten",
+		"faults chaos",
+		"resume now",
+	)
+	for _, want := range []string{
+		"no fault plan armed",
+		"policy: backoff 30m0s x2",
+		"fault plan armed (seed 10): crash 0.3, hang 0, corrupt 0.3, license outages 0",
+		"iteration(s)",
+		"fault plan:",
+		"injected",
+		"nothing to resume",
+		"policy: off",
+		"usage: policy",
+		"faults needs seed=",
+		`bad seed "ten"`,
+		`bad fault option "chaos"`,
+		"usage: resume",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestResumeCommand drives the checkpoint path end to end: a violent
+// fault plan with no recovery policy kills the run, a benign plan is
+// swapped in, and resume finishes the flow.
+func TestResumeCommand(t *testing.T) {
+	out := script(t,
+		"schema builtin:fig4",
+		"tools",
+		"import stimuli vec",
+		"plan performance 8",
+		"faults seed=1 crash=0.95",
+		"run performance",
+		"faults seed=2", // benign plan replaces the violent one
+		"resume",
+		"resume", // checkpoint consumed
+	)
+	for _, want := range []string{
+		"run failed:",
+		"completed before the failure:",
+		"\"resume\" to continue from the checkpoint",
+		"final performance/",
+		"nothing to resume",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestWhatifCommand(t *testing.T) {
 	out := script(t,
 		"schema builtin:fig4",

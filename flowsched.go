@@ -35,6 +35,7 @@ import (
 	"flowsched/internal/design"
 	"flowsched/internal/engine"
 	"flowsched/internal/export"
+	"flowsched/internal/fault"
 	"flowsched/internal/flow"
 	"flowsched/internal/hier"
 	"flowsched/internal/level"
@@ -93,6 +94,23 @@ type (
 	ExecResult = engine.ExecResult
 	// CPMResult is a critical-path analysis of a plan.
 	CPMResult = pert.Result
+	// Recovery is an execution's fault-tolerance policy: retry backoff,
+	// run deadlines, tool failover, output verification, graceful
+	// degradation.
+	Recovery = engine.Recovery
+	// Backoff is an exponential virtual-time retry policy.
+	Backoff = engine.Backoff
+	// ActivityFailedError is the typed terminal failure of one activity
+	// (recovery policy exhausted).
+	ActivityFailedError = engine.ActivityFailedError
+	// ExecError is the typed failure of an execution: it carries the last
+	// consistent store snapshot and a Resume path that re-runs zero
+	// completed activities.
+	ExecError = engine.ExecError
+	// FaultConfig parameterizes a seeded, replayable fault-injection plan.
+	FaultConfig = fault.Config
+	// FaultInjection is one recorded fault decision (the replay log).
+	FaultInjection = fault.Injection
 )
 
 // Fig4Schema is the paper's Fig. 4 example schema (see workload package).
@@ -148,9 +166,10 @@ type Options struct {
 
 // Project is a design process under integrated flow + schedule management.
 type Project struct {
-	mgr  *engine.Manager
-	plan *Plan    // current tracked plan, nil before first Plan
-	obs  *obs.Obs // nil unless Options.Obs.Enabled
+	mgr    *engine.Manager
+	plan   *Plan       // current tracked plan, nil before first Plan
+	obs    *obs.Obs    // nil unless Options.Obs.Enabled
+	faults *fault.Plan // nil unless InjectFaults
 }
 
 // New creates a project from schema DSL source.
@@ -208,9 +227,67 @@ func (p *Project) Import(class string, data []byte) (string, error) {
 // lacks one.
 func (p *Project) UseSimulatedTools() error { return p.mgr.BindDefaults() }
 
-// BindTool binds a tool instance to an activity.
+// BindTool binds a tool instance to an activity, replacing any previous
+// bindings including failover alternates. With faults injected, the new
+// binding is wrapped into the fault plan.
 func (p *Project) BindTool(activity string, t Tool) error {
+	if p.faults != nil {
+		t = p.faults.Wrap(activity, t, p.mgr.Clock.Now)
+	}
 	return p.mgr.BindTool(activity, t)
+}
+
+// AddAlternateTool appends a failover tool instance for an activity. The
+// first bound instance stays active; Recovery.Failover rotates to
+// alternates when runs keep failing. With faults injected, the alternate
+// is wrapped into the fault plan.
+func (p *Project) AddAlternateTool(activity string, t Tool) error {
+	if p.mgr.Schema.RuleByActivity(activity) == nil {
+		return fmt.Errorf("flowsched: unknown activity %q", activity)
+	}
+	if p.faults != nil {
+		t = p.faults.Wrap(activity, t, p.mgr.Clock.Now)
+	}
+	return p.mgr.Tools.AddAlternate(activity, t)
+}
+
+// InjectFaults arms a seeded, replayable fault-injection plan: every
+// currently bound tool instance (alternates included) is wrapped so its
+// runs can crash, hang, corrupt output, or hit license-loss windows, as
+// drawn deterministically from the config's seed. Bind tools first;
+// bindings added afterwards through BindTool/AddAlternateTool are wrapped
+// automatically. Calling InjectFaults again replaces the plan. With
+// project observability enabled, injected faults feed fault_injected_*
+// counters.
+func (p *Project) InjectFaults(cfg FaultConfig) error {
+	fp, err := fault.NewPlan(cfg)
+	if err != nil {
+		return err
+	}
+	fp.Instrument(p.obs)
+	if err := fp.WrapRegistry(p.mgr.Tools, p.mgr.Clock.Now); err != nil {
+		return err
+	}
+	p.faults = fp
+	return nil
+}
+
+// FaultHistory returns every fault decision made so far, including
+// pass-throughs — the replay log of the armed fault plan. Nil without
+// InjectFaults.
+func (p *Project) FaultHistory() []FaultInjection {
+	if p.faults == nil {
+		return nil
+	}
+	return p.faults.History()
+}
+
+// FaultsInjected counts the non-pass-through fault decisions so far.
+func (p *Project) FaultsInjected() int {
+	if p.faults == nil {
+		return 0
+	}
+	return p.faults.Injected()
 }
 
 // ExtractTree extracts the task tree covering the target data classes.
@@ -268,6 +345,59 @@ func (p *Project) RunParallel(targets []string, autoComplete bool) (*ExecResult,
 	}
 	return p.mgr.ExecuteTask(tree, engine.ExecOptions{
 		Plan: p.plan, AutoComplete: autoComplete, Parallel: true,
+	})
+}
+
+// DefaultRecovery returns the stock fault-tolerance policy: exponential
+// virtual-time retry backoff (30m doubling, capped at 24h), a 72h run
+// deadline, failover across alternate tool bindings, and graceful
+// degradation (a blocked activity fences only its dependent subtree).
+func DefaultRecovery() Recovery { return engine.DefaultRecovery() }
+
+// RunOptions tunes RunWith.
+type RunOptions struct {
+	// AutoComplete links finished activities to their final entity
+	// instances and re-propagates the plan (as Run's autoComplete).
+	AutoComplete bool
+	// Parallel overlaps independent branches on the virtual timeline
+	// (as RunParallel).
+	Parallel bool
+	// MaxIterations bounds goal-seeking iterations per activity
+	// (default 10).
+	MaxIterations int
+	// MaxFailures bounds consecutive failed runs per activity
+	// (default 3).
+	MaxFailures int
+	// Recovery is the fault-tolerance policy. The zero value retries
+	// immediately and aborts the execution on the first exhausted
+	// activity — the historical behavior; DefaultRecovery() enables
+	// the full policy.
+	Recovery Recovery
+}
+
+// RunWith executes like Run with full control over iteration limits and
+// the fault-tolerance policy. When faults are injected and
+// Recovery.Verify is nil, the fault detector is installed automatically
+// so corrupted outputs force a re-run instead of being accepted.
+//
+// On failure the returned error is a *flowsched.ExecError wrapping a
+// *flowsched.ActivityFailedError: it lists the completed activities,
+// carries a consistent store snapshot, and its Resume method re-runs
+// zero completed activities once the cause is fixed (e.g. a tool
+// rebound).
+func (p *Project) RunWith(targets []string, opt RunOptions) (*ExecResult, error) {
+	tree, err := p.mgr.ExtractTree(targets...)
+	if err != nil {
+		return nil, err
+	}
+	rec := opt.Recovery
+	if p.faults != nil && rec.Verify == nil {
+		rec.Verify = fault.Check
+	}
+	return p.mgr.ExecuteTask(tree, engine.ExecOptions{
+		Plan: p.plan, AutoComplete: opt.AutoComplete, Parallel: opt.Parallel,
+		MaxIterations: opt.MaxIterations, MaxFailures: opt.MaxFailures,
+		Recovery: rec,
 	})
 }
 

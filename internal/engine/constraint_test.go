@@ -1,8 +1,8 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
-	"strings"
 	"testing"
 	"time"
 
@@ -77,8 +77,8 @@ func TestConstraintExhaustsIterations(t *testing.T) {
 			Activity: "Create", Name: "drc-clean", Check: Contains("DRC CLEAN"),
 		}},
 	})
-	if err == nil || !strings.Contains(err.Error(), "met no goal") {
-		t.Fatalf("err = %v, want goal exhaustion", err)
+	if !errors.Is(err, ErrGoalNotMet) {
+		t.Fatalf("err = %v, want ErrGoalNotMet", err)
 	}
 }
 

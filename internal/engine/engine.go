@@ -20,6 +20,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
@@ -49,6 +50,17 @@ const (
 	EvTaskComplete  EventKind = "task-complete"
 	EvPlanCreated   EventKind = "plan-created"
 	EvSlip          EventKind = "slip"
+	// Recovery events (see Recovery): a retried run after virtual-time
+	// backoff, a run aborted on the vclock deadline, a rotation to an
+	// alternate tool instance, an output rejected by the verifier, an
+	// activity blocked (policy exhausted, or fenced behind a blocked
+	// producer), and an activity skipped by a checkpoint resume.
+	EvRunRetry     EventKind = "run-retry"
+	EvRunTimeout   EventKind = "run-timeout"
+	EvFailover     EventKind = "tool-failover"
+	EvVerifyFailed EventKind = "verify-failed"
+	EvBlocked      EventKind = "activity-blocked"
+	EvResumed      EventKind = "activity-resumed"
 )
 
 // Event is one entry of the manager's event stream, consumed by the UI
@@ -115,6 +127,7 @@ type Manager struct {
 	mEvents    *obs.Counter
 	hActivity  *obs.Histogram
 	hSlip      *obs.Histogram
+	hBackoff   *obs.Histogram
 	evCounters map[EventKind]*obs.Counter
 }
 
@@ -200,6 +213,7 @@ func (m *Manager) Instrument(o *obs.Obs) *Manager {
 		m.mEvents = reg.Counter("engine_events_total")
 		m.hActivity = reg.Histogram("engine_activity_virtual_seconds", nil)
 		m.hSlip = reg.Histogram("engine_slip_seconds", nil)
+		m.hBackoff = reg.Histogram("engine_backoff_virtual_seconds", nil)
 		m.evCounters = make(map[EventKind]*obs.Counter)
 	}
 	m.DB.Instrument(o)
@@ -328,6 +342,11 @@ type ExecOptions struct {
 	// In parallel mode the event stream is ordered per activity, not
 	// globally.
 	Parallel bool
+	// Recovery is the fault-tolerance policy: retry backoff, run
+	// deadlines, tool failover, output verification, and graceful
+	// degradation. The zero value reproduces the historical behaviour
+	// (abort on the first exhausted activity, no backoff).
+	Recovery Recovery
 }
 
 func (o *ExecOptions) defaults() {
@@ -355,6 +374,14 @@ type ExecResult struct {
 	Outcomes []ActivityOutcome
 	Started  time.Time
 	Finished time.Time
+	// Blocked lists activities fenced off by graceful degradation
+	// (Recovery.ContinueOnBlock): the activity that exhausted its
+	// policy plus every dependent behind it, in traversal order. Empty
+	// on a clean execution.
+	Blocked []string
+	// Resumed lists activities a checkpoint resume skipped because
+	// their accepted final data already existed.
+	Resumed []string
 }
 
 // ExecuteTask runs the task tree: a post-order traversal in which each
@@ -363,7 +390,21 @@ type ExecResult struct {
 // iteration. Time advances on the virtual clock through the working
 // calendar. Leaf data classes must have imported entity instances and
 // every in-scope activity a bound tool.
+//
+// Failure semantics: an activity that exhausts its recovery policy
+// either blocks (Recovery.ContinueOnBlock — the dependent subtree is
+// fenced, the rest keeps running, ExecResult.Blocked reports the fence)
+// or aborts the execution with a typed *ExecError carrying the last
+// consistent store snapshot and a Resume path that re-runs zero
+// already-completed activities. Completed work is durable either way.
 func (m *Manager) ExecuteTask(tree *flow.Tree, opt ExecOptions) (*ExecResult, error) {
+	return m.execute(tree, opt, nil)
+}
+
+// execute is ExecuteTask plus the checkpoint-resume skip set: skipped
+// activities are rehydrated from their accepted entity instances in the
+// task database instead of being re-run.
+func (m *Manager) execute(tree *flow.Tree, opt ExecOptions, skip map[string]bool) (*ExecResult, error) {
 	opt.defaults()
 	for _, c := range opt.Constraints {
 		if err := c.validate(); err != nil {
@@ -400,7 +441,27 @@ func (m *Manager) ExecuteTask(tree *flow.Tree, opt ExecOptions) (*ExecResult, er
 	}
 
 	finishOf := make(map[string]time.Time) // activity -> actual finish
+	blocked := make(map[string]string)     // activity -> blockage cause
+	var completed []string                 // accepted activities, execution order
 	for _, act := range tree.Activities() {
+		if skip[act] {
+			// Checkpoint resume: the accepted final data already exists
+			// in the task database; rehydrate it to feed dependents and
+			// re-run nothing.
+			if err := m.rehydrate(act, bytesOf, entityOf, finishOf); err != nil {
+				return res, err
+			}
+			completed = append(completed, act)
+			res.Resumed = append(res.Resumed, act)
+			m.emit(EvResumed, act, m.Clock.Now(), "checkpoint: accepted data reused, 0 runs")
+			continue
+		}
+		// Graceful degradation: an activity behind a blocked producer
+		// can never get its inputs — fence it rather than fail it.
+		if cause := m.fencedBy(tree, act, blocked); cause != "" {
+			m.blockActivity(act, "fenced: "+cause, blocked, res, opt)
+			continue
+		}
 		startAt := res.Started
 		if opt.Parallel {
 			// Plan semantics: start when the in-tree producers finish.
@@ -414,12 +475,30 @@ func (m *Manager) ExecuteTask(tree *flow.Tree, opt ExecOptions) (*ExecResult, er
 		}
 		out, err := m.runActivity(tree, act, startAt, bytesOf, entityOf, opt, root)
 		if err != nil {
-			return res, err
+			if out != nil && !out.Finished.IsZero() {
+				// The failed attempts consumed real virtual time.
+				m.Clock.AdvanceTo(out.Finished)
+			}
+			var afe *ActivityFailedError
+			if !errors.As(err, &afe) {
+				return res, err // infrastructure error: abort as before
+			}
+			if opt.Recovery.ContinueOnBlock {
+				m.blockActivity(act, afe.Error(), blocked, res, opt)
+				continue
+			}
+			afe.Completed = append([]string(nil), completed...)
+			res.Finished = m.Clock.Now()
+			return res, &ExecError{
+				Failed: afe, Partial: res, Snapshot: m.DB.Snapshot(),
+				mgr: m, tree: tree, opt: opt,
+			}
 		}
 		finishOf[act] = out.Finished
 		m.hActivity.Observe(out.Finished.Sub(out.Started).Seconds())
 		m.Clock.AdvanceTo(out.Finished)
 		res.Outcomes = append(res.Outcomes, *out)
+		completed = append(completed, act)
 	}
 	res.Finished = m.Clock.Now()
 	if opt.Plan != nil {
@@ -462,6 +541,63 @@ func (m *Manager) checkReady(tree *flow.Tree) error {
 	return nil
 }
 
+// rehydrate reloads an already-completed activity's accepted output
+// from the task database: bytes from Level 4, the entity instance, and
+// the recorded finish — the checkpoint a resume continues from.
+func (m *Manager) rehydrate(act string, bytesOf map[string][]byte,
+	entityOf map[string]*store.Entry, finishOf map[string]time.Time) error {
+	rule := m.Schema.RuleByActivity(act)
+	if rule == nil {
+		return fmt.Errorf("engine: resume: unknown activity %q", act)
+	}
+	e, ent, err := m.Exec.LatestEntity(rule.Output)
+	if err != nil {
+		return err
+	}
+	if ent == nil {
+		return fmt.Errorf("engine: resume: activity %s marked completed but no %s entity exists",
+			act, rule.Output)
+	}
+	obj, err := m.Data.Get(ent.Data)
+	if err != nil {
+		return fmt.Errorf("engine: resume %s: %w", act, err)
+	}
+	bytesOf[rule.Output] = obj.Bytes
+	entityOf[rule.Output] = e
+	finishOf[act] = ent.Finished
+	return nil
+}
+
+// fencedBy reports why act cannot run: the first in-tree producer found
+// in the blocked set, or "" when all producers delivered.
+func (m *Manager) fencedBy(tree *flow.Tree, act string, blocked map[string]string) string {
+	for _, pred := range tree.Graph.Predecessors(act) {
+		if !tree.Contains(pred) {
+			continue
+		}
+		if _, isBlocked := blocked[pred]; isBlocked {
+			return "producer " + pred + " is blocked"
+		}
+	}
+	return ""
+}
+
+// blockActivity fences one activity off: the event stream, the metrics,
+// the result, and (under a tracked plan) the schedule instance all
+// record the blockage, and execution continues past it.
+func (m *Manager) blockActivity(act, cause string, blocked map[string]string,
+	res *ExecResult, opt ExecOptions) {
+	blocked[act] = cause
+	res.Blocked = append(res.Blocked, act)
+	now := m.Clock.Now()
+	m.emit(EvBlocked, act, now, "%s", cause)
+	if opt.Plan != nil {
+		// MarkBlocked fails only for already-complete activities, which
+		// cannot be in the blocked set.
+		_ = m.Sched.MarkBlocked(opt.Plan, act, cause, now)
+	}
+}
+
 // runActivity iterates one activity until its goals are met, starting
 // its first run no earlier than startAt. It advances a local time cursor
 // rather than the global clock, so the caller decides how activity
@@ -471,8 +607,8 @@ func (m *Manager) runActivity(tree *flow.Tree, act string, startAt time.Time,
 	parent *obs.Span) (*ActivityOutcome, error) {
 
 	rule := m.Schema.RuleByActivity(act)
-	tool := m.Tools.For(act)
 	out := &ActivityOutcome{Activity: act}
+	rec := opt.Recovery
 	failStreak := 0
 	goalReached := false
 	now := startAt
@@ -482,6 +618,8 @@ func (m *Manager) runActivity(tree *flow.Tree, act string, startAt time.Time,
 	defer func() { asp.End(now) }()
 
 	for iter := 1; iter <= opt.MaxIterations; iter++ {
+		// Resolved per iteration: failover may have rotated the binding.
+		tool := m.Tools.For(act)
 		inputs := make(map[string][]byte, len(rule.Inputs))
 		var deps []string
 		for _, in := range rule.Inputs {
@@ -506,6 +644,15 @@ func (m *Manager) runActivity(tree *flow.Tree, act string, startAt time.Time,
 		rsp := m.tr.Start(asp, "engine.run", start)
 		rsp.SetDetail(runEntry.ID + " iter=" + strconv.Itoa(iter))
 		result, runErr := tool.Run(inputs, iter)
+		if runErr == nil && rec.RunDeadline > 0 && result.Work > rec.RunDeadline {
+			// A hung tool: abort the run on the virtual clock. The
+			// activity is charged exactly the deadline of working time.
+			runErr = fmt.Errorf("engine: run %s exceeded deadline %v (tool reported %v)",
+				runEntry.ID, rec.RunDeadline, result.Work)
+			result.Work = rec.RunDeadline
+			m.emit(EvRunTimeout, act, m.Calendar.AddWork(start, rec.RunDeadline),
+				"run %s aborted at deadline %v", runEntry.ID, rec.RunDeadline)
+		}
 		finish := m.Calendar.AddWork(start, result.Work)
 		now = finish
 		rsp.End(finish)
@@ -518,8 +665,31 @@ func (m *Manager) runActivity(tree *flow.Tree, act string, startAt time.Time,
 			failStreak++
 			m.emit(EvRunFailed, act, finish, "%v", runErr)
 			if failStreak >= opt.MaxFailures {
-				return nil, fmt.Errorf("engine: activity %s failed %d consecutive runs: %w",
-					act, failStreak, runErr)
+				out.Finished = now
+				return out, &ActivityFailedError{
+					Activity: act, Attempts: iter, Failures: out.Failures, Cause: runErr,
+				}
+			}
+			// Retry: exponential virtual-time backoff, stretched to any
+			// known recovery instant (a license outage's end), then
+			// failover to the next alternate tool instance.
+			wait := rec.Backoff.wait(failStreak)
+			retryAt := m.Calendar.AddWork(now, wait)
+			if ra, ok := runErr.(retryAfter); ok {
+				if t := ra.RetryAfter(); t.After(retryAt) {
+					retryAt = t
+					wait = m.Calendar.WorkBetween(now, t)
+				}
+			}
+			if retryAt.After(now) {
+				m.hBackoff.Observe(wait.Seconds())
+				now = retryAt
+			}
+			m.emit(EvRunRetry, act, now, "retry %d after %s backoff", failStreak, wait.Round(time.Minute))
+			if rec.Failover {
+				if alt, rotated := m.Tools.Rotate(act); rotated {
+					m.emit(EvFailover, act, now, "failover %s -> %s", tool.Instance(), alt.Instance())
+				}
 			}
 			continue
 		}
@@ -553,6 +723,15 @@ func (m *Manager) runActivity(tree *flow.Tree, act string, startAt time.Time,
 		entityOf[rule.Output] = entity
 
 		goalMet := result.GoalMet
+		if goalMet && rec.Verify != nil {
+			// The verifier (a checksum, a design-rule check) guards against
+			// accepting corrupt output. The version stays filed for the
+			// post-mortem, but the goals count as unmet.
+			if verr := rec.Verify(act, result.Output); verr != nil {
+				m.emit(EvVerifyFailed, act, finish, "%s rejected: %v", entity.ID, verr)
+				goalMet = false
+			}
+		}
 		if goalMet {
 			// A version the designer would accept must still satisfy the
 			// flow's acceptance constraints; a violation forces iteration.
@@ -566,8 +745,11 @@ func (m *Manager) runActivity(tree *flow.Tree, act string, startAt time.Time,
 		}
 	}
 	if out.FinalEntity == nil || !goalReached {
-		return nil, fmt.Errorf("engine: activity %s met no goal within %d iterations",
-			act, opt.MaxIterations)
+		out.Finished = now
+		return out, &ActivityFailedError{
+			Activity: act, Attempts: opt.MaxIterations, Failures: out.Failures,
+			Cause: ErrGoalNotMet,
+		}
 	}
 	out.Finished = now
 	if opt.Plan != nil && opt.AutoComplete {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -249,11 +250,22 @@ func TestExecuteTaskFailuresBail(t *testing.T) {
 	m.Import("stimuli", []byte("v"))
 	tree, _ := m.ExtractTree("performance")
 	_, err = m.ExecuteTask(tree, ExecOptions{MaxFailures: 2})
-	if err == nil || !strings.Contains(err.Error(), "consecutive failed") &&
-		!strings.Contains(err.Error(), "failed 2 consecutive") {
-		t.Fatalf("err = %v, want consecutive-failures", err)
+	var afe *ActivityFailedError
+	if !errors.As(err, &afe) {
+		t.Fatalf("err = %v, want *ActivityFailedError", err)
 	}
-	// Failed runs were still recorded as metadata.
+	if afe.Activity != "Create" || afe.Attempts != 2 || afe.Failures != 2 {
+		t.Fatalf("failure = %+v, want Create after 2 attempts, 2 failed", afe)
+	}
+	var ee *ExecError
+	if !errors.As(err, &ee) {
+		t.Fatalf("err = %v, want *ExecError checkpoint", err)
+	}
+	if len(ee.Completed()) != 0 {
+		t.Fatalf("completed = %v, want none", ee.Completed())
+	}
+	// Failed runs were still recorded as metadata — completed (here:
+	// attempted) work remains queryable after the typed error.
 	_, runs, _ := m.Exec.Runs("Create")
 	if len(runs) != 2 {
 		t.Fatalf("failed runs recorded = %d, want 2", len(runs))

@@ -64,17 +64,16 @@ func TestInstrumentedExecuteTraceContainment(t *testing.T) {
 	}
 }
 
-// TestErrorPathTraceContainment exercises the vfloor mechanism: when an
-// activity aborts, its local virtual cursor has run past the global
-// clock, so the published activity span ends later than the clock the
-// deferred execute root ends at. The root must be stretched to cover
-// it — containment holds even on the error path.
+// TestErrorPathTraceContainment: when an activity aborts, its failed
+// attempts consumed virtual time, and the engine charges them to the
+// global clock before publishing the typed error — so the execute root
+// ends exactly at the aborted activity's end and containment holds on
+// the error path without needing a vfloor stretch.
 func TestErrorPathTraceContainment(t *testing.T) {
 	o := obs.New()
 	m := diamondManager(t).Instrument(o)
 	// D fails every run: three consecutive failures abort the task with
-	// three calendar-hours on D's local cursor that the global clock
-	// never saw.
+	// three calendar-hours on D's local cursor.
 	m.BindTool("D", &flakyTool{class: "t", instance: "bad#1", failures: 99})
 	tree, _ := m.ExtractTree("merged")
 	if _, err := m.ExecuteTask(tree, ExecOptions{Parallel: true}); err == nil {
@@ -100,13 +99,13 @@ func TestErrorPathTraceContainment(t *testing.T) {
 	if !dspan.VEnd.After(dspan.VStart) {
 		t.Errorf("failed activity span has empty virtual interval [%v, %v]", dspan.VStart, dspan.VEnd)
 	}
-	// The stretch really happened: the root ends at D's end, which is
-	// past the global clock's resting point.
+	// The abort was charged to the clock: the root ends at D's end, and
+	// the global clock rests exactly there.
 	if !root.VEnd.Equal(dspan.VEnd) {
 		t.Errorf("root VEnd %v != aborted activity VEnd %v", root.VEnd, dspan.VEnd)
 	}
-	if !root.VEnd.After(m.Clock.Now()) {
-		t.Errorf("root VEnd %v not after global clock %v; vfloor stretch did not happen",
+	if !root.VEnd.Equal(m.Clock.Now()) {
+		t.Errorf("root VEnd %v != global clock %v; failed attempts not charged to the clock",
 			root.VEnd, m.Clock.Now())
 	}
 	if got := o.Metrics().Counter("engine_event_run_failed_total").Value(); got != 3 {

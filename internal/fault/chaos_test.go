@@ -1,0 +1,294 @@
+package fault_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"flowsched/internal/engine"
+	"flowsched/internal/fault"
+	"flowsched/internal/meta"
+	"flowsched/internal/sched"
+	"flowsched/internal/schema"
+	"flowsched/internal/tools"
+	"flowsched/internal/vclock"
+)
+
+// A nontrivial flow: seven data classes, six activities, a diamond between
+// Synthesize and Timing, two leaf imports.
+const socSchema = `
+schema soc
+data spec, rtl, stimuli, netlist, simres, layout, timing
+tool editor, synthesizer, simulator, router, sta
+rule Spec:       spec    <- editor()
+rule RTL:        rtl     <- editor(spec)
+rule Synthesize: netlist <- synthesizer(rtl)
+rule Simulate:   simres  <- simulator(netlist, stimuli)
+rule Route:      layout  <- router(netlist)
+rule Timing:     timing  <- sta(layout, simres)
+`
+
+// chaosRun executes the soc flow under one seeded fault plan with the full
+// recovery policy on, returning everything the invariants inspect.
+type chaosRun struct {
+	m       *engine.Manager
+	plan    *fault.Plan
+	res     *engine.ExecResult
+	tracked sched.Plan
+	history []fault.Injection
+	events  []engine.Event
+}
+
+func runChaos(t *testing.T, seed int64) *chaosRun {
+	t.Helper()
+	m, err := engine.New(schema.MustParse(socSchema), vclock.Standard(), vclock.Epoch, "chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.BindDefaults(); err != nil {
+		t.Fatal(err)
+	}
+	// A failover alternate on the simulator farm.
+	alt, err := tools.DefaultFor("simulator", "simulator#2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Tools.AddAlternate("Simulate", alt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Import("stimuli", []byte("pulse 0 5 1ns\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	fp, err := fault.NewPlan(fault.Config{
+		Seed:           seed,
+		Crash:          0.15,
+		CrashBurst:     2,
+		Hang:           0.05,
+		HangWork:       300 * time.Hour,
+		Corrupt:        0.10,
+		LicenseOutages: 2,
+		LicenseStart:   vclock.Epoch,
+		LicenseHorizon: 20 * 24 * time.Hour,
+		LicenseLength:  6 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fp.WrapRegistry(m.Tools, m.Clock.Now); err != nil {
+		t.Fatal(err)
+	}
+
+	tree, err := m.ExtractTree("timing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := m.Plan(tree, sched.Fixed{Default: 8 * time.Hour}, sched.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A concurrent poller tails the event stream while the execution
+	// appends to it — the data race the -race recipe watches for.
+	done := make(chan struct{})
+	polled := make(chan int)
+	go func() {
+		seen := 0
+		for {
+			seen += len(m.EventsSince(seen))
+			select {
+			case <-done:
+				seen += len(m.EventsSince(seen))
+				polled <- seen
+				return
+			default:
+			}
+		}
+	}()
+
+	res, err := m.ExecuteTask(tree, engine.ExecOptions{
+		Plan: &pr.Plan, AutoComplete: true,
+		MaxIterations: 30, MaxFailures: 5,
+		Recovery: engine.Recovery{
+			Backoff:         engine.Backoff{Initial: 30 * time.Minute, Factor: 2, Max: 8 * time.Hour},
+			RunDeadline:     72 * time.Hour,
+			Failover:        true,
+			ContinueOnBlock: true,
+			Verify:          fault.Check,
+		},
+	})
+	close(done)
+	seen := <-polled
+	if err != nil {
+		t.Fatalf("seed %d: chaos execution aborted: %v", seed, err)
+	}
+	events := m.Events()
+	if seen != len(events) {
+		t.Fatalf("seed %d: poller saw %d events, stream has %d", seed, seen, len(events))
+	}
+	return &chaosRun{
+		m: m, plan: fp, res: res, tracked: pr.Plan,
+		history: fp.History(), events: events,
+	}
+}
+
+// TestChaosHarness is the chaos property test: 100 seeded fault plans
+// through the soc flow, each asserting no data loss, a well-ordered event
+// stream, schedule<->metadata link consistency, and bit-identical replay.
+// Run under -race (the tier-1 recipe does) so the concurrent event poller
+// exercises the stream's locking.
+func TestChaosHarness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos harness is not -short")
+	}
+	for seed := int64(0); seed < 100; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			a := runChaos(t, seed)
+			assertNoDataLoss(t, a)
+			assertEventOrder(t, a)
+			assertLinkConsistency(t, a)
+			b := runChaos(t, seed)
+			assertIdenticalReplay(t, a, b)
+		})
+	}
+}
+
+// assertNoDataLoss: every completed activity's accepted output is present
+// in the design store, non-empty, and clean (the verifier kept corrupt
+// versions from being accepted).
+func assertNoDataLoss(t *testing.T, r *chaosRun) {
+	t.Helper()
+	if len(r.res.Outcomes)+len(r.res.Blocked) != 6 {
+		t.Fatalf("outcomes %d + blocked %d != 6 activities",
+			len(r.res.Outcomes), len(r.res.Blocked))
+	}
+	for _, o := range r.res.Outcomes {
+		if o.FinalEntity == nil {
+			t.Fatalf("completed %s has no final entity", o.Activity)
+		}
+		var ent meta.Entity
+		if err := o.FinalEntity.Decode(&ent); err != nil {
+			t.Fatalf("completed %s: undecodable entity payload: %v", o.Activity, err)
+		}
+		obj, err := r.m.Data.Get(ent.Data)
+		if err != nil {
+			t.Fatalf("completed %s: data lost: %v", o.Activity, err)
+		}
+		if len(obj.Bytes) == 0 {
+			t.Fatalf("completed %s: empty accepted output", o.Activity)
+		}
+		if fault.Check(o.Activity, obj.Bytes) != nil {
+			t.Fatalf("completed %s: corrupt output was accepted", o.Activity)
+		}
+	}
+	// Every run recorded in metadata belongs to a known activity and
+	// carries a positive iteration — the failure path filed everything.
+	for _, act := range []string{"Spec", "RTL", "Synthesize", "Simulate", "Route", "Timing"} {
+		_, runs, err := r.m.Exec.Runs(act)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, run := range runs {
+			if run.Iteration < 1 {
+				t.Fatalf("%s run %+v has iteration < 1", act, run)
+			}
+		}
+	}
+}
+
+// assertEventOrder: per activity, event timestamps never go backwards
+// (the global stream interleaves activities in parallel mode; here the
+// serial traversal keeps even the global stream ordered per activity).
+func assertEventOrder(t *testing.T, r *chaosRun) {
+	t.Helper()
+	last := map[string]time.Time{}
+	for i, e := range r.events {
+		if e.Activity == "" {
+			continue
+		}
+		if prev, ok := last[e.Activity]; ok && e.At.Before(prev) {
+			t.Fatalf("event %d (%s %s at %v) precedes earlier %s event at %v",
+				i, e.Kind, e.Activity, e.At, e.Activity, prev)
+		}
+		last[e.Activity] = e.At
+	}
+}
+
+// assertLinkConsistency: done schedule instances link to existing entity
+// instances (Fig. 7's bidirectional link), blocked instances match the
+// execution's blocked set, and nothing is both done and blocked.
+func assertLinkConsistency(t *testing.T, r *chaosRun) {
+	t.Helper()
+	blockedSet := map[string]bool{}
+	for _, a := range r.res.Blocked {
+		blockedSet[a] = true
+	}
+	for _, act := range r.tracked.Activities {
+		e, in, err := r.m.Sched.Instance(&r.tracked, act)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case in.Done:
+			if in.Blocked {
+				t.Fatalf("%s is both done and blocked", act)
+			}
+			if in.LinkedEntity == "" {
+				t.Fatalf("done %s has no linked entity", act)
+			}
+			if r.m.DB.Get(in.LinkedEntity) == nil {
+				t.Fatalf("done %s links to missing entity %s", act, in.LinkedEntity)
+			}
+			if !r.m.DB.Linked(e.ID, in.LinkedEntity) {
+				t.Fatalf("%s link to %s not bidirectional in the database", act, in.LinkedEntity)
+			}
+		case blockedSet[act]:
+			if !in.Blocked {
+				t.Fatalf("%s blocked in execution but not on the schedule", act)
+			}
+			if in.BlockedWhy == "" {
+				t.Fatalf("blocked %s has no recorded cause", act)
+			}
+		}
+	}
+}
+
+// assertIdenticalReplay: the same seed replays bit-identically — fault
+// history, event stream, outcomes, blockages, and final virtual time.
+func assertIdenticalReplay(t *testing.T, a, b *chaosRun) {
+	t.Helper()
+	if len(a.history) != len(b.history) {
+		t.Fatalf("fault histories differ in length: %d vs %d", len(a.history), len(b.history))
+	}
+	for i := range a.history {
+		if a.history[i] != b.history[i] {
+			t.Fatalf("fault history diverged at %d: %+v vs %+v", i, a.history[i], b.history[i])
+		}
+	}
+	if len(a.events) != len(b.events) {
+		t.Fatalf("event streams differ in length: %d vs %d", len(a.events), len(b.events))
+	}
+	for i := range a.events {
+		if a.events[i] != b.events[i] {
+			t.Fatalf("event stream diverged at %d: %+v vs %+v", i, a.events[i], b.events[i])
+		}
+	}
+	if len(a.res.Outcomes) != len(b.res.Outcomes) {
+		t.Fatalf("outcome counts differ: %d vs %d", len(a.res.Outcomes), len(b.res.Outcomes))
+	}
+	for i := range a.res.Outcomes {
+		oa, ob := a.res.Outcomes[i], b.res.Outcomes[i]
+		if oa.Activity != ob.Activity || oa.Iterations != ob.Iterations ||
+			oa.Failures != ob.Failures || !oa.Finished.Equal(ob.Finished) {
+			t.Fatalf("outcome %d diverged: %+v vs %+v", i, oa, ob)
+		}
+	}
+	if fmt.Sprint(a.res.Blocked) != fmt.Sprint(b.res.Blocked) {
+		t.Fatalf("blocked sets differ: %v vs %v", a.res.Blocked, b.res.Blocked)
+	}
+	if !a.res.Finished.Equal(b.res.Finished) {
+		t.Fatalf("final virtual times differ: %v vs %v", a.res.Finished, b.res.Finished)
+	}
+}

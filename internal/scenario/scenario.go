@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"flowsched/internal/engine"
+	"flowsched/internal/fault"
 	"flowsched/internal/obs"
 	"flowsched/internal/par"
 	"flowsched/internal/pert"
@@ -47,6 +48,13 @@ type Edit struct {
 	// scenario's virtual timeline (a fully-staffed team) instead of the
 	// serial single-designer post order.
 	Parallel bool
+	// Faults, when non-nil, arms a seeded fault-injection plan over the
+	// fork's tool bindings — "and if tools crash, hang, and lose
+	// licenses at these rates?" as a what-if. The plan is seeded, so
+	// the scenario replays bit-identically. Pair with Options.Recovery
+	// (e.g. engine.DefaultRecovery()) so injected faults degrade the
+	// schedule instead of aborting the scenario.
+	Faults *fault.Config
 }
 
 // activities returns the union of the edit's perturbed activities, sorted.
@@ -78,6 +86,12 @@ type Options struct {
 	// Obs, when non-nil, records a sweep span with one child span per
 	// scenario and a scenario_runs_total counter.
 	Obs *obs.Obs
+	// Recovery is the fault-tolerance policy every fork executes under.
+	// The zero value aborts a scenario on its first exhausted activity;
+	// with ContinueOnBlock the blockage is reported in the outcome
+	// instead. For edits that inject faults and leave Verify nil, the
+	// fault detector is installed automatically.
+	Recovery engine.Recovery
 }
 
 // Outcome is one scenario's result.
@@ -98,6 +112,13 @@ type Outcome struct {
 	// Slack maps each activity to its scheduling slack in the
 	// scenario's plan.
 	Slack map[string]time.Duration
+	// Blocked lists activities fenced off by graceful degradation
+	// (Options.Recovery.ContinueOnBlock) in this scenario, in the
+	// order they blocked. Empty when everything completed.
+	Blocked []string
+	// FaultsInjected counts the faults the scenario's plan actually
+	// injected (zero without Edit.Faults).
+	FaultsInjected int
 }
 
 // Report is a full sweep result.
@@ -179,6 +200,16 @@ func Sweep(m *engine.Manager, targets []string, edits []Edit, opt Options) (*Rep
 			if err := apply(f, runs[i].edit); err != nil {
 				return nil, err
 			}
+			if cfg := runs[i].edit.Faults; cfg != nil {
+				fp, err := fault.NewPlan(*cfg)
+				if err != nil {
+					return nil, fmt.Errorf("scenario %q: faults: %w", runs[i].name, err)
+				}
+				if err := fp.WrapRegistry(f.Tools, f.Clock.Now); err != nil {
+					return nil, fmt.Errorf("scenario %q: faults: %w", runs[i].name, err)
+				}
+				runs[i].faults = fp
+			}
 		}
 		runs[i].mgr = f
 	}
@@ -186,7 +217,7 @@ func Sweep(m *engine.Manager, targets []string, edits []Edit, opt Options) (*Rep
 	virtStart := m.Clock.Now()
 	outcomes := make([]Outcome, len(runs))
 	execErr := par.New(opt.Workers).ForEachErr(len(runs), func(i int) error {
-		o, err := runOne(runs[i], targets, opt.Estimator)
+		o, err := runOne(runs[i], targets, opt.Estimator, opt.Recovery)
 		if err != nil {
 			return fmt.Errorf("scenario %q: %w", runs[i].name, err)
 		}
@@ -212,9 +243,10 @@ func Sweep(m *engine.Manager, targets []string, edits []Edit, opt Options) (*Rep
 }
 
 type run struct {
-	name string
-	edit *Edit // nil for the baseline
-	mgr  *engine.Manager
+	name   string
+	edit   *Edit // nil for the baseline
+	mgr    *engine.Manager
+	faults *fault.Plan // nil unless edit.Faults
 }
 
 // validate rejects malformed edits before any fork is created.
@@ -280,7 +312,7 @@ func apply(f *engine.Manager, e *Edit) error {
 }
 
 // runOne plans and executes one fork and analyzes the resulting plan.
-func runOne(r run, targets []string, est sched.Estimator) (*Outcome, error) {
+func runOne(r run, targets []string, est sched.Estimator, rec engine.Recovery) (*Outcome, error) {
 	f := r.mgr
 	tree, err := f.ExtractTree(targets...)
 	if err != nil {
@@ -294,8 +326,12 @@ func runOne(r run, targets []string, est sched.Estimator) (*Outcome, error) {
 		return nil, err
 	}
 	parallel := r.edit != nil && r.edit.Parallel
+	if r.faults != nil && rec.Verify == nil {
+		rec.Verify = fault.Check
+	}
 	exec, err := f.ExecuteTask(tree, engine.ExecOptions{
 		Plan: &res.Plan, AutoComplete: true, Parallel: parallel,
+		Recovery: rec,
 	})
 	if err != nil {
 		return nil, err
@@ -308,14 +344,19 @@ func runOne(r run, targets []string, est sched.Estimator) (*Outcome, error) {
 	for _, tm := range cpm.Timings {
 		slack[tm.Name] = tm.Slack
 	}
-	return &Outcome{
+	o := &Outcome{
 		Name:         r.name,
 		PlanVersion:  res.Plan.Version,
 		PlanFinish:   res.Plan.Finish,
 		Finish:       exec.Finished,
 		CriticalPath: cpm.CriticalPath,
 		Slack:        slack,
-	}, nil
+		Blocked:      append([]string(nil), exec.Blocked...),
+	}
+	if r.faults != nil {
+		o.FaultsInjected = r.faults.Injected()
+	}
+	return o, nil
 }
 
 // analyze runs CPM/PERT over a fork's plan (the facade's Analyze,
@@ -403,9 +444,13 @@ func (r *Report) Render() string {
 		if i > 0 {
 			delta = signedDur(o.Delta.Round(time.Minute))
 		}
-		fmt.Fprintf(&b, "  %-*s  %-17s  %9s  %s\n", nameW, o.Name,
+		blocked := ""
+		if len(o.Blocked) > 0 {
+			blocked = fmt.Sprintf("  [blocked: %s]", strings.Join(o.Blocked, ", "))
+		}
+		fmt.Fprintf(&b, "  %-*s  %-17s  %9s  %s%s\n", nameW, o.Name,
 			o.Finish.Format("2006-01-02 15:04"), delta,
-			strings.Join(o.CriticalPath, " > "))
+			strings.Join(o.CriticalPath, " > "), blocked)
 	}
 	return b.String()
 }

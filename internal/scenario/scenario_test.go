@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"flowsched/internal/engine"
+	"flowsched/internal/fault"
 	"flowsched/internal/obs"
 	"flowsched/internal/schema"
 	"flowsched/internal/vclock"
@@ -209,6 +210,56 @@ func TestSweepObservability(t *testing.T) {
 	}
 	if sweep != 1 || children != 9 {
 		t.Fatalf("spans: %d sweep, %d scenario (want 1/9)", sweep, children)
+	}
+}
+
+// TestSweepWithFaults: a fault-injecting scenario degrades its fork's
+// schedule, replays deterministically, and never touches the parent or
+// its fault-free sibling scenarios.
+func TestSweepWithFaults(t *testing.T) {
+	edits := func() []Edit {
+		return []Edit{
+			{Name: "clean", Scale: map[string]float64{"Simulate": 1.1}},
+			{Name: "chaotic", Faults: &fault.Config{
+				Seed:           7,
+				Crash:          0.4,
+				Corrupt:        0.2,
+				LicenseOutages: 1,
+				LicenseStart:   t0,
+				LicenseHorizon: 5 * 24 * time.Hour,
+			}},
+		}
+	}
+	opt := Options{Recovery: engine.DefaultRecovery()}
+	m := ready(t)
+	rep, err := Sweep(m, []string{"performance"}, edits(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, chaotic := rep.Scenarios[0], rep.Scenarios[1]
+	if clean.FaultsInjected != 0 {
+		t.Fatalf("fault-free scenario reports %d faults", clean.FaultsInjected)
+	}
+	if chaotic.FaultsInjected == 0 {
+		t.Fatal("chaotic scenario injected no faults (seed 7 should)")
+	}
+	if !chaotic.Finish.After(rep.Baseline.Finish) {
+		t.Fatalf("faults did not slow the schedule: chaotic %v vs baseline %v",
+			chaotic.Finish, rep.Baseline.Finish)
+	}
+	// Same seed, same sweep: bit-identical replay.
+	rep2, err := Sweep(ready(t), []string{"performance"}, edits(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if marshal(t, rep) != marshal(t, rep2) {
+		t.Fatalf("fault sweep not reproducible:\n%s\nvs\n%s", marshal(t, rep), marshal(t, rep2))
+	}
+	// A malformed fault config is rejected before any fork executes.
+	if _, err := Sweep(ready(t), []string{"performance"}, []Edit{
+		{Name: "bad", Faults: &fault.Config{Seed: 1, Crash: 1.5}},
+	}, opt); err == nil {
+		t.Fatal("invalid fault config accepted")
 	}
 }
 

@@ -66,6 +66,12 @@ type Instance struct {
 	// entity instance linked to this schedule instance.
 	Done         bool   `json:"done"`
 	LinkedEntity string `json:"linkedEntity,omitempty"`
+	// Blocked marks an activity whose execution exhausted its recovery
+	// policy (or whose producer did): it is fenced off, its dates keep
+	// slipping with `now` until it is re-executed. BlockedWhy records the
+	// cause for status surfaces.
+	Blocked    bool   `json:"blocked,omitempty"`
+	BlockedWhy string `json:"blockedWhy,omitempty"`
 }
 
 // Started reports whether the activity has begun executing.

@@ -21,10 +21,15 @@ func (s *Space) MarkStarted(p *Plan, activity string, at time.Time) error {
 	if in.Done {
 		return fmt.Errorf("sched: activity %s already complete", activity)
 	}
-	if in.Started() {
+	if in.Started() && !in.Blocked {
 		return nil
 	}
-	in.ActualStart = at
+	if !in.Started() {
+		in.ActualStart = at
+	}
+	// A blocked activity producing data again is recovering.
+	in.Blocked = false
+	in.BlockedWhy = ""
 	return db.SetPayload(e.ID, in)
 }
 
@@ -63,10 +68,34 @@ func (s *Space) Complete(p *Plan, activity, entityID string, at time.Time) error
 	in.ActualFinish = at
 	in.Done = true
 	in.LinkedEntity = entityID
+	in.Blocked = false
+	in.BlockedWhy = ""
 	if err := db.SetPayload(e.ID, in); err != nil {
 		return err
 	}
 	return db.Link(e.ID, entityID)
+}
+
+// MarkBlocked records that an activity's execution exhausted its
+// recovery policy (or that a producer's did, fencing this one too). A
+// blocked activity is not done — its dates keep slipping with `now` on
+// every Propagate until a later execution clears the blockage by
+// completing it. Blocking an already-complete activity is rejected.
+func (s *Space) MarkBlocked(p *Plan, activity, why string, at time.Time) error {
+	db, err := s.writable()
+	if err != nil {
+		return err
+	}
+	e, in, err := s.Instance(p, activity)
+	if err != nil {
+		return err
+	}
+	if in.Done {
+		return fmt.Errorf("sched: activity %s already complete, cannot block", activity)
+	}
+	in.Blocked = true
+	in.BlockedWhy = why
+	return db.SetPayload(e.ID, in)
 }
 
 // Propagate updates the current plan's dates to reflect reality as of
@@ -186,6 +215,10 @@ const (
 	Pending    State = "pending"
 	InProgress State = "in-progress"
 	Done       State = "done"
+	// Blocked marks an activity fenced off after exhausting its recovery
+	// policy; its slip keeps growing with `now` until re-execution
+	// completes it.
+	Blocked State = "blocked"
 )
 
 // ActivityStatus is one row of a plan status report: proposed schedule
@@ -226,6 +259,9 @@ func (s *Space) Status(p *Plan, now time.Time) ([]ActivityStatus, error) {
 		case in.Done:
 			st.State = Done
 			st.Slip = s.Calendar.WorkBetween(in.PlannedFinish, in.ActualFinish)
+		case in.Blocked:
+			st.State = Blocked
+			st.Slip = s.Calendar.WorkBetween(in.PlannedFinish, now)
 		case in.Started():
 			st.State = InProgress
 			st.Slip = s.Calendar.WorkBetween(in.PlannedFinish, now)

@@ -14,6 +14,7 @@ package tools
 import (
 	"fmt"
 	"hash/fnv"
+	"math"
 	"math/rand"
 	"sort"
 	"time"
@@ -58,17 +59,22 @@ type Profile struct {
 	FailureRate float64
 }
 
-func (p Profile) validate() error {
+// Validate rejects malformed profiles at construction time. Jitter and
+// FailureRate must lie in [0,1) and be actual numbers — NaN compares
+// false against every bound, so without the explicit checks a NaN
+// profile slips through and silently misbehaves (NaN work durations,
+// never-failing failure draws).
+func (p Profile) Validate() error {
 	if p.Base <= 0 {
 		return fmt.Errorf("tools: profile base %v must be positive", p.Base)
 	}
-	if p.Jitter < 0 || p.Jitter >= 1 {
+	if math.IsNaN(p.Jitter) || p.Jitter < 0 || p.Jitter >= 1 {
 		return fmt.Errorf("tools: profile jitter %v out of [0,1)", p.Jitter)
 	}
-	if p.MeanIterations < 1 {
+	if math.IsNaN(p.MeanIterations) || math.IsInf(p.MeanIterations, 0) || p.MeanIterations < 1 {
 		return fmt.Errorf("tools: mean iterations %v must be >= 1", p.MeanIterations)
 	}
-	if p.FailureRate < 0 || p.FailureRate >= 1 {
+	if math.IsNaN(p.FailureRate) || p.FailureRate < 0 || p.FailureRate >= 1 {
 		return fmt.Errorf("tools: failure rate %v out of [0,1)", p.FailureRate)
 	}
 	return nil
@@ -91,7 +97,7 @@ func NewSim(class, instance string, p Profile) (*SimTool, error) {
 	if class == "" || instance == "" {
 		return nil, fmt.Errorf("tools: class and instance must be non-empty")
 	}
-	if err := p.validate(); err != nil {
+	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	h := fnv.New64a()
@@ -166,15 +172,26 @@ func (t *SimTool) synthesize(inputs map[string][]byte, iteration int, rng *rand.
 
 // Registry maps activities to bound tool instances for an execution
 // session: the "binding tools to tasks" half of task preparation.
+//
+// An activity may carry several interchangeable instances (a simulator
+// farm, two license pools): the first is active, the rest are failover
+// alternates the engine rotates to when runs keep failing.
 type Registry struct {
-	byActivity map[string]Tool
+	byActivity map[string]*binding
+}
+
+// binding is one activity's instances; instances[active] runs next.
+type binding struct {
+	instances []Tool
+	active    int
 }
 
 // NewRegistry returns an empty registry.
-func NewRegistry() *Registry { return &Registry{byActivity: make(map[string]Tool)} }
+func NewRegistry() *Registry { return &Registry{byActivity: make(map[string]*binding)} }
 
 // Bind assigns a tool instance to an activity, replacing any previous
-// binding (tools "are not tied to specific tasks" — rebinding is normal).
+// bindings including alternates (tools "are not tied to specific tasks"
+// — rebinding is normal).
 func (r *Registry) Bind(activity string, t Tool) error {
 	if activity == "" {
 		return fmt.Errorf("tools: empty activity")
@@ -182,12 +199,68 @@ func (r *Registry) Bind(activity string, t Tool) error {
 	if t == nil {
 		return fmt.Errorf("tools: nil tool for activity %q", activity)
 	}
-	r.byActivity[activity] = t
+	r.byActivity[activity] = &binding{instances: []Tool{t}}
 	return nil
 }
 
-// For returns the tool bound to an activity, or nil.
-func (r *Registry) For(activity string) Tool { return r.byActivity[activity] }
+// AddAlternate appends a failover instance for an activity. The first
+// bound instance stays active; alternates run only after Rotate. Binding
+// the same instance ref twice is rejected — failover to an identical
+// tool would retry the identical failure.
+func (r *Registry) AddAlternate(activity string, t Tool) error {
+	if t == nil {
+		return fmt.Errorf("tools: nil tool for activity %q", activity)
+	}
+	b := r.byActivity[activity]
+	if b == nil {
+		return r.Bind(activity, t)
+	}
+	for _, have := range b.instances {
+		if have.Instance() == t.Instance() {
+			return fmt.Errorf("tools: instance %s already bound to %q", t.Instance(), activity)
+		}
+	}
+	b.instances = append(b.instances, t)
+	return nil
+}
+
+// For returns the active tool bound to an activity, or nil.
+func (r *Registry) For(activity string) Tool {
+	b := r.byActivity[activity]
+	if b == nil {
+		return nil
+	}
+	return b.instances[b.active]
+}
+
+// Bound returns all instances bound to an activity, active first in
+// rotation order.
+func (r *Registry) Bound(activity string) []Tool {
+	b := r.byActivity[activity]
+	if b == nil {
+		return nil
+	}
+	out := make([]Tool, 0, len(b.instances))
+	for i := range b.instances {
+		out = append(out, b.instances[(b.active+i)%len(b.instances)])
+	}
+	return out
+}
+
+// Rotate advances an activity's binding to its next alternate and
+// returns the newly active tool. With fewer than two instances it
+// reports rotated=false and leaves the binding alone.
+func (r *Registry) Rotate(activity string) (t Tool, rotated bool) {
+	b := r.byActivity[activity]
+	if b == nil {
+		return nil, false
+	}
+	if len(b.instances) < 2 {
+		return b.instances[b.active], false
+	}
+	b.active = (b.active + 1) % len(b.instances)
+	return b.instances[b.active], true
+}
 
 // Clone returns an independent registry with the same bindings. Tool
 // instances are shared (they are stateless); rebinding in the clone never
@@ -195,8 +268,11 @@ func (r *Registry) For(activity string) Tool { return r.byActivity[activity] }
 // alternative tool profiles.
 func (r *Registry) Clone() *Registry {
 	c := NewRegistry()
-	for a, t := range r.byActivity {
-		c.byActivity[a] = t
+	for a, b := range r.byActivity {
+		c.byActivity[a] = &binding{
+			instances: append([]Tool(nil), b.instances...),
+			active:    b.active,
+		}
 	}
 	return c
 }

@@ -1,6 +1,7 @@
 package tools
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -232,5 +233,119 @@ func TestRunBoundsProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		p    Profile
+		ok   bool
+	}{
+		{"typical", Profile{Base: time.Hour, Jitter: 0.3, MeanIterations: 2, FailureRate: 0.1}, true},
+		{"zero jitter and failures", Profile{Base: time.Hour, MeanIterations: 1}, true},
+		{"near-one bounds", Profile{Base: time.Hour, Jitter: 0.999, MeanIterations: 1, FailureRate: 0.999}, true},
+		{"zero base", Profile{MeanIterations: 1}, false},
+		{"negative base", Profile{Base: -time.Hour, MeanIterations: 1}, false},
+		{"jitter below zero", Profile{Base: time.Hour, Jitter: -0.01, MeanIterations: 1}, false},
+		{"jitter at one", Profile{Base: time.Hour, Jitter: 1, MeanIterations: 1}, false},
+		{"jitter NaN", Profile{Base: time.Hour, Jitter: nan, MeanIterations: 1}, false},
+		{"failure below zero", Profile{Base: time.Hour, MeanIterations: 1, FailureRate: -0.01}, false},
+		{"failure at one", Profile{Base: time.Hour, MeanIterations: 1, FailureRate: 1}, false},
+		{"failure NaN", Profile{Base: time.Hour, MeanIterations: 1, FailureRate: nan}, false},
+		{"mean below one", Profile{Base: time.Hour, MeanIterations: 0.9}, false},
+		{"mean NaN", Profile{Base: time.Hour, MeanIterations: nan}, false},
+		{"mean Inf", Profile{Base: time.Hour, MeanIterations: math.Inf(1)}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.p.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("Validate() = %v, want nil", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+func TestRegistryAlternatesAndRotation(t *testing.T) {
+	r := NewRegistry()
+	a := sim(t, "editor", "e#1", basic)
+	b := sim(t, "editor", "e#2", basic)
+	c := sim(t, "editor", "e#3", basic)
+
+	// AddAlternate on an unbound activity acts as Bind.
+	if err := r.AddAlternate("Create", a); err != nil {
+		t.Fatal(err)
+	}
+	if r.For("Create") != Tool(a) {
+		t.Fatal("first alternate did not become active")
+	}
+	if err := r.AddAlternate("Create", b); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddAlternate("Create", c); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate instance refs are rejected (failover to an identical tool
+	// would retry the identical failure).
+	if err := r.AddAlternate("Create", sim(t, "editor", "e#2", basic)); err == nil {
+		t.Fatal("duplicate instance accepted as alternate")
+	}
+	if err := r.AddAlternate("Create", nil); err == nil {
+		t.Fatal("nil alternate accepted")
+	}
+	got := r.Bound("Create")
+	if len(got) != 3 || got[0].Instance() != "e#1" || got[1].Instance() != "e#2" || got[2].Instance() != "e#3" {
+		t.Fatalf("Bound order wrong: %v", got)
+	}
+
+	// Rotation walks the ring and Bound follows the active instance.
+	next, rotated := r.Rotate("Create")
+	if !rotated || next.Instance() != "e#2" {
+		t.Fatalf("Rotate -> %v, %v", next, rotated)
+	}
+	if bound := r.Bound("Create"); bound[0].Instance() != "e#2" || bound[2].Instance() != "e#1" {
+		t.Fatalf("Bound after rotate: %v", bound)
+	}
+	r.Rotate("Create")
+	next, _ = r.Rotate("Create")
+	if next.Instance() != "e#1" {
+		t.Fatalf("ring did not wrap: %v", next.Instance())
+	}
+	// Single-instance and unbound activities do not rotate.
+	r.Bind("Solo", a)
+	if tl, rotated := r.Rotate("Solo"); rotated || tl != Tool(a) {
+		t.Fatal("single binding rotated")
+	}
+	if _, rotated := r.Rotate("Nope"); rotated {
+		t.Fatal("unbound activity rotated")
+	}
+	// Bind replaces the whole ring, alternates included.
+	r.Bind("Create", c)
+	if bound := r.Bound("Create"); len(bound) != 1 || bound[0].Instance() != "e#3" {
+		t.Fatalf("Bind did not replace alternates: %v", bound)
+	}
+}
+
+func TestRegistryCloneIndependentAlternates(t *testing.T) {
+	r := NewRegistry()
+	r.Bind("Create", sim(t, "editor", "e#1", basic))
+	r.AddAlternate("Create", sim(t, "editor", "e#2", basic))
+	c := r.Clone()
+	// Rotating and extending the clone leaves the original alone.
+	c.Rotate("Create")
+	c.AddAlternate("Create", sim(t, "editor", "e#3", basic))
+	if r.For("Create").Instance() != "e#1" {
+		t.Fatal("clone rotation leaked into original")
+	}
+	if len(r.Bound("Create")) != 2 {
+		t.Fatal("clone alternate leaked into original")
+	}
+	if c.For("Create").Instance() != "e#2" || len(c.Bound("Create")) != 3 {
+		t.Fatal("clone state wrong")
 	}
 }
