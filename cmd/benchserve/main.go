@@ -1,0 +1,248 @@
+// Command benchserve measures the HTTP serving layer with a closed-loop
+// load harness and records the numbers in BENCH_serve.json, the repo's
+// performance-trajectory file for the serve path. The server runs on a
+// real TCP listener; N clients each keep exactly one request in flight
+// (closed loop), so req/s and tail latency reflect the full
+// snapshot-render-respond path rather than queueing artifacts.
+//
+// Every cell is measured twice: cold (the memo cache disabled, each
+// request renders from its own snapshot) and cached (the cache warmed,
+// each request served from the per-snapshot memo), over the cheap
+// /dashboard render and the expensive /risk Monte-Carlo render.
+//
+//	benchserve -label after-serve                # append to BENCH_serve.json
+//	benchserve -clients 1,4,16 -dur 2s           # custom sweep
+//	benchserve -out /tmp/b.json                  # write elsewhere
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"flowsched"
+	"flowsched/internal/serve"
+)
+
+// cell is one measured (route, mode, clients) combination.
+type cell struct {
+	Route     string  `json:"route"`
+	Mode      string  `json:"mode"` // "cold" (cache off) or "cached" (warmed)
+	Clients   int     `json:"clients"`
+	Requests  int     `json:"requests"`
+	ReqPerSec float64 `json:"req_per_sec"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+}
+
+// entry is one benchserve invocation.
+type entry struct {
+	Label     string `json:"label"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	Results   []cell `json:"results"`
+}
+
+// file is the BENCH_serve.json document.
+type file struct {
+	Description string  `json:"description"`
+	Benchmarks  []entry `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_serve.json", "trajectory file to append to")
+	label := flag.String("label", "run", "label for this entry")
+	clientsFlag := flag.String("clients", "1,4,16", "comma-separated closed-loop client counts")
+	dur := flag.Duration("dur", 2*time.Second, "measurement window per cell")
+	trials := flag.Int("trials", 1000, "Monte-Carlo trials for the /risk route")
+	flag.Parse()
+
+	clients, err := parseInts(*clientsFlag)
+	if err != nil {
+		fatal("bad -clients: %v", err)
+	}
+
+	// Validate the trajectory file before spending time on the sweep.
+	doc := file{Description: "HTTP serving layer load trajectory (cmd/benchserve closed loop over a tracked fig4 project)"}
+	if blob, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(blob, &doc); err != nil {
+			fatal("existing %s is not a benchserve file: %v", *out, err)
+		}
+	}
+
+	p, err := trackedProject()
+	if err != nil {
+		fatal("%v", err)
+	}
+	routes := []string{
+		"/dashboard",
+		fmt.Sprintf("/risk?trials=%d&seed=1995", *trials),
+	}
+
+	e := entry{
+		Label: *label, Date: time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		CPUs: runtime.NumCPU(),
+	}
+	for _, mode := range []string{"cold", "cached"} {
+		base, shutdown, err := startServer(p, mode == "cold")
+		if err != nil {
+			fatal("%v", err)
+		}
+		for _, route := range routes {
+			if mode == "cached" {
+				// Warm the memo so the window measures pure hits.
+				if err := getOnce(base + route); err != nil {
+					fatal("warm %s: %v", route, err)
+				}
+			}
+			for _, n := range clients {
+				c := hammer(base, route, mode, n, *dur)
+				fmt.Printf("%-28s %-7s clients=%-3d %9.0f req/s  p50 %7.3f ms  p99 %7.3f ms\n",
+					route, mode, n, c.ReqPerSec, c.P50Ms, c.P99Ms)
+				e.Results = append(e.Results, c)
+			}
+		}
+		shutdown()
+	}
+
+	doc.Benchmarks = append(doc.Benchmarks, e)
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("appended entry %q to %s\n", *label, *out)
+}
+
+// trackedProject builds the serve workload: a fig4 project with one
+// tracked run completed, so /dashboard and /risk have real content.
+func trackedProject() (*flowsched.Project, error) {
+	p, err := flowsched.New(flowsched.Fig4Schema, flowsched.Options{
+		Designer: "bench", Obs: flowsched.ObsOptions{Enabled: true},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := p.UseSimulatedTools(); err != nil {
+		return nil, err
+	}
+	if _, err := p.Import("stimuli", []byte("pulse 0 5 1ns")); err != nil {
+		return nil, err
+	}
+	if _, err := p.Plan([]string{"performance"}, flowsched.Fixed{Default: 8 * time.Hour}, flowsched.PlanOptions{}); err != nil {
+		return nil, err
+	}
+	if _, err := p.Run([]string{"performance"}, true); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// startServer serves p on an ephemeral local port and returns the base
+// URL plus a shutdown func.
+func startServer(p *flowsched.Project, disableCache bool) (string, func(), error) {
+	s := serve.New(p, serve.Options{DisableCache: disableCache})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	go s.Serve(l)
+	return "http://" + l.Addr().String(), func() { l.Close() }, nil
+}
+
+// hammer runs n closed-loop clients against one route for the window
+// and reduces their per-request latencies to throughput and tails.
+func hammer(base, route, mode string, n int, window time.Duration) cell {
+	perClient := make([][]time.Duration, n)
+	deadline := time.Now().Add(window)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client := &http.Client{}
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				if err := getWith(client, base+route); err != nil {
+					fatal("GET %s: %v", route, err)
+				}
+				perClient[i] = append(perClient[i], time.Since(t0))
+			}
+		}(i)
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var lat []time.Duration
+	for _, l := range perClient {
+		lat = append(lat, l...)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return cell{
+		Route: route, Mode: mode, Clients: n, Requests: len(lat),
+		ReqPerSec: float64(len(lat)) / elapsed.Seconds(),
+		P50Ms:     ms(percentile(lat, 0.50)),
+		P99Ms:     ms(percentile(lat, 0.99)),
+	}
+}
+
+func getOnce(url string) error { return getWith(http.DefaultClient, url) }
+
+func getWith(c *http.Client, url string) error {
+	res, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if _, err := io.Copy(io.Discard, res.Body); err != nil {
+		return err
+	}
+	if res.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", res.StatusCode)
+	}
+	return nil
+}
+
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad count %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchserve: "+format+"\n", args...)
+	os.Exit(1)
+}

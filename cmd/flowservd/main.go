@@ -1,0 +1,180 @@
+// Command flowservd serves one flowsched project over HTTP: every read
+// surface of the facade (status, Gantt, dashboard, CPM, milestones,
+// queries, risk, what-if sweeps, predictions) plus Prometheus metrics
+// and the dual-clock trace, all answered from consistent store
+// snapshots (see internal/serve and docs/serve.md).
+//
+// The daemon either restores a saved hercules session (-load) or starts
+// a fresh project from a schema, optionally planning and executing a
+// first tracked run with simulated tools so the read surfaces have
+// content:
+//
+//	flowservd -addr :8080 -schema builtin:fig4 -plan performance -run
+//	flowservd -load session.json
+//
+// SIGINT/SIGTERM drains gracefully: the listener closes at once,
+// in-flight requests finish (bounded by -drain), then the process
+// exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"flowsched"
+	"flowsched/internal/serve"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("flowservd: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		schemaF  = flag.String("schema", "builtin:fig4", "flow schema: builtin:fig4|builtin:asic|builtin:board|builtin:analog or a DSL file path")
+		load     = flag.String("load", "", "restore a saved session JSON instead of starting from -schema")
+		designer = flag.String("designer", "flowservd", "designer recorded on schedule instances")
+		plan     = flag.String("plan", "", "comma-separated target data classes to plan at startup")
+		hours    = flag.Int("hours", 8, "fixed per-activity estimate for the startup plan (working hours)")
+		runPlan  = flag.Bool("run", false, "execute the startup plan to completion with simulated tools")
+		cacheN   = flag.Int("cache", 256, "snapshot memo-cache capacity (entries)")
+		noCache  = flag.Bool("no-cache", false, "disable the snapshot memo cache")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
+	)
+	flag.Parse()
+
+	p, err := buildProject(*load, *schemaF, *designer)
+	if err != nil {
+		return err
+	}
+	if err := prepare(p, *plan, *hours, *runPlan); err != nil {
+		return err
+	}
+
+	s := serve.New(p, serve.Options{
+		Addr:         *addr,
+		CacheEntries: *cacheN,
+		DisableCache: *noCache,
+	})
+
+	errc := make(chan error, 1)
+	go func() { errc <- s.ListenAndServe() }()
+	log.Printf("serving %s on %s (virtual now %s, cache %v)",
+		p.Schema().Name, *addr, p.Now().Format(time.RFC3339), !*noCache)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		log.Printf("%s: draining (up to %s)", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		if err := <-errc; err != nil && err != http.ErrServerClosed {
+			return err
+		}
+		log.Print("drained")
+		return nil
+	}
+}
+
+// buildProject restores a saved session or starts a fresh project from
+// a schema, with observability on either way.
+func buildProject(load, schemaF, designer string) (*flowsched.Project, error) {
+	opt := flowsched.Options{Designer: designer, Obs: flowsched.ObsOptions{Enabled: true}}
+	if load != "" {
+		b, err := os.ReadFile(load)
+		if err != nil {
+			return nil, err
+		}
+		p, err := flowsched.Load(b, opt)
+		if err != nil {
+			return nil, err
+		}
+		// A restored session has no tool processes; rebind the
+		// simulated defaults so risk models and what-if sweeps work.
+		if err := p.UseSimulatedTools(); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+	src, err := schemaSource(schemaF)
+	if err != nil {
+		return nil, err
+	}
+	p, err := flowsched.New(src, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.UseSimulatedTools(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func schemaSource(name string) (string, error) {
+	switch name {
+	case "builtin:fig4":
+		return flowsched.Fig4Schema, nil
+	case "builtin:asic":
+		return flowsched.ASICSchema, nil
+	case "builtin:board":
+		return flowsched.BoardSchema, nil
+	case "builtin:analog":
+		return flowsched.AnalogSchema, nil
+	default:
+		b, err := os.ReadFile(name)
+		if err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+}
+
+// prepare optionally plans (and runs) the requested targets so a fresh
+// daemon serves populated read surfaces instead of "no plan" errors.
+func prepare(p *flowsched.Project, plan string, hours int, runPlan bool) error {
+	if plan == "" {
+		if runPlan {
+			return fmt.Errorf("-run needs -plan")
+		}
+		return nil
+	}
+	// Seed every primary input so planned activities are runnable.
+	for _, in := range p.Schema().PrimaryInputs() {
+		if _, err := p.Import(in, []byte("seeded by flowservd")); err != nil {
+			return err
+		}
+	}
+	targets := strings.Split(plan, ",")
+	if _, err := p.Plan(targets, flowsched.Fixed{Default: time.Duration(hours) * time.Hour}, flowsched.PlanOptions{}); err != nil {
+		return err
+	}
+	log.Printf("planned %v at %dh per activity", targets, hours)
+	if runPlan {
+		res, err := p.Run(targets, true)
+		if err != nil {
+			return err
+		}
+		log.Printf("startup run: %d activities, %s .. %s",
+			len(res.Outcomes), res.Started.Format(time.RFC3339), res.Finished.Format(time.RFC3339))
+	}
+	return nil
+}

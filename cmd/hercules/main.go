@@ -39,6 +39,9 @@
 //	gantt                                     Gantt chart of the current plan
 //	analyze                                   CPM/PERT critical path of the plan
 //	risk <targets,comma-sep> [trials]         Monte-Carlo schedule risk analysis
+//	predict <activity> [method] [size]        estimate the next duration from completed
+//	                                          history (mean, ewma, regression) with a
+//	                                          back-test score when history allows
 //	whatif <targets> <name=edit;...> ...      what-if sweep over copy-on-write forks;
 //	                                          edits: Act*1.5 (scale tool runtime),
 //	                                          Act+3h / Act+2d (delay; d = 8h workday),
@@ -70,6 +73,7 @@ import (
 	"time"
 
 	"flowsched"
+	"flowsched/internal/scenario"
 )
 
 func main() {
@@ -187,6 +191,8 @@ func (s *session) dispatch(line string) error {
 		return s.analyze()
 	case "risk":
 		return s.risk(args)
+	case "predict":
+		return s.predict(args)
 	case "whatif":
 		return s.whatif(args)
 	case "optimize":
@@ -547,7 +553,7 @@ func (s *session) whatif(args []string) error {
 	}
 	edits := make([]flowsched.ScenarioEdit, 0, len(args)-1)
 	for _, spec := range args[1:] {
-		e, err := parseEdit(spec)
+		e, err := scenario.ParseEdit(spec)
 		if err != nil {
 			return err
 		}
@@ -559,58 +565,6 @@ func (s *session) whatif(args []string) error {
 	}
 	fmt.Fprint(s.out, rep.Render())
 	return nil
-}
-
-// parseEdit parses one scenario spec: "name=Act*1.5;Act+3h;parallel".
-func parseEdit(spec string) (flowsched.ScenarioEdit, error) {
-	var e flowsched.ScenarioEdit
-	name, rest, ok := strings.Cut(spec, "=")
-	if !ok || name == "" {
-		return e, fmt.Errorf("bad scenario %q (want name=edit;edit;...)", spec)
-	}
-	e.Name = name
-	for _, part := range strings.Split(rest, ";") {
-		switch {
-		case part == "parallel":
-			e.Parallel = true
-		case strings.Contains(part, "*"):
-			act, val, _ := strings.Cut(part, "*")
-			f, err := strconv.ParseFloat(val, 64)
-			if err != nil {
-				return e, fmt.Errorf("bad scale %q in scenario %q", part, name)
-			}
-			if e.Scale == nil {
-				e.Scale = make(map[string]float64)
-			}
-			e.Scale[act] = f
-		case strings.Contains(part, "+"):
-			act, val, _ := strings.Cut(part, "+")
-			d, err := parseWorkDuration(val)
-			if err != nil {
-				return e, fmt.Errorf("bad delay %q in scenario %q", part, name)
-			}
-			if e.Delay == nil {
-				e.Delay = make(map[string]time.Duration)
-			}
-			e.Delay[act] = d
-		default:
-			return e, fmt.Errorf("bad edit %q in scenario %q (want Act*factor, Act+duration, or parallel)", part, name)
-		}
-	}
-	return e, nil
-}
-
-// parseWorkDuration accepts Go durations plus a "d" suffix meaning
-// 8-hour working days ("2d" = 16h of working time).
-func parseWorkDuration(v string) (time.Duration, error) {
-	if strings.HasSuffix(v, "d") {
-		n, err := strconv.ParseFloat(strings.TrimSuffix(v, "d"), 64)
-		if err != nil {
-			return 0, fmt.Errorf("bad duration %q", v)
-		}
-		return time.Duration(n * 8 * float64(time.Hour)), nil
-	}
-	return time.ParseDuration(v)
 }
 
 func (s *session) export(args []string) error {
@@ -659,6 +613,36 @@ func (s *session) risk(args []string) error {
 		res.Percentile(0.1).Round(time.Minute),
 		res.Percentile(0.5).Round(time.Minute),
 		res.Percentile(0.9).Round(time.Minute))
+	return nil
+}
+
+func (s *session) predict(args []string) error {
+	if len(args) < 1 || len(args) > 3 {
+		return fmt.Errorf("usage: predict <activity> [mean|ewma|regression] [size]")
+	}
+	opt := flowsched.PredictOptions{}
+	if len(args) >= 2 {
+		opt.Method = args[1]
+	}
+	if len(args) == 3 {
+		sz, err := strconv.ParseFloat(args[2], 64)
+		if err != nil || !(sz > 0) { // !(>0) also rejects NaN
+			return fmt.Errorf("bad size %q", args[2])
+		}
+		opt.Size = sz
+	}
+	pred, err := s.project.PredictDuration(args[0], opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(s.out, "predicted duration of %s: %s (%s over %d completed samples)\n",
+		pred.Activity, pred.Estimate.Round(time.Minute), pred.Method, pred.Samples)
+	// A back-test needs at least two samples; skip the score quietly
+	// when history is too thin for one.
+	if acc, err := s.project.EvaluatePredictor(args[0], opt, 1); err == nil && acc.N > 0 {
+		fmt.Fprintf(s.out, "back-test: MAE %s, MAPE %.1f%% over %d held-out samples\n",
+			acc.MAE.Round(time.Minute), acc.MAPE*100, acc.N)
+	}
 	return nil
 }
 

@@ -151,6 +151,36 @@ func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
 }
 
+func TestPredictCommand(t *testing.T) {
+	out := script(t,
+		"schema builtin:fig4",
+		"tools",
+		"import stimuli pulse 0 5 1ns",
+		"plan performance 8",
+		"run performance",
+		"predict Create",
+		"predict Create ewma",
+	)
+	for _, want := range []string{"predicted duration of Create", "(mean over", "(ewma over"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	out = script(t,
+		"schema builtin:fig4",
+		"predict",
+		"predict Create psychic",
+		"predict Create regression nan",
+		"predict Create",
+		"predict Nothing",
+	)
+	for _, want := range []string{"usage: predict", "unknown prediction method", "bad size", "no completed history", "unknown activity"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRiskAndOptimizeCommands(t *testing.T) {
 	out := script(t,
 		"schema builtin:asic",

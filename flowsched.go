@@ -431,11 +431,12 @@ func (p *Project) Status() ([]ActivityStatus, error) {
 	if p.plan == nil {
 		return nil, fmt.Errorf("flowsched: no plan")
 	}
-	return p.statusWith(p.readMgr())
+	return statusOf(p.readMgr(), p.plan, p.Now())
 }
 
-func (p *Project) statusWith(m *engine.Manager) ([]ActivityStatus, error) {
-	return m.Sched.Status(p.plan, p.Now())
+// statusOf renders plan-versus-actual rows against one manager snapshot.
+func statusOf(m *engine.Manager, plan *Plan, now time.Time) ([]ActivityStatus, error) {
+	return m.Sched.Status(plan, now)
 }
 
 // Gantt renders the current plan's Gantt chart (planned and accomplished
@@ -474,16 +475,17 @@ func (p *Project) Analyze() (*CPMResult, error) {
 	if p.plan == nil {
 		return nil, fmt.Errorf("flowsched: no plan")
 	}
-	return p.analyzeWith(p.readMgr())
+	return analyzeOf(p.readMgr(), p.plan)
 }
 
-func (p *Project) analyzeWith(m *engine.Manager) (*CPMResult, error) {
-	_, insts, err := m.Sched.Instances(p.plan)
+// analyzeOf runs CPM/PERT over a plan against one manager snapshot.
+func analyzeOf(m *engine.Manager, plan *Plan) (*CPMResult, error) {
+	_, insts, err := m.Sched.Instances(plan)
 	if err != nil {
 		return nil, err
 	}
-	inPlan := make(map[string]bool, len(p.plan.Activities))
-	for _, a := range p.plan.Activities {
+	inPlan := make(map[string]bool, len(plan.Activities))
+	for _, a := range plan.Activities {
 		inPlan[a] = true
 	}
 	acts := make([]pert.Activity, 0, len(insts))
@@ -594,7 +596,7 @@ func (p *Project) OutlineStatus(g *Grouping) (string, error) {
 	if err := g.CheckCovers(p.plan); err != nil {
 		return "", err
 	}
-	rows, err := p.statusWith(p.readMgr())
+	rows, err := statusOf(p.readMgr(), p.plan, p.Now())
 	if err != nil {
 		return "", err
 	}
@@ -623,13 +625,17 @@ func (p *Project) Dashboard() (string, error) {
 	}
 	// One snapshot serves every section, so the dashboard is a
 	// consistent moment of the database even mid-execution.
-	r := p.readMgr()
+	return dashboardOf(p.readMgr(), p.plan, p.Now())
+}
+
+// dashboardOf renders the one-page view against one manager snapshot.
+func dashboardOf(m *engine.Manager, plan *Plan, now time.Time) (string, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "project dashboard — plan v%d, targets %v\n",
-		p.plan.Version, p.plan.Targets)
+		plan.Version, plan.Targets)
 	fmt.Fprintf(&b, "now %s; projected finish %s\n\n",
-		p.Now().Format("2006-01-02 15:04"), p.plan.Finish.Format("2006-01-02 15:04"))
-	rows, err := p.statusWith(r)
+		now.Format("2006-01-02 15:04"), plan.Finish.Format("2006-01-02 15:04"))
+	rows, err := statusOf(m, plan, now)
 	if err != nil {
 		return "", err
 	}
@@ -648,12 +654,12 @@ func (p *Project) Dashboard() (string, error) {
 		fmt.Fprintf(&b, "  %-12s %-12s%s\n", r.Activity, r.State, slip)
 	}
 	b.WriteString("\n")
-	chart, err := report.Chart(r, p.plan, p.Now())
+	chart, err := report.Chart(m, plan, now)
 	if err != nil {
 		return "", err
 	}
 	b.WriteString(chart)
-	cpm, err := p.analyzeWith(r)
+	cpm, err := analyzeOf(m, plan)
 	if err != nil {
 		return "", err
 	}
@@ -748,20 +754,24 @@ func (p *Project) SimulateRisk(targets []string, trials int, seed int64) (*RiskR
 
 // SimulateRiskWith is SimulateRisk with full engine options.
 func (p *Project) SimulateRiskWith(targets []string, opt RiskOptions) (*RiskResult, error) {
-	models, err := p.riskModels(targets)
+	return riskOf(p.readMgr(), p.obs, p.Now(), targets, opt)
+}
+
+// riskOf runs the Monte-Carlo analysis against one manager snapshot.
+func riskOf(m *engine.Manager, o *obs.Obs, now time.Time, targets []string, opt RiskOptions) (*RiskResult, error) {
+	models, err := riskModelsOf(m, targets)
 	if err != nil {
 		return nil, err
 	}
 	return monte.Simulate(models, monte.Config{
 		Trials: opt.Trials, Seed: opt.Seed, Workers: opt.Workers,
-		Obs: p.obs, VirtNow: p.Now(),
+		Obs: o, VirtNow: now,
 	})
 }
 
-// riskModels derives the stochastic activity models for the targets from
-// the bound simulated tools.
-func (p *Project) riskModels(targets []string) ([]monte.ActivityModel, error) {
-	m := p.readMgr()
+// riskModelsOf derives the stochastic activity models for the targets
+// from the bound simulated tools.
+func riskModelsOf(m *engine.Manager, targets []string) ([]monte.ActivityModel, error) {
 	tree, err := m.ExtractTree(targets...)
 	if err != nil {
 		return nil, err
@@ -809,6 +819,11 @@ type (
 	// ScenarioReport compares every scenario against the baseline fork.
 	ScenarioReport = scenario.Report
 )
+
+// ParseScenarioEdit parses one textual what-if spec of the form
+// "name=Act*1.5;Act+3h;parallel" — the vocabulary shared by the
+// hercules CLI and the HTTP serving layer.
+func ParseScenarioEdit(spec string) (ScenarioEdit, error) { return scenario.ParseEdit(spec) }
 
 // Fork branches an independent copy of the project at its current state.
 // The task database is forked copy-on-write (O(containers), no per-entry

@@ -21,8 +21,15 @@ import (
 // fork the substrate for what-if exploration: re-plan or re-execute the
 // child under different assumptions, compare, discard. The child is
 // uninstrumented; call Instrument to attach its own observability.
-func (m *Manager) Fork() (*Manager, error) {
-	db := m.DB.ForkAt(nil)
+func (m *Manager) Fork() (*Manager, error) { return m.ForkAtView(nil) }
+
+// ForkAtView is Fork pinned to a snapshot: the child branches from the
+// moment v captured instead of the live head, so several forks taken
+// while the parent keeps executing all observe the identical Level 3
+// state — what a snapshot-consistent what-if sweep needs. A nil view
+// forks the current state (plain Fork).
+func (m *Manager) ForkAtView(v *store.View) (*Manager, error) {
+	db := m.DB.ForkAt(v)
 	exec, err := meta.NewSpace(db, m.Schema)
 	if err != nil {
 		return nil, fmt.Errorf("engine: fork: %w", err)

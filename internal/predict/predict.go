@@ -106,20 +106,23 @@ func (Regression) Predict(history []Sample, size float64) (time.Duration, error)
 }
 
 // HistoryOf extracts the completed-duration samples of an activity from a
-// schedule space, oldest first, attaching the given sizes positionally
-// (sizes may be nil for size-free predictors).
+// schedule space, oldest first. sizes[i] is the task size of the
+// activity's i-th schedule instance (version order, counting instances
+// that never completed), so a gap in the history — a planned-but-undone
+// version — never shifts later sizes onto the wrong sample. sizes may be
+// nil (or short) for size-free predictors.
 func HistoryOf(sp *sched.Space, cal *vclock.Calendar, activity string, sizes []float64) ([]Sample, error) {
 	_, insts, err := sp.History(activity)
 	if err != nil {
 		return nil, err
 	}
 	var out []Sample
-	for _, in := range insts {
+	for i, in := range insts {
 		if !in.Done || in.ActualStart.IsZero() {
 			continue
 		}
 		s := Sample{Duration: cal.WorkBetween(in.ActualStart, in.ActualFinish)}
-		if i := len(out); sizes != nil && i < len(sizes) {
+		if sizes != nil && i < len(sizes) {
 			s.Size = sizes[i]
 		}
 		out = append(out, s)
@@ -131,10 +134,14 @@ func HistoryOf(sp *sched.Space, cal *vclock.Calendar, activity string, sizes []f
 type Accuracy struct {
 	// MAE is the mean absolute error.
 	MAE time.Duration
-	// MAPE is the mean absolute percentage error in [0, ∞).
+	// MAPE is the mean absolute percentage error in [0, ∞), averaged
+	// over the NPct samples with a non-zero actual duration (a percentage
+	// error against a zero actual is undefined). Zero when NPct is zero.
 	MAPE float64
 	// N is the number of scored predictions.
 	N int
+	// NPct is the number of predictions that contributed to MAPE.
+	NPct int
 }
 
 // Evaluate walks a sample sequence chronologically, predicting each
@@ -163,10 +170,13 @@ func Evaluate(p Predictor, samples []Sample, warmup int) (Accuracy, error) {
 		absErr += diff
 		if samples[i].Duration > 0 {
 			pctErr += float64(diff) / float64(samples[i].Duration)
+			acc.NPct++
 		}
 		acc.N++
 	}
 	acc.MAE = absErr / time.Duration(acc.N)
-	acc.MAPE = pctErr / float64(acc.N)
+	if acc.NPct > 0 {
+		acc.MAPE = pctErr / float64(acc.NPct)
+	}
 	return acc, nil
 }

@@ -196,6 +196,94 @@ func TestEWMABoundsProperty(t *testing.T) {
 	}
 }
 
+// Regression for the size-alignment bug: sizes are indexed by instance
+// position (schedule version order), so a planned-but-never-completed
+// instance in the middle of the history must not shift later sizes onto
+// the wrong sample.
+func TestHistoryOfSizesSurviveGaps(t *testing.T) {
+	sch := schemaMustParse(t)
+	db := storeNew()
+	sp, err := schedNewSpace(db, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := extractPerformance(t, sch)
+	est := fixedEst(16)
+	for i := 0; i < 3; i++ {
+		res, err := sp.Plan(tree, epoch(), est, planOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 1 {
+			// The middle pass is planned but never executed — the gap.
+			continue
+		}
+		start := epoch()
+		finish := calStandard().AddWork(start, time.Duration(8*(i+1))*time.Hour)
+		sp.MarkStarted(&res.Plan, "Create", start)
+		ent := putEntity(t, sp, db)
+		if err := sp.Complete(&res.Plan, "Create", ent, finish); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One size per schedule instance, completed or not.
+	samples, err := HistoryOf(sp, calStandard(), "Create", []float64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 2 {
+		t.Fatalf("samples = %d, want 2 (gap skipped)", len(samples))
+	}
+	if samples[0].Size != 10 {
+		t.Errorf("sample 0 size = %v, want 10", samples[0].Size)
+	}
+	// Pre-fix, the sample from instance 3 was attached sizes[1]=20 — the
+	// size of the instance that never completed.
+	if samples[1].Size != 30 {
+		t.Errorf("sample 1 size = %v, want 30 (instance position, not output position)", samples[1].Size)
+	}
+}
+
+// Regression for the MAPE deflation bug: zero-duration samples are
+// excluded from the percentage sum, so they must be excluded from the
+// divisor too.
+func TestEvaluateMAPEExcludesZeroDurationSamples(t *testing.T) {
+	hist := []Sample{
+		{Duration: h(4)}, // warmup seed
+		{Duration: 0},    // zero-duration test sample: scored for MAE only
+		{Duration: h(4)}, // predicted mean(4h, 0) = 2h -> 50% error
+	}
+	acc, err := Evaluate(Mean{}, hist, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.N != 2 || acc.NPct != 1 {
+		t.Fatalf("N = %d, NPct = %d, want 2 and 1", acc.N, acc.NPct)
+	}
+	// MAE still averages both test samples: (|4h-0| + |2h-4h|) / 2 = 3h.
+	if acc.MAE != h(3) {
+		t.Errorf("MAE = %v, want 3h", acc.MAE)
+	}
+	// MAPE averages only the scorable sample: 0.5. Pre-fix it divided by
+	// N=2 and silently reported 0.25.
+	if math.Abs(acc.MAPE-0.5) > 1e-12 {
+		t.Errorf("MAPE = %v, want 0.5", acc.MAPE)
+	}
+}
+
+func TestEvaluateMAPEDefinedWithNoScorableSamples(t *testing.T) {
+	acc, err := Evaluate(Mean{}, []Sample{{Duration: h(4)}, {Duration: 0}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.NPct != 0 {
+		t.Fatalf("NPct = %d, want 0", acc.NPct)
+	}
+	if acc.MAPE != 0 || math.IsNaN(acc.MAPE) {
+		t.Errorf("MAPE = %v, want 0 when nothing is scorable", acc.MAPE)
+	}
+}
+
 func TestHistoryOf(t *testing.T) {
 	// Build a schedule space with two completed Create instances.
 	sch := schemaMustParse(t)

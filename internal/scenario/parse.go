@@ -1,0 +1,65 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseEdit parses one scenario spec of the form
+// "name=Act*1.5;Act+3h;parallel": scale factors multiply an activity's
+// tool runtime, "+duration" injects a delay (Go durations plus a "d"
+// suffix meaning 8-hour working days), and "parallel" switches the fork
+// to team-parallel execution. Shared by the hercules CLI and the HTTP
+// serving layer so both speak the same what-if vocabulary.
+func ParseEdit(spec string) (Edit, error) {
+	var e Edit
+	name, rest, ok := strings.Cut(spec, "=")
+	if !ok || name == "" {
+		return e, fmt.Errorf("bad scenario %q (want name=edit;edit;...)", spec)
+	}
+	e.Name = name
+	for _, part := range strings.Split(rest, ";") {
+		switch {
+		case part == "parallel":
+			e.Parallel = true
+		case strings.Contains(part, "*"):
+			act, val, _ := strings.Cut(part, "*")
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return e, fmt.Errorf("bad scale %q in scenario %q", part, name)
+			}
+			if e.Scale == nil {
+				e.Scale = make(map[string]float64)
+			}
+			e.Scale[act] = f
+		case strings.Contains(part, "+"):
+			act, val, _ := strings.Cut(part, "+")
+			d, err := ParseWorkDuration(val)
+			if err != nil {
+				return e, fmt.Errorf("bad delay %q in scenario %q", part, name)
+			}
+			if e.Delay == nil {
+				e.Delay = make(map[string]time.Duration)
+			}
+			e.Delay[act] = d
+		default:
+			return e, fmt.Errorf("bad edit %q in scenario %q (want Act*factor, Act+duration, or parallel)", part, name)
+		}
+	}
+	return e, nil
+}
+
+// ParseWorkDuration accepts Go durations plus a "d" suffix meaning
+// 8-hour working days ("2d" = 16h of working time).
+func ParseWorkDuration(v string) (time.Duration, error) {
+	if strings.HasSuffix(v, "d") {
+		n, err := strconv.ParseFloat(strings.TrimSuffix(v, "d"), 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad duration %q", v)
+		}
+		return time.Duration(n * 8 * float64(time.Hour)), nil
+	}
+	return time.ParseDuration(v)
+}

@@ -30,6 +30,7 @@ import (
 	"flowsched/internal/pert"
 	"flowsched/internal/sched"
 	"flowsched/internal/schema"
+	"flowsched/internal/store"
 	"flowsched/internal/tools"
 )
 
@@ -92,6 +93,10 @@ type Options struct {
 	// instead. For edits that inject faults and leave Verify nil, the
 	// fault detector is installed automatically.
 	Recovery engine.Recovery
+	// BaseView, when non-nil, pins every fork to that snapshot of the
+	// task database instead of the live head — a sweep stays consistent
+	// with one observed moment even while the parent keeps executing.
+	BaseView *store.View
 }
 
 // Outcome is one scenario's result.
@@ -192,7 +197,7 @@ func Sweep(m *engine.Manager, targets []string, edits []Edit, opt Options) (*Rep
 		runs[i+1] = run{name: edits[i].Name, edit: &edits[i]}
 	}
 	for i := range runs {
-		f, err := m.Fork()
+		f, err := m.ForkAtView(opt.BaseView)
 		if err != nil {
 			return nil, fmt.Errorf("scenario: fork %q: %w", runs[i].name, err)
 		}

@@ -104,9 +104,17 @@ func (s *Space) MarkBlocked(p *Plan, activity, why string, at time.Time) error {
 // finish, now). This is the automatic plan update of §IV.C — "if any slip
 // in the schedule occurs, the schedule plan updates automatically to
 // reflect the new schedule." It returns the new projected project finish.
+//
+// The single forward pass requires p.Activities in topological order
+// (every in-plan predecessor before its consumer — the post order Plan
+// produces). A violating plan is rejected loudly rather than silently
+// treating an unvisited predecessor as finishing at the zero time.
 func (s *Space) Propagate(p *Plan, now time.Time) (time.Time, error) {
 	db, err := s.writable()
 	if err != nil {
+		return time.Time{}, err
+	}
+	if err := s.checkTopoOrder(p); err != nil {
 		return time.Time{}, err
 	}
 	effFinish := make(map[string]time.Time)
@@ -187,6 +195,29 @@ func (s *Space) Propagate(p *Plan, now time.Time) (time.Time, error) {
 	}
 	p.Finish = projected
 	return projected, nil
+}
+
+// checkTopoOrder verifies the traversal-order invariant Propagate's
+// single forward pass depends on: every in-plan predecessor of an
+// activity appears earlier in p.Activities. Plan emits activities in
+// dependency post order, so a violation means the plan was corrupted
+// (or hand-built) and must not be propagated — the pass would read the
+// unvisited predecessor's effective finish as the zero time and pull
+// its consumers arbitrarily early.
+func (s *Space) checkTopoOrder(p *Plan) error {
+	pos := make(map[string]int, len(p.Activities))
+	for i, a := range p.Activities {
+		pos[a] = i
+	}
+	for i, act := range p.Activities {
+		for _, pred := range predecessorsIn(p, s, act) {
+			if pos[pred] > i {
+				return fmt.Errorf("sched: plan v%d is not topologically ordered: %s (position %d) precedes its predecessor %s (position %d)",
+					p.Version, act, i, pred, pos[pred])
+			}
+		}
+	}
+	return nil
 }
 
 // predecessorsIn returns the in-plan producer activities of act.

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -221,6 +222,35 @@ func TestPropagatePrecedencePreserved(t *testing.T) {
 			}
 		}
 		finish[act] = in.PlannedFinish
+	}
+}
+
+// Regression pin for the traversal-order invariant: Propagate's single
+// forward pass assumes p.Activities is topologically ordered. Pre-pin,
+// an out-of-order plan was silently accepted and the consumer read its
+// unvisited predecessor's finish as the zero time, pulling dates
+// arbitrarily early. Now it must fail loudly.
+func TestPropagateRejectsNonTopologicalPlan(t *testing.T) {
+	fx := newTracked(t)
+	// Sanity: the well-formed plan propagates fine.
+	if _, err := fx.space.Propagate(&fx.plan, t0); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the order: Simulate consumes Create's netlist, so listing
+	// it first violates the invariant.
+	bad := fx.plan
+	bad.Activities = []string{"Simulate", "Create"}
+	_, err := fx.space.Propagate(&bad, t0)
+	if err == nil {
+		t.Fatal("out-of-order plan accepted; Propagate would read a zero-time predecessor finish")
+	}
+	if !strings.Contains(err.Error(), "topologically") {
+		t.Fatalf("error does not name the invariant: %v", err)
+	}
+	// The rejected pass must not have rewritten any instance dates.
+	_, sim, _ := fx.space.Instance(&fx.plan, "Simulate")
+	if sim.PlannedStart.IsZero() || sim.PlannedStart.Before(t0) {
+		t.Fatalf("rejected propagate mutated Simulate: start %v", sim.PlannedStart)
 	}
 }
 

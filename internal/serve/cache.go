@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"sync"
+
+	"flowsched/internal/obs"
+)
+
+// memoCache memoizes rendered response bodies per (snapshot identity,
+// route+params) with singleflight semantics: when N identical requests
+// arrive against the same snapshot, one renders and N-1 wait for its
+// bytes. Entries are keyed by the full snapshot identity (store version
+// + virtual now), so a cache hit is byte-identical to the response the
+// leader produced; the whole cache is invalidated as soon as a request
+// observes a newer store version — the memo never outlives the data it
+// was rendered from.
+type memoCache struct {
+	mu      sync.Mutex
+	version uint64 // newest store version observed; older entries are garbage
+	entries map[string]*memoEntry
+	max     int
+
+	hits, misses, evictions, invalidations *obs.Counter
+}
+
+// memoEntry is one rendered body. ready is closed once body/ctype/err
+// are final; waiters must not read them before.
+type memoEntry struct {
+	ready chan struct{}
+	body  []byte
+	ctype string
+	err   error
+}
+
+func newMemoCache(max int, reg *obs.Registry) *memoCache {
+	return &memoCache{
+		entries:       make(map[string]*memoEntry),
+		max:           max,
+		hits:          reg.Counter("serve_cache_hits_total"),
+		misses:        reg.Counter("serve_cache_misses_total"),
+		evictions:     reg.Counter("serve_cache_evictions_total"),
+		invalidations: reg.Counter("serve_cache_invalidations_total"),
+	}
+}
+
+// do returns the memoized body for key, rendering at most once per key.
+// version is the store snapshot version behind the render; when a newer
+// version shows up the accumulated entries are dropped wholesale (the
+// key embeds the full snapshot identity, so the clear is for memory,
+// not correctness). Failed renders are never memoized.
+func (c *memoCache) do(version uint64, key string, render func() ([]byte, string, error)) (body []byte, ctype string, hit bool, err error) {
+	c.mu.Lock()
+	if version > c.version {
+		c.entries = make(map[string]*memoEntry)
+		c.version = version
+		c.invalidations.Inc()
+	}
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return nil, "", false, e.err
+		}
+		c.hits.Inc()
+		return e.body, e.ctype, true, nil
+	}
+	if len(c.entries) >= c.max {
+		// Full: drop everything rather than track recency. Versions
+		// advance constantly under execution, so the whole map turns
+		// over soon anyway; precision would buy little.
+		c.entries = make(map[string]*memoEntry)
+		c.evictions.Inc()
+	}
+	e := &memoEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	c.misses.Inc()
+	e.body, e.ctype, e.err = render()
+	if e.err != nil {
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
+	close(e.ready)
+	return e.body, e.ctype, false, e.err
+}

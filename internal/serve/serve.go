@@ -1,0 +1,567 @@
+// Package serve exposes a project's read surfaces over HTTP — the
+// serving tier the paper's architecture implies: schedule state lives
+// in the flow-management database precisely so that every stakeholder
+// (designers, project management, reporting tools) reads one consistent
+// picture of plan vs. actual (§IV.B–C).
+//
+// Consistency is the contract: every request is answered from one
+// Manager.AtView snapshot of the task database, captured at arrival.
+// A response never tears — its sections all describe the same store
+// version and the same virtual instant — even while the project plans
+// and executes concurrently. The snapshot identity is echoed on every
+// response (X-Flowsched-Version, X-Flowsched-Now), so clients can
+// correlate reads.
+//
+// Expensive reads (risk simulation, what-if sweeps, dashboards) are
+// memoized per snapshot identity with singleflight semantics and
+// invalidated the moment the store advances; see memoCache. The server
+// carries its own request-scoped metrics (latency histogram, in-flight
+// gauge, per-route counters, cache hit/miss counters) exposed on
+// /metrics alongside the project's own registry.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"flowsched"
+	"flowsched/internal/obs"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Addr is the listen address for ListenAndServe (default ":8080").
+	Addr string
+	// CacheEntries bounds the memoized responses held at once
+	// (default 256). The cache is cleared whenever the store advances.
+	CacheEntries int
+	// DisableCache turns response memoization off: every request
+	// renders from its own snapshot. Responses stay snapshot-consistent
+	// individually; byte-identity across equal snapshots is then up to
+	// the renderers (they are deterministic).
+	DisableCache bool
+	// ReadTimeout, WriteTimeout, IdleTimeout bound request handling
+	// (defaults 5s / 2m / 2m). WriteTimeout must cover the slowest
+	// cold read — a large risk simulation or what-if sweep.
+	ReadTimeout, WriteTimeout, IdleTimeout time.Duration
+}
+
+// Server serves one project's read surfaces.
+type Server struct {
+	p     *flowsched.Project
+	opt   Options
+	reg   *obs.Registry
+	cache *memoCache
+	mux   *http.ServeMux
+	srv   *http.Server
+
+	inflight     *obs.Gauge
+	latency      *obs.Histogram
+	storeVersion *obs.Gauge
+}
+
+// New builds a server over a project. The project stays fully usable —
+// the server only ever takes snapshots of it.
+func New(p *flowsched.Project, opt Options) *Server {
+	if opt.Addr == "" {
+		opt.Addr = ":8080"
+	}
+	if opt.CacheEntries <= 0 {
+		opt.CacheEntries = 256
+	}
+	if opt.ReadTimeout <= 0 {
+		opt.ReadTimeout = 5 * time.Second
+	}
+	if opt.WriteTimeout <= 0 {
+		opt.WriteTimeout = 2 * time.Minute
+	}
+	if opt.IdleTimeout <= 0 {
+		opt.IdleTimeout = 2 * time.Minute
+	}
+	reg := obs.NewRegistry()
+	s := &Server{
+		p: p, opt: opt, reg: reg,
+		cache:        newMemoCache(opt.CacheEntries, reg),
+		mux:          http.NewServeMux(),
+		inflight:     reg.Gauge("serve_requests_in_flight"),
+		latency:      reg.Histogram("serve_request_seconds", nil),
+		storeVersion: reg.Gauge("serve_store_version"),
+	}
+	s.routes()
+	s.srv = &http.Server{
+		Addr: opt.Addr, Handler: s.mux,
+		ReadTimeout: opt.ReadTimeout, WriteTimeout: opt.WriteTimeout,
+		IdleTimeout: opt.IdleTimeout,
+	}
+	return s
+}
+
+// Handler returns the route handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry returns the server's own metrics registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// ListenAndServe serves until Shutdown (or a listener error).
+func (s *Server) ListenAndServe() error { return s.srv.ListenAndServe() }
+
+// Serve serves on an existing listener (Options.Addr is ignored).
+func (s *Server) Serve(l net.Listener) error { return s.srv.Serve(l) }
+
+// Shutdown drains gracefully: the listener closes immediately, in-flight
+// requests run to completion (bounded by ctx), idle connections close.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
+
+// httpError carries a status code through a renderer error path.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func errCode(err error) int {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.code
+	}
+	return http.StatusBadRequest
+}
+
+// renderFunc renders one route's body from a pinned view.
+type renderFunc func(v *flowsched.ProjectView, r *http.Request) ([]byte, string, error)
+
+func (s *Server) routes() {
+	// Snapshot-pinned, memoized read surfaces.
+	s.handleView("/status", "status", renderStatus)
+	s.handleView("/gantt", "gantt", renderGantt)
+	s.handleView("/tasktree", "tasktree", renderTaskTree)
+	s.handleView("/dashboard", "dashboard", renderDashboard)
+	s.handleView("/analyze", "analyze", renderAnalyze)
+	s.handleView("/milestones", "milestones", renderMilestones)
+	s.handleView("/query", "query", renderQuery)
+	s.handleView("/report", "report", renderReport)
+	s.handleView("/risk", "risk", renderRisk)
+	s.handleView("/whatif", "whatif", renderWhatIf)
+	s.handleView("/predict", "predict", renderPredict)
+	s.handleView("/version", "version", renderVersion)
+
+	// Live (uncached) surfaces.
+	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.metrics))
+	s.mux.HandleFunc("/trace", s.instrument("trace", s.trace))
+	s.mux.HandleFunc("/events", s.instrument("events", s.events))
+	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.healthz))
+}
+
+// instrument wraps a handler with the request-scoped observability:
+// per-route request counter, in-flight gauge, latency histogram.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	ctr := s.reg.Counter("serve_route_" + name + "_requests_total")
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctr.Inc()
+		s.inflight.Add(1)
+		start := time.Now()
+		defer func() {
+			s.inflight.Add(-1)
+			s.latency.ObserveDuration(time.Since(start))
+		}()
+		h(w, r)
+	}
+}
+
+// handleView registers a snapshot-pinned route: one View per request,
+// the memo cache in front of the renderer, and the snapshot identity
+// echoed in response headers.
+func (s *Server) handleView(pattern, name string, fn renderFunc) {
+	s.mux.HandleFunc(pattern, s.instrument(name, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		v, err := s.p.View()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		s.storeVersion.Set(int64(v.Version()))
+		w.Header().Set("X-Flowsched-Version", strconv.FormatUint(v.Version(), 10))
+		w.Header().Set("X-Flowsched-Now", strconv.FormatInt(v.Now().UnixNano(), 10))
+
+		var body []byte
+		var ctype string
+		cacheState := "off"
+		if s.opt.DisableCache {
+			body, ctype, err = fn(v, r)
+		} else {
+			// The key embeds the full snapshot identity: the store
+			// version plus the virtual instant (the clock can tick
+			// between store writes, and rendered output shows "now").
+			key := fmt.Sprintf("%d.%d|%s?%s", v.Version(), v.Now().UnixNano(), name, canonicalQuery(r))
+			var hit bool
+			body, ctype, hit, err = s.cache.do(v.Version(), key, func() ([]byte, string, error) {
+				return fn(v, r)
+			})
+			cacheState = "miss"
+			if hit {
+				cacheState = "hit"
+			}
+		}
+		w.Header().Set("X-Flowsched-Cache", cacheState)
+		if err != nil {
+			http.Error(w, err.Error(), errCode(err))
+			return
+		}
+		w.Header().Set("Content-Type", ctype)
+		w.Write(body)
+	}))
+}
+
+// canonicalQuery renders the request's query parameters in sorted-key
+// order (value order preserved), so equivalent requests share one memo
+// entry regardless of parameter spelling order.
+func canonicalQuery(r *http.Request) string {
+	q := r.URL.Query()
+	keys := make([]string, 0, len(q))
+	for k := range q {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		for _, val := range q[k] {
+			if b.Len() > 0 {
+				b.WriteByte('&')
+			}
+			b.WriteString(k)
+			b.WriteByte('=')
+			b.WriteString(val)
+		}
+	}
+	return b.String()
+}
+
+func jsonBody(v any) ([]byte, string, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, "", err
+	}
+	return append(b, '\n'), "application/json; charset=utf-8", nil
+}
+
+func textBody(t string) ([]byte, string, error) {
+	return []byte(t), "text/plain; charset=utf-8", nil
+}
+
+// targetsParam resolves the "targets" parameter, defaulting to the
+// snapshot plan's targets.
+func targetsParam(v *flowsched.ProjectView, r *http.Request) ([]string, error) {
+	if t := r.URL.Query().Get("targets"); t != "" {
+		return strings.Split(t, ","), nil
+	}
+	if t := v.Targets(); len(t) > 0 {
+		return t, nil
+	}
+	return nil, badRequest("no targets: pass ?targets=a,b or plan first")
+}
+
+func renderStatus(v *flowsched.ProjectView, _ *http.Request) ([]byte, string, error) {
+	rows, err := v.Status()
+	if err != nil {
+		return nil, "", err
+	}
+	return jsonBody(struct {
+		Now         time.Time                  `json:"now"`
+		PlanVersion int                        `json:"planVersion"`
+		Activities  []flowsched.ActivityStatus `json:"activities"`
+	}{v.Now(), v.PlanVersion(), rows})
+}
+
+func renderGantt(v *flowsched.ProjectView, _ *http.Request) ([]byte, string, error) {
+	chart, err := v.Gantt()
+	if err != nil {
+		return nil, "", err
+	}
+	return textBody(chart)
+}
+
+func renderTaskTree(v *flowsched.ProjectView, r *http.Request) ([]byte, string, error) {
+	targets, err := targetsParam(v, r)
+	if err != nil {
+		return nil, "", err
+	}
+	tree, err := v.TaskTreeView(targets...)
+	if err != nil {
+		return nil, "", err
+	}
+	return textBody(tree)
+}
+
+func renderDashboard(v *flowsched.ProjectView, _ *http.Request) ([]byte, string, error) {
+	d, err := v.Dashboard()
+	if err != nil {
+		return nil, "", err
+	}
+	return textBody(d)
+}
+
+func renderAnalyze(v *flowsched.ProjectView, _ *http.Request) ([]byte, string, error) {
+	cpm, err := v.Analyze()
+	if err != nil {
+		return nil, "", err
+	}
+	return jsonBody(cpm)
+}
+
+func renderMilestones(v *flowsched.ProjectView, _ *http.Request) ([]byte, string, error) {
+	rows, err := v.MilestoneReport()
+	if err != nil {
+		return nil, "", err
+	}
+	return jsonBody(struct {
+		Now        time.Time                   `json:"now"`
+		Milestones []flowsched.MilestoneStatus `json:"milestones"`
+	}{v.Now(), rows})
+}
+
+func renderQuery(v *flowsched.ProjectView, r *http.Request) ([]byte, string, error) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		return nil, "", badRequest("missing query: pass ?q=...")
+	}
+	out, err := v.Query(q)
+	if err != nil {
+		return nil, "", err
+	}
+	return textBody(out)
+}
+
+func renderReport(v *flowsched.ProjectView, r *http.Request) ([]byte, string, error) {
+	to := v.Now()
+	from := to.Add(-7 * 24 * time.Hour)
+	var err error
+	if f := r.URL.Query().Get("from"); f != "" {
+		if from, err = time.Parse(time.RFC3339, f); err != nil {
+			return nil, "", badRequest("bad from %q: want RFC3339", f)
+		}
+	}
+	if t := r.URL.Query().Get("to"); t != "" {
+		if to, err = time.Parse(time.RFC3339, t); err != nil {
+			return nil, "", badRequest("bad to %q: want RFC3339", t)
+		}
+	}
+	out, err := v.StatusReport(from, to)
+	if err != nil {
+		return nil, "", err
+	}
+	return textBody(out)
+}
+
+// riskSummary is the JSON shape of /risk: the distribution summarized,
+// not the raw per-trial durations.
+type riskSummary struct {
+	Targets     []string           `json:"targets"`
+	Trials      int                `json:"trials"`
+	Seed        int64              `json:"seed"`
+	Mean        time.Duration      `json:"mean"`
+	P10         time.Duration      `json:"p10"`
+	P50         time.Duration      `json:"p50"`
+	P80         time.Duration      `json:"p80"`
+	P90         time.Duration      `json:"p90"`
+	P95         time.Duration      `json:"p95"`
+	Criticality map[string]float64 `json:"criticality"`
+}
+
+func renderRisk(v *flowsched.ProjectView, r *http.Request) ([]byte, string, error) {
+	targets, err := targetsParam(v, r)
+	if err != nil {
+		return nil, "", err
+	}
+	trials, err := qInt(r, "trials", 1000)
+	if err != nil {
+		return nil, "", err
+	}
+	seed, err := qInt64(r, "seed", 1995)
+	if err != nil {
+		return nil, "", err
+	}
+	workers, err := qInt(r, "workers", 0)
+	if err != nil {
+		return nil, "", err
+	}
+	res, err := v.SimulateRiskWith(targets, flowsched.RiskOptions{
+		Trials: trials, Seed: seed, Workers: workers,
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	return jsonBody(riskSummary{
+		Targets: targets, Trials: len(res.Durations), Seed: seed,
+		Mean: res.Mean(),
+		P10:  res.Percentile(0.10), P50: res.Percentile(0.50),
+		P80: res.Percentile(0.80), P90: res.Percentile(0.90),
+		P95:         res.Percentile(0.95),
+		Criticality: res.Criticality,
+	})
+}
+
+func renderWhatIf(v *flowsched.ProjectView, r *http.Request) ([]byte, string, error) {
+	targets, err := targetsParam(v, r)
+	if err != nil {
+		return nil, "", err
+	}
+	specs := r.URL.Query()["edit"]
+	if len(specs) == 0 {
+		return nil, "", badRequest("no scenarios: pass ?edit=name=Act*1.5;Act+3h;parallel (repeatable)")
+	}
+	edits := make([]flowsched.ScenarioEdit, 0, len(specs))
+	for _, spec := range specs {
+		e, err := flowsched.ParseScenarioEdit(spec)
+		if err != nil {
+			return nil, "", badRequest("%v", err)
+		}
+		edits = append(edits, e)
+	}
+	rep, err := v.Scenarios(targets, edits, flowsched.ScenarioOptions{})
+	if err != nil {
+		return nil, "", err
+	}
+	if r.URL.Query().Get("format") == "json" {
+		return jsonBody(rep)
+	}
+	return textBody(rep.Render())
+}
+
+func renderPredict(v *flowsched.ProjectView, r *http.Request) ([]byte, string, error) {
+	activity := r.URL.Query().Get("activity")
+	if activity == "" {
+		return nil, "", badRequest("missing activity: pass ?activity=Name")
+	}
+	alpha, err := qFloat(r, "alpha", 0)
+	if err != nil {
+		return nil, "", err
+	}
+	size, err := qFloat(r, "size", 0)
+	if err != nil {
+		return nil, "", err
+	}
+	var sizes []float64
+	if raw := r.URL.Query().Get("sizes"); raw != "" {
+		for _, part := range strings.Split(raw, ",") {
+			f, err := strconv.ParseFloat(part, 64)
+			if err != nil {
+				return nil, "", badRequest("bad sizes element %q", part)
+			}
+			sizes = append(sizes, f)
+		}
+	}
+	pr, err := v.PredictDuration(activity, flowsched.PredictOptions{
+		Method: r.URL.Query().Get("method"), Alpha: alpha,
+		Size: size, Sizes: sizes,
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	return jsonBody(pr)
+}
+
+func renderVersion(v *flowsched.ProjectView, _ *http.Request) ([]byte, string, error) {
+	return jsonBody(struct {
+		StoreVersion uint64    `json:"storeVersion"`
+		PlanVersion  int       `json:"planVersion"`
+		Now          time.Time `json:"now"`
+	}{v.Version(), v.PlanVersion(), v.Now()})
+}
+
+// metrics serves the server's own registry followed by the project's
+// registry in one Prometheus text page.
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, s.reg.PromText())
+	fmt.Fprint(w, s.p.MetricsText())
+}
+
+func (s *Server) trace(w http.ResponseWriter, r *http.Request) {
+	depth, err := qInt(r, "depth", 0)
+	if err != nil {
+		http.Error(w, err.Error(), errCode(err))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, s.p.TraceTree(depth))
+}
+
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	since, err := qInt(r, "since", 0)
+	if err != nil {
+		http.Error(w, err.Error(), errCode(err))
+		return
+	}
+	evs := s.p.EventsSince(since)
+	if evs == nil {
+		evs = []flowsched.Event{}
+	}
+	body, ctype, err := jsonBody(struct {
+		Since  int               `json:"since"`
+		Events []flowsched.Event `json:"events"`
+	}{since, evs})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", ctype)
+	w.Write(body)
+}
+
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"now\":%q}\n", s.p.Now().Format(time.RFC3339))
+}
+
+func qInt(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, badRequest("bad %s %q: want integer", name, raw)
+	}
+	return n, nil
+}
+
+func qInt64(r *http.Request, name string, def int64) (int64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, badRequest("bad %s %q: want integer", name, raw)
+	}
+	return n, nil
+}
+
+func qFloat(r *http.Request, name string, def float64) (float64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	f, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, badRequest("bad %s %q: want number", name, raw)
+	}
+	return f, nil
+}

@@ -17,6 +17,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -176,7 +177,12 @@ func (t *SimTool) synthesize(inputs map[string][]byte, iteration int, rng *rand.
 // An activity may carry several interchangeable instances (a simulator
 // farm, two license pools): the first is active, the rest are failover
 // alternates the engine rotates to when runs keep failing.
+//
+// A Registry is safe for concurrent use: the serving layer reads
+// bindings (For, Bound) while an executing run may Rotate to an
+// alternate or rebind after a fault.
 type Registry struct {
+	mu         sync.RWMutex
 	byActivity map[string]*binding
 }
 
@@ -199,6 +205,8 @@ func (r *Registry) Bind(activity string, t Tool) error {
 	if t == nil {
 		return fmt.Errorf("tools: nil tool for activity %q", activity)
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.byActivity[activity] = &binding{instances: []Tool{t}}
 	return nil
 }
@@ -211,9 +219,15 @@ func (r *Registry) AddAlternate(activity string, t Tool) error {
 	if t == nil {
 		return fmt.Errorf("tools: nil tool for activity %q", activity)
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	b := r.byActivity[activity]
 	if b == nil {
-		return r.Bind(activity, t)
+		if activity == "" {
+			return fmt.Errorf("tools: empty activity")
+		}
+		r.byActivity[activity] = &binding{instances: []Tool{t}}
+		return nil
 	}
 	for _, have := range b.instances {
 		if have.Instance() == t.Instance() {
@@ -226,6 +240,8 @@ func (r *Registry) AddAlternate(activity string, t Tool) error {
 
 // For returns the active tool bound to an activity, or nil.
 func (r *Registry) For(activity string) Tool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	b := r.byActivity[activity]
 	if b == nil {
 		return nil
@@ -236,6 +252,8 @@ func (r *Registry) For(activity string) Tool {
 // Bound returns all instances bound to an activity, active first in
 // rotation order.
 func (r *Registry) Bound(activity string) []Tool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	b := r.byActivity[activity]
 	if b == nil {
 		return nil
@@ -251,6 +269,8 @@ func (r *Registry) Bound(activity string) []Tool {
 // returns the newly active tool. With fewer than two instances it
 // reports rotated=false and leaves the binding alone.
 func (r *Registry) Rotate(activity string) (t Tool, rotated bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	b := r.byActivity[activity]
 	if b == nil {
 		return nil, false
@@ -268,6 +288,8 @@ func (r *Registry) Rotate(activity string) (t Tool, rotated bool) {
 // alternative tool profiles.
 func (r *Registry) Clone() *Registry {
 	c := NewRegistry()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	for a, b := range r.byActivity {
 		c.byActivity[a] = &binding{
 			instances: append([]Tool(nil), b.instances...),
@@ -279,6 +301,8 @@ func (r *Registry) Clone() *Registry {
 
 // Activities returns the bound activities, sorted.
 func (r *Registry) Activities() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make([]string, 0, len(r.byActivity))
 	for a := range r.byActivity {
 		out = append(out, a)

@@ -1,0 +1,173 @@
+package flowsched
+
+import (
+	"fmt"
+	"time"
+
+	"flowsched/internal/engine"
+	"flowsched/internal/obs"
+	"flowsched/internal/query"
+	"flowsched/internal/report"
+	"flowsched/internal/scenario"
+	"flowsched/internal/store"
+)
+
+// ProjectView is a read-only facade pinned to one snapshot of the task
+// database: every method answers from the same moment, so a set of
+// reads taken through one view is mutually consistent even while the
+// project keeps planning and executing on other goroutines. Views are
+// cheap (O(containers), no entry copying) and safe for concurrent use;
+// take a fresh one whenever "now" should advance.
+//
+// The view decodes the tracked plan from the snapshot rather than
+// sharing the project's live plan pointer — slip propagation mutates
+// the live plan in place, and a view must never observe that.
+type ProjectView struct {
+	m    *engine.Manager
+	view *store.View
+	plan *Plan // decoded from the snapshot; nil before first Plan
+	now  time.Time
+	obs  *obs.Obs
+}
+
+// View captures the project's current state as a consistent read-only
+// view: one store snapshot, the plan as recorded in that snapshot, and
+// the virtual now at capture time.
+func (p *Project) View() (*ProjectView, error) {
+	v := p.mgr.DB.Snapshot()
+	m := p.mgr.AtView(v)
+	_, plan, err := m.Sched.CurrentPlan()
+	if err != nil {
+		return nil, fmt.Errorf("flowsched: view: %w", err)
+	}
+	return &ProjectView{m: m, view: v, plan: plan, now: m.Clock.Now(), obs: p.obs}, nil
+}
+
+// Version is the store snapshot version the view is pinned to. It
+// increases with every task-database mutation, so two views with equal
+// versions observed the identical Level 3 state.
+func (v *ProjectView) Version() uint64 { return v.view.Version() }
+
+// Now is the virtual time captured with the snapshot.
+func (v *ProjectView) Now() time.Time { return v.now }
+
+// HasPlan reports whether the snapshot contains a tracked plan.
+func (v *ProjectView) HasPlan() bool { return v.plan != nil }
+
+// PlanVersion is the snapshot's tracked plan version (0 before planning).
+func (v *ProjectView) PlanVersion() int {
+	if v.plan == nil {
+		return 0
+	}
+	return v.plan.Version
+}
+
+// Targets returns the snapshot plan's target data classes (nil before
+// planning). The slice is a copy.
+func (v *ProjectView) Targets() []string {
+	if v.plan == nil {
+		return nil
+	}
+	return append([]string(nil), v.plan.Targets...)
+}
+
+// needPlan guards the plan-scoped read surfaces.
+func (v *ProjectView) needPlan() error {
+	if v.plan == nil {
+		return fmt.Errorf("flowsched: no plan in snapshot")
+	}
+	return nil
+}
+
+// Status reports plan-versus-actual state per activity as captured.
+func (v *ProjectView) Status() ([]ActivityStatus, error) {
+	if err := v.needPlan(); err != nil {
+		return nil, err
+	}
+	return statusOf(v.m, v.plan, v.now)
+}
+
+// Gantt renders the snapshot plan's Gantt chart.
+func (v *ProjectView) Gantt() (string, error) {
+	if err := v.needPlan(); err != nil {
+		return "", err
+	}
+	return report.Chart(v.m, v.plan, v.now)
+}
+
+// TaskTreeView renders the task tree with per-node schedule state.
+func (v *ProjectView) TaskTreeView(targets ...string) (string, error) {
+	tree, err := v.m.ExtractTree(targets...)
+	if err != nil {
+		return "", err
+	}
+	return report.TaskTree(v.m, tree, v.plan), nil
+}
+
+// Dashboard renders the one-page project view from the snapshot.
+func (v *ProjectView) Dashboard() (string, error) {
+	if err := v.needPlan(); err != nil {
+		return "", err
+	}
+	return dashboardOf(v.m, v.plan, v.now)
+}
+
+// Analyze runs CPM/PERT over the snapshot plan.
+func (v *ProjectView) Analyze() (*CPMResult, error) {
+	if err := v.needPlan(); err != nil {
+		return nil, err
+	}
+	return analyzeOf(v.m, v.plan)
+}
+
+// Query answers a textual §IV.B query against the snapshot.
+func (v *ProjectView) Query(text string) (string, error) {
+	eng, err := query.New(v.m.Sched, v.m.Exec)
+	if err != nil {
+		return "", err
+	}
+	return eng.Eval(text)
+}
+
+// MilestoneReport scores the snapshot plan's milestones.
+func (v *ProjectView) MilestoneReport() ([]MilestoneStatus, error) {
+	if err := v.needPlan(); err != nil {
+		return nil, err
+	}
+	return v.m.Sched.MilestoneReport(v.plan)
+}
+
+// StatusReport renders the periodic manager's report for [from, to)
+// against the snapshot.
+func (v *ProjectView) StatusReport(from, to time.Time) (string, error) {
+	return report.StatusReport(v.m, v.plan, from, to)
+}
+
+// SimulateRiskWith runs a Monte-Carlo schedule risk analysis from the
+// snapshot's virtual now. The stochastic model is derived from the live
+// tool bindings (tools are session configuration, not Level 3 state).
+func (v *ProjectView) SimulateRiskWith(targets []string, opt RiskOptions) (*RiskResult, error) {
+	return riskOf(v.m, v.obs, v.now, targets, opt)
+}
+
+// Scenarios runs a what-if sweep with every fork pinned to the view's
+// snapshot, so the sweep compares scenarios against one observed moment
+// even while the project keeps executing.
+func (v *ProjectView) Scenarios(targets []string, edits []ScenarioEdit, opt ScenarioOptions) (*ScenarioReport, error) {
+	if opt.Obs == nil {
+		opt.Obs = v.obs
+	}
+	opt.BaseView = v.view
+	return scenario.Sweep(v.m, targets, edits, opt)
+}
+
+// PredictDuration estimates an activity's next duration from the
+// snapshot's completed schedule history.
+func (v *ProjectView) PredictDuration(activity string, opt PredictOptions) (*Prediction, error) {
+	return predictOf(v.m, activity, opt)
+}
+
+// EvaluatePredictor back-tests a predictor over the snapshot's history.
+func (v *ProjectView) EvaluatePredictor(activity string, opt PredictOptions, warmup int) (PredictorAccuracy, error) {
+	return evaluateOf(v.m, activity, opt, warmup)
+}
