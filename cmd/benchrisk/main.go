@@ -9,11 +9,21 @@
 //	benchrisk -workers 1 -label serial-only         # force the serial path
 //	benchrisk -out /tmp/b.json -trials 1000,10000   # custom sweep
 //	benchrisk -obs -label overhead                  # plain vs instrumented, BENCH_obs.json
+//	benchrisk -incremental -label memo              # cold vs warm-after-edit
 //
 // With -obs each sweep point is measured twice — the plain engine and
 // the same engine under the full observability layer (metrics +
 // per-shard spans) — and the entry records both plus the overhead
 // percentage, appending to BENCH_obs.json by default.
+//
+// With -incremental each sweep point measures the subtree trial-stream
+// memo over the chip-scale SoC network (-blocks ASIC-flow replicas plus
+// a top-level assembly chain): a cold simulation versus a warm
+// re-simulation after a single-activity edit (the memo primed with the
+// baseline), in both exact and sketch mode. The warm run re-samples
+// only the edited subtree — results are bit-identical to a cold run of
+// the edited model — and the entry records the wall-clock speedup plus
+// the deterministic sampled/reused activity-trial counts.
 //
 // The workload is the E6 exhibit's ASIC-flow model (the repo's
 // heaviest risk network), so the numbers line up with
@@ -50,6 +60,22 @@ type sweepPoint struct {
 	OverheadPct float64 `json:"overhead_pct,omitempty"`
 }
 
+// incrementalPoint is one measured -incremental cell: cold full
+// simulation vs warm re-simulation after one activity edit. The trial
+// counts are deterministic (they follow from the model's subtree
+// structure); the timings are this machine's.
+type incrementalPoint struct {
+	Trials  int    `json:"trials"`
+	Mode    string `json:"mode"` // "exact" or "sketch"
+	ColdNs  int64  `json:"cold_ns_per_op"`
+	WarmNs  int64  `json:"warm_ns_per_op"`
+	Speedup float64 `json:"speedup"`
+	// Activity-trials the warm run drew fresh vs served from the memo;
+	// sampled+reused = activities × trials.
+	WarmSampled int64 `json:"warm_sampled_activity_trials"`
+	WarmReused  int64 `json:"warm_reused_activity_trials"`
+}
+
 // entry is one benchrisk invocation.
 type entry struct {
 	Label     string       `json:"label"`
@@ -58,7 +84,9 @@ type entry struct {
 	GOOS      string       `json:"goos"`
 	GOARCH    string       `json:"goarch"`
 	CPUs      int          `json:"cpus"`
-	Results   []sweepPoint `json:"results"`
+	Results   []sweepPoint `json:"results,omitempty"`
+	// Incremental holds -incremental mode's cold-vs-warm points.
+	Incremental []incrementalPoint `json:"incremental,omitempty"`
 }
 
 // file is the BENCH_risk.json document.
@@ -74,6 +102,9 @@ func main() {
 	workersFlag := flag.String("workers", "", "comma-separated worker counts (default \"1,<cores>\")")
 	seed := flag.Int64("seed", 1995, "simulation seed")
 	obsMode := flag.Bool("obs", false, "also measure the instrumented engine and record the overhead")
+	incremental := flag.Bool("incremental", false, "measure cold vs warm-after-edit with the subtree trial-stream memo")
+	editAct := flag.String("edit", "b2.DRC", "activity to perturb in -incremental mode")
+	blocks := flag.Int("blocks", 4, "SoC block count for the -incremental workload")
 	flag.Parse()
 	if *out == "" {
 		if *obsMode {
@@ -118,6 +149,26 @@ func main() {
 		GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
 		CPUs: runtime.NumCPU(),
 	}
+	if *incremental {
+		// The incremental workload is the chip-scale SoC network — the
+		// regime the memo targets: one edited block subtree amid many
+		// untouched ones.
+		if models, err = report.SoCRiskModels(*blocks); err != nil {
+			fatal("%v", err)
+		}
+		for _, n := range trials {
+			for _, sketch := range []bool{false, true} {
+				p := measureIncremental(models, n, *seed, sketch, *editAct)
+				fmt.Printf("trials=%-8d mode=%-6s cold %12d ns/op  warm %12d ns/op  speedup %5.1fx  (sampled %d, reused %d)\n",
+					p.Trials, p.Mode, p.ColdNs, p.WarmNs, p.Speedup, p.WarmSampled, p.WarmReused)
+				e.Incremental = append(e.Incremental, p)
+			}
+		}
+		doc.Benchmarks = append(doc.Benchmarks, e)
+		writeDoc(*out, doc)
+		fmt.Printf("appended entry %q to %s\n", *label, *out)
+		return
+	}
 	for _, w := range workers {
 		for _, n := range trials {
 			cfg := monte.Config{Trials: n, Seed: *seed, Workers: w}
@@ -143,14 +194,82 @@ func main() {
 	}
 
 	doc.Benchmarks = append(doc.Benchmarks, e)
+	writeDoc(*out, doc)
+	fmt.Printf("appended entry %q to %s\n", *label, *out)
+}
+
+func writeDoc(path string, doc file) {
 	blob, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fatal("%v", err)
 	}
-	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
 		fatal("%v", err)
 	}
-	fmt.Printf("appended entry %q to %s\n", *label, *out)
+}
+
+// measureIncremental times a cold simulation of the edited model against
+// a warm one whose memo was primed with the baseline — the serving
+// pattern after a single-activity edit. Priming happens off the clock
+// each iteration so the warm number is always first-edit, never
+// full-hit.
+func measureIncremental(base []monte.ActivityModel, trials int, seed int64, sketch bool, editAct string) incrementalPoint {
+	edited := make([]monte.ActivityModel, len(base))
+	copy(edited, base)
+	found := false
+	for i := range edited {
+		if edited[i].Name == editAct {
+			edited[i].Mode = edited[i].Mode * 13 / 10
+			edited[i].Max = edited[i].Max * 13 / 10
+			found = true
+		}
+	}
+	if !found {
+		fatal("-edit activity %q not in the model", editAct)
+	}
+	mode := "exact"
+	if sketch {
+		mode = "sketch"
+	}
+	cfg := monte.Config{Trials: trials, Seed: seed, Sketch: sketch}
+	cold := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := monte.Simulate(edited, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// Size the memo for the workload: two generations of every activity
+	// stream (baseline + edited), so the 1M-trial points never evict
+	// mid-prime and the warm number measures reuse, not budget pressure.
+	memoBytes := 2 * int64(len(base)) * (int64(trials)*8 + 96)
+	var sampled, reused int64
+	warm := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			memo := monte.NewMemo(memoBytes)
+			primed := cfg
+			primed.Memo = memo
+			if _, err := monte.Simulate(base, primed); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			res, err := monte.Simulate(edited, primed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sampled, reused = res.SampledActivityTrials, res.ReusedActivityTrials
+		}
+	})
+	p := incrementalPoint{
+		Trials: trials, Mode: mode,
+		ColdNs: cold.NsPerOp(), WarmNs: warm.NsPerOp(),
+		WarmSampled: sampled, WarmReused: reused,
+	}
+	if p.WarmNs > 0 {
+		p.Speedup = float64(p.ColdNs) / float64(p.WarmNs)
+	}
+	return p
 }
 
 // measure times one Simulate configuration, returning ns/op and the

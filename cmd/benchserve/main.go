@@ -10,6 +10,13 @@
 // each request served from the per-snapshot memo), over the cheap
 // /dashboard render and the expensive /risk Monte-Carlo render.
 //
+// A third mode, edit-read, interleaves an unrelated store mutation
+// before every /risk read, so each request lands on a fresh store
+// version and the per-snapshot memo can never hit. Only the
+// fingerprint tier — keyed on the risk inputs rather than the snapshot
+// — keeps the Monte-Carlo off the hot path; the cell records what
+// fraction of reads it absorbed.
+//
 //	benchserve -label after-serve                # append to BENCH_serve.json
 //	benchserve -clients 1,4,16 -dur 2s           # custom sweep
 //	benchserve -out /tmp/b.json                  # write elsewhere
@@ -28,6 +35,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"flowsched"
@@ -37,12 +45,16 @@ import (
 // cell is one measured (route, mode, clients) combination.
 type cell struct {
 	Route     string  `json:"route"`
-	Mode      string  `json:"mode"` // "cold" (cache off) or "cached" (warmed)
+	Mode      string  `json:"mode"` // "cold" (cache off), "cached" (warmed), or "edit-read"
 	Clients   int     `json:"clients"`
 	Requests  int     `json:"requests"`
 	ReqPerSec float64 `json:"req_per_sec"`
 	P50Ms     float64 `json:"p50_ms"`
 	P99Ms     float64 `json:"p99_ms"`
+	// FingerprintHitPct is the share of requests the fingerprint tier
+	// answered (edit-read mode only): reads that skipped the simulation
+	// even though every one of them saw a fresh store version.
+	FingerprintHitPct float64 `json:"fingerprint_hit_pct,omitempty"`
 }
 
 // entry is one benchserve invocation.
@@ -110,11 +122,47 @@ func main() {
 				}
 			}
 			for _, n := range clients {
-				c := hammer(base, route, mode, n, *dur)
+				c := hammer(base, route, mode, n, *dur, nil)
 				fmt.Printf("%-28s %-7s clients=%-3d %9.0f req/s  p50 %7.3f ms  p99 %7.3f ms\n",
 					route, mode, n, c.ReqPerSec, c.P50Ms, c.P99Ms)
 				e.Results = append(e.Results, c)
 			}
+		}
+		shutdown()
+	}
+
+	// edit-read: a store mutation before every /risk read. The mutation
+	// (a milestone write) advances the store version but leaves the risk
+	// inputs alone, so the per-snapshot memo misses on every request and
+	// the fingerprint tier is the only thing between the reader and a
+	// fresh Monte-Carlo run.
+	{
+		base, shutdown, err := startServer(p, false)
+		if err != nil {
+			fatal("%v", err)
+		}
+		route := routes[1]
+		if err := getOnce(base + route); err != nil {
+			fatal("warm %s: %v", route, err)
+		}
+		var seq atomic.Int64
+		edit := func() {
+			target := time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC).
+				Add(time.Duration(seq.Add(1)) * time.Second)
+			if err := p.SetMilestone("bench-edit", "performance", target); err != nil {
+				fatal("edit: %v", err)
+			}
+		}
+		for _, n := range clients {
+			h0 := scrapeCounter(base, "risk_fingerprint_hits_total")
+			c := hammer(base, route, "edit-read", n, *dur, edit)
+			h1 := scrapeCounter(base, "risk_fingerprint_hits_total")
+			if c.Requests > 0 {
+				c.FingerprintHitPct = 100 * float64(h1-h0) / float64(c.Requests)
+			}
+			fmt.Printf("%-28s %-7s clients=%-3d %9.0f req/s  p50 %7.3f ms  p99 %7.3f ms  fp-hit %5.1f%%\n",
+				route, c.Mode, n, c.ReqPerSec, c.P50Ms, c.P99Ms, c.FingerprintHitPct)
+			e.Results = append(e.Results, c)
 		}
 		shutdown()
 	}
@@ -167,8 +215,11 @@ func startServer(p *flowsched.Project, disableCache bool) (string, func(), error
 }
 
 // hammer runs n closed-loop clients against one route for the window
-// and reduces their per-request latencies to throughput and tails.
-func hammer(base, route, mode string, n int, window time.Duration) cell {
+// and reduces their per-request latencies to throughput and tails. A
+// non-nil pre runs before every request (off the latency clock for the
+// mutation itself would be dishonest — the edit is part of the
+// workload, so it is timed with the read).
+func hammer(base, route, mode string, n int, window time.Duration, pre func()) cell {
 	perClient := make([][]time.Duration, n)
 	deadline := time.Now().Add(window)
 	var wg sync.WaitGroup
@@ -179,6 +230,9 @@ func hammer(base, route, mode string, n int, window time.Duration) cell {
 			client := &http.Client{}
 			for time.Now().Before(deadline) {
 				t0 := time.Now()
+				if pre != nil {
+					pre()
+				}
 				if err := getWith(client, base+route); err != nil {
 					fatal("GET %s: %v", route, err)
 				}
@@ -204,6 +258,30 @@ func hammer(base, route, mode string, n int, window time.Duration) cell {
 }
 
 func getOnce(url string) error { return getWith(http.DefaultClient, url) }
+
+// scrapeCounter reads one counter off the server's /metrics page.
+func scrapeCounter(base, name string) int64 {
+	res, err := http.Get(base + "/metrics")
+	if err != nil {
+		fatal("GET /metrics: %v", err)
+	}
+	defer res.Body.Close()
+	blob, err := io.ReadAll(res.Body)
+	if err != nil {
+		fatal("read /metrics: %v", err)
+	}
+	for _, line := range strings.Split(string(blob), "\n") {
+		f := strings.Fields(line)
+		if len(f) == 2 && f[0] == name {
+			v, err := strconv.ParseInt(f[1], 10, 64)
+			if err != nil {
+				fatal("bad %s value %q", name, f[1])
+			}
+			return v
+		}
+	}
+	return 0
+}
 
 func getWith(c *http.Client, url string) error {
 	res, err := c.Get(url)

@@ -7,7 +7,7 @@
 //	benchstore -label after-cow                  # full sweep, append
 //	benchstore -entries 1000,100000 -out /tmp/b.json
 //
-// Two families are measured:
+// Three families are measured:
 //
 //   - store: Snapshot and ForkAt over databases of growing entry count,
 //     against the pre-refactor way to get an isolated copy (JSON
@@ -16,6 +16,12 @@
 //   - scenarios: a what-if sweep over the ASIC flow (the E8 exhibit's
 //     workload) across worker counts; outcomes are bit-identical for
 //     every worker count, only the wall time moves.
+//   - risk_sweeps: the same sweep with the Monte-Carlo risk dimension
+//     on, across scenario counts. The baseline simulation is shared
+//     through the subtree trial-stream memo, so the sampled
+//     activity-trial count grows with the edited subtrees while the
+//     naive cost ((scenarios+1) × activities × trials) grows with the
+//     scenario count — the gap is the memo's savings.
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 	"time"
 
 	"flowsched/internal/engine"
+	"flowsched/internal/monte"
 	"flowsched/internal/scenario"
 	"flowsched/internal/store"
 	"flowsched/internal/vclock"
@@ -56,6 +63,26 @@ type scenarioPoint struct {
 	NsPerOp    int64 `json:"ns_per_op"`
 }
 
+// riskSweepPoint measures the sweep's risk dimension at one scenario
+// count. Every activity-trial a scenario simulation needs is either
+// sampled fresh or served from the shared memo, so sampled+reused is
+// exactly the naive cold cost — the reused share is the saving.
+type riskSweepPoint struct {
+	Scenarios     int     `json:"scenarios"`
+	Trials        int     `json:"trials"`
+	NsPerOp       int64   `json:"ns_per_op"`
+	SampledTrials int64   `json:"sampled_activity_trials"`
+	ReusedTrials  int64   `json:"reused_activity_trials"`
+	NaiveTrials   int64   `json:"naive_activity_trials"`
+	SavingsPct    float64 `json:"sampling_savings_pct"`
+	// NoRiskNs is the same sweep with the risk dimension off, and
+	// ColdSimNs one cold simulation of the baseline model — so the
+	// pre-memo cost of adding risk to the sweep reconstructs as
+	// NoRiskNs + (scenarios+1)×ColdSimNs, against NsPerOp measured.
+	NoRiskNs  int64 `json:"no_risk_ns_per_op"`
+	ColdSimNs int64 `json:"cold_sim_ns_per_op"`
+}
+
 // entry is one benchstore invocation.
 type entry struct {
 	Label     string          `json:"label"`
@@ -66,6 +93,8 @@ type entry struct {
 	CPUs      int             `json:"cpus"`
 	Store     []storePoint    `json:"store"`
 	Scenarios []scenarioPoint `json:"scenarios"`
+	// RiskSweeps holds the risk-dimension scaling family.
+	RiskSweeps []riskSweepPoint `json:"risk_sweeps,omitempty"`
 }
 
 // file is the BENCH_scenarios.json document.
@@ -80,6 +109,8 @@ func main() {
 	entriesFlag := flag.String("entries", "100,1000,10000", "comma-separated store entry counts")
 	containers := flag.Int("containers", 16, "containers in the benchmark store")
 	workersFlag := flag.String("workers", "", "comma-separated scenario worker counts (default \"1,<cores>\")")
+	scenariosFlag := flag.String("scenarios", "5,25,100", "comma-separated scenario counts for the risk-dimension sweep")
+	riskTrials := flag.Int("risktrials", 1000, "Monte-Carlo trials per scenario in the risk-dimension sweep")
 	flag.Parse()
 
 	entrySweep, err := parseInts(*entriesFlag)
@@ -94,6 +125,10 @@ func main() {
 		fatal("bad -workers: %v", err)
 	}
 	workers = dedupe(workers)
+	scenarioCounts, err := parseInts(*scenariosFlag)
+	if err != nil {
+		fatal("bad -scenarios: %v", err)
+	}
 
 	doc := file{Description: "Copy-on-write store and scenario-engine trajectory (cmd/benchstore: Snapshot/ForkAt vs JSON clone, what-if sweeps over the E8 ASIC workload)"}
 	if blob, err := os.ReadFile(*out); err == nil {
@@ -132,6 +167,47 @@ func main() {
 		p := scenarioPoint{Scenarios: len(edits) + 1, Workers: w, Iterations: iters, NsPerOp: ns}
 		fmt.Printf("whatif  scenarios=%-2d workers=%-2d %12d ns/op\n", p.Scenarios, w, ns)
 		e.Scenarios = append(e.Scenarios, p)
+	}
+
+	for _, sc := range scenarioCounts {
+		m := asicManager()
+		edits := riskEdits(sc)
+		targets := m.Schema.PrimaryOutputs()
+		opt := scenario.Options{Risk: &scenario.RiskSpec{Trials: *riskTrials, Seed: 1995}}
+		var rep *scenario.Report
+		ns, _ := measure(func() error {
+			r, err := scenario.Sweep(m, targets, edits, opt)
+			rep = r
+			return err
+		})
+		p := riskSweepPoint{
+			Scenarios: sc, Trials: *riskTrials, NsPerOp: ns,
+			SampledTrials: rep.RiskSampledTrials,
+			ReusedTrials:  rep.RiskReusedTrials,
+			NaiveTrials:   rep.RiskSampledTrials + rep.RiskReusedTrials,
+		}
+		if p.NaiveTrials > 0 {
+			p.SavingsPct = 100 * float64(p.ReusedTrials) / float64(p.NaiveTrials)
+		}
+		p.NoRiskNs, _ = measure(func() error {
+			_, err := scenario.Sweep(m, targets, edits, scenario.Options{})
+			return err
+		})
+		tree, err := m.ExtractTree(targets...)
+		if err != nil {
+			fatal("%v", err)
+		}
+		models, err := scenario.RiskModels(m, tree)
+		if err != nil {
+			fatal("%v", err)
+		}
+		p.ColdSimNs, _ = measure(func() error {
+			_, err := monte.Simulate(models, monte.Config{Trials: *riskTrials, Seed: 1995})
+			return err
+		})
+		fmt.Printf("risk    scenarios=%-3d trials=%-6d %12d ns/op  sampled %-8d reused %-8d (%.1f%% saved)  norisk %d ns  coldsim %d ns\n",
+			sc, *riskTrials, ns, p.SampledTrials, p.ReusedTrials, p.SavingsPct, p.NoRiskNs, p.ColdSimNs)
+		e.RiskSweeps = append(e.RiskSweeps, p)
 	}
 
 	doc.Benchmarks = append(doc.Benchmarks, e)
@@ -194,6 +270,22 @@ func asicManager() *engine.Manager {
 		}
 	}
 	return m
+}
+
+// riskEdits builds n single-activity perturbations cycling over the
+// ASIC flow's late-stage activities — the memo's target regime, where
+// each scenario dirties a shallow subtree and the baseline's upstream
+// trial streams carry the rest.
+func riskEdits(n int) []scenario.Edit {
+	acts := []string{"DRC", "LVS", "STA", "GateSim", "Extract"}
+	edits := make([]scenario.Edit, n)
+	for i := range edits {
+		edits[i] = scenario.Edit{
+			Name:  fmt.Sprintf("s%03d", i),
+			Scale: map[string]float64{acts[i%len(acts)]: 1 + 0.01*float64(i+1)},
+		}
+	}
+	return edits
 }
 
 func sweepEdits() []scenario.Edit {

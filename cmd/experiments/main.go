@@ -1,5 +1,5 @@
 // Command experiments regenerates every exhibit of the paper — Table I
-// and Figures 1–8 — plus the quantitative experiments E1–E9 described in
+// and Figures 1–8 — plus the quantitative experiments E1–E9 and E11 described in
 // DESIGN.md.
 //
 //	experiments               # print every exhibit to stdout
@@ -40,11 +40,14 @@ func exhibits() []exhibit {
 		{"e7", report.E7Observability},
 		{"e8", report.E8Scenarios},
 		{"e9", report.E9FaultTolerance},
+		// e10 (HTTP serving under load) is bench-backed only — see
+		// cmd/benchserve and EXPERIMENTS.md.
+		{"e11", report.E11IncrementalRisk},
 	}
 }
 
 func main() {
-	which := flag.String("exhibit", "all", "exhibit to regenerate (all, tableI, fig1..fig8, e1..e9)")
+	which := flag.String("exhibit", "all", "exhibit to regenerate (all, tableI, fig1..fig8, e1..e9, e11)")
 	list := flag.Bool("list", false, "list exhibit names and exit")
 	flag.Parse()
 

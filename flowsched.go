@@ -170,6 +170,10 @@ type Project struct {
 	plan   *Plan       // current tracked plan, nil before first Plan
 	obs    *obs.Obs    // nil unless Options.Obs.Enabled
 	faults *fault.Plan // nil unless InjectFaults
+	// riskMemo caches per-subtree Monte-Carlo trial streams across the
+	// project's risk analyses (and, shared by pointer, its forks' — the
+	// memo keys on subtree content, so reuse across forks is sound).
+	riskMemo *monte.Memo
 }
 
 // New creates a project from schema DSL source.
@@ -196,7 +200,7 @@ func NewFromSchema(sch *Schema, opt Options) (*Project, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Project{mgr: m}
+	p := &Project{mgr: m, riskMemo: monte.NewMemo(0)}
 	if opt.Obs.Enabled {
 		p.obs = obs.NewWith(obs.NewRegistry(), obs.NewTracer(opt.Obs.MaxSpans))
 		m.Instrument(p.obs)
@@ -736,6 +740,15 @@ type RiskOptions struct {
 	// the serial path. The result is bit-identical for every value —
 	// trials are sharded deterministically (see docs/risk.md).
 	Workers int
+	// Sketch answers percentiles from a mergeable deterministic
+	// quantile sketch instead of materializing and sorting every trial
+	// — the constant-memory path for very large trial counts, with a
+	// versioned bounded-error contract (see docs/risk.md).
+	Sketch bool
+	// NoReuse disables the project's subtree trial-stream memo for this
+	// call, forcing a cold simulation. Results are bit-identical either
+	// way; the memo only skips redundant sampling.
+	NoReuse bool
 }
 
 // SimulateRisk runs a Monte-Carlo schedule risk analysis for the targets:
@@ -752,58 +765,72 @@ func (p *Project) SimulateRisk(targets []string, trials int, seed int64) (*RiskR
 	return p.SimulateRiskWith(targets, RiskOptions{Trials: trials, Seed: seed})
 }
 
-// SimulateRiskWith is SimulateRisk with full engine options.
+// SimulateRiskWith is SimulateRisk with full engine options. Unless
+// opt.NoReuse is set, the run shares the project's subtree trial-stream
+// memo: re-simulations after an edit re-sample only the subtrees whose
+// fingerprint changed, bit-identical to a cold run.
 func (p *Project) SimulateRiskWith(targets []string, opt RiskOptions) (*RiskResult, error) {
-	return riskOf(p.readMgr(), p.obs, p.Now(), targets, opt)
+	return riskOf(p.readMgr(), p.obs, p.Now(), p.riskMemo, targets, opt)
 }
 
 // riskOf runs the Monte-Carlo analysis against one manager snapshot.
-func riskOf(m *engine.Manager, o *obs.Obs, now time.Time, targets []string, opt RiskOptions) (*RiskResult, error) {
+func riskOf(m *engine.Manager, o *obs.Obs, now time.Time, memo *monte.Memo, targets []string, opt RiskOptions) (*RiskResult, error) {
 	models, err := riskModelsOf(m, targets)
 	if err != nil {
 		return nil, err
 	}
+	if opt.NoReuse {
+		memo = nil
+	}
 	return monte.Simulate(models, monte.Config{
 		Trials: opt.Trials, Seed: opt.Seed, Workers: opt.Workers,
+		Sketch: opt.Sketch, Memo: memo,
 		Obs: o, VirtNow: now,
 	})
 }
 
 // riskModelsOf derives the stochastic activity models for the targets
-// from the bound simulated tools.
+// from the bound simulated tools (see scenario.RiskModels — the sweep's
+// risk dimension and the facade share one derivation).
 func riskModelsOf(m *engine.Manager, targets []string) ([]monte.ActivityModel, error) {
 	tree, err := m.ExtractTree(targets...)
 	if err != nil {
 		return nil, err
 	}
-	type profiled interface{ Profile() tools.Profile }
-	var models []monte.ActivityModel
-	for _, act := range tree.Activities() {
-		tool := m.Tools.For(act)
-		if tool == nil {
-			return nil, fmt.Errorf("flowsched: no tool bound to %q", act)
-		}
-		pt, ok := tool.(profiled)
-		if !ok {
-			return nil, fmt.Errorf("flowsched: tool %s bound to %q exposes no profile; bind a simulated tool for risk analysis",
-				tool.Instance(), act)
-		}
-		prof := pt.Profile()
-		rule := m.Schema.RuleByActivity(act)
-		var preds []string
-		for _, in := range rule.Inputs {
-			if prod := m.Schema.Producer(in); prod != nil && tree.Contains(prod.Activity) {
-				preds = append(preds, prod.Activity)
-			}
-		}
-		min := time.Duration(float64(prof.Base) * (1 - prof.Jitter))
-		max := time.Duration(float64(prof.Base) * (1 + prof.Jitter))
-		models = append(models, monte.ActivityModel{
-			Name: act, Min: min, Mode: prof.Base, Max: max,
-			MeanIterations: prof.MeanIterations, Preds: preds,
-		})
+	return scenario.RiskModels(m, tree)
+}
+
+// RiskFingerprint returns a canonical fingerprint of everything a
+// SimulateRiskWith call's distribution depends on: the derived activity
+// models (tool profiles, schema precedence within the tree) plus the
+// trials, seed, and sketch settings. Two calls whose fingerprints match
+// return bit-identical results, no matter how the underlying store
+// version or virtual clock moved in between — which is what lets a
+// serving layer reuse rendered risk answers across snapshots.
+func (p *Project) RiskFingerprint(targets []string, opt RiskOptions) (string, error) {
+	return riskFingerprintOf(p.readMgr(), targets, opt)
+}
+
+func riskFingerprintOf(m *engine.Manager, targets []string, opt RiskOptions) (string, error) {
+	models, err := riskModelsOf(m, targets)
+	if err != nil {
+		return "", err
 	}
-	return models, nil
+	fp, err := monte.ModelsFingerprint(models)
+	if err != nil {
+		return "", err
+	}
+	trials := opt.Trials
+	if trials <= 0 {
+		trials = 1000
+	}
+	// Sketch mode carries its contract version: a version bump must
+	// never be served from a fingerprint cache of the old contract.
+	sk := 0
+	if opt.Sketch {
+		sk = monte.SketchVersion
+	}
+	return fmt.Sprintf("risk.%016x.t%d.s%d.sk%d", fp, trials, opt.Seed, sk), nil
 }
 
 // What-if scenario types (see internal/scenario).
@@ -837,7 +864,10 @@ func (p *Project) Fork() (*Project, error) {
 	if err != nil {
 		return nil, err
 	}
-	f := &Project{mgr: m}
+	// The fork shares the parent's trial-stream memo: entries key on
+	// subtree content, so an unedited fork's risk analysis is a warm
+	// full hit and an edited fork pays only for its dirty subtrees.
+	f := &Project{mgr: m, riskMemo: p.riskMemo}
 	if p.plan != nil {
 		c := *p.plan
 		c.Targets = append([]string(nil), p.plan.Targets...)
@@ -862,6 +892,13 @@ func (p *Project) Fork() (*Project, error) {
 func (p *Project) Scenarios(targets []string, edits []ScenarioEdit, opt ScenarioOptions) (*ScenarioReport, error) {
 	if opt.Obs == nil {
 		opt.Obs = p.obs
+	}
+	if opt.Risk != nil && opt.Risk.Memo == nil {
+		// Share the project's trial-stream memo so the sweep's baseline
+		// simulation is itself warm when /risk ran first (and vice versa).
+		spec := *opt.Risk
+		spec.Memo = p.riskMemo
+		opt.Risk = &spec
 	}
 	return scenario.Sweep(p.mgr, targets, edits, opt)
 }
@@ -991,7 +1028,7 @@ func Load(snapshot []byte, opt Options) (*Project, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Project{mgr: m}
+	p := &Project{mgr: m, riskMemo: monte.NewMemo(0)}
 	if opt.Obs.Enabled {
 		p.obs = obs.NewWith(obs.NewRegistry(), obs.NewTracer(opt.Obs.MaxSpans))
 		m.Instrument(p.obs)

@@ -1,0 +1,101 @@
+package monte
+
+import "math"
+
+// Canonical risk-model fingerprints. Every activity gets a Merkle-style
+// hash over its *subtree* — the activity's own distribution parameters
+// plus the fingerprints of its predecessors, recursively — so two
+// activities share a fingerprint exactly when their entire predecessor
+// closures are parameter-identical. Because the sampling streams are
+// keyed per activity name (see rng.go) and an activity's finish time is
+// a function of its own draws plus its predecessors' finishes, the
+// per-trial finish samples of an activity are a pure function of
+// (subtree fingerprint, seed, trial count). That is the soundness
+// argument for the trial-stream memo: a fingerprint hit may reuse the
+// cached samples and the composed result is bit-identical to a cold
+// run.
+
+// fnv64a parameters, used for canonical string hashing.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// hashString folds a string into a running fnv64a state.
+func hashString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime
+	}
+	return h
+}
+
+// combine folds one 64-bit value into a running hash. The construction
+// is order-sensitive (combine(combine(h,a),b) != combine(combine(h,b),a)
+// in general), which a Merkle chain needs.
+func combine(h, x uint64) uint64 {
+	return mix64(h ^ (x + golden))
+}
+
+// subtreeFingerprints computes each activity's subtree fingerprint.
+// order must be a producers-first topological order (see topo), so a
+// predecessor's fingerprint is final before any successor folds it in.
+func subtreeFingerprints(acts []ActivityModel, idx map[string]int, order []int) []uint64 {
+	fps := make([]uint64, len(acts))
+	for _, i := range order {
+		a := &acts[i]
+		h := hashString(fnvOffset, a.Name)
+		h = combine(h, uint64(a.Min))
+		h = combine(h, uint64(a.Mode))
+		h = combine(h, uint64(a.Max))
+		h = combine(h, math.Float64bits(a.MeanIterations))
+		for _, p := range a.Preds {
+			h = combine(h, fps[idx[p]])
+		}
+		fps[i] = mix64(h)
+	}
+	return fps
+}
+
+// streamKeys returns each activity's RNG stream key: a hash of the name
+// alone. Streams are keyed by name rather than by subtree fingerprint
+// so that editing an activity leaves its successors' own draws intact —
+// their finish times change only through the edited start times, which
+// is exactly how a cold run of the edited model behaves.
+func streamKeys(acts []ActivityModel) []uint64 {
+	keys := make([]uint64, len(acts))
+	for i := range acts {
+		keys[i] = mix64(hashString(fnvOffset, acts[i].Name))
+	}
+	return keys
+}
+
+// ModelsFingerprint returns a canonical fingerprint of a whole activity
+// network in its listed order. Two model sets with equal fingerprints
+// produce bit-identical Simulate results for equal Configs (Trials,
+// Seed, Sketch settings), for any worker count. The model set is
+// validated exactly like Simulate validates it.
+func ModelsFingerprint(acts []ActivityModel) (uint64, error) {
+	if len(acts) == 0 {
+		return 0, errNoActivities()
+	}
+	idx := make(map[string]int, len(acts))
+	for i, a := range acts {
+		if err := a.validate(); err != nil {
+			return 0, err
+		}
+		if _, dup := idx[a.Name]; dup {
+			return 0, errDuplicate(a.Name)
+		}
+		idx[a.Name] = i
+	}
+	order, err := topo(acts, idx)
+	if err != nil {
+		return 0, err
+	}
+	fps := subtreeFingerprints(acts, idx, order)
+	h := hashString(fnvOffset, "monte.models.v1")
+	for _, fp := range fps {
+		h = combine(h, fp)
+	}
+	return mix64(h), nil
+}

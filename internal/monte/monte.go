@@ -8,6 +8,15 @@
 // package pert with a distribution-free answer, and exposes per-activity
 // criticality (how often each activity lies on the sampled critical
 // path).
+//
+// The engine is incremental: sampling streams are keyed per (seed,
+// shard, activity), every activity carries a canonical fingerprint of
+// its predecessor closure (fingerprint.go), and an optional Memo caches
+// per-subtree trial streams so a re-simulation after an edit re-samples
+// only the subtrees whose fingerprint changed — with the composed
+// result provably bit-identical to a cold full run. An optional
+// mergeable quantile sketch (sketch.go) replaces the sorted Durations
+// slice at large trial counts.
 package monte
 
 import (
@@ -35,6 +44,9 @@ type ActivityModel struct {
 	Preds []string
 }
 
+func errNoActivities() error      { return fmt.Errorf("monte: no activities") }
+func errDuplicate(n string) error { return fmt.Errorf("monte: duplicate activity %q", n) }
+
 func (a ActivityModel) validate() error {
 	if a.Name == "" {
 		return fmt.Errorf("monte: activity with empty name")
@@ -59,6 +71,21 @@ type Config struct {
 	// (runtime.GOMAXPROCS), 1 forces the serial path. The result is
 	// bit-identical for every value — see docs/risk.md.
 	Workers int
+	// Memo, when non-nil, reuses cached per-subtree trial streams and
+	// caches the streams this run samples. Reuse never changes the
+	// result — a warm run is bit-identical to a cold one with the same
+	// Trials/Seed — it only skips sampling for activities whose subtree
+	// fingerprint, seed, and trial count hit the cache.
+	Memo *Memo
+	// Sketch answers the distribution from a mergeable fixed-boundary
+	// quantile sketch instead of materializing and sorting the full
+	// Durations slice — the O(1)-memory path for 1M+-trial runs.
+	// Sketch-mode results follow their own versioned determinism
+	// contract (see Sketch); percentiles carry a bounded relative
+	// error instead of being exact.
+	Sketch bool
+	// SketchBuckets overrides the sketch resolution (default 4096).
+	SketchBuckets int
 	// Obs, when non-nil, records a simulation span, trial counters,
 	// and — for runs whose shards are big enough to amortize the clock
 	// stamps — per-shard spans and timings. Instrumentation never
@@ -74,31 +101,54 @@ type Config struct {
 
 // Result is the outcome of a Monte-Carlo run.
 type Result struct {
-	// Durations holds each trial's project span, sorted ascending.
+	// Durations holds each trial's project span, sorted ascending. Nil
+	// in sketch mode — use the accessor methods, which answer from
+	// Sketch instead.
 	Durations []time.Duration
+	// Sketch holds the project-span distribution when Config.Sketch was
+	// set; nil otherwise.
+	Sketch *Sketch
 	// Criticality maps each activity to the fraction of trials in which
-	// it lay on the critical path.
+	// it lay on the sampled critical path.
 	Criticality map[string]float64
 	// MeanIterObserved maps each activity to the mean sampled iteration
 	// count.
 	MeanIterObserved map[string]float64
+	// SampledActivityTrials counts activity×trial samples this run drew
+	// fresh; ReusedActivityTrials counts those served from the memo.
+	// Sampled+Reused always equals len(acts)×Trials. They describe the
+	// run's cost, not its outcome — two runs with different splits still
+	// return bit-identical distributions — so they are excluded from
+	// serialized results.
+	SampledActivityTrials int64 `json:"-"`
+	ReusedActivityTrials  int64 `json:"-"`
 }
 
-// Mean returns the mean project span.
+// Mean returns the mean project span. The accumulator is float64: an
+// int64 sum of durations overflows around 1M trials of multi-week
+// spans, well inside the sketch-mode regime.
 func (r *Result) Mean() time.Duration {
+	if r.Sketch != nil {
+		return r.Sketch.Mean()
+	}
 	if len(r.Durations) == 0 {
 		return 0
 	}
-	var total time.Duration
+	var total float64
 	for _, d := range r.Durations {
-		total += d
+		total += float64(d)
 	}
-	return total / time.Duration(len(r.Durations))
+	return time.Duration(total / float64(len(r.Durations)))
 }
 
 // Percentile returns the q-quantile (q in [0,1]) of the project span,
-// using nearest-rank rounding over the sorted trials.
+// using nearest-rank rounding over the sorted trials — or, in sketch
+// mode, the sketch's bounded-error estimate under the same rank
+// convention.
 func (r *Result) Percentile(q float64) time.Duration {
+	if r.Sketch != nil {
+		return r.Sketch.Quantile(q)
+	}
 	n := len(r.Durations)
 	if n == 0 {
 		return 0
@@ -113,8 +163,12 @@ func (r *Result) Percentile(q float64) time.Duration {
 }
 
 // ProbWithin returns the empirical probability that the project finishes
-// within the target span.
+// within the target span (sketch mode: a monotone estimate at most one
+// bucket's mass below the exact value).
 func (r *Result) ProbWithin(target time.Duration) float64 {
+	if r.Sketch != nil {
+		return r.Sketch.ProbWithin(target)
+	}
 	if len(r.Durations) == 0 {
 		return 0
 	}
@@ -124,12 +178,20 @@ func (r *Result) ProbWithin(target time.Duration) float64 {
 	return float64(n) / float64(len(r.Durations))
 }
 
+// Trials returns the number of sampled executions behind the result.
+func (r *Result) Trials() int {
+	if r.Sketch != nil {
+		return int(r.Sketch.Count())
+	}
+	return len(r.Durations)
+}
+
 // numShards is the fixed shard count of a simulation. Trials are split
-// into numShards contiguous blocks, each sampled from its own RNG
-// stream, so the set of drawn samples depends only on (Trials, Seed) —
-// never on the worker count — and merges commute. 64 shards keep all
-// cores of any realistic machine busy while staying coarse enough that
-// per-shard setup cost is noise.
+// into numShards contiguous blocks, each activity sampling from its own
+// per-shard RNG stream, so the set of drawn samples depends only on
+// (Trials, Seed) — never on the worker count — and merges commute. 64
+// shards keep all cores of any realistic machine busy while staying
+// coarse enough that per-shard setup cost is noise.
 const numShards = 64
 
 // shardObsMinTrials is the per-shard trial count below which per-shard
@@ -194,16 +256,37 @@ func compileActs(acts []ActivityModel, idx map[string]int) []compiled {
 	return comp
 }
 
+// sketchBounds derives the sketch's static span bounds from the model:
+// every project span is at least the largest single-iteration Min (some
+// activity must run at least one iteration) and at most the sum of
+// every activity's iteration cap times its Max.
+func sketchBounds(acts []ActivityModel, comp []compiled) (lo, hi time.Duration) {
+	var hiF float64
+	for i := range acts {
+		if acts[i].Min > lo {
+			lo = acts[i].Min
+		}
+		hiF += float64(comp[i].limit) * float64(acts[i].Max)
+	}
+	if hiF >= math.MaxInt64 {
+		hi = math.MaxInt64
+	} else {
+		hi = time.Duration(hiF)
+	}
+	return lo, hi
+}
+
 // Simulate runs the Monte-Carlo analysis over the activity network.
 //
 // Trials are partitioned into a fixed number of shards executed on a
-// bounded worker pool (Config.Workers; see internal/par). Each shard
-// draws from its own seed-derived RNG stream, so the returned Result is
-// bit-identical for every worker count, including a 1-worker serial
-// run.
+// bounded worker pool (Config.Workers; see internal/par). Each activity
+// draws from its own seed-derived per-shard RNG stream, so the returned
+// Result is bit-identical for every worker count, including a 1-worker
+// serial run — and, when Config.Memo is set, bit-identical whether an
+// activity's samples were drawn fresh or reused from the cache.
 func Simulate(acts []ActivityModel, cfg Config) (*Result, error) {
 	if len(acts) == 0 {
-		return nil, fmt.Errorf("monte: no activities")
+		return nil, errNoActivities()
 	}
 	idx := make(map[string]int, len(acts))
 	for i, a := range acts {
@@ -211,7 +294,7 @@ func Simulate(acts []ActivityModel, cfg Config) (*Result, error) {
 			return nil, err
 		}
 		if _, dup := idx[a.Name]; dup {
-			return nil, fmt.Errorf("monte: duplicate activity %q", a.Name)
+			return nil, errDuplicate(a.Name)
 		}
 		idx[a.Name] = i
 	}
@@ -222,12 +305,77 @@ func Simulate(acts []ActivityModel, cfg Config) (*Result, error) {
 	if cfg.Trials <= 0 {
 		cfg.Trials = 1000
 	}
+	n := len(acts)
 	comp := compileActs(acts, idx)
+	keys := streamKeys(acts)
 
+	// Probe the memo: cached[i] non-nil means activity i's finish-time
+	// samples for this (fingerprint, seed, trials) are served from the
+	// cache and its RNG stream is never touched. fresh[i] non-nil means
+	// the run materializes the samples it draws so they can seed the
+	// cache afterwards (skipped when a stream cannot fit the budget —
+	// results are identical either way).
+	cached := make([][]time.Duration, n)
+	cachedIters := make([]int64, n)
+	var fresh [][]time.Duration
+	var fps []uint64
+	reused := 0
+	if cfg.Memo != nil {
+		fps = subtreeFingerprints(acts, idx, order)
+		for i := range acts {
+			if f, it, ok := cfg.Memo.lookup(memoKey{fps[i], cfg.Seed, cfg.Trials}); ok {
+				cached[i], cachedIters[i] = f, it
+				reused++
+			}
+		}
+		if reused < n && cfg.Memo.admits(cfg.Trials) {
+			fresh = make([][]time.Duration, n)
+			for i := range acts {
+				if cached[i] == nil {
+					fresh[i] = make([]time.Duration, cfg.Trials)
+				}
+			}
+		}
+	}
+	res, err := simulate(acts, cfg, order, comp, keys, cached, cachedIters, fresh, reused)
+	if err != nil {
+		return nil, err
+	}
+	if fresh != nil {
+		for i := range acts {
+			if fresh[i] != nil {
+				cfg.Memo.insert(memoKey{fps[i], cfg.Seed, cfg.Trials}, fresh[i], res.iterTotals[i])
+			}
+		}
+	}
+	return res.Result, nil
+}
+
+// simResult pairs the public Result with the per-activity iteration
+// totals the memo insert path needs.
+type simResult struct {
+	*Result
+	iterTotals []int64
+}
+
+// simulate is the sharded sampling core shared by the cold and memoized
+// paths.
+func simulate(acts []ActivityModel, cfg Config, order []int,
+	comp []compiled, keys []uint64, cached [][]time.Duration, cachedIters []int64,
+	fresh [][]time.Duration, reused int) (*simResult, error) {
+
+	n := len(acts)
 	res := &Result{
-		Durations:        make([]time.Duration, cfg.Trials),
-		Criticality:      make(map[string]float64, len(acts)),
-		MeanIterObserved: make(map[string]float64, len(acts)),
+		Criticality:      make(map[string]float64, n),
+		MeanIterObserved: make(map[string]float64, n),
+	}
+	var proto *Sketch
+	if cfg.Sketch {
+		lo, hi := sketchBounds(acts, comp)
+		proto = newSketch(lo, hi, cfg.SketchBuckets)
+		res.Sketch = proto
+	} else {
+		res.Durations = make([]time.Duration, cfg.Trials)
 	}
 
 	// Contiguous trial blocks per shard; the first Trials%numShards
@@ -252,6 +400,8 @@ func Simulate(acts []ActivityModel, cfg Config) (*Result, error) {
 	if m := cfg.Obs.Metrics(); m != nil {
 		m.Counter("monte_simulations_total").Inc()
 		m.Counter("monte_trials_total").Add(int64(cfg.Trials))
+		m.Counter("monte_activity_trials_sampled_total").Add(int64(n-reused) * int64(cfg.Trials))
+		m.Counter("subtree_reuse_trials_total").Add(int64(reused) * int64(cfg.Trials))
 	}
 	shardObs := tr != nil && cfg.Trials/numShards >= shardObsMinTrials
 	var hShard *obs.Histogram
@@ -259,70 +409,213 @@ func Simulate(acts []ActivityModel, cfg Config) (*Result, error) {
 		hShard = cfg.Obs.Metrics().Histogram("monte_shard_seconds", nil)
 	}
 
+	// Sinks: activities nothing in the model depends on. Every successor
+	// strictly outlives its predecessors (work is always positive), so a
+	// trial's project finish — and the first activity attaining it in
+	// topo order — is found by scanning sinks alone. Both kernels below
+	// exploit this; the results are bit-identical to a scan of every
+	// activity.
+	hasSucc := make([]bool, n)
+	for i := range comp {
+		for _, pi := range comp[i].preds {
+			hasSucc[pi] = true
+		}
+	}
+	var sinks []int32
+	for _, i := range order {
+		if !hasSucc[i] {
+			sinks = append(sinks, int32(i))
+		}
+	}
+	// Memo-less runs keep finishes in a scalar scratch per trial (best
+	// locality); runs that read or fill trial-stream arrays switch to a
+	// column kernel where a cached activity costs nothing in the trial
+	// loop. Both consume each activity's RNG stream in the same order,
+	// so they produce identical results — the incremental property
+	// tests pin warm-column against cold-scalar runs.
+	columns := reused > 0 || fresh != nil
+
 	critCounts := make([][]int64, numShards)
 	iterTotals := make([][]int64, numShards)
+	shardSketches := make([]*Sketch, numShards)
 	par.New(cfg.Workers).Instrument(cfg.Obs).ForEach(numShards, func(s int) {
 		var sp *obs.Span
 		if shardObs {
 			sp = tr.Start(root, "monte.shard", cfg.VirtNow)
 			sp.SetDetail(shardLabels[s])
 		}
-		critCount := make([]int64, len(acts))
-		iterTotal := make([]int64, len(acts))
-		finish := make([]time.Duration, len(acts))
-		critPred := make([]int32, len(acts)) // pred on the longest chain, -1 for none
-		r := newShardRNG(cfg.Seed, s)
-		out := res.Durations[offsets[s]:offsets[s+1]]
-		for t := range out {
-			var projectFinish time.Duration
-			last := int32(-1)
-			for _, i := range order {
-				ca := &comp[i]
-				var start time.Duration
-				critPred[i] = -1
-				for _, pi := range ca.preds {
-					if finish[pi] > start {
-						start = finish[pi]
-						critPred[i] = pi
-					}
-				}
-				iters := ca.sampleIterations(&r)
-				iterTotal[i] += int64(iters)
-				var work time.Duration
-				for k := 0; k < iters; k++ {
-					work += ca.sampleWork(&r)
-				}
-				finish[i] = start + work
-				if finish[i] > projectFinish {
-					projectFinish = finish[i]
-					last = int32(i)
+		critCount := make([]int64, n)
+		iterTotal := make([]int64, n)
+		lo, hi := offsets[s], offsets[s+1]
+		block := hi - lo
+		var out []time.Duration
+		if !cfg.Sketch {
+			out = res.Durations[lo:hi]
+		}
+		var sk *Sketch
+		if cfg.Sketch {
+			sk = proto.emptyClone()
+		}
+		if columns {
+			// Column kernel: per-activity sampling passes over the
+			// shard's trial block. Cached activities contribute their
+			// memoized arrays directly; sampled activities read their
+			// preds' columns — the composition that makes warm runs
+			// bit-identical to cold ones.
+			fin := make([][]time.Duration, n)
+			for i := 0; i < n; i++ {
+				if cached[i] != nil {
+					fin[i] = cached[i][lo:hi]
 				}
 			}
-			out[t] = projectFinish
-			// Walk the sampled critical chain backwards.
-			for i := last; i >= 0; i = critPred[i] {
-				critCount[i]++
+			for _, i := range order {
+				if cached[i] != nil {
+					continue
+				}
+				var dst []time.Duration
+				if fresh != nil && fresh[i] != nil {
+					dst = fresh[i][lo:hi]
+				} else {
+					dst = make([]time.Duration, block)
+				}
+				ca := &comp[i]
+				r := newActivityRNG(cfg.Seed, s, keys[i])
+				total := int64(0)
+				for t := 0; t < block; t++ {
+					var start time.Duration
+					for _, pi := range ca.preds {
+						if f := fin[pi][t]; f > start {
+							start = f
+						}
+					}
+					iters := ca.sampleIterations(&r)
+					total += int64(iters)
+					var work time.Duration
+					for k := 0; k < iters; k++ {
+						work += ca.sampleWork(&r)
+					}
+					dst[t] = start + work
+				}
+				iterTotal[i] = total
+				fin[i] = dst
+			}
+			for t := 0; t < block; t++ {
+				var pf time.Duration
+				last := int32(-1)
+				for _, si := range sinks {
+					if f := fin[si][t]; f > pf {
+						pf = f
+						last = si
+					}
+				}
+				if sk != nil {
+					sk.observe(pf)
+				} else {
+					out[t] = pf
+				}
+				// Walk the sampled critical chain backwards, resolving
+				// each step's longest-chain predecessor (first strict
+				// maximum over the finish columns) lazily. Criticality is
+				// recomputed every run — cached or fresh — because the
+				// critical chain crosses subtree boundaries; the walk
+				// involves no RNG, so cached subtrees compose exactly.
+				for i := last; i >= 0; {
+					critCount[i]++
+					next := int32(-1)
+					var best time.Duration
+					for _, pi := range comp[i].preds {
+						if f := fin[pi][t]; f > best {
+							best = f
+							next = pi
+						}
+					}
+					i = next
+				}
+			}
+		} else {
+			finish := make([]time.Duration, n)
+			rngs := make([]rng, n)
+			for i := 0; i < n; i++ {
+				rngs[i] = newActivityRNG(cfg.Seed, s, keys[i])
+			}
+			for t := 0; t < block; t++ {
+				var projectFinish time.Duration
+				last := int32(-1)
+				for _, i := range order {
+					ca := &comp[i]
+					var start time.Duration
+					for _, pi := range ca.preds {
+						if finish[pi] > start {
+							start = finish[pi]
+						}
+					}
+					r := &rngs[i]
+					iters := ca.sampleIterations(r)
+					iterTotal[i] += int64(iters)
+					var work time.Duration
+					for k := 0; k < iters; k++ {
+						work += ca.sampleWork(r)
+					}
+					fin := start + work
+					finish[i] = fin
+					if fin > projectFinish {
+						projectFinish = fin
+						last = int32(i)
+					}
+				}
+				if sk != nil {
+					sk.observe(projectFinish)
+				} else {
+					out[t] = projectFinish
+				}
+				for i := last; i >= 0; {
+					critCount[i]++
+					next := int32(-1)
+					var best time.Duration
+					for _, pi := range comp[i].preds {
+						if finish[pi] > best {
+							best = finish[pi]
+							next = pi
+						}
+					}
+					i = next
+				}
 			}
 		}
 		critCounts[s] = critCount
 		iterTotals[s] = iterTotal
+		shardSketches[s] = sk
 		if sp != nil {
 			hShard.Observe(sp.End(cfg.VirtNow).Seconds())
 		}
 	})
 	root.End(cfg.VirtNow)
 
-	slices.Sort(res.Durations)
+	if cfg.Sketch {
+		// Merge in shard-index order: counters commute, but the float64
+		// running sum stays order-deterministic this way.
+		for s := 0; s < numShards; s++ {
+			proto.merge(shardSketches[s])
+		}
+	} else {
+		slices.Sort(res.Durations)
+	}
+	iterTot := make([]int64, n)
 	for i, a := range acts {
-		var crit, iter int64
+		var crit int64
 		for s := 0; s < numShards; s++ {
 			crit += critCounts[s][i]
-			iter += iterTotals[s][i]
+			iterTot[i] += iterTotals[s][i]
+		}
+		if cached[i] != nil {
+			iterTot[i] = cachedIters[i]
 		}
 		res.Criticality[a.Name] = float64(crit) / float64(cfg.Trials)
-		res.MeanIterObserved[a.Name] = float64(iter) / float64(cfg.Trials)
+		res.MeanIterObserved[a.Name] = float64(iterTot[i]) / float64(cfg.Trials)
 	}
-	return res, nil
+	res.SampledActivityTrials = int64(n-reused) * int64(cfg.Trials)
+	res.ReusedActivityTrials = int64(reused) * int64(cfg.Trials)
+	return &simResult{Result: res, iterTotals: iterTot}, nil
 }
 
 // topo orders activity indices producers-first, detecting cycles and

@@ -2,6 +2,7 @@ package monte
 
 import (
 	"math"
+	"strconv"
 	"testing"
 	"testing/quick"
 	"time"
@@ -199,28 +200,33 @@ func TestCriticalityProperties(t *testing.T) {
 	}
 }
 
-// TestShardRNGStreamsDiffer guards against shard streams collapsing to
-// the same sequence (which would silently bias the sample).
-func TestShardRNGStreamsDiffer(t *testing.T) {
-	seen := make(map[uint64]int)
-	for s := 0; s < numShards; s++ {
-		r := newShardRNG(7, s)
-		v := r.next()
-		if prev, dup := seen[v]; dup {
-			t.Fatalf("shards %d and %d start with the same draw", prev, s)
+// TestActivityRNGStreamsDiffer guards against per-(shard, activity)
+// streams collapsing to the same sequence (which would silently bias
+// the sample): every shard of every activity must start decorrelated.
+func TestActivityRNGStreamsDiffer(t *testing.T) {
+	keys := streamKeys(branchy())
+	seen := make(map[uint64]string)
+	for _, k := range keys {
+		for s := 0; s < numShards; s++ {
+			r := newActivityRNG(7, s, k)
+			v := r.next()
+			id := "key=" + strconv.FormatUint(k, 16) + " shard=" + strconv.Itoa(s)
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("streams %s and %s start with the same draw", prev, id)
+			}
+			seen[v] = id
 		}
-		seen[v] = s
 	}
 	// Different seeds must shift every stream.
-	a := newShardRNG(1, 0)
-	b := newShardRNG(2, 0)
+	a := newActivityRNG(1, 0, keys[0])
+	b := newActivityRNG(2, 0, keys[0])
 	if a.next() == b.next() {
-		t.Fatal("seed has no effect on shard stream")
+		t.Fatal("seed has no effect on activity stream")
 	}
 }
 
 func TestRNGFloat64Range(t *testing.T) {
-	r := newShardRNG(99, 0)
+	r := newActivityRNG(99, 0, 12345)
 	var sum float64
 	const n = 10000
 	for i := 0; i < n; i++ {

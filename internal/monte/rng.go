@@ -1,9 +1,14 @@
-// Deterministic per-shard random streams. Each shard of a simulation
-// owns one splitmix64 generator whose initial state is derived from
-// (Config.Seed, shard index) alone, so the sample sequence a shard
-// draws is a pure function of the configuration — independent of how
-// many workers execute the shards or in what order. That is the whole
-// determinism guarantee: bit-identical results for any worker count.
+// Deterministic per-activity random streams. Each (shard, activity)
+// pair of a simulation owns one splitmix64 generator whose initial
+// state is derived from (Config.Seed, shard index, activity name)
+// alone, so the sample sequence an activity draws within a shard is a
+// pure function of the configuration — independent of how many workers
+// execute the shards, in what order, and crucially independent of the
+// *other* activities in the model. That last property is what makes
+// subtree memoization exact: an activity's finish-time samples depend
+// only on its own predecessor closure (the subtree fingerprint), never
+// on unrelated activities sharing the run, so cached samples compose
+// bit-identically with freshly drawn ones.
 package monte
 
 // rng is a splitmix64 stream: the state advances by a fixed odd
@@ -15,12 +20,14 @@ type rng uint64
 // golden is 2^64 / phi, the canonical splitmix64 gamma.
 const golden = 0x9e3779b97f4a7c15
 
-// newShardRNG derives the stream for one shard. The shard index is
-// folded into the seed through two hash rounds so that adjacent seeds
-// and adjacent shards land in decorrelated states.
-func newShardRNG(seed int64, shard int) rng {
-	r := rng(mix64(mix64(uint64(seed)) + golden*uint64(shard+1)))
-	return r
+// newActivityRNG derives the stream for one activity within one shard.
+// The shard index and the activity's stream key (a hash of its name)
+// are folded into the seed through hash rounds so that adjacent seeds,
+// adjacent shards, and similarly named activities all land in
+// decorrelated states.
+func newActivityRNG(seed int64, shard int, streamKey uint64) rng {
+	h := mix64(mix64(uint64(seed)) + golden*uint64(shard+1))
+	return rng(mix64(h ^ streamKey))
 }
 
 // next returns the stream's next 64 uniform bits.

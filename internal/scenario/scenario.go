@@ -25,6 +25,8 @@ import (
 
 	"flowsched/internal/engine"
 	"flowsched/internal/fault"
+	"flowsched/internal/flow"
+	"flowsched/internal/monte"
 	"flowsched/internal/obs"
 	"flowsched/internal/par"
 	"flowsched/internal/pert"
@@ -97,6 +99,38 @@ type Options struct {
 	// task database instead of the live head — a sweep stays consistent
 	// with one observed moment even while the parent keeps executing.
 	BaseView *store.View
+	// Risk, when non-nil, adds a Monte-Carlo risk analysis to every
+	// scenario. The baseline model is simulated once before the fork
+	// pool starts and its per-subtree trial streams are cached in a
+	// shared memo, so each edited fork re-samples only the subtrees its
+	// edit dirtied — a sweep's total sampling cost scales with the
+	// edited subtrees, not the scenario count.
+	Risk *RiskSpec
+}
+
+// RiskSpec configures the sweep's risk dimension.
+type RiskSpec struct {
+	// Trials is the Monte-Carlo sample count per scenario (default 1000).
+	Trials int
+	// Seed makes every scenario's analysis reproducible. All scenarios
+	// share the seed — differences between outcomes are purely the
+	// edits, never sampling noise.
+	Seed int64
+	// Sketch answers percentiles from the mergeable quantile sketch
+	// instead of sorting full trial sets (see monte.Config.Sketch).
+	Sketch bool
+	// Memo, when non-nil, is the shared subtree trial-stream cache —
+	// pass a long-lived memo to share baseline streams across sweeps.
+	// Nil builds a sweep-local memo.
+	Memo *monte.Memo
+}
+
+// RiskStats is one scenario's finish-span distribution summary. The
+// values are deterministic: bit-identical for any sweep or engine
+// worker count.
+type RiskStats struct {
+	Trials                   int
+	Mean, P10, P50, P90, P95 time.Duration
 }
 
 // Outcome is one scenario's result.
@@ -124,6 +158,9 @@ type Outcome struct {
 	// FaultsInjected counts the faults the scenario's plan actually
 	// injected (zero without Edit.Faults).
 	FaultsInjected int
+	// Risk is the scenario's Monte-Carlo finish distribution summary
+	// (nil unless Options.Risk was set).
+	Risk *RiskStats
 }
 
 // Report is a full sweep result.
@@ -134,6 +171,13 @@ type Report struct {
 	Baseline Outcome
 	// Scenarios are the edited forks' outcomes, in edit order.
 	Scenarios []Outcome
+	// RiskSampledTrials / RiskReusedTrials aggregate the sweep's
+	// activity×trial sampling cost across every scenario simulation
+	// (zero without Options.Risk). They are advisory observability:
+	// the distribution results are always bit-identical, but the
+	// sampled/reused split can shift when concurrent scenarios race on
+	// an identical edited subtree or the memo budget forces evictions.
+	RiskSampledTrials, RiskReusedTrials int64
 }
 
 // profiled is implemented by tools that expose simulation parameters
@@ -180,7 +224,11 @@ func Sweep(m *engine.Manager, targets []string, edits []Edit, opt Options) (*Rep
 	if m == nil {
 		return nil, fmt.Errorf("scenario: nil manager")
 	}
-	tree, err := m.ExtractTree(targets...)
+	// The task tree is extracted once and shared: it is derived from the
+	// schema (identical in every fork) and read-only throughout planning
+	// and execution, so per-fork re-extraction inside the worker loop
+	// would be pure waste. Edits are validated once here too.
+	tree, err := extractTree(m, targets)
 	if err != nil {
 		return nil, err
 	}
@@ -219,14 +267,42 @@ func Sweep(m *engine.Manager, targets []string, edits []Edit, opt Options) (*Rep
 		runs[i].mgr = f
 	}
 
+	// Risk dimension: simulate the unedited baseline model once, up
+	// front, into the shared memo. Every scenario simulation inside the
+	// pool then reuses the baseline's per-subtree trial streams and
+	// samples only the subtrees its edit dirtied — bit-identical to the
+	// cold simulation each fork would have run alone.
+	var riskMemo *monte.Memo
+	var warmSampled, warmReused int64
+	if opt.Risk != nil {
+		riskMemo = opt.Risk.Memo
+		if riskMemo == nil {
+			riskMemo = monte.NewMemo(0)
+		}
+		models, err := RiskModels(runs[0].mgr, tree)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: risk baseline: %w", err)
+		}
+		warm, err := monte.Simulate(models, monte.Config{
+			Trials: opt.Risk.Trials, Seed: opt.Risk.Seed, Workers: opt.Workers,
+			Sketch: opt.Risk.Sketch, Memo: riskMemo, Obs: opt.Obs, VirtNow: m.Clock.Now(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("scenario: risk baseline: %w", err)
+		}
+		warmSampled, warmReused = warm.SampledActivityTrials, warm.ReusedActivityTrials
+	}
+
 	virtStart := m.Clock.Now()
 	outcomes := make([]Outcome, len(runs))
+	sampled := make([]int64, len(runs))
+	reusedTr := make([]int64, len(runs))
 	execErr := par.New(opt.Workers).ForEachErr(len(runs), func(i int) error {
-		o, err := runOne(runs[i], targets, opt.Estimator, opt.Recovery)
+		o, sa, re, err := runOne(runs[i], tree, &opt, riskMemo)
 		if err != nil {
 			return fmt.Errorf("scenario %q: %w", runs[i].name, err)
 		}
-		outcomes[i] = *o
+		outcomes[i], sampled[i], reusedTr[i] = *o, sa, re
 		return nil
 	})
 	if execErr != nil {
@@ -240,11 +316,23 @@ func Sweep(m *engine.Manager, targets []string, edits []Edit, opt Options) (*Rep
 	}
 
 	record(opt.Obs, virtStart, outcomes)
-	return &Report{
+	rep := &Report{
 		Targets:   append([]string(nil), tree.Targets...),
 		Baseline:  base,
 		Scenarios: outcomes[1:],
-	}, nil
+	}
+	rep.RiskSampledTrials, rep.RiskReusedTrials = warmSampled, warmReused
+	for i := range runs {
+		rep.RiskSampledTrials += sampled[i]
+		rep.RiskReusedTrials += reusedTr[i]
+	}
+	return rep, nil
+}
+
+// extractTree is a seam over Manager.ExtractTree so tests can pin that
+// a sweep extracts the task tree exactly once for the whole run.
+var extractTree = func(m *engine.Manager, targets []string) (*flow.Tree, error) {
+	return m.ExtractTree(targets...)
 }
 
 type run struct {
@@ -317,20 +405,20 @@ func apply(f *engine.Manager, e *Edit) error {
 }
 
 // runOne plans and executes one fork and analyzes the resulting plan.
-func runOne(r run, targets []string, est sched.Estimator, rec engine.Recovery) (*Outcome, error) {
+// It returns the outcome plus the activity×trial counts its risk
+// simulation sampled fresh and reused from the shared memo.
+func runOne(r run, tree *flow.Tree, opt *Options, riskMemo *monte.Memo) (*Outcome, int64, int64, error) {
 	f := r.mgr
-	tree, err := f.ExtractTree(targets...)
-	if err != nil {
-		return nil, err
-	}
+	est := opt.Estimator
 	if est == nil {
 		est = ProfileEstimator{Tools: f.Tools}
 	}
 	res, err := f.Plan(tree, est, sched.PlanOptions{})
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	parallel := r.edit != nil && r.edit.Parallel
+	rec := opt.Recovery
 	if r.faults != nil && rec.Verify == nil {
 		rec.Verify = fault.Check
 	}
@@ -339,11 +427,11 @@ func runOne(r run, targets []string, est sched.Estimator, rec engine.Recovery) (
 		Recovery: rec,
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	cpm, err := analyze(f, &res.Plan)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	slack := make(map[string]time.Duration, len(cpm.Timings))
 	for _, tm := range cpm.Timings {
@@ -361,7 +449,71 @@ func runOne(r run, targets []string, est sched.Estimator, rec engine.Recovery) (
 	if r.faults != nil {
 		o.FaultsInjected = r.faults.Injected()
 	}
-	return o, nil
+	var sampled, reused int64
+	if opt.Risk != nil {
+		// Workers 1: the sweep pool supplies the parallelism; nesting a
+		// full shard pool per fork would only oversubscribe the cores.
+		// The model comes from the fork's *edited* registry, so every
+		// unedited subtree fingerprints identically to the pre-warmed
+		// baseline and is served from the memo.
+		models, err := RiskModels(f, tree)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		rr, err := monte.Simulate(models, monte.Config{
+			Trials: opt.Risk.Trials, Seed: opt.Risk.Seed, Workers: 1,
+			Sketch: opt.Risk.Sketch, Memo: riskMemo,
+		})
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		o.Risk = &RiskStats{
+			Trials: rr.Trials(),
+			Mean:   rr.Mean(),
+			P10:    rr.Percentile(0.10),
+			P50:    rr.Percentile(0.50),
+			P90:    rr.Percentile(0.90),
+			P95:    rr.Percentile(0.95),
+		}
+		sampled, reused = rr.SampledActivityTrials, rr.ReusedActivityTrials
+	}
+	return o, sampled, reused, nil
+}
+
+// RiskModels derives the Monte-Carlo activity models for a manager's
+// bound simulated tools over one task tree: triangular durations over
+// Base±Jitter with the tool's expected iteration count, predecessor
+// edges from the schema within the tree. Shared by the facade's
+// SimulateRisk and the sweep's risk dimension, so the risk analysis
+// and the actual execution always share one model.
+func RiskModels(m *engine.Manager, tree *flow.Tree) ([]monte.ActivityModel, error) {
+	var models []monte.ActivityModel
+	for _, act := range tree.Activities() {
+		tool := m.Tools.For(act)
+		if tool == nil {
+			return nil, fmt.Errorf("scenario: no tool bound to %q", act)
+		}
+		pt, ok := tool.(profiled)
+		if !ok {
+			return nil, fmt.Errorf("scenario: tool %s bound to %q exposes no profile; bind a simulated tool for risk analysis",
+				tool.Instance(), act)
+		}
+		prof := pt.Profile()
+		rule := m.Schema.RuleByActivity(act)
+		var preds []string
+		for _, in := range rule.Inputs {
+			if prod := m.Schema.Producer(in); prod != nil && tree.Contains(prod.Activity) {
+				preds = append(preds, prod.Activity)
+			}
+		}
+		min := time.Duration(float64(prof.Base) * (1 - prof.Jitter))
+		max := time.Duration(float64(prof.Base) * (1 + prof.Jitter))
+		models = append(models, monte.ActivityModel{
+			Name: act, Min: min, Mode: prof.Base, Max: max,
+			MeanIterations: prof.MeanIterations, Preds: preds,
+		})
+	}
+	return models, nil
 }
 
 // analyze runs CPM/PERT over a fork's plan (the facade's Analyze,

@@ -8,6 +8,8 @@ import (
 
 	"flowsched/internal/engine"
 	"flowsched/internal/fault"
+	"flowsched/internal/flow"
+	"flowsched/internal/monte"
 	"flowsched/internal/obs"
 	"flowsched/internal/schema"
 	"flowsched/internal/vclock"
@@ -276,5 +278,149 @@ func TestReportRender(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("render missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestSweepExtractsTreeOnce pins the hoist: a sweep extracts the task
+// tree exactly once, no matter how many forks run — the tree is
+// schema-derived and read-only, so per-fork re-extraction was waste.
+func TestSweepExtractsTreeOnce(t *testing.T) {
+	orig := extractTree
+	defer func() { extractTree = orig }()
+	calls := 0
+	extractTree = func(m *engine.Manager, targets []string) (*flow.Tree, error) {
+		calls++
+		return orig(m, targets)
+	}
+	m := ready(t)
+	if _, err := Sweep(m, []string{"performance"}, eightEdits(), Options{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("sweep extracted the tree %d times, want 1", calls)
+	}
+}
+
+// TestSweepRiskSharedBaseline: the risk dimension simulates the
+// baseline once and every scenario pays only for its edited subtrees.
+func TestSweepRiskSharedBaseline(t *testing.T) {
+	m := ready(t)
+	const trials = 400
+	rep, err := Sweep(m, []string{"performance"}, []Edit{
+		{Name: "sim-slow", Scale: map[string]float64{"Simulate": 2}},
+		{Name: "edit-slow", Scale: map[string]float64{"Create": 1.5}},
+	}, Options{Risk: &RiskSpec{Trials: trials, Seed: 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range append([]Outcome{rep.Baseline}, rep.Scenarios...) {
+		r := o.Risk
+		if r == nil {
+			t.Fatalf("scenario %q has no risk stats", o.Name)
+		}
+		if r.Trials != trials {
+			t.Fatalf("scenario %q: %d trials, want %d", o.Name, r.Trials, trials)
+		}
+		if !(r.P10 <= r.P50 && r.P50 <= r.P90 && r.P90 <= r.P95) {
+			t.Fatalf("scenario %q: percentiles out of order: %+v", o.Name, r)
+		}
+	}
+	if rep.Scenarios[0].Risk.Mean <= rep.Baseline.Risk.Mean {
+		t.Fatal("doubling Simulate did not raise the risk mean")
+	}
+	// Cost accounting: the pre-warm samples both activities (2×trials);
+	// the baseline fork's in-pool run reuses everything; sim-slow
+	// dirties only the Simulate subtree (1×trials); edit-slow dirties
+	// Create and its dependent Simulate (2×trials).
+	wantSampled := int64(2*trials + 0 + 1*trials + 2*trials)
+	if rep.RiskSampledTrials != wantSampled {
+		t.Fatalf("sampled %d activity-trials, want %d", rep.RiskSampledTrials, wantSampled)
+	}
+	// Reused: baseline in-pool full hit (2×trials) plus sim-slow's
+	// untouched Create subtree (1×trials).
+	wantReused := int64(2*trials + 1*trials)
+	if rep.RiskReusedTrials != wantReused {
+		t.Fatalf("reused %d activity-trials, want %d", rep.RiskReusedTrials, wantReused)
+	}
+}
+
+// TestSweepRiskMatchesColdFork: a scenario's risk stats must be
+// bit-identical to a cold, memo-less simulation of that fork's edited
+// model — sharing the baseline streams is pure reuse, never drift.
+func TestSweepRiskMatchesColdFork(t *testing.T) {
+	m := ready(t)
+	edit := Edit{Name: "sim-slow", Scale: map[string]float64{"Simulate": 2}}
+	rep, err := Sweep(m, []string{"performance"}, []Edit{edit},
+		Options{Risk: &RiskSpec{Trials: 500, Seed: 21}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.ForkAtView(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := apply(f, &edit); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := f.ExtractTree("performance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := RiskModels(f, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := monte.Simulate(models, monte.Config{Trials: 500, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Scenarios[0].Risk
+	want := RiskStats{
+		Trials: cold.Trials(), Mean: cold.Mean(),
+		P10: cold.Percentile(0.10), P50: cold.Percentile(0.50),
+		P90: cold.Percentile(0.90), P95: cold.Percentile(0.95),
+	}
+	if *got != want {
+		t.Fatalf("sweep risk %+v differs from cold fork simulation %+v", *got, want)
+	}
+}
+
+// TestSweepRiskDeterministicAcrossWorkers extends the sweep determinism
+// contract to the risk dimension (including the advisory cost counters,
+// which are deterministic here because every edit dirties a distinct
+// fingerprint and the memo budget never evicts).
+func TestSweepRiskDeterministicAcrossWorkers(t *testing.T) {
+	var want string
+	for _, workers := range []int{1, 2, 8} {
+		m := ready(t)
+		rep, err := Sweep(m, []string{"performance"}, eightEdits(),
+			Options{Workers: workers, Risk: &RiskSpec{Trials: 300, Seed: 5}})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := marshal(t, rep)
+		if want == "" {
+			want = got
+		} else if got != want {
+			t.Fatalf("workers=%d risk sweep differs from workers=1", workers)
+		}
+	}
+}
+
+// TestSweepRiskSketch: sketch mode composes with the sweep.
+func TestSweepRiskSketch(t *testing.T) {
+	m := ready(t)
+	rep, err := Sweep(m, []string{"performance"}, []Edit{
+		{Name: "sim-slow", Scale: map[string]float64{"Simulate": 2}},
+	}, Options{Risk: &RiskSpec{Trials: 2000, Seed: 3, Sketch: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rep.Scenarios[0].Risk
+	if r == nil || r.Trials != 2000 {
+		t.Fatalf("sketch risk stats = %+v", r)
+	}
+	if !(r.P10 <= r.P50 && r.P50 <= r.P90) {
+		t.Fatalf("sketch percentiles out of order: %+v", r)
 	}
 }

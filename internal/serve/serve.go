@@ -14,10 +14,16 @@
 //
 // Expensive reads (risk simulation, what-if sweeps, dashboards) are
 // memoized per snapshot identity with singleflight semantics and
-// invalidated the moment the store advances; see memoCache. The server
-// carries its own request-scoped metrics (latency histogram, in-flight
-// gauge, per-route counters, cache hit/miss counters) exposed on
-// /metrics alongside the project's own registry.
+// invalidated the moment the store advances; see memoCache. Behind that
+// memo, /risk and /whatif carry a second, fingerprint-keyed tier that
+// deliberately survives store advances: responses are keyed by a
+// canonical hash of their actual inputs (derived risk models, sweep
+// closure), so a mutation on an unrelated branch of the database is
+// still a cache hit (X-Flowsched-Cache: fingerprint) and re-runs zero
+// simulation trials; see fpCache. The server carries its own
+// request-scoped metrics (latency histogram, in-flight gauge, per-route
+// counters, cache hit/miss counters, fingerprint hit/miss counters)
+// exposed on /metrics alongside the project's own registry.
 package serve
 
 import (
@@ -60,6 +66,7 @@ type Server struct {
 	opt   Options
 	reg   *obs.Registry
 	cache *memoCache
+	fp    *fpCache
 	mux   *http.ServeMux
 	srv   *http.Server
 
@@ -90,6 +97,7 @@ func New(p *flowsched.Project, opt Options) *Server {
 	s := &Server{
 		p: p, opt: opt, reg: reg,
 		cache:        newMemoCache(opt.CacheEntries, reg),
+		fp:           newFPCache(opt.CacheEntries, reg),
 		mux:          http.NewServeMux(),
 		inflight:     reg.Gauge("serve_requests_in_flight"),
 		latency:      reg.Histogram("serve_request_seconds", nil),
@@ -143,6 +151,11 @@ func errCode(err error) int {
 // renderFunc renders one route's body from a pinned view.
 type renderFunc func(v *flowsched.ProjectView, r *http.Request) ([]byte, string, error)
 
+// fingerprintFunc computes the canonical input fingerprint for one
+// request, or errors when the request is not fingerprintable (the route
+// then renders directly; the tier is a pure optimization).
+type fingerprintFunc func(v *flowsched.ProjectView, r *http.Request) (string, error)
+
 func (s *Server) routes() {
 	// Snapshot-pinned, memoized read surfaces.
 	s.handleView("/status", "status", renderStatus)
@@ -153,8 +166,8 @@ func (s *Server) routes() {
 	s.handleView("/milestones", "milestones", renderMilestones)
 	s.handleView("/query", "query", renderQuery)
 	s.handleView("/report", "report", renderReport)
-	s.handleView("/risk", "risk", renderRisk)
-	s.handleView("/whatif", "whatif", renderWhatIf)
+	s.handleViewFP("/risk", "risk", riskFingerprint, renderRisk)
+	s.handleViewFP("/whatif", "whatif", whatifFingerprint, renderWhatIf)
 	s.handleView("/predict", "predict", renderPredict)
 	s.handleView("/version", "version", renderVersion)
 
@@ -185,6 +198,15 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 // the memo cache in front of the renderer, and the snapshot identity
 // echoed in response headers.
 func (s *Server) handleView(pattern, name string, fn renderFunc) {
+	s.handleViewFP(pattern, name, nil, fn)
+}
+
+// handleViewFP is handleView with an optional fingerprint tier behind
+// the per-snapshot memo: when the memo misses (a fresh snapshot), the
+// request's input fingerprint is probed before the renderer runs, so a
+// store advance that does not change the response's inputs is still a
+// cache hit (X-Flowsched-Cache: fingerprint) and re-runs nothing.
+func (s *Server) handleViewFP(pattern, name string, fp fingerprintFunc, fn renderFunc) {
 	s.mux.HandleFunc(pattern, s.instrument(name, func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			w.Header().Set("Allow", http.MethodGet)
@@ -210,13 +232,17 @@ func (s *Server) handleView(pattern, name string, fn renderFunc) {
 			// version plus the virtual instant (the clock can tick
 			// between store writes, and rendered output shows "now").
 			key := fmt.Sprintf("%d.%d|%s?%s", v.Version(), v.Now().UnixNano(), name, canonicalQuery(r))
-			var hit bool
+			var hit, fpHit bool
 			body, ctype, hit, err = s.cache.do(v.Version(), key, func() ([]byte, string, error) {
-				return fn(v, r)
+				return s.renderVia(fp, name, v, r, fn, &fpHit)
 			})
-			cacheState = "miss"
-			if hit {
+			switch {
+			case hit:
 				cacheState = "hit"
+			case fpHit:
+				cacheState = "fingerprint"
+			default:
+				cacheState = "miss"
 			}
 		}
 		w.Header().Set("X-Flowsched-Cache", cacheState)
@@ -227,6 +253,31 @@ func (s *Server) handleView(pattern, name string, fn renderFunc) {
 		w.Header().Set("Content-Type", ctype)
 		w.Write(body)
 	}))
+}
+
+// renderVia consults the fingerprint tier around the renderer. A
+// fingerprint error (unfingerprintable request — e.g. fault-injection
+// what-if edits) falls through to a direct render: the tier never
+// gates correctness. fpHit is only written by the singleflight leader,
+// which runs this in the requesting goroutine.
+func (s *Server) renderVia(fp fingerprintFunc, name string, v *flowsched.ProjectView, r *http.Request, fn renderFunc, fpHit *bool) ([]byte, string, error) {
+	if fp == nil {
+		return fn(v, r)
+	}
+	fpr, err := fp(v, r)
+	if err != nil {
+		return fn(v, r)
+	}
+	key := name + "?" + canonicalQuery(r) + "|" + fpr
+	if body, ctype, ok := s.fp.get(key); ok {
+		*fpHit = true
+		return body, ctype, nil
+	}
+	body, ctype, err := fn(v, r)
+	if err == nil {
+		s.fp.put(key, body, ctype)
+	}
+	return body, ctype, err
 }
 
 // canonicalQuery renders the request's query parameters in sorted-key
@@ -384,31 +435,58 @@ type riskSummary struct {
 	Criticality map[string]float64 `json:"criticality"`
 }
 
+// riskParams is the parsed /risk request, shared between the renderer
+// and the fingerprint computation so both describe the same run.
+type riskParams struct {
+	targets []string
+	trials  int
+	seed    int64
+	workers int
+}
+
+func parseRiskParams(v *flowsched.ProjectView, r *http.Request) (riskParams, error) {
+	var p riskParams
+	var err error
+	if p.targets, err = targetsParam(v, r); err != nil {
+		return p, err
+	}
+	if p.trials, err = qInt(r, "trials", 1000); err != nil {
+		return p, err
+	}
+	if p.seed, err = qInt64(r, "seed", 1995); err != nil {
+		return p, err
+	}
+	if p.workers, err = qInt(r, "workers", 0); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+// riskFingerprint keys /risk responses by the derived risk model and
+// sampling configuration — not the store version, because the
+// distribution depends only on those inputs (worker count is excluded:
+// runs are bit-identical for any worker count).
+func riskFingerprint(v *flowsched.ProjectView, r *http.Request) (string, error) {
+	p, err := parseRiskParams(v, r)
+	if err != nil {
+		return "", err
+	}
+	return v.RiskFingerprint(p.targets, flowsched.RiskOptions{Trials: p.trials, Seed: p.seed})
+}
+
 func renderRisk(v *flowsched.ProjectView, r *http.Request) ([]byte, string, error) {
-	targets, err := targetsParam(v, r)
+	p, err := parseRiskParams(v, r)
 	if err != nil {
 		return nil, "", err
 	}
-	trials, err := qInt(r, "trials", 1000)
-	if err != nil {
-		return nil, "", err
-	}
-	seed, err := qInt64(r, "seed", 1995)
-	if err != nil {
-		return nil, "", err
-	}
-	workers, err := qInt(r, "workers", 0)
-	if err != nil {
-		return nil, "", err
-	}
-	res, err := v.SimulateRiskWith(targets, flowsched.RiskOptions{
-		Trials: trials, Seed: seed, Workers: workers,
+	res, err := v.SimulateRiskWith(p.targets, flowsched.RiskOptions{
+		Trials: p.trials, Seed: p.seed, Workers: p.workers,
 	})
 	if err != nil {
 		return nil, "", err
 	}
 	return jsonBody(riskSummary{
-		Targets: targets, Trials: len(res.Durations), Seed: seed,
+		Targets: p.targets, Trials: len(res.Durations), Seed: p.seed,
 		Mean: res.Mean(),
 		P10:  res.Percentile(0.10), P50: res.Percentile(0.50),
 		P80: res.Percentile(0.80), P90: res.Percentile(0.90),
@@ -417,22 +495,41 @@ func renderRisk(v *flowsched.ProjectView, r *http.Request) ([]byte, string, erro
 	})
 }
 
-func renderWhatIf(v *flowsched.ProjectView, r *http.Request) ([]byte, string, error) {
-	targets, err := targetsParam(v, r)
-	if err != nil {
-		return nil, "", err
+// parseWhatIfParams is the shared /whatif request parsing.
+func parseWhatIfParams(v *flowsched.ProjectView, r *http.Request) (targets []string, edits []flowsched.ScenarioEdit, err error) {
+	if targets, err = targetsParam(v, r); err != nil {
+		return nil, nil, err
 	}
 	specs := r.URL.Query()["edit"]
 	if len(specs) == 0 {
-		return nil, "", badRequest("no scenarios: pass ?edit=name=Act*1.5;Act+3h;parallel (repeatable)")
+		return nil, nil, badRequest("no scenarios: pass ?edit=name=Act*1.5;Act+3h;parallel (repeatable)")
 	}
-	edits := make([]flowsched.ScenarioEdit, 0, len(specs))
+	edits = make([]flowsched.ScenarioEdit, 0, len(specs))
 	for _, spec := range specs {
 		e, err := flowsched.ParseScenarioEdit(spec)
 		if err != nil {
-			return nil, "", badRequest("%v", err)
+			return nil, nil, badRequest("%v", err)
 		}
 		edits = append(edits, e)
+	}
+	return targets, edits, nil
+}
+
+// whatifFingerprint keys /whatif responses by the sweep's full input
+// closure (see flowsched.ProjectView.WhatIfFingerprint). Requests the
+// view refuses to fingerprint render directly.
+func whatifFingerprint(v *flowsched.ProjectView, r *http.Request) (string, error) {
+	targets, edits, err := parseWhatIfParams(v, r)
+	if err != nil {
+		return "", err
+	}
+	return v.WhatIfFingerprint(targets, edits, flowsched.ScenarioOptions{})
+}
+
+func renderWhatIf(v *flowsched.ProjectView, r *http.Request) ([]byte, string, error) {
+	targets, edits, err := parseWhatIfParams(v, r)
+	if err != nil {
+		return nil, "", err
 	}
 	rep, err := v.Scenarios(targets, edits, flowsched.ScenarioOptions{})
 	if err != nil {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"flowsched"
+	"flowsched/internal/workload"
 )
 
 // newTracked builds a fig4 project with observability on, tools bound,
@@ -301,5 +302,95 @@ func TestGracefulShutdown(t *testing.T) {
 	}
 	if _, err := http.Get(url); err == nil {
 		t.Fatal("request succeeded after shutdown")
+	}
+}
+
+// TestRiskFingerprintSurvivesStoreAdvance is the cross-snapshot warm
+// hit: a store mutation that does not change the risk model (a
+// milestone write) invalidates the per-snapshot memo, but the
+// fingerprint tier still answers without re-running a single trial.
+func TestRiskFingerprintSurvivesStoreAdvance(t *testing.T) {
+	p := newTracked(t)
+	s := New(p, Options{})
+	const path = "/risk?trials=120&seed=5"
+
+	cold := get(t, s, path)
+	if cold.Code != http.StatusOK {
+		t.Fatalf("cold risk = %d: %s", cold.Code, cold.Body.String())
+	}
+	if h := cold.Header().Get("X-Flowsched-Cache"); h != "miss" {
+		t.Fatalf("cold risk cache header = %q, want miss", h)
+	}
+	trialsBefore := metricValue(t, s, "monte_trials_total")
+
+	// Advance the store on a branch the risk model never reads.
+	if err := p.SetMilestone("unrelated", "performance", p.Now().Add(48*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := get(t, s, path)
+	if h := warm.Header().Get("X-Flowsched-Cache"); h != "fingerprint" {
+		t.Fatalf("post-advance risk cache header = %q, want fingerprint", h)
+	}
+	if warm.Header().Get("X-Flowsched-Version") == cold.Header().Get("X-Flowsched-Version") {
+		t.Fatal("store version did not advance across the mutation")
+	}
+	if warm.Body.String() != cold.Body.String() {
+		t.Fatal("fingerprint-tier body differs from the cold render")
+	}
+	if after := metricValue(t, s, "monte_trials_total"); after != trialsBefore {
+		t.Fatalf("fingerprint hit re-ran the simulation: monte_trials_total %d -> %d", trialsBefore, after)
+	}
+	if hits := metricValue(t, s, "risk_fingerprint_hits_total"); hits != 1 {
+		t.Fatalf("risk_fingerprint_hits_total = %d, want 1", hits)
+	}
+}
+
+// TestWhatIfFingerprintScopesToTree: a /whatif response survives store
+// writes outside its target tree's closure (an import of an unrelated
+// data class) but is re-rendered when a class inside the tree changes.
+func TestWhatIfFingerprintScopesToTree(t *testing.T) {
+	p, err := flowsched.New(workload.ASICSource, flowsched.Options{Designer: "ewj"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.UseSimulatedTools(); err != nil {
+		t.Fatal(err)
+	}
+	for _, class := range []string{"rtl", "constraints"} {
+		if _, err := p.Import(class, []byte(class+" v1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := New(p, Options{})
+	const path = "/whatif?targets=drcreport&edit=slow=Route*1.5"
+
+	cold := get(t, s, path)
+	if cold.Code != http.StatusOK {
+		t.Fatalf("cold whatif = %d: %s", cold.Code, cold.Body.String())
+	}
+	if h := cold.Header().Get("X-Flowsched-Cache"); h != "miss" {
+		t.Fatalf("cold whatif cache header = %q, want miss", h)
+	}
+
+	// testbench is declared in the schema but outside the drcreport tree.
+	if _, err := p.Import("testbench", []byte("tb v1")); err != nil {
+		t.Fatal(err)
+	}
+	warm := get(t, s, path)
+	if h := warm.Header().Get("X-Flowsched-Cache"); h != "fingerprint" {
+		t.Fatalf("whatif after unrelated import = %q, want fingerprint", h)
+	}
+	if warm.Body.String() != cold.Body.String() {
+		t.Fatal("fingerprint-tier whatif body differs from the cold render")
+	}
+
+	// rtl is a leaf of the tree: a new version must re-render.
+	if _, err := p.Import("rtl", []byte("rtl v2")); err != nil {
+		t.Fatal(err)
+	}
+	fresh := get(t, s, path)
+	if h := fresh.Header().Get("X-Flowsched-Cache"); h != "miss" {
+		t.Fatalf("whatif after in-tree import = %q, want miss", h)
 	}
 }

@@ -2,14 +2,18 @@ package flowsched
 
 import (
 	"fmt"
+	"hash/fnv"
+	"sort"
 	"time"
 
 	"flowsched/internal/engine"
+	"flowsched/internal/monte"
 	"flowsched/internal/obs"
 	"flowsched/internal/query"
 	"flowsched/internal/report"
 	"flowsched/internal/scenario"
 	"flowsched/internal/store"
+	"flowsched/internal/tools"
 )
 
 // ProjectView is a read-only facade pinned to one snapshot of the task
@@ -28,6 +32,7 @@ type ProjectView struct {
 	plan *Plan // decoded from the snapshot; nil before first Plan
 	now  time.Time
 	obs  *obs.Obs
+	memo *monte.Memo // the project's shared trial-stream memo
 }
 
 // View captures the project's current state as a consistent read-only
@@ -40,7 +45,7 @@ func (p *Project) View() (*ProjectView, error) {
 	if err != nil {
 		return nil, fmt.Errorf("flowsched: view: %w", err)
 	}
-	return &ProjectView{m: m, view: v, plan: plan, now: m.Clock.Now(), obs: p.obs}, nil
+	return &ProjectView{m: m, view: v, plan: plan, now: m.Clock.Now(), obs: p.obs, memo: p.riskMemo}, nil
 }
 
 // Version is the store snapshot version the view is pinned to. It
@@ -146,8 +151,128 @@ func (v *ProjectView) StatusReport(from, to time.Time) (string, error) {
 // SimulateRiskWith runs a Monte-Carlo schedule risk analysis from the
 // snapshot's virtual now. The stochastic model is derived from the live
 // tool bindings (tools are session configuration, not Level 3 state).
+// The run shares the project's subtree trial-stream memo unless
+// opt.NoReuse is set; reuse never changes the result.
 func (v *ProjectView) SimulateRiskWith(targets []string, opt RiskOptions) (*RiskResult, error) {
-	return riskOf(v.m, v.obs, v.now, targets, opt)
+	return riskOf(v.m, v.obs, v.now, v.memo, targets, opt)
+}
+
+// RiskFingerprint is the view-pinned Project.RiskFingerprint: a
+// canonical hash of everything the risk distribution depends on. Equal
+// fingerprints across different snapshots mean SimulateRiskWith returns
+// bit-identical results from both — the store version and virtual clock
+// are deliberately *not* part of the fingerprint, because a risk run's
+// distribution depends only on the derived models and the sampling
+// configuration.
+func (v *ProjectView) RiskFingerprint(targets []string, opt RiskOptions) (string, error) {
+	return riskFingerprintOf(v.m, targets, opt)
+}
+
+// WhatIfFingerprint is a canonical hash of everything a Scenarios sweep
+// with these arguments depends on: the sweep configuration (targets,
+// canonical edits, recovery policy, risk spec), the derived flow
+// structure with every bound tool's class/instance/profile chain, the
+// virtual now and plan version, and — from the snapshot — the
+// watermarks of every schedule-space container plus the
+// execution-space containers of the data classes inside the target
+// tree. Store writes outside that closure (an import of an unrelated
+// data class) leave the fingerprint unchanged, so equal fingerprints
+// across different store versions mean Scenarios renders bit-identical
+// reports from both.
+//
+// Sweeps whose behaviour cannot be captured by hashing refuse a
+// fingerprint with an error: custom estimators, recovery verifiers,
+// non-simulated tools, and edits that arm fault injection (fault plans
+// carry arbitrary configuration and per-fork mutable state). Callers
+// must treat an error as "do not reuse", never as a failure of the
+// sweep itself.
+func (v *ProjectView) WhatIfFingerprint(targets []string, edits []ScenarioEdit, opt ScenarioOptions) (string, error) {
+	if opt.Estimator != nil {
+		return "", fmt.Errorf("flowsched: whatif fingerprint: custom estimators are not fingerprintable")
+	}
+	if opt.Recovery.Verify != nil {
+		return "", fmt.Errorf("flowsched: whatif fingerprint: recovery verifiers are not fingerprintable")
+	}
+	for _, e := range edits {
+		if e.Faults != nil {
+			return "", fmt.Errorf("flowsched: whatif fingerprint: fault-injection edits are not fingerprintable")
+		}
+	}
+	tree, err := v.m.ExtractTree(targets...)
+	if err != nil {
+		return "", err
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "whatif.v1|designer=%s|now=%d|planv=%d\n", v.m.Designer, v.now.UnixNano(), v.PlanVersion())
+	for _, tgt := range targets {
+		fmt.Fprintf(h, "target=%s\n", tgt)
+	}
+	fmt.Fprintf(h, "recovery=%+v|%d|%t|%t\n",
+		opt.Recovery.Backoff, opt.Recovery.RunDeadline, opt.Recovery.Failover, opt.Recovery.ContinueOnBlock)
+	if opt.Risk != nil {
+		fmt.Fprintf(h, "risk=%d|%d|%t|%d\n", opt.Risk.Trials, opt.Risk.Seed, opt.Risk.Sketch, monte.SketchVersion)
+	}
+	for _, e := range edits {
+		fmt.Fprintf(h, "edit=%s|parallel=%t\n", e.Name, e.Parallel)
+		for _, k := range sortedKeys(e.Scale) {
+			fmt.Fprintf(h, "scale:%s=%g\n", k, e.Scale[k])
+		}
+		for _, k := range sortedKeys(e.Delay) {
+			fmt.Fprintf(h, "delay:%s=%d\n", k, e.Delay[k])
+		}
+	}
+	// Flow structure and tool bindings: every activity in post order with
+	// its full rotation chain of simulated-tool profiles. The data
+	// classes collected here bound the store closure hashed below.
+	classes := make(map[string]bool)
+	for _, c := range tree.Leaves() {
+		classes[c] = true
+	}
+	for _, a := range tree.Activities() {
+		if rule := v.m.Schema.RuleByActivity(a); rule != nil {
+			classes[rule.Output] = true
+		}
+		fmt.Fprintf(h, "act=%s", a)
+		for _, tl := range v.m.Tools.Bound(a) {
+			st, ok := tl.(*tools.SimTool)
+			if !ok {
+				return "", fmt.Errorf("flowsched: whatif fingerprint: tool %s on %s is not a simulated tool",
+					tl.Instance(), a)
+			}
+			p := st.Profile()
+			fmt.Fprintf(h, "|tool=%s/%s:%d,%g,%g,%g",
+				tl.Class(), tl.Instance(), p.Base, p.Jitter, p.MeanIterations, p.FailureRate)
+		}
+		fmt.Fprintln(h)
+	}
+	// Snapshot closure: schedule-space containers (plans, schedule
+	// history, milestones) plus execution-space containers whose class
+	// is inside the tree. A container's watermark is the store version
+	// at its last mutation, so any relevant write changes the hash.
+	var names []string
+	byName := make(map[string]*store.Container)
+	for _, c := range v.view.Containers() {
+		if c.Space == store.ScheduleSpace || classes[c.Class] {
+			names = append(names, c.Name)
+			byName[c.Name] = c
+		}
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		c := byName[n]
+		fmt.Fprintf(h, "container=%s|%s|%s|w%d|n%d\n", c.Name, c.Space, c.Class, c.Watermark(), len(c.Entries))
+	}
+	return fmt.Sprintf("whatif.%016x", h.Sum64()), nil
+}
+
+// sortedKeys returns m's keys in sorted order for canonical hashing.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Scenarios runs a what-if sweep with every fork pinned to the view's
@@ -158,6 +283,11 @@ func (v *ProjectView) Scenarios(targets []string, edits []ScenarioEdit, opt Scen
 		opt.Obs = v.obs
 	}
 	opt.BaseView = v.view
+	if opt.Risk != nil && opt.Risk.Memo == nil {
+		spec := *opt.Risk
+		spec.Memo = v.memo
+		opt.Risk = &spec
+	}
 	return scenario.Sweep(v.m, targets, edits, opt)
 }
 

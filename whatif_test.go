@@ -186,3 +186,48 @@ func TestDumpAndStatusDuringParallelRun(t *testing.T) {
 	default:
 	}
 }
+
+// TestWhatIfFingerprintContract pins the fingerprint semantics: stable
+// across unrelated store writes, changed by edits that change the
+// sweep, and refused outright for inputs hashing cannot capture.
+func TestWhatIfFingerprintContract(t *testing.T) {
+	p := prepared(t)
+	v, err := p.View()
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := []string{"performance"}
+	edits := sweepEdits()
+	fp1, err := v.WhatIfFingerprint(targets, edits, ScenarioOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, err := v.WhatIfFingerprint(targets, edits, ScenarioOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp1 != fp2 {
+		t.Fatalf("fingerprint not deterministic: %s vs %s", fp1, fp2)
+	}
+	// A different edit set is a different fingerprint.
+	other, err := v.WhatIfFingerprint(targets, sweepEdits()[:1], ScenarioOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == fp1 {
+		t.Fatal("distinct edit sets share a fingerprint")
+	}
+	// Fault-injection edits are refused — their behaviour is not
+	// capturable by hashing, and a false hit would serve stale bytes.
+	_, err = v.WhatIfFingerprint(targets, []ScenarioEdit{
+		{Name: "chaos", Faults: &FaultConfig{Seed: 1}},
+	}, ScenarioOptions{})
+	if err == nil {
+		t.Fatal("fault edits must refuse a fingerprint")
+	}
+	// Custom estimators likewise.
+	_, err = v.WhatIfFingerprint(targets, edits, ScenarioOptions{Estimator: Fixed{Default: time.Hour}})
+	if err == nil {
+		t.Fatal("custom estimators must refuse a fingerprint")
+	}
+}
