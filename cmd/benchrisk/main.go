@@ -12,9 +12,11 @@
 //	benchrisk -incremental -label memo              # cold vs warm-after-edit
 //
 // With -obs each sweep point is measured twice — the plain engine and
-// the same engine under the full observability layer (metrics +
-// per-shard spans) — and the entry records both plus the overhead
-// percentage, appending to BENCH_obs.json by default.
+// the same engine under the full observability layer, in the serving
+// path's per-request shape (shared labeled-metrics registry plus a
+// fresh request tracer and root span per run, per-shard spans beneath
+// it) — and the entry records both plus the overhead percentage,
+// appending to BENCH_obs.json by default.
 //
 // With -incremental each sweep point measures the subtree trial-stream
 // memo over the chip-scale SoC network (-blocks ASIC-flow replicas plus
@@ -44,6 +46,7 @@ import (
 	"flowsched/internal/monte"
 	"flowsched/internal/obs"
 	"flowsched/internal/report"
+	"flowsched/internal/serve"
 )
 
 // sweepPoint is one measured (trials, workers) cell. The instrumented
@@ -178,10 +181,12 @@ func main() {
 				TrialsPerSec: float64(n) / (float64(ns) / 1e9),
 			}
 			if *obsMode {
-				// One Obs for the whole point, as a project would hold
-				// one across many analyses.
+				// One metrics registry for the whole point, as a project
+				// would hold one across many analyses; each iteration
+				// then gets a fresh request-scoped tracer and root span,
+				// the serving path's exact per-request shape.
 				cfg.Obs = obs.New()
-				p.NsPerOpObs, _ = measure(models, cfg)
+				p.NsPerOpObs, _ = measureTraced(models, cfg)
 				p.OverheadPct = 100 * (float64(p.NsPerOpObs) - float64(p.NsPerOp)) / float64(p.NsPerOp)
 				fmt.Printf("trials=%-7d workers=%-2d plain %12d ns/op  instrumented %12d ns/op  overhead %+.2f%%\n",
 					n, w, p.NsPerOp, p.NsPerOpObs, p.OverheadPct)
@@ -270,6 +275,29 @@ func measureIncremental(base []monte.ActivityModel, trials int, seed int64, sket
 		p.Speedup = float64(p.ColdNs) / float64(p.WarmNs)
 	}
 	return p
+}
+
+// measureTraced times one instrumented Simulate configuration the way
+// the serving path runs it: cfg.Obs's metrics registry is shared across
+// iterations, while each iteration carries its own bounded request
+// tracer and a "serve.risk" root span that the monte subtree nests
+// under (serve.Server.instrument's per-request shape).
+func measureTraced(models []monte.ActivityModel, cfg monte.Config) (int64, int) {
+	metrics := cfg.Obs.Metrics()
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr := obs.NewTracer(serve.DefaultRequestSpans)
+			root := tr.Start(nil, "serve.risk", time.Time{})
+			run := cfg
+			run.Obs = obs.NewWith(metrics, tr)
+			run.Parent = root
+			if _, err := monte.Simulate(models, run); err != nil {
+				b.Fatal(err)
+			}
+			root.End(time.Time{})
+		}
+	})
+	return r.NsPerOp(), r.N
 }
 
 // measure times one Simulate configuration, returning ns/op and the

@@ -17,6 +17,12 @@
 // — keeps the Monte-Carlo off the hot path; the cell records what
 // fraction of reads it absorbed.
 //
+// A final pair of modes prices the request-observability layer itself:
+// the warmed /dashboard cell — the cheapest render, where per-request
+// tracing and flight recording are the largest relative cost — is
+// measured instrumented (the default) and bare
+// (Options.DisableRequestObs), and the throughput delta printed.
+//
 //	benchserve -label after-serve                # append to BENCH_serve.json
 //	benchserve -clients 1,4,16 -dur 2s           # custom sweep
 //	benchserve -out /tmp/b.json                  # write elsewhere
@@ -45,7 +51,7 @@ import (
 // cell is one measured (route, mode, clients) combination.
 type cell struct {
 	Route     string  `json:"route"`
-	Mode      string  `json:"mode"` // "cold" (cache off), "cached" (warmed), or "edit-read"
+	Mode      string  `json:"mode"` // "cold" (cache off), "cached" (warmed), "edit-read", "instrumented", or "bare" (request obs off)
 	Clients   int     `json:"clients"`
 	Requests  int     `json:"requests"`
 	ReqPerSec float64 `json:"req_per_sec"`
@@ -110,7 +116,7 @@ func main() {
 		CPUs: runtime.NumCPU(),
 	}
 	for _, mode := range []string{"cold", "cached"} {
-		base, shutdown, err := startServer(p, mode == "cold")
+		base, shutdown, err := startServer(p, mode == "cold", false)
 		if err != nil {
 			fatal("%v", err)
 		}
@@ -137,7 +143,7 @@ func main() {
 	// the fingerprint tier is the only thing between the reader and a
 	// fresh Monte-Carlo run.
 	{
-		base, shutdown, err := startServer(p, false)
+		base, shutdown, err := startServer(p, false, false)
 		if err != nil {
 			fatal("%v", err)
 		}
@@ -153,10 +159,11 @@ func main() {
 				fatal("edit: %v", err)
 			}
 		}
+		const fpHits = `serve_cache_events_total{event="hit",tier="fingerprint"}`
 		for _, n := range clients {
-			h0 := scrapeCounter(base, "risk_fingerprint_hits_total")
+			h0 := scrapeCounter(base, fpHits)
 			c := hammer(base, route, "edit-read", n, *dur, edit)
-			h1 := scrapeCounter(base, "risk_fingerprint_hits_total")
+			h1 := scrapeCounter(base, fpHits)
 			if c.Requests > 0 {
 				c.FingerprintHitPct = 100 * float64(h1-h0) / float64(c.Requests)
 			}
@@ -165,6 +172,39 @@ func main() {
 			e.Results = append(e.Results, c)
 		}
 		shutdown()
+	}
+
+	// instrumented vs bare: the request-observability overhead on the
+	// cheapest (memo-hit) render, where it is proportionally largest.
+	// A fresh project keeps the comparison clean — the edit-read phase
+	// above left thousands of milestone writes on the shared one, which
+	// would swamp both sides with render weight.
+	{
+		p2, err := trackedProject()
+		if err != nil {
+			fatal("%v", err)
+		}
+		rps := map[string]float64{}
+		for _, mode := range []string{"instrumented", "bare"} {
+			base, shutdown, err := startServer(p2, false, mode == "bare")
+			if err != nil {
+				fatal("%v", err)
+			}
+			if err := getOnce(base + "/dashboard"); err != nil {
+				fatal("warm /dashboard: %v", err)
+			}
+			n := clients[len(clients)-1]
+			c := hammer(base, "/dashboard", mode, n, *dur, nil)
+			fmt.Printf("%-28s %-12s clients=%-3d %9.0f req/s  p50 %7.3f ms  p99 %7.3f ms\n",
+				"/dashboard", mode, n, c.ReqPerSec, c.P50Ms, c.P99Ms)
+			e.Results = append(e.Results, c)
+			rps[mode] = c.ReqPerSec
+			shutdown()
+		}
+		if rps["bare"] > 0 {
+			fmt.Printf("request-observability overhead: %.1f%% of bare throughput\n",
+				100*(1-rps["instrumented"]/rps["bare"]))
+		}
 	}
 
 	doc.Benchmarks = append(doc.Benchmarks, e)
@@ -204,8 +244,8 @@ func trackedProject() (*flowsched.Project, error) {
 
 // startServer serves p on an ephemeral local port and returns the base
 // URL plus a shutdown func.
-func startServer(p *flowsched.Project, disableCache bool) (string, func(), error) {
-	s := serve.New(p, serve.Options{DisableCache: disableCache})
+func startServer(p *flowsched.Project, disableCache, disableReqObs bool) (string, func(), error) {
+	s := serve.New(p, serve.Options{DisableCache: disableCache, DisableRequestObs: disableReqObs})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return "", nil, err

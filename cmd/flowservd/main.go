@@ -53,6 +53,9 @@ func run() error {
 		cacheN   = flag.Int("cache", 256, "snapshot memo-cache capacity (entries)")
 		noCache  = flag.Bool("no-cache", false, "disable the snapshot memo cache")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
+		sample   = flag.Float64("trace-sample", 0, "fraction of requests whose span tree the flight recorder retains (0 = default 0.01, negative = off)")
+		slow     = flag.Duration("trace-slow", 0, "latency at which a request's trace is always retained (0 = default 500ms, negative = off)")
+		pprofF   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -65,9 +68,12 @@ func run() error {
 	}
 
 	s := serve.New(p, serve.Options{
-		Addr:         *addr,
-		CacheEntries: *cacheN,
-		DisableCache: *noCache,
+		Addr:               *addr,
+		CacheEntries:       *cacheN,
+		DisableCache:       *noCache,
+		TraceSampleRate:    *sample,
+		SlowTraceThreshold: *slow,
+		EnablePprof:        *pprofF,
 	})
 
 	errc := make(chan error, 1)

@@ -56,6 +56,7 @@
 //	actuals <path>                            import hand-collected actual dates (CSV)
 //	stats [json]                              observability metrics (Prometheus text or JSON)
 //	trace [depth]                             dual-clock span tree (virtual + wall time)
+//	flight                                    flight recorder: recent + slowest operations
 //	events                                    new manager events since the last call
 //	save <path>                               persist the whole session as JSON
 //	load <path>                               restore a saved session (rebind tools after)
@@ -265,6 +266,8 @@ func (s *session) dispatch(line string) error {
 		return s.stats(args)
 	case "trace":
 		return s.trace(args)
+	case "flight":
+		return s.flight(args)
 	case "events":
 		return s.events(args)
 	case "export":
@@ -713,6 +716,21 @@ func (s *session) trace(args []string) error {
 	if n := s.project.TraceDropped(); n > 0 {
 		fmt.Fprintf(s.out, "(%d span(s) dropped over the retention bound)\n", n)
 	}
+	return nil
+}
+
+// flight prints the project's flight recorder: the most recent facade
+// operations and the slowest retained ones, one line each.
+func (s *session) flight(args []string) error {
+	if len(args) != 0 {
+		return fmt.Errorf("usage: flight")
+	}
+	recent, slowest := s.project.FlightRecords()
+	if len(recent) == 0 && len(slowest) == 0 {
+		fmt.Fprintln(s.out, "no operations recorded yet")
+		return nil
+	}
+	fmt.Fprint(s.out, s.project.FlightText())
 	return nil
 }
 

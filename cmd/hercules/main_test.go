@@ -340,7 +340,7 @@ func TestStatsTraceAndEventsCommands(t *testing.T) {
 	for _, want := range []string{
 		"# TYPE engine_events_total counter",
 		"# TYPE store_puts_total counter",
-		"engine_event_plan_created_total 1",
+		`engine_events_total{kind="plan_created"} 1`,
 		`"kind": "histogram"`, // JSON form
 		"usage: stats",
 		"engine.execute", // trace tree roots
@@ -351,6 +351,29 @@ func TestStatsTraceAndEventsCommands(t *testing.T) {
 		"run-started",
 		"no new events", // cursor advanced: second call prints nothing
 		"usage: events",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFlightCommand(t *testing.T) {
+	out := script(t,
+		"schema builtin:fig4",
+		"flight",
+		"tools",
+		"import stimuli vec",
+		"risk performance 200",
+		"flight",
+		"flight extra",
+	)
+	for _, want := range []string{
+		"no operations recorded yet", // before any facade operation
+		"recent (1)",
+		"slowest (1)",
+		"risk",
+		"usage: flight",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("missing %q:\n%s", want, out)

@@ -90,6 +90,9 @@ type (
 	MetricSnapshot = obs.MetricSnapshot
 	// Span is one finished dual-clock trace span (wall + virtual time).
 	Span = obs.SpanData
+	// FlightRecord is one wide flight-recorder record of a completed
+	// operation (see Project.FlightRecords).
+	FlightRecord = obs.FlightRecord
 	// ExecResult summarizes a task execution.
 	ExecResult = engine.ExecResult
 	// CPMResult is a critical-path analysis of a plan.
@@ -145,8 +148,9 @@ type ObsOptions struct {
 	// tracer. Off by default: an uninstrumented project pays only nil
 	// checks on the instrumented paths.
 	Enabled bool
-	// MaxSpans bounds the retained trace spans (default 16384); spans
-	// past the bound are dropped and counted.
+	// MaxSpans bounds the retained trace spans; <= 0 selects
+	// obs.DefaultMaxSpans (16384). Spans past the bound are dropped and
+	// counted (see TraceDropped).
 	MaxSpans int
 }
 
@@ -174,6 +178,10 @@ type Project struct {
 	// project's risk analyses (and, shared by pointer, its forks' — the
 	// memo keys on subtree content, so reuse across forks is sound).
 	riskMemo *monte.Memo
+	// flight retains wide records of the project's expensive facade
+	// operations (risk, what-if) for post-hoc inspection; nil unless
+	// Options.Obs.Enabled.
+	flight *obs.FlightRecorder
 }
 
 // New creates a project from schema DSL source.
@@ -202,10 +210,57 @@ func NewFromSchema(sch *Schema, opt Options) (*Project, error) {
 	}
 	p := &Project{mgr: m, riskMemo: monte.NewMemo(0)}
 	if opt.Obs.Enabled {
-		p.obs = obs.NewWith(obs.NewRegistry(), obs.NewTracer(opt.Obs.MaxSpans))
-		m.Instrument(p.obs)
+		p.enableObs(opt.Obs)
 	}
 	return p, nil
+}
+
+// enableObs wires the project's observability: a metrics registry, a
+// span tracer with an explicit capacity (obs.DefaultMaxSpans unless
+// overridden), and the flight recorder that retains wide records of
+// the facade's expensive operations.
+func (p *Project) enableObs(o ObsOptions) {
+	maxSpans := o.MaxSpans
+	if maxSpans <= 0 {
+		maxSpans = obs.DefaultMaxSpans
+	}
+	p.obs = obs.NewWith(obs.NewRegistry(), obs.NewTracer(maxSpans))
+	p.flight = obs.NewFlightRecorder(0, 0)
+	p.flight.Instrument(p.obs.Metrics(), "flight")
+	p.mgr.Instrument(p.obs)
+}
+
+// recordFlight files one completed facade operation with the flight
+// recorder (a no-op on uninstrumented projects).
+func (p *Project) recordFlight(op string, start time.Time, res *RiskResult, err error) {
+	if p.flight == nil {
+		return
+	}
+	rec := obs.FlightRecord{
+		TraceID: obs.NewTraceID(), Route: op, Start: start,
+		Latency:    time.Since(start),
+		VirtualNow: p.Now(), StoreVersion: p.mgr.DB.Version(),
+	}
+	if res != nil {
+		rec.SampledTrials, rec.ReusedTrials = res.SampledActivityTrials, res.ReusedActivityTrials
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	p.flight.Record(rec)
+}
+
+// FlightRecords returns the project's flight-recorder tiers: the most
+// recent facade operations (newest first) and the slowest retained
+// ones (slowest first). Both are nil unless observability is enabled.
+func (p *Project) FlightRecords() (recent, slowest []FlightRecord) {
+	return p.flight.Snapshot()
+}
+
+// FlightText renders the flight recorder as an aligned text table.
+func (p *Project) FlightText() string {
+	recent, slowest := p.flight.Snapshot()
+	return obs.RenderFlight(recent, slowest)
 }
 
 // Schema returns the project's task schema.
@@ -535,6 +590,12 @@ func (p *Project) MetricsText() string { return p.obs.Metrics().PromText() }
 // observability is enabled.
 func (p *Project) MetricsJSON() ([]byte, error) { return p.obs.Metrics().JSON() }
 
+// LintMetrics checks every registered metric against the repo's naming
+// and cardinality conventions (snake_case names, _total counters, unit
+// suffixes on histograms, labeled families within their series bounds).
+// Nil on a clean — or uninstrumented — project.
+func (p *Project) LintMetrics() []error { return p.obs.Metrics().Lint() }
+
 // TraceSpans returns the finished dual-clock trace spans in end order.
 // Empty unless observability is enabled.
 func (p *Project) TraceSpans() []Span { return p.obs.Tracer().Spans() }
@@ -770,11 +831,16 @@ func (p *Project) SimulateRisk(targets []string, trials int, seed int64) (*RiskR
 // memo: re-simulations after an edit re-sample only the subtrees whose
 // fingerprint changed, bit-identical to a cold run.
 func (p *Project) SimulateRiskWith(targets []string, opt RiskOptions) (*RiskResult, error) {
-	return riskOf(p.readMgr(), p.obs, p.Now(), p.riskMemo, targets, opt)
+	start := time.Now()
+	res, err := riskOf(p.readMgr(), p.obs, p.Now(), p.riskMemo, nil, targets, opt)
+	p.recordFlight("risk", start, res, err)
+	return res, err
 }
 
-// riskOf runs the Monte-Carlo analysis against one manager snapshot.
-func riskOf(m *engine.Manager, o *obs.Obs, now time.Time, memo *monte.Memo, targets []string, opt RiskOptions) (*RiskResult, error) {
+// riskOf runs the Monte-Carlo analysis against one manager snapshot;
+// parent, when non-nil, nests the simulation's spans under an
+// enclosing (e.g. request) span.
+func riskOf(m *engine.Manager, o *obs.Obs, now time.Time, memo *monte.Memo, parent *obs.Span, targets []string, opt RiskOptions) (*RiskResult, error) {
 	models, err := riskModelsOf(m, targets)
 	if err != nil {
 		return nil, err
@@ -785,7 +851,7 @@ func riskOf(m *engine.Manager, o *obs.Obs, now time.Time, memo *monte.Memo, targ
 	return monte.Simulate(models, monte.Config{
 		Trials: opt.Trials, Seed: opt.Seed, Workers: opt.Workers,
 		Sketch: opt.Sketch, Memo: memo,
-		Obs: o, VirtNow: now,
+		Obs: o, Parent: parent, VirtNow: now,
 	})
 }
 
@@ -900,7 +966,23 @@ func (p *Project) Scenarios(targets []string, edits []ScenarioEdit, opt Scenario
 		spec.Memo = p.riskMemo
 		opt.Risk = &spec
 	}
-	return scenario.Sweep(p.mgr, targets, edits, opt)
+	start := time.Now()
+	rep, err := scenario.Sweep(p.mgr, targets, edits, opt)
+	if p.flight != nil {
+		rec := obs.FlightRecord{
+			TraceID: obs.NewTraceID(), Route: "whatif", Start: start,
+			Latency:    time.Since(start),
+			VirtualNow: p.Now(), StoreVersion: p.mgr.DB.Version(),
+		}
+		if rep != nil {
+			rec.SampledTrials, rec.ReusedTrials = rep.RiskSampledTrials, rep.RiskReusedTrials
+		}
+		if err != nil {
+			rec.Error = err.Error()
+		}
+		p.flight.Record(rec)
+	}
+	return rep, err
 }
 
 // TeamPlan is the result of OptimizeTeam: the smallest interchangeable
@@ -1030,8 +1112,7 @@ func Load(snapshot []byte, opt Options) (*Project, error) {
 	}
 	p := &Project{mgr: m, riskMemo: monte.NewMemo(0)}
 	if opt.Obs.Enabled {
-		p.obs = obs.NewWith(obs.NewRegistry(), obs.NewTracer(opt.Obs.MaxSpans))
-		m.Instrument(p.obs)
+		p.enableObs(opt.Obs)
 	}
 	if s.PlanVersion > 0 {
 		_, plan, err := m.Sched.PlanByVersion(s.PlanVersion)

@@ -124,7 +124,7 @@ type Manager struct {
 	// from other goroutines.
 	tr         *obs.Tracer
 	reg        *obs.Registry
-	mEvents    *obs.Counter
+	mEvents    *obs.CounterVec
 	hActivity  *obs.Histogram
 	hSlip      *obs.Histogram
 	hBackoff   *obs.Histogram
@@ -210,7 +210,9 @@ func (m *Manager) Instrument(o *obs.Obs) *Manager {
 	m.tr = o.Tracer()
 	if reg := o.Metrics(); reg != nil {
 		m.reg = reg
-		m.mEvents = reg.Counter("engine_events_total")
+		// One labeled family carries every event kind; the old flat
+		// engine_event_<kind>_total counters are the kind= dimension now.
+		m.mEvents = reg.BoundedCounterVec("engine_events_total", 32, "kind")
 		m.hActivity = reg.Histogram("engine_activity_virtual_seconds", nil)
 		m.hSlip = reg.Histogram("engine_slip_seconds", nil)
 		m.hBackoff = reg.Histogram("engine_backoff_virtual_seconds", nil)
@@ -237,17 +239,16 @@ func (m *Manager) emit(kind EventKind, activity string, at time.Time, format str
 		Kind: kind, Activity: activity, At: at, Detail: fmt.Sprintf(format, args...),
 	})
 	if m.reg != nil {
-		m.mEvents.Inc()
 		m.eventCounter(kind).Inc()
 	}
 }
 
-// eventCounter returns the per-kind counter (engine_event_<kind>_total,
-// dashes folded to underscores), creating it on first use.
+// eventCounter returns the cached engine_events_total{kind=...} series
+// handle (dashes folded to underscores), creating it on first use.
 func (m *Manager) eventCounter(kind EventKind) *obs.Counter {
 	c, ok := m.evCounters[kind]
 	if !ok {
-		c = m.reg.Counter("engine_event_" + strings.ReplaceAll(string(kind), "-", "_") + "_total")
+		c = m.mEvents.With(strings.ReplaceAll(string(kind), "-", "_"))
 		m.evCounters[kind] = c
 	}
 	return c
@@ -347,6 +348,10 @@ type ExecOptions struct {
 	// degradation. The zero value reproduces the historical behaviour
 	// (abort on the first exhausted activity, no backoff).
 	Recovery Recovery
+	// TraceParent, when non-nil, nests the execution's root span under
+	// an enclosing span on the same tracer (a request or scenario-run
+	// span). Nil keeps engine.execute a trace root.
+	TraceParent *obs.Span
 }
 
 func (o *ExecOptions) defaults() {
@@ -418,7 +423,7 @@ func (m *Manager) execute(tree *flow.Tree, opt ExecOptions, skip map[string]bool
 		return nil, err
 	}
 	res := &ExecResult{Started: m.Clock.Now()}
-	root := m.tr.Start(nil, "engine.execute", res.Started)
+	root := m.tr.Start(opt.TraceParent, "engine.execute", res.Started)
 	root.SetDetail("activities=" + strconv.Itoa(len(tree.Activities())))
 	// Deferred so error paths publish too; a child activity whose local
 	// cursor ran past the global clock stretches the root (see

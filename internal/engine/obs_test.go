@@ -53,14 +53,21 @@ func TestInstrumentedExecuteTraceContainment(t *testing.T) {
 	}
 
 	reg := o.Metrics()
-	if got := reg.Counter("engine_event_run_started_total").Value(); got != 4 {
-		t.Errorf("engine_event_run_started_total = %d, want 4", got)
+	ev := reg.CounterVec("engine_events_total", "kind")
+	if got := ev.With("run_started").Value(); got != 4 {
+		t.Errorf(`engine_events_total{kind="run_started"} = %d, want 4`, got)
 	}
 	if got := reg.Histogram("engine_activity_virtual_seconds", nil).Count(); got != 4 {
 		t.Errorf("engine_activity_virtual_seconds count = %d, want 4", got)
 	}
-	if got := reg.Counter("engine_events_total").Value(); got < 8 {
-		t.Errorf("engine_events_total = %d, suspiciously low", got)
+	var total int64
+	for _, m := range reg.Snapshot() {
+		if m.Name == "engine_events_total" {
+			total += int64(m.Value)
+		}
+	}
+	if total < 8 {
+		t.Errorf("engine_events_total (summed over kinds) = %d, suspiciously low", total)
 	}
 }
 
@@ -108,7 +115,7 @@ func TestErrorPathTraceContainment(t *testing.T) {
 		t.Errorf("root VEnd %v != global clock %v; failed attempts not charged to the clock",
 			root.VEnd, m.Clock.Now())
 	}
-	if got := o.Metrics().Counter("engine_event_run_failed_total").Value(); got != 3 {
-		t.Errorf("engine_event_run_failed_total = %d, want 3", got)
+	if got := o.Metrics().CounterVec("engine_events_total", "kind").With("run_failed").Value(); got != 3 {
+		t.Errorf(`engine_events_total{kind="run_failed"} = %d, want 3`, got)
 	}
 }

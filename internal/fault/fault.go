@@ -176,7 +176,7 @@ type Plan struct {
 	history []Injection
 
 	// obs (nil until Instrument): injected-fault counters by kind.
-	mFaults *obs.Counter
+	mFaults *obs.CounterVec
 	byKind  map[Kind]*obs.Counter
 	reg     *obs.Registry
 }
@@ -207,8 +207,8 @@ func (p *Plan) Seed() int64 { return p.cfg.Seed }
 // Config reports the plan's (default-filled) configuration.
 func (p *Plan) Config() Config { return p.cfg }
 
-// Instrument attaches fault counters (fault_injected_total and
-// fault_injected_<kind>_total) to the registry. Returns p for chaining.
+// Instrument attaches the fault_injected_total{kind=...} family to the
+// registry (one labeled series per fault kind). Returns p for chaining.
 func (p *Plan) Instrument(o *obs.Obs) *Plan {
 	if p == nil || o == nil || o.Metrics() == nil {
 		return p
@@ -216,7 +216,7 @@ func (p *Plan) Instrument(o *obs.Obs) *Plan {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.reg = o.Metrics()
-	p.mFaults = p.reg.Counter("fault_injected_total")
+	p.mFaults = p.reg.BoundedCounterVec("fault_injected_total", 16, "kind")
 	p.byKind = make(map[Kind]*obs.Counter)
 	return p
 }
@@ -349,10 +349,9 @@ func (p *Plan) record(activity string, d decision, now time.Time) {
 	if d.kind == None || p.reg == nil {
 		return
 	}
-	p.mFaults.Inc()
 	c, ok := p.byKind[d.kind]
 	if !ok {
-		c = p.reg.Counter("fault_injected_" + string(d.kind) + "_total")
+		c = p.mFaults.With(string(d.kind))
 		p.byKind[d.kind] = c
 	}
 	c.Inc()

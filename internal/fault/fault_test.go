@@ -359,12 +359,10 @@ func TestPlanInstrument(t *testing.T) {
 	for i := 0; i < 100; i++ {
 		p.decide("Sim", "simulator", time.Time{})
 	}
-	total := o.Metrics().Counter("fault_injected_total").Value()
+	faults := o.Metrics().CounterVec("fault_injected_total", "kind")
+	total := faults.With("crash").Value()
 	if total == 0 {
-		t.Fatal("fault_injected_total stayed zero")
-	}
-	if got := o.Metrics().Counter("fault_injected_crash_total").Value(); got != total {
-		t.Fatalf("crash counter %d != total %d (only crashes configured)", got, total)
+		t.Fatal(`fault_injected_total{kind="crash"} stayed zero`)
 	}
 	if int(total) != p.Injected() {
 		t.Fatalf("counter %d != Injected() %d", total, p.Injected())

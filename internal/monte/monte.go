@@ -92,6 +92,10 @@ type Config struct {
 	// affects the sampled results: the RNG streams are untouched, so
 	// bit-identical determinism holds with and without it.
 	Obs *obs.Obs
+	// Parent, when non-nil, nests the simulation's root span under an
+	// enclosing span (a request's root, a scenario run) on the same
+	// tracer. Nil keeps the simulation a trace root.
+	Parent *obs.Span
 	// VirtNow anchors the simulation's spans on the virtual clock (a
 	// Monte-Carlo run consumes no virtual design time, so its spans are
 	// point intervals at VirtNow). Zero is fine for uninstrumented or
@@ -395,7 +399,7 @@ func simulate(acts []ActivityModel, cfg Config, order []int,
 	// intervals on the virtual clock (risk analysis consumes no design
 	// time). Metric handles are resolved once, outside the shard loop.
 	tr := cfg.Obs.Tracer()
-	root := tr.Start(nil, "monte.simulate", cfg.VirtNow)
+	root := tr.Start(cfg.Parent, "monte.simulate", cfg.VirtNow)
 	root.SetDetail("trials=" + strconv.Itoa(cfg.Trials))
 	if m := cfg.Obs.Metrics(); m != nil {
 		m.Counter("monte_simulations_total").Inc()

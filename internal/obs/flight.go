@@ -1,0 +1,214 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Defaults for the flight recorder's two retention tiers.
+const (
+	DefaultFlightRing = 256 // most-recent requests kept in the ring
+	DefaultFlightSlow = 32  // slowest requests retained past eviction
+)
+
+// FlightRecord is one wide record of a completed operation on the
+// serving path: everything needed to reconstruct the request after the
+// fact, including (for sampled or slow requests) the full span tree.
+type FlightRecord struct {
+	TraceID string    `json:"traceId"`
+	Route   string    `json:"route"`
+	Status  int       `json:"status,omitempty"`
+	Start   time.Time `json:"start"`
+	// Latency is the request's wall duration in nanoseconds.
+	Latency      time.Duration `json:"latencyNs"`
+	StoreVersion uint64        `json:"storeVersion,omitempty"`
+	VirtualNow   time.Time     `json:"virtualNow"`
+	// Cache is the tier that answered: "hit", "fingerprint", "miss",
+	// "off", or "" for non-view operations.
+	Cache string `json:"cache,omitempty"`
+	// SampledTrials and ReusedTrials carry the risk engine's
+	// freshly-sampled vs memo-reused activity-trial split, when the
+	// operation ran a simulation.
+	SampledTrials int64  `json:"sampledTrials,omitempty"`
+	ReusedTrials  int64  `json:"reusedTrials,omitempty"`
+	Error         string `json:"error,omitempty"`
+	// Spans is the request's captured span tree — present only when the
+	// request was trace-sampled or crossed the slow threshold.
+	Spans []SpanData `json:"spans,omitempty"`
+}
+
+// FlightRecorder retains completed FlightRecords in two tiers: a ring
+// of the most recent records (old records evicted in FIFO order) and a
+// slowest-N tier that survives ring eviction, so the requests most
+// worth explaining are never the first ones forgotten. Record is a
+// single short critical section — an O(1) ring store plus one latency
+// comparison — so it stays cheap on the serving hot path. All methods
+// are nil-safe.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	ring    []FlightRecord
+	next    int // ring slot for the next record
+	filled  bool
+	slow    []FlightRecord // ascending by latency, at most slowN
+	slowN   int
+	records *Counter // total records accepted
+	evicted *Counter // ring slots overwritten
+}
+
+// NewFlightRecorder returns a recorder with the given ring capacity
+// and slowest-N retention (values <= 0 select DefaultFlightRing and
+// DefaultFlightSlow).
+func NewFlightRecorder(ring, slowN int) *FlightRecorder {
+	if ring <= 0 {
+		ring = DefaultFlightRing
+	}
+	if slowN <= 0 {
+		slowN = DefaultFlightSlow
+	}
+	return &FlightRecorder{ring: make([]FlightRecord, ring), slowN: slowN}
+}
+
+// Instrument wires the recorder's accounting into reg under the given
+// family prefix: <prefix>_records_total counts accepted records and
+// <prefix>_evictions_total counts ring overwrites (records whose only
+// remaining copy, if any, is in the slowest-N tier).
+func (f *FlightRecorder) Instrument(reg *Registry, prefix string) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.records = reg.Counter(prefix + "_records_total")
+	f.evicted = reg.Counter(prefix + "_evictions_total")
+}
+
+// Record accepts one completed request record.
+func (f *FlightRecorder) Record(rec FlightRecord) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	records, evicted := f.records, f.evicted
+	overwrote := f.filled
+	f.ring[f.next] = rec
+	f.next++
+	if f.next == len(f.ring) {
+		f.next = 0
+		f.filled = true
+	}
+	// Slowest-N: admit if there is room or rec beats the current floor.
+	if len(f.slow) < f.slowN {
+		f.insertSlow(rec)
+	} else if rec.Latency > f.slow[0].Latency {
+		f.slow = f.slow[1:]
+		f.insertSlow(rec)
+	}
+	f.mu.Unlock()
+	records.Inc()
+	if overwrote {
+		evicted.Inc()
+	}
+}
+
+// insertSlow keeps f.slow sorted ascending by latency. Called with
+// f.mu held.
+func (f *FlightRecorder) insertSlow(rec FlightRecord) {
+	i := sort.Search(len(f.slow), func(i int) bool { return f.slow[i].Latency > rec.Latency })
+	f.slow = append(f.slow, FlightRecord{})
+	copy(f.slow[i+1:], f.slow[i:])
+	f.slow[i] = rec
+}
+
+// Snapshot returns the recent tier (newest first) and the slowest tier
+// (slowest first).
+func (f *FlightRecorder) Snapshot() (recent, slowest []FlightRecord) {
+	if f == nil {
+		return nil, nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.next
+	if f.filled {
+		n = len(f.ring)
+	}
+	recent = make([]FlightRecord, 0, n)
+	for i := 0; i < n; i++ {
+		slot := f.next - 1 - i
+		if slot < 0 {
+			slot += len(f.ring)
+		}
+		recent = append(recent, f.ring[slot])
+	}
+	slowest = make([]FlightRecord, len(f.slow))
+	for i, r := range f.slow {
+		slowest[len(f.slow)-1-i] = r
+	}
+	return recent, slowest
+}
+
+// Find returns the retained record with the given trace ID, preferring
+// the recent tier, then the slowest tier.
+func (f *FlightRecorder) Find(traceID string) (FlightRecord, bool) {
+	recent, slowest := f.Snapshot()
+	for _, r := range recent {
+		if r.TraceID == traceID {
+			return r, true
+		}
+	}
+	for _, r := range slowest {
+		if r.TraceID == traceID {
+			return r, true
+		}
+	}
+	return FlightRecord{}, false
+}
+
+// RenderFlight renders the two tiers as an aligned text table for CLI
+// consumption.
+func RenderFlight(recent, slowest []FlightRecord) string {
+	var b strings.Builder
+	section := func(title string, recs []FlightRecord) {
+		fmt.Fprintf(&b, "%s (%d)\n", title, len(recs))
+		if len(recs) == 0 {
+			b.WriteString("  (none)\n")
+			return
+		}
+		for _, r := range recs {
+			status := ""
+			if r.Status != 0 {
+				status = fmt.Sprintf(" %d", r.Status)
+			}
+			extra := ""
+			if r.Cache != "" {
+				extra += " cache=" + r.Cache
+			}
+			if r.SampledTrials > 0 || r.ReusedTrials > 0 {
+				extra += fmt.Sprintf(" trials=%d/%d", r.SampledTrials, r.ReusedTrials)
+			}
+			if r.Error != "" {
+				extra += " error=" + r.Error
+			}
+			if len(r.Spans) > 0 {
+				extra += fmt.Sprintf(" spans=%d", len(r.Spans))
+			}
+			fmt.Fprintf(&b, "  %-18s %-14s%s  %10s  v%d%s\n",
+				shortID(r.TraceID), r.Route, status,
+				r.Latency.Round(time.Microsecond), r.StoreVersion, extra)
+		}
+	}
+	section("recent", recent)
+	b.WriteString("\n")
+	section("slowest", slowest)
+	return b.String()
+}
+
+// shortID abbreviates a 32-hex trace ID for one-line table output.
+func shortID(id string) string {
+	if len(id) <= 16 {
+		return id
+	}
+	return id[:16] + "…"
+}

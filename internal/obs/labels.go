@@ -1,0 +1,442 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// DefaultMaxSeries bounds the live series a labeled family may hold
+// before new label combinations overflow into the reserved
+// OverflowValue series. The bound exists so a label fed from request
+// input (a route, a cache tier, a fault kind) can never grow the
+// registry without limit: past the bound, increments still count, they
+// just lose dimensionality.
+const DefaultMaxSeries = 64
+
+// OverflowValue is the reserved label value carried (on every label
+// key) by a family's overflow series. Real series never use it: a
+// caller-supplied value equal to OverflowValue is itself routed to the
+// overflow series rather than minting a counterfeit "real" one.
+const OverflowValue = "other"
+
+// labelSep joins interned label values; it cannot appear in a metric
+// label value that round-trips through the exposition escaper anyway,
+// and the interned key is never exposed.
+const labelSep = "\x1f"
+
+// labelSet is the shared label machinery behind CounterVec, GaugeVec
+// and HistogramVec: sorted-key interning, a hard series bound, and the
+// reserved overflow series.
+type labelSet struct {
+	name string
+	keys []string // sorted label keys
+	perm []int    // perm[i] = position in caller order of sorted key i
+	max  int
+
+	mu       sync.RWMutex
+	index    map[string][]string // interned key -> values (sorted-key order)
+	overflow bool                // the overflow series has been minted
+	dropped  int64               // distinct label combinations routed to overflow
+}
+
+func newLabelSet(name string, max int, keys []string) *labelSet {
+	if max <= 0 {
+		max = DefaultMaxSeries
+	}
+	ls := &labelSet{name: name, max: max, index: make(map[string][]string)}
+	type kp struct {
+		k string
+		i int
+	}
+	kps := make([]kp, len(keys))
+	for i, k := range keys {
+		kps[i] = kp{k, i}
+	}
+	sort.Slice(kps, func(i, j int) bool { return kps[i].k < kps[j].k })
+	ls.keys = make([]string, len(kps))
+	ls.perm = make([]int, len(kps))
+	for i, p := range kps {
+		ls.keys[i] = p.k
+		ls.perm[i] = p.i
+	}
+	return ls
+}
+
+// intern maps caller-order values to the canonical sorted-key interned
+// string, or "", false on arity mismatch.
+func (ls *labelSet) intern(values []string) (string, bool) {
+	if len(values) != len(ls.keys) {
+		return "", false
+	}
+	sorted := make([]string, len(values))
+	overflow := false
+	for i, p := range ls.perm {
+		sorted[i] = values[p]
+		if values[p] == OverflowValue {
+			overflow = true
+		}
+	}
+	if overflow {
+		return ls.overflowKey(), true
+	}
+	return strings.Join(sorted, labelSep), true
+}
+
+func (ls *labelSet) overflowKey() string {
+	vals := make([]string, len(ls.keys))
+	for i := range vals {
+		vals[i] = OverflowValue
+	}
+	return strings.Join(vals, labelSep)
+}
+
+// admit decides, under ls.mu, whether a new interned key may become a
+// real series (true) or must be the overflow series (false). The
+// overflow series itself occupies one of the max slots, reserved up
+// front so it is always available.
+func (ls *labelSet) admit(key string) bool {
+	if key == ls.overflowKey() {
+		ls.overflow = true
+		return true
+	}
+	if len(ls.index) < ls.max-1 || (ls.overflow && len(ls.index) < ls.max) {
+		return true
+	}
+	ls.dropped++
+	ls.overflow = true
+	return false
+}
+
+// labels reconstructs the key->value map for an interned key.
+func (ls *labelSet) labels(key string) map[string]string {
+	vals := strings.Split(key, labelSep)
+	m := make(map[string]string, len(ls.keys))
+	for i, k := range ls.keys {
+		if i < len(vals) {
+			m[k] = vals[i]
+		}
+	}
+	return m
+}
+
+// CounterVec is a family of counters sharing a name and a label-key
+// set, one Counter per distinct label-value combination. The family
+// holds at most MaxSeries live series; further combinations share the
+// reserved OverflowValue series. All methods are nil-safe.
+type CounterVec struct {
+	ls     *labelSet
+	mu     sync.RWMutex
+	series map[string]*Counter
+}
+
+// With returns the counter for the given label values, in the key
+// order the family was declared with. A nil receiver or a value count
+// that does not match the declared keys yields a nil (no-op) counter.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	key, ok := v.ls.intern(values)
+	if !ok {
+		return nil
+	}
+	v.mu.RLock()
+	c := v.series[key]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c = v.series[key]; c != nil {
+		return c
+	}
+	if !v.ls.admit(key) {
+		key = v.ls.overflowKey()
+		if c = v.series[key]; c != nil {
+			return c
+		}
+	}
+	c = &Counter{}
+	v.series[key] = c
+	v.ls.index[key] = nil
+	return c
+}
+
+// Name reports the family name.
+func (v *CounterVec) Name() string { return v.ls.name }
+
+// Keys reports the sorted label keys.
+func (v *CounterVec) Keys() []string { return append([]string(nil), v.ls.keys...) }
+
+// MaxSeries reports the family's hard series bound.
+func (v *CounterVec) MaxSeries() int { return v.ls.max }
+
+// Len reports the live series count (the overflow series included).
+func (v *CounterVec) Len() int {
+	if v == nil {
+		return 0
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.series)
+}
+
+// Overflowed reports whether any label combination has been routed to
+// the reserved overflow series, and how many distinct combinations
+// were.
+func (v *CounterVec) Overflowed() (bool, int64) {
+	if v == nil {
+		return false, 0
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.ls.dropped > 0, v.ls.dropped
+}
+
+// GaugeVec is a family of gauges; see CounterVec for the label and
+// cardinality semantics.
+type GaugeVec struct {
+	ls     *labelSet
+	mu     sync.RWMutex
+	series map[string]*Gauge
+}
+
+// With returns the gauge for the given label values (nil on arity
+// mismatch or nil receiver).
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	key, ok := v.ls.intern(values)
+	if !ok {
+		return nil
+	}
+	v.mu.RLock()
+	g := v.series[key]
+	v.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g = v.series[key]; g != nil {
+		return g
+	}
+	if !v.ls.admit(key) {
+		key = v.ls.overflowKey()
+		if g = v.series[key]; g != nil {
+			return g
+		}
+	}
+	g = &Gauge{}
+	v.series[key] = g
+	v.ls.index[key] = nil
+	return g
+}
+
+// Name reports the family name.
+func (v *GaugeVec) Name() string { return v.ls.name }
+
+// Keys reports the sorted label keys.
+func (v *GaugeVec) Keys() []string { return append([]string(nil), v.ls.keys...) }
+
+// MaxSeries reports the family's hard series bound.
+func (v *GaugeVec) MaxSeries() int { return v.ls.max }
+
+// Len reports the live series count.
+func (v *GaugeVec) Len() int {
+	if v == nil {
+		return 0
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.series)
+}
+
+// HistogramVec is a family of histograms; see CounterVec for the
+// label and cardinality semantics. Every series shares the family's
+// bucket bounds.
+type HistogramVec struct {
+	ls      *labelSet
+	buckets []float64
+	mu      sync.RWMutex
+	series  map[string]*Histogram
+}
+
+// With returns the histogram for the given label values (nil on arity
+// mismatch or nil receiver).
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	key, ok := v.ls.intern(values)
+	if !ok {
+		return nil
+	}
+	v.mu.RLock()
+	h := v.series[key]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h = v.series[key]; h != nil {
+		return h
+	}
+	if !v.ls.admit(key) {
+		key = v.ls.overflowKey()
+		if h = v.series[key]; h != nil {
+			return h
+		}
+	}
+	h = newHistogram(v.buckets)
+	v.series[key] = h
+	v.ls.index[key] = nil
+	return h
+}
+
+// Name reports the family name.
+func (v *HistogramVec) Name() string { return v.ls.name }
+
+// Keys reports the sorted label keys.
+func (v *HistogramVec) Keys() []string { return append([]string(nil), v.ls.keys...) }
+
+// MaxSeries reports the family's hard series bound.
+func (v *HistogramVec) MaxSeries() int { return v.ls.max }
+
+// Len reports the live series count.
+func (v *HistogramVec) Len() int {
+	if v == nil {
+		return 0
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.series)
+}
+
+// CounterVec returns (creating if needed) the named counter family
+// with the given label keys and the DefaultMaxSeries bound. The first
+// registration wins: later callers get the existing family regardless
+// of the keys or bound they pass.
+func (r *Registry) CounterVec(name string, keys ...string) *CounterVec {
+	return r.BoundedCounterVec(name, 0, keys...)
+}
+
+// BoundedCounterVec is CounterVec with an explicit series bound
+// (maxSeries <= 0 selects DefaultMaxSeries).
+func (r *Registry) BoundedCounterVec(name string, maxSeries int, keys ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	v := r.counterVecs[name]
+	r.mu.RUnlock()
+	if v != nil {
+		return v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v = r.counterVecs[name]; v == nil {
+		v = &CounterVec{ls: newLabelSet(name, maxSeries, keys), series: make(map[string]*Counter)}
+		r.counterVecs[name] = v
+	}
+	return v
+}
+
+// GaugeVec returns (creating if needed) the named gauge family with
+// the given label keys and the DefaultMaxSeries bound.
+func (r *Registry) GaugeVec(name string, keys ...string) *GaugeVec {
+	return r.BoundedGaugeVec(name, 0, keys...)
+}
+
+// BoundedGaugeVec is GaugeVec with an explicit series bound.
+func (r *Registry) BoundedGaugeVec(name string, maxSeries int, keys ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	v := r.gaugeVecs[name]
+	r.mu.RUnlock()
+	if v != nil {
+		return v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v = r.gaugeVecs[name]; v == nil {
+		v = &GaugeVec{ls: newLabelSet(name, maxSeries, keys), series: make(map[string]*Gauge)}
+		r.gaugeVecs[name] = v
+	}
+	return v
+}
+
+// HistogramVec returns (creating if needed) the named histogram family
+// with the given bucket bounds (nil selects DefBuckets), label keys,
+// and the DefaultMaxSeries bound.
+func (r *Registry) HistogramVec(name string, buckets []float64, keys ...string) *HistogramVec {
+	return r.BoundedHistogramVec(name, 0, buckets, keys...)
+}
+
+// BoundedHistogramVec is HistogramVec with an explicit series bound.
+func (r *Registry) BoundedHistogramVec(name string, maxSeries int, buckets []float64, keys ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	v := r.histogramVecs[name]
+	r.mu.RUnlock()
+	if v != nil {
+		return v
+	}
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v = r.histogramVecs[name]; v == nil {
+		v = &HistogramVec{
+			ls:      newLabelSet(name, maxSeries, keys),
+			buckets: append([]float64(nil), buckets...),
+			series:  make(map[string]*Histogram),
+		}
+		r.histogramVecs[name] = v
+	}
+	return v
+}
+
+// snapshotVecs appends every vec series as a labeled MetricSnapshot.
+// Called with r.mu held (read).
+func (r *Registry) snapshotVecs(out []MetricSnapshot) []MetricSnapshot {
+	for name, v := range r.counterVecs {
+		v.mu.RLock()
+		for key, c := range v.series {
+			out = append(out, MetricSnapshot{
+				Name: name, Kind: "counter", Labels: v.ls.labels(key), Value: float64(c.Value()),
+			})
+		}
+		v.mu.RUnlock()
+	}
+	for name, v := range r.gaugeVecs {
+		v.mu.RLock()
+		for key, g := range v.series {
+			out = append(out, MetricSnapshot{
+				Name: name, Kind: "gauge", Labels: v.ls.labels(key), Value: float64(g.Value()),
+			})
+		}
+		v.mu.RUnlock()
+	}
+	for name, v := range r.histogramVecs {
+		v.mu.RLock()
+		for key, h := range v.series {
+			s := MetricSnapshot{
+				Name: name, Kind: "histogram", Labels: v.ls.labels(key),
+				Value: h.Sum(), Count: h.Count(), Buckets: h.buckets(),
+			}
+			out = append(out, s)
+		}
+		v.mu.RUnlock()
+	}
+	return out
+}

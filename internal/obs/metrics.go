@@ -68,12 +68,32 @@ func (g *Gauge) Value() int64 {
 }
 
 // Histogram counts observations into fixed cumulative-style buckets
-// (recorded per-bucket, exposed cumulatively like Prometheus).
+// (recorded per-bucket, exposed cumulatively like Prometheus). Each
+// bucket optionally remembers the last exemplar observed into it — a
+// trace ID plus the observed value — so a tail bucket links directly
+// to a recorded trace.
 type Histogram struct {
-	bounds []float64      // ascending upper bounds; implicit +Inf last
-	counts []atomic.Int64 // len(bounds)+1
-	count  atomic.Int64
-	sum    atomic.Uint64 // float64 bits, CAS-updated
+	bounds    []float64      // ascending upper bounds; implicit +Inf last
+	counts    []atomic.Int64 // len(bounds)+1
+	count     atomic.Int64
+	sum       atomic.Uint64 // float64 bits, CAS-updated
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties one observation to the trace that produced it.
+type Exemplar struct {
+	TraceID string  `json:"traceId"`
+	Value   float64 `json:"value"`
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	return &Histogram{
+		bounds:    bounds,
+		counts:    make([]atomic.Int64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bounds)+1),
+	}
 }
 
 // DefBuckets covers both clocks: sub-millisecond wall compute up
@@ -105,8 +125,42 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveEx records one sample and, when traceID is non-empty, stamps
+// it as the containing bucket's last exemplar.
+func (h *Histogram) ObserveEx(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v})
+}
+
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// buckets snapshots the cumulative bucket counts (and per-bucket
+// exemplars, where present).
+func (h *Histogram) buckets() []Bucket {
+	out := make([]Bucket, 0, len(h.counts))
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		ub := math.Inf(1)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		b := Bucket{UpperBound: ub, Count: cum}
+		if len(h.exemplars) == len(h.counts) {
+			b.Exemplar = h.exemplars[i].Load()
+		}
+		out = append(out, b)
+	}
+	return out
+}
 
 // Count reports the number of observations.
 func (h *Histogram) Count() int64 {
@@ -129,18 +183,24 @@ func (h *Histogram) Sum() float64 {
 // should look a metric up once and cache the handle. All methods are
 // nil-safe, returning nil (no-op) handles from a nil registry.
 type Registry struct {
-	mu         sync.RWMutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	mu            sync.RWMutex
+	counters      map[string]*Counter
+	gauges        map[string]*Gauge
+	histograms    map[string]*Histogram
+	counterVecs   map[string]*CounterVec
+	gaugeVecs     map[string]*GaugeVec
+	histogramVecs map[string]*HistogramVec
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		histograms: make(map[string]*Histogram),
+		counters:      make(map[string]*Counter),
+		gauges:        make(map[string]*Gauge),
+		histograms:    make(map[string]*Histogram),
+		counterVecs:   make(map[string]*CounterVec),
+		gaugeVecs:     make(map[string]*GaugeVec),
+		histogramVecs: make(map[string]*HistogramVec),
 	}
 }
 
@@ -204,9 +264,7 @@ func (r *Registry) Histogram(name string, buckets []float64) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if h = r.histograms[name]; h == nil {
-		bounds := append([]float64(nil), buckets...)
-		sort.Float64s(bounds)
-		h = &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+		h = newHistogram(buckets)
 		r.histograms[name] = h
 	}
 	return h
@@ -219,6 +277,8 @@ type Bucket struct {
 	UpperBound float64 `json:"-"`
 	// Count is the cumulative observation count up to UpperBound.
 	Count int64 `json:"count"`
+	// Exemplar is the last exemplar observed into this bucket, if any.
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // MarshalJSON renders the bound as a Prometheus-style string ("+Inf"
@@ -229,16 +289,21 @@ func (b Bucket) MarshalJSON() ([]byte, error) {
 		le = formatFloat(b.UpperBound)
 	}
 	return json.Marshal(struct {
-		Le    string `json:"le"`
-		Count int64  `json:"count"`
-	}{le, b.Count})
+		Le       string    `json:"le"`
+		Count    int64     `json:"count"`
+		Exemplar *Exemplar `json:"exemplar,omitempty"`
+	}{le, b.Count, b.Exemplar})
 }
 
-// MetricSnapshot is one metric's point-in-time state.
+// MetricSnapshot is one metric's point-in-time state. Series from a
+// labeled family share a Name and differ in Labels.
 type MetricSnapshot struct {
 	Name string `json:"name"`
 	// Kind is "counter", "gauge", or "histogram".
 	Kind string `json:"kind"`
+	// Labels are the series' label key/value pairs (labeled families
+	// only; nil for plain metrics).
+	Labels map[string]string `json:"labels,omitempty"`
 	// Value holds the counter/gauge value, or the histogram sum.
 	Value float64 `json:"value"`
 	// Count is the histogram observation count (histograms only).
@@ -247,7 +312,49 @@ type MetricSnapshot struct {
 	Buckets []Bucket `json:"buckets,omitempty"`
 }
 
-// Snapshot captures every metric, sorted by name.
+// promLabels renders the series' labels as the inner part of a
+// Prometheus label set — `k1="v1",k2="v2"`, keys sorted, values
+// escaped — or "" for an unlabeled metric.
+func (m MetricSnapshot) promLabels() string {
+	if len(m.Labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(m.Labels))
+	for k := range m.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + `="` + promEscape(m.Labels[k]) + `"`
+	}
+	return strings.Join(parts, ",")
+}
+
+// promEscape escapes a label value for the Prometheus text format:
+// backslash, double quote, and newline.
+func promEscape(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// Snapshot captures every metric — plain and labeled — sorted by name,
+// then by label set within a family.
 func (r *Registry) Snapshot() []MetricSnapshot {
 	if r == nil {
 		return nil
@@ -262,29 +369,34 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 		out = append(out, MetricSnapshot{Name: name, Kind: "gauge", Value: float64(g.Value())})
 	}
 	for name, h := range r.histograms {
-		s := MetricSnapshot{Name: name, Kind: "histogram", Value: h.Sum(), Count: h.Count()}
-		var cum int64
-		for i := range h.counts {
-			cum += h.counts[i].Load()
-			ub := math.Inf(1)
-			if i < len(h.bounds) {
-				ub = h.bounds[i]
-			}
-			s.Buckets = append(s.Buckets, Bucket{UpperBound: ub, Count: cum})
-		}
-		out = append(out, s)
+		out = append(out, MetricSnapshot{
+			Name: name, Kind: "histogram", Value: h.Sum(), Count: h.Count(), Buckets: h.buckets(),
+		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	out = r.snapshotVecs(out)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].promLabels() < out[j].promLabels()
+	})
 	return out
 }
 
 // WriteProm writes the registry in the Prometheus text exposition
-// format, metrics sorted by name.
+// format, families sorted by name (one TYPE line per family), label
+// values escaped. Histogram buckets carrying an exemplar append it
+// OpenMetrics-style: `# {trace_id="..."} value`.
 func (r *Registry) WriteProm(w io.Writer) error {
+	last := ""
 	for _, m := range r.Snapshot() {
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Kind); err != nil {
-			return err
+		if m.Name != last {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Kind); err != nil {
+				return err
+			}
+			last = m.Name
 		}
+		inner := m.promLabels()
 		switch m.Kind {
 		case "histogram":
 			for _, b := range m.Buckets {
@@ -292,16 +404,32 @@ func (r *Registry) WriteProm(w io.Writer) error {
 				if !math.IsInf(b.UpperBound, 1) {
 					le = formatFloat(b.UpperBound)
 				}
-				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.Name, le, b.Count); err != nil {
+				sep := ""
+				if inner != "" {
+					sep = ","
+				}
+				ex := ""
+				if b.Exemplar != nil {
+					ex = fmt.Sprintf(" # {trace_id=%q} %s", b.Exemplar.TraceID, formatFloat(b.Exemplar.Value))
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d%s\n", m.Name, inner, sep, le, b.Count, ex); err != nil {
 					return err
 				}
 			}
-			if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
-				m.Name, formatFloat(m.Value), m.Name, m.Count); err != nil {
+			suffix := ""
+			if inner != "" {
+				suffix = "{" + inner + "}"
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
+				m.Name, suffix, formatFloat(m.Value), m.Name, suffix, m.Count); err != nil {
 				return err
 			}
 		default:
-			if _, err := fmt.Fprintf(w, "%s %s\n", m.Name, formatFloat(m.Value)); err != nil {
+			suffix := ""
+			if inner != "" {
+				suffix = "{" + inner + "}"
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", m.Name, suffix, formatFloat(m.Value)); err != nil {
 				return err
 			}
 		}

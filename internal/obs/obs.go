@@ -24,9 +24,9 @@ type Obs struct {
 	tr  *Tracer
 }
 
-// New returns an Obs with a fresh registry and a default-capacity
-// tracer.
-func New() *Obs { return &Obs{reg: NewRegistry(), tr: NewTracer(0)} }
+// New returns an Obs with a fresh registry and a tracer retaining at
+// most DefaultMaxSpans spans.
+func New() *Obs { return &Obs{reg: NewRegistry(), tr: NewTracer(DefaultMaxSpans)} }
 
 // NewWith assembles an Obs from the given parts. If both are nil it
 // returns nil, the uninstrumented handle.

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"strings"
+)
+
+// NewTraceID returns a fresh 32-hex-character (128-bit) W3C trace ID.
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero ID
+		// would be invalid per W3C, so brand it distinctly instead.
+		return "00000000000000000000000000000001"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewSpanID returns a fresh 16-hex-character (64-bit) W3C parent-id.
+func NewSpanID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "0000000000000001"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ParseTraceparent extracts the trace ID from a W3C traceparent header
+// (version-traceid-parentid-flags). It accepts only well-formed
+// version-00 values with a non-zero trace ID.
+func ParseTraceparent(h string) (traceID string, ok bool) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) != 4 {
+		return "", false
+	}
+	version, id, parent, flags := parts[0], parts[1], parts[2], parts[3]
+	if len(version) != 2 || !isHex(version) || version == "ff" {
+		return "", false
+	}
+	if len(id) != 32 || !isHex(id) || id == strings.Repeat("0", 32) {
+		return "", false
+	}
+	if len(parent) != 16 || !isHex(parent) || parent == strings.Repeat("0", 16) {
+		return "", false
+	}
+	if len(flags) != 2 || !isHex(flags) {
+		return "", false
+	}
+	return id, true
+}
+
+// FormatTraceparent renders a version-00 traceparent for the given
+// trace ID with a fresh parent-id and the sampled flag set.
+func FormatTraceparent(traceID string) string {
+	return "00-" + traceID + "-" + NewSpanID() + "-01"
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

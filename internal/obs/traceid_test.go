@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewTraceIDShape(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 32 || !isHex(a) {
+		t.Fatalf("NewTraceID() = %q, want 32 hex chars", a)
+	}
+	if a == b {
+		t.Fatal("two trace IDs collided")
+	}
+	if s := NewSpanID(); len(s) != 16 || !isHex(s) {
+		t.Fatalf("NewSpanID() = %q, want 16 hex chars", s)
+	}
+}
+
+func TestParseTraceparent(t *testing.T) {
+	id := "4bf92f3577b34da6a3ce929d0e0e4736"
+	good := "00-" + id + "-00f067aa0ba902b7-01"
+	if got, ok := ParseTraceparent(good); !ok || got != id {
+		t.Fatalf("ParseTraceparent(%q) = %q/%v", good, got, ok)
+	}
+	if got, ok := ParseTraceparent("  " + good + "  "); !ok || got != id {
+		t.Fatalf("surrounding whitespace rejected: %q/%v", got, ok)
+	}
+	for name, h := range map[string]string{
+		"empty":          "",
+		"three parts":    "00-" + id + "-01",
+		"bad version":    "ff-" + id + "-00f067aa0ba902b7-01",
+		"upper hex":      "00-" + strings.ToUpper(id) + "-00f067aa0ba902b7-01",
+		"zero trace id":  "00-" + strings.Repeat("0", 32) + "-00f067aa0ba902b7-01",
+		"zero parent id": "00-" + id + "-" + strings.Repeat("0", 16) + "-01",
+		"short trace id": "00-abc123-00f067aa0ba902b7-01",
+		"bad flags":      "00-" + id + "-00f067aa0ba902b7-zz",
+	} {
+		if got, ok := ParseTraceparent(h); ok {
+			t.Errorf("%s: ParseTraceparent(%q) accepted %q", name, h, got)
+		}
+	}
+}
+
+func TestFormatTraceparentRoundTrips(t *testing.T) {
+	id := NewTraceID()
+	h := FormatTraceparent(id)
+	got, ok := ParseTraceparent(h)
+	if !ok || got != id {
+		t.Fatalf("round trip %q -> %q/%v", h, got, ok)
+	}
+	if !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("traceparent %q not version-00/sampled", h)
+	}
+}

@@ -89,6 +89,12 @@ type Options struct {
 	// Obs, when non-nil, records a sweep span with one child span per
 	// scenario and a scenario_runs_total counter.
 	Obs *obs.Obs
+	// Parent, when non-nil, nests the sweep's spans under an enclosing
+	// span on Obs's tracer (a request root), and additionally records
+	// live per-scenario spans — with the fork's engine and risk spans
+	// nested inside — as each fork executes. Nil keeps the sweep's
+	// post-hoc summary spans as trace roots and leaves forks untraced.
+	Parent *obs.Span
 	// Recovery is the fault-tolerance policy every fork executes under.
 	// The zero value aborts a scenario on its first exhausted activity;
 	// with ContinueOnBlock the blockage is reported in the outcome
@@ -264,6 +270,14 @@ func Sweep(m *engine.Manager, targets []string, edits []Edit, opt Options) (*Rep
 				runs[i].faults = fp
 			}
 		}
+		// Request-traced sweeps thread the tracer (only — fork metrics
+		// would double-count against the parent's registry) into each
+		// fork so engine spans land in the request's trace.
+		if opt.Parent != nil {
+			if tr := opt.Obs.Tracer(); tr != nil {
+				f.Instrument(obs.NewWith(nil, tr))
+			}
+		}
 		runs[i].mgr = f
 	}
 
@@ -285,7 +299,8 @@ func Sweep(m *engine.Manager, targets []string, edits []Edit, opt Options) (*Rep
 		}
 		warm, err := monte.Simulate(models, monte.Config{
 			Trials: opt.Risk.Trials, Seed: opt.Risk.Seed, Workers: opt.Workers,
-			Sketch: opt.Risk.Sketch, Memo: riskMemo, Obs: opt.Obs, VirtNow: m.Clock.Now(),
+			Sketch: opt.Risk.Sketch, Memo: riskMemo, Obs: opt.Obs,
+			Parent: opt.Parent, VirtNow: m.Clock.Now(),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("scenario: risk baseline: %w", err)
@@ -298,7 +313,15 @@ func Sweep(m *engine.Manager, targets []string, edits []Edit, opt Options) (*Rep
 	sampled := make([]int64, len(runs))
 	reusedTr := make([]int64, len(runs))
 	execErr := par.New(opt.Workers).ForEachErr(len(runs), func(i int) error {
-		o, sa, re, err := runOne(runs[i], tree, &opt, riskMemo)
+		// Live per-scenario span under the request's root, ended at the
+		// fork's own (advanced) clock; the parent stretches to cover it.
+		var sp *obs.Span
+		if opt.Parent != nil {
+			sp = opt.Obs.Tracer().Start(opt.Parent, "scenario.run", runs[i].mgr.Clock.Now())
+			sp.SetDetail(runs[i].name)
+		}
+		o, sa, re, err := runOne(runs[i], tree, &opt, riskMemo, sp)
+		sp.End(runs[i].mgr.Clock.Now())
 		if err != nil {
 			return fmt.Errorf("scenario %q: %w", runs[i].name, err)
 		}
@@ -315,7 +338,7 @@ func Sweep(m *engine.Manager, targets []string, edits []Edit, opt Options) (*Rep
 		outcomes[i].Delta = workDelta(m, base.Finish, outcomes[i].Finish)
 	}
 
-	record(opt.Obs, virtStart, outcomes)
+	record(opt.Obs, opt.Parent, virtStart, outcomes)
 	rep := &Report{
 		Targets:   append([]string(nil), tree.Targets...),
 		Baseline:  base,
@@ -407,7 +430,7 @@ func apply(f *engine.Manager, e *Edit) error {
 // runOne plans and executes one fork and analyzes the resulting plan.
 // It returns the outcome plus the activity×trial counts its risk
 // simulation sampled fresh and reused from the shared memo.
-func runOne(r run, tree *flow.Tree, opt *Options, riskMemo *monte.Memo) (*Outcome, int64, int64, error) {
+func runOne(r run, tree *flow.Tree, opt *Options, riskMemo *monte.Memo, span *obs.Span) (*Outcome, int64, int64, error) {
 	f := r.mgr
 	est := opt.Estimator
 	if est == nil {
@@ -424,7 +447,7 @@ func runOne(r run, tree *flow.Tree, opt *Options, riskMemo *monte.Memo) (*Outcom
 	}
 	exec, err := f.ExecuteTask(tree, engine.ExecOptions{
 		Plan: &res.Plan, AutoComplete: true, Parallel: parallel,
-		Recovery: rec,
+		Recovery: rec, TraceParent: span,
 	})
 	if err != nil {
 		return nil, 0, 0, err
@@ -460,10 +483,18 @@ func runOne(r run, tree *flow.Tree, opt *Options, riskMemo *monte.Memo) (*Outcom
 		if err != nil {
 			return nil, 0, 0, err
 		}
-		rr, err := monte.Simulate(models, monte.Config{
+		cfg := monte.Config{
 			Trials: opt.Risk.Trials, Seed: opt.Risk.Seed, Workers: 1,
 			Sketch: opt.Risk.Sketch, Memo: riskMemo,
-		})
+		}
+		if span != nil {
+			// Traced sweep: the fork's risk spans nest under its live
+			// scenario.run span (tracer only — see the fork loop).
+			cfg.Obs = obs.NewWith(nil, opt.Obs.Tracer())
+			cfg.Parent = span
+			cfg.VirtNow = f.Clock.Now()
+		}
+		rr, err := monte.Simulate(models, cfg)
 		if err != nil {
 			return nil, 0, 0, err
 		}
@@ -561,13 +592,13 @@ func workDelta(m *engine.Manager, base, finish time.Time) time.Duration {
 // record emits the sweep's observability after the pool has drained:
 // spans and counters are recorded serially, in scenario order, so traces
 // are deterministic regardless of worker interleaving.
-func record(o *obs.Obs, virtStart time.Time, outcomes []Outcome) {
+func record(o *obs.Obs, parent *obs.Span, virtStart time.Time, outcomes []Outcome) {
 	if o == nil {
 		return
 	}
 	o.Metrics().Counter("scenario_runs_total").Add(int64(len(outcomes)))
 	tr := o.Tracer()
-	root := tr.Start(nil, "scenario.sweep", virtStart)
+	root := tr.Start(parent, "scenario.sweep", virtStart)
 	root.Detailf("%d scenarios", len(outcomes))
 	last := virtStart
 	for i := range outcomes {

@@ -33,13 +33,16 @@ type memoEntry struct {
 }
 
 func newMemoCache(max int, reg *obs.Registry) *memoCache {
+	// One labeled family covers both cache tiers; this is the memo side
+	// (tier="memo"), fpCache carries tier="fingerprint".
+	ev := reg.CounterVec("serve_cache_events_total", "tier", "event")
 	return &memoCache{
 		entries:       make(map[string]*memoEntry),
 		max:           max,
-		hits:          reg.Counter("serve_cache_hits_total"),
-		misses:        reg.Counter("serve_cache_misses_total"),
-		evictions:     reg.Counter("serve_cache_evictions_total"),
-		invalidations: reg.Counter("serve_cache_invalidations_total"),
+		hits:          ev.With("memo", "hit"),
+		misses:        ev.With("memo", "miss"),
+		evictions:     ev.With("memo", "eviction"),
+		invalidations: ev.With("memo", "invalidation"),
 	}
 }
 

@@ -20,7 +20,7 @@ type fpCache struct {
 	entries map[string]fpBody
 	max     int
 
-	hits, misses *obs.Counter
+	hits, misses, evictions *obs.Counter
 }
 
 type fpBody struct {
@@ -29,11 +29,13 @@ type fpBody struct {
 }
 
 func newFPCache(max int, reg *obs.Registry) *fpCache {
+	ev := reg.CounterVec("serve_cache_events_total", "tier", "event")
 	return &fpCache{
 		entries: make(map[string]fpBody),
 		max:     max,
-		hits:    reg.Counter("risk_fingerprint_hits_total"),
-		misses:  reg.Counter("risk_fingerprint_misses_total"),
+		hits:      ev.With("fingerprint", "hit"),
+		misses:    ev.With("fingerprint", "miss"),
+		evictions: ev.With("fingerprint", "eviction"),
 	}
 }
 
@@ -60,6 +62,7 @@ func (c *fpCache) put(key string, body []byte, ctype string) {
 	defer c.mu.Unlock()
 	if len(c.entries) >= c.max {
 		c.entries = make(map[string]fpBody)
+		c.evictions.Inc()
 	}
 	c.entries[key] = fpBody{body: body, ctype: ctype}
 }

@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"flowsched/internal/obs"
+)
+
+// alwaysTrace returns options that retain every request's span tree.
+func alwaysTrace() Options {
+	return Options{TraceSampleRate: 1, SlowTraceThreshold: -1}
+}
+
+// TestSlowRiskReconstructable is the PR's acceptance pin: a slow /risk
+// request must be fully reconstructable after the fact from its trace
+// ID — found in the flight recorder, span tree reaching the Monte-Carlo
+// subtree, dual-clock containment intact.
+func TestSlowRiskReconstructable(t *testing.T) {
+	// Sampling off; the 1ns slow threshold makes every request "slow",
+	// exercising the tail-based always-keep path specifically.
+	s := New(newTracked(t), Options{TraceSampleRate: -1, SlowTraceThreshold: time.Nanosecond})
+
+	// 16384 trials = 256 per shard, the minimum at which per-shard spans
+	// are emitted — the deepest level the span tree can reach.
+	rec := get(t, s, "/risk?trials=16384&seed=11")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /risk = %d: %s", rec.Code, rec.Body.String())
+	}
+	traceID := rec.Header().Get("X-Flowsched-Trace")
+	if len(traceID) != 32 {
+		t.Fatalf("X-Flowsched-Trace = %q, want a 32-hex trace ID", traceID)
+	}
+	if _, ok := obs.ParseTraceparent(rec.Header().Get("traceparent")); !ok {
+		t.Fatalf("response traceparent %q is malformed", rec.Header().Get("traceparent"))
+	}
+
+	// The record is retained in both flight tiers (only request so far).
+	fr, ok := s.flight.Find(traceID)
+	if !ok {
+		t.Fatalf("flight recorder lost trace %s", traceID)
+	}
+	if fr.Route != "risk" || fr.Status != http.StatusOK || fr.Cache != "miss" {
+		t.Fatalf("flight record = %+v, want route=risk status=200 cache=miss", fr)
+	}
+	if fr.StoreVersion == 0 || fr.VirtualNow.IsZero() {
+		t.Fatalf("flight record lacks snapshot identity: %+v", fr)
+	}
+	if fr.SampledTrials == 0 {
+		t.Fatalf("flight record lacks trial accounting: %+v", fr)
+	}
+
+	// The span tree reaches from the serve root down into the
+	// Monte-Carlo shards, and containment holds on both clocks.
+	if err := obs.ValidateContainment(fr.Spans); err != nil {
+		t.Fatalf("containment: %v", err)
+	}
+	names := map[string]int{}
+	for _, sp := range fr.Spans {
+		names[sp.Name]++
+	}
+	for _, want := range []string{"serve.risk", "monte.simulate", "monte.shard"} {
+		if names[want] == 0 {
+			t.Errorf("span tree lacks %q (have %v)", want, names)
+		}
+	}
+
+	// /debug/requests serves the record; /debug/trace renders the tree.
+	body := get(t, s, "/debug/requests").Body.String()
+	if !strings.Contains(body, traceID) {
+		t.Fatalf("/debug/requests lacks trace %s:\n%.400s", traceID, body)
+	}
+	tree := get(t, s, "/debug/trace?id="+traceID).Body.String()
+	for _, want := range []string{"serve.risk", "monte.simulate"} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("/debug/trace lacks %q:\n%.400s", want, tree)
+		}
+	}
+	jrec := get(t, s, "/debug/trace?id="+traceID+"&format=json")
+	var full obs.FlightRecord
+	if err := json.Unmarshal(jrec.Body.Bytes(), &full); err != nil {
+		t.Fatalf("/debug/trace json: %v", err)
+	}
+	if full.TraceID != traceID || len(full.Spans) != len(fr.Spans) {
+		t.Fatalf("json record %s/%d spans, want %s/%d", full.TraceID, len(full.Spans), traceID, len(fr.Spans))
+	}
+
+	if rec := get(t, s, "/debug/trace?id=ffffffffffffffffffffffffffffffff"); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown trace = %d, want 404", rec.Code)
+	}
+}
+
+func TestTraceparentPropagation(t *testing.T) {
+	s := New(newTracked(t), alwaysTrace())
+	inbound := "4bf92f3577b34da6a3ce929d0e0e4736"
+	req := httptest.NewRequest(http.MethodGet, "/status", nil)
+	req.Header.Set("traceparent", "00-"+inbound+"-00f067aa0ba902b7-01")
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Flowsched-Trace"); got != inbound {
+		t.Fatalf("X-Flowsched-Trace = %q, want the inbound trace ID %q", got, inbound)
+	}
+	if id, ok := obs.ParseTraceparent(rec.Header().Get("traceparent")); !ok || id != inbound {
+		t.Fatalf("outbound traceparent = %q, want trace ID %q", rec.Header().Get("traceparent"), inbound)
+	}
+
+	// A malformed traceparent is ignored: the request gets a fresh ID.
+	req = httptest.NewRequest(http.MethodGet, "/status", nil)
+	req.Header.Set("traceparent", "garbage")
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if got := rec.Header().Get("X-Flowsched-Trace"); len(got) != 32 || got == inbound {
+		t.Fatalf("malformed traceparent produced trace ID %q", got)
+	}
+}
+
+func TestTraceRetentionKnobs(t *testing.T) {
+	// Rate 1 retains every trace.
+	s := New(newTracked(t), alwaysTrace())
+	get(t, s, "/status")
+	get(t, s, "/version")
+	recent, _ := s.flight.Snapshot()
+	for _, r := range recent {
+		if len(r.Spans) == 0 {
+			t.Fatalf("rate-1 server discarded spans for %s", r.Route)
+		}
+	}
+	if keeps := s.reg.Counter("serve_trace_retained_total").Value(); keeps != 2 {
+		t.Fatalf("serve_trace_retained_total = %d, want 2", keeps)
+	}
+
+	// Sampling and slow threshold both disabled: records stay (the
+	// flight recorder is always on) but span trees are discarded.
+	s = New(newTracked(t), Options{TraceSampleRate: -1, SlowTraceThreshold: -1})
+	get(t, s, "/status")
+	recent, _ = s.flight.Snapshot()
+	if len(recent) != 1 || len(recent[0].Spans) != 0 {
+		t.Fatalf("disabled retention kept spans: %+v", recent)
+	}
+	if disc := s.reg.Counter("serve_trace_discarded_total").Value(); disc != 1 {
+		t.Fatalf("serve_trace_discarded_total = %d, want 1", disc)
+	}
+}
+
+func TestDisableRequestObs(t *testing.T) {
+	s := New(newTracked(t), Options{DisableRequestObs: true})
+	rec := get(t, s, "/status")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /status = %d", rec.Code)
+	}
+	if got := rec.Header().Get("X-Flowsched-Trace"); got != "" {
+		t.Fatalf("disabled request obs still emitted trace ID %q", got)
+	}
+	recent, slowest := s.flight.Snapshot()
+	if len(recent) != 0 || len(slowest) != 0 {
+		t.Fatal("disabled request obs still recorded flights")
+	}
+	// The labeled request counter and latency histogram stay.
+	if n := metricValue(t, s, `serve_requests_total{cache="",route="status"}`); n != 1 {
+		t.Fatalf("serve_requests_total{route=status} = %d, want 1", n)
+	}
+}
+
+// TestRegistriesLintClean walks both registries on the /metrics page —
+// the server's own and the project's — after exercising every read
+// surface, so a malformed name or an over-bound family anywhere in the
+// serving path fails the build.
+func TestRegistriesLintClean(t *testing.T) {
+	p := newTracked(t)
+	s := New(p, alwaysTrace())
+	for _, path := range []string{
+		"/status", "/gantt", "/dashboard", "/analyze", "/risk?trials=64&seed=2",
+		"/whatif?edit=slow=Simulate*2.0", "/metrics", "/debug/requests", "/healthz",
+	} {
+		if rec := get(t, s, path); rec.Code != http.StatusOK {
+			t.Fatalf("GET %s = %d: %s", path, rec.Code, rec.Body.String())
+		}
+	}
+	if errs := s.Registry().Lint(); len(errs) != 0 {
+		t.Errorf("serve registry lint: %v", errs)
+	}
+	if errs := p.LintMetrics(); len(errs) != 0 {
+		t.Errorf("project registry lint: %v", errs)
+	}
+}
+
+// TestObservabilityHammer races request-span emission against the
+// post-hoc inspection surfaces: mutating tracked runs and traced /risk
+// requests on one side, /metrics, /debug/requests and /debug/trace
+// scrapes on the other. Run under -race this is the PR's concurrency
+// pin; every retained span tree must still validate.
+func TestObservabilityHammer(t *testing.T) {
+	p := newTracked(t)
+	s := New(p, Options{TraceSampleRate: 1, SlowTraceThreshold: time.Nanosecond})
+
+	const writers, scrapers, iters = 4, 4, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				path := fmt.Sprintf("/risk?trials=200&seed=%d", w*1000+i)
+				if i%5 == 0 {
+					path = "/whatif?edit=slow=Simulate*2.0"
+				}
+				req := httptest.NewRequest(http.MethodGet, path, nil)
+				s.Handler().ServeHTTP(httptest.NewRecorder(), req)
+			}
+		}(w)
+	}
+	for r := 0; r < scrapers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				for _, path := range []string{"/metrics", "/debug/requests"} {
+					req := httptest.NewRequest(http.MethodGet, path, nil)
+					s.Handler().ServeHTTP(httptest.NewRecorder(), req)
+				}
+				recent, _ := s.flight.Snapshot()
+				if len(recent) > 0 {
+					req := httptest.NewRequest(http.MethodGet, "/debug/trace?id="+recent[0].TraceID, nil)
+					s.Handler().ServeHTTP(httptest.NewRecorder(), req)
+				}
+			}
+		}()
+	}
+	// Mutate the project concurrently so snapshot versions advance under
+	// the readers' feet.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			p.Run([]string{"performance"}, true)
+		}
+	}()
+	wg.Wait()
+
+	recent, slowest := s.flight.Snapshot()
+	if len(recent) == 0 {
+		t.Fatal("hammer produced no flight records")
+	}
+	for _, tier := range [][]obs.FlightRecord{recent, slowest} {
+		for _, r := range tier {
+			if err := obs.ValidateContainment(r.Spans); err != nil {
+				t.Fatalf("trace %s (%s): %v", r.TraceID, r.Route, err)
+			}
+		}
+	}
+	if errs := s.Registry().Lint(); len(errs) != 0 {
+		t.Errorf("serve registry lint after hammer: %v", errs)
+	}
+}

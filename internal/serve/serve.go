@@ -31,11 +31,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"flowsched"
@@ -58,6 +60,30 @@ type Options struct {
 	// (defaults 5s / 2m / 2m). WriteTimeout must cover the slowest
 	// cold read — a large risk simulation or what-if sweep.
 	ReadTimeout, WriteTimeout, IdleTimeout time.Duration
+	// TraceSampleRate is the fraction of requests whose full span tree
+	// is retained in the flight recorder (every round(1/rate)-th
+	// request). 0 selects the default 0.01 (every 100th); negative
+	// disables sampling. Requests slower than SlowTraceThreshold keep
+	// their traces regardless — tail-based retention means the requests
+	// most worth explaining are always explained.
+	TraceSampleRate float64
+	// SlowTraceThreshold is the latency at or above which a request's
+	// trace is always retained. 0 selects the default 500ms; negative
+	// disables the slow path.
+	SlowTraceThreshold time.Duration
+	// FlightEntries and FlightSlowest size the flight recorder's recent
+	// ring and slowest-N tier (defaults obs.DefaultFlightRing and
+	// obs.DefaultFlightSlow).
+	FlightEntries, FlightSlowest int
+	// EnablePprof mounts the stdlib net/http/pprof handlers under
+	// /debug/pprof/. Off by default: profiles expose internals, so the
+	// operator opts in (flowservd -pprof).
+	EnablePprof bool
+	// DisableRequestObs turns off per-request tracing and flight
+	// recording (labeled metrics stay). The bench harness uses it to
+	// price the request-observability layer; production servers should
+	// leave it on.
+	DisableRequestObs bool
 }
 
 // Server serves one project's read surfaces.
@@ -71,8 +97,17 @@ type Server struct {
 	srv   *http.Server
 
 	inflight     *obs.Gauge
-	latency      *obs.Histogram
+	requests     *obs.CounterVec   // serve_requests_total{route,cache}
+	latency      *obs.HistogramVec // serve_request_seconds{route}
 	storeVersion *obs.Gauge
+	projDropped  *obs.Gauge // project tracer's dropped-span count, set at scrape
+
+	flight        *obs.FlightRecorder
+	traceKeeps    *obs.Counter // requests whose span tree was retained
+	traceDiscards *obs.Counter // requests traced but not retained
+	reqSeq        atomic.Uint64
+	sampleEvery   uint64 // retain every Nth request's trace; 0 = never
+	slowThresh    time.Duration
 }
 
 // New builds a server over a project. The project stays fully usable —
@@ -96,12 +131,32 @@ func New(p *flowsched.Project, opt Options) *Server {
 	reg := obs.NewRegistry()
 	s := &Server{
 		p: p, opt: opt, reg: reg,
-		cache:        newMemoCache(opt.CacheEntries, reg),
-		fp:           newFPCache(opt.CacheEntries, reg),
-		mux:          http.NewServeMux(),
-		inflight:     reg.Gauge("serve_requests_in_flight"),
-		latency:      reg.Histogram("serve_request_seconds", nil),
-		storeVersion: reg.Gauge("serve_store_version"),
+		cache:         newMemoCache(opt.CacheEntries, reg),
+		fp:            newFPCache(opt.CacheEntries, reg),
+		mux:           http.NewServeMux(),
+		inflight:      reg.Gauge("serve_requests_in_flight"),
+		requests:      reg.CounterVec("serve_requests_total", "route", "cache"),
+		latency:       reg.HistogramVec("serve_request_seconds", LatencyBuckets, "route"),
+		storeVersion:  reg.Gauge("serve_store_version"),
+		projDropped:   reg.Gauge("project_trace_dropped_spans"),
+		flight:        obs.NewFlightRecorder(opt.FlightEntries, opt.FlightSlowest),
+		traceKeeps:    reg.Counter("serve_trace_retained_total"),
+		traceDiscards: reg.Counter("serve_trace_discarded_total"),
+	}
+	s.flight.Instrument(reg, "serve_flight")
+	rate := opt.TraceSampleRate
+	if rate == 0 {
+		rate = 0.01
+	}
+	if rate > 0 {
+		if rate > 1 {
+			rate = 1
+		}
+		s.sampleEvery = uint64(math.Round(1 / rate))
+	}
+	s.slowThresh = opt.SlowTraceThreshold
+	if s.slowThresh == 0 {
+		s.slowThresh = 500 * time.Millisecond
 	}
 	s.routes()
 	s.srv = &http.Server{
@@ -176,21 +231,75 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/trace", s.instrument("trace", s.trace))
 	s.mux.HandleFunc("/events", s.instrument("events", s.events))
 	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.healthz))
+
+	// Post-hoc inspection surfaces.
+	s.mux.HandleFunc("/debug/requests", s.instrument("debug_requests", s.debugRequests))
+	s.mux.HandleFunc("/debug/trace", s.instrument("debug_trace", s.debugTrace))
+	if s.opt.EnablePprof {
+		s.registerPprof()
+	}
 }
 
 // instrument wraps a handler with the request-scoped observability:
-// per-route request counter, in-flight gauge, latency histogram.
+// the labeled request counter and latency histogram, the in-flight
+// gauge, a per-request trace (W3C traceparent accepted and emitted,
+// the trace ID echoed as X-Flowsched-Trace), and a flight record on
+// completion. Span trees are retained tail-based: every sampleEvery-th
+// request, plus every request at or over the slow threshold.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
-	ctr := s.reg.Counter("serve_route_" + name + "_requests_total")
+	latency := s.latency.With(name)
 	return func(w http.ResponseWriter, r *http.Request) {
-		ctr.Inc()
 		s.inflight.Add(1)
 		start := time.Now()
-		defer func() {
-			s.inflight.Add(-1)
-			s.latency.ObserveDuration(time.Since(start))
-		}()
-		h(w, r)
+		if s.opt.DisableRequestObs {
+			defer func() {
+				s.inflight.Add(-1)
+				latency.ObserveDuration(time.Since(start))
+			}()
+			sw := &statusWriter{ResponseWriter: w}
+			h(sw, r)
+			s.requests.With(name, "").Inc()
+			return
+		}
+
+		seq := s.reqSeq.Add(1)
+		ri := &reqInfo{tracer: obs.NewTracer(DefaultRequestSpans)}
+		if id, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+			ri.traceID = id
+		} else {
+			ri.traceID = obs.NewTraceID()
+		}
+		ri.root = ri.tracer.Start(nil, "serve."+name, s.p.Now())
+		w.Header().Set("X-Flowsched-Trace", ri.traceID)
+		w.Header().Set("traceparent", obs.FormatTraceparent(ri.traceID))
+
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, withReqInfo(r, ri))
+		ri.root.End(s.p.Now())
+
+		elapsed := time.Since(start)
+		s.inflight.Add(-1)
+		latency.ObserveEx(elapsed.Seconds(), ri.traceID)
+		s.requests.With(name, ri.cache).Inc()
+
+		rec := obs.FlightRecord{
+			TraceID: ri.traceID, Route: name, Status: sw.status,
+			Start: start, Latency: elapsed,
+			StoreVersion: ri.version, VirtualNow: ri.vnow, Cache: ri.cache,
+			SampledTrials: ri.sampledTrials, ReusedTrials: ri.reusedTrials,
+			Error: ri.errMsg,
+		}
+		keep := s.sampleEvery > 0 && seq%s.sampleEvery == 0
+		if s.slowThresh >= 0 && elapsed >= s.slowThresh {
+			keep = true
+		}
+		if keep {
+			rec.Spans = ri.tracer.Spans()
+			s.traceKeeps.Inc()
+		} else {
+			s.traceDiscards.Inc()
+		}
+		s.flight.Record(rec)
 	}
 }
 
@@ -217,6 +326,13 @@ func (s *Server) handleViewFP(pattern, name string, fp fingerprintFunc, fn rende
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
+		}
+		ri := reqInfoFrom(r)
+		if ri != nil {
+			// Divert the view's span output to the request's tracer,
+			// nested under the request root; project metrics keep flowing.
+			v = v.CaptureTrace(ri.tracer, ri.root)
+			ri.version, ri.vnow = v.Version(), v.Now()
 		}
 		s.storeVersion.Set(int64(v.Version()))
 		w.Header().Set("X-Flowsched-Version", strconv.FormatUint(v.Version(), 10))
@@ -246,7 +362,13 @@ func (s *Server) handleViewFP(pattern, name string, fp fingerprintFunc, fn rende
 			}
 		}
 		w.Header().Set("X-Flowsched-Cache", cacheState)
+		if ri != nil {
+			ri.cache = cacheState
+		}
 		if err != nil {
+			if ri != nil {
+				ri.errMsg = err.Error()
+			}
 			http.Error(w, err.Error(), errCode(err))
 			return
 		}
@@ -485,6 +607,10 @@ func renderRisk(v *flowsched.ProjectView, r *http.Request) ([]byte, string, erro
 	if err != nil {
 		return nil, "", err
 	}
+	if ri := reqInfoFrom(r); ri != nil {
+		ri.sampledTrials = int64(res.SampledActivityTrials)
+		ri.reusedTrials = int64(res.ReusedActivityTrials)
+	}
 	return jsonBody(riskSummary{
 		Targets: p.targets, Trials: len(res.Durations), Seed: p.seed,
 		Mean: res.Mean(),
@@ -585,6 +711,7 @@ func renderVersion(v *flowsched.ProjectView, _ *http.Request) ([]byte, string, e
 // metrics serves the server's own registry followed by the project's
 // registry in one Prometheus text page.
 func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	s.projDropped.Set(s.p.TraceDropped())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	fmt.Fprint(w, s.reg.PromText())
 	fmt.Fprint(w, s.p.MetricsText())

@@ -75,7 +75,7 @@ func TestRoutesServeEveryReadSurface(t *testing.T) {
 		{"/risk?trials=50&seed=7", `"p95"`},
 		{"/whatif?edit=slow=Simulate*2.0", "What-if sweep"},
 		{"/predict?activity=Create", `"estimate"`},
-		{"/metrics", "serve_route_metrics_requests_total"},
+		{"/metrics", `serve_request_seconds_count{route="metrics"}`},
 		{"/trace", "plan"},
 		{"/events?since=0", `"events"`},
 	}
@@ -113,11 +113,14 @@ func TestBadRequests(t *testing.T) {
 	}
 }
 
-// metricValue extracts one counter's value from a /metrics page.
+// metricValue extracts one series' value from a /metrics page. name is
+// the full series identity — for labeled families include the label
+// set exactly as exposed, e.g. `serve_cache_events_total{event="hit",tier="memo"}`
+// (label keys are emitted sorted).
 func metricValue(t *testing.T, s *Server, name string) int64 {
 	t.Helper()
 	body := get(t, s, "/metrics").Body.String()
-	m := regexp.MustCompile(`(?m)^` + name + ` (\d+)$`).FindStringSubmatch(body)
+	m := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\d+)$`).FindStringSubmatch(body)
 	if m == nil {
 		return 0
 	}
@@ -155,8 +158,8 @@ func TestRiskMemoized(t *testing.T) {
 	if after := metricValue(t, s, "monte_trials_total"); after != trialsBefore {
 		t.Fatalf("cached risk re-ran the simulation: monte_trials_total %d -> %d", trialsBefore, after)
 	}
-	if hits := metricValue(t, s, "serve_cache_hits_total"); hits < 1 {
-		t.Fatalf("serve_cache_hits_total = %d, want >= 1", hits)
+	if hits := metricValue(t, s, `serve_cache_events_total{event="hit",tier="memo"}`); hits < 1 {
+		t.Fatalf("memo cache hits = %d, want >= 1", hits)
 	}
 }
 
@@ -341,8 +344,8 @@ func TestRiskFingerprintSurvivesStoreAdvance(t *testing.T) {
 	if after := metricValue(t, s, "monte_trials_total"); after != trialsBefore {
 		t.Fatalf("fingerprint hit re-ran the simulation: monte_trials_total %d -> %d", trialsBefore, after)
 	}
-	if hits := metricValue(t, s, "risk_fingerprint_hits_total"); hits != 1 {
-		t.Fatalf("risk_fingerprint_hits_total = %d, want 1", hits)
+	if hits := metricValue(t, s, `serve_cache_events_total{event="hit",tier="fingerprint"}`); hits != 1 {
+		t.Fatalf("fingerprint cache hits = %d, want 1", hits)
 	}
 }
 

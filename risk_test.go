@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"flowsched/internal/obs"
 )
 
 func TestSimulateRisk(t *testing.T) {
@@ -111,5 +113,102 @@ func TestSimulateRiskErrors(t *testing.T) {
 	}
 	if _, err := p.SimulateRisk([]string{"ghost"}, 10, 1); err == nil {
 		t.Fatal("unknown target accepted")
+	}
+}
+
+func TestSimulateRiskDeterministicUnderTracing(t *testing.T) {
+	// Request-scoped tracing must be a pure observer: with a per-request
+	// tracer capturing the view and a parent span in place (the serving
+	// path's exact shape), the sampled distribution stays bit-identical
+	// to the untraced serial run for any worker count.
+	p, err := New(Fig4Schema, Options{Designer: "ewj", Obs: ObsOptions{Enabled: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.UseSimulatedTools(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Import("stimuli", []byte("pulse 0 5 1ns")); err != nil {
+		t.Fatal(err)
+	}
+	serial, err := p.SimulateRiskWith([]string{"performance"},
+		RiskOptions{Trials: 800, Seed: 23, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		tr := obs.NewTracer(obs.DefaultMaxSpans)
+		v, err := p.View()
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := tr.Start(nil, "serve.risk", v.Now())
+		v = v.CaptureTrace(tr, root)
+		got, err := v.SimulateRiskWith([]string{"performance"},
+			RiskOptions{Trials: 800, Seed: 23, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		root.End(v.Now())
+		for i := range serial.Durations {
+			if got.Durations[i] != serial.Durations[i] {
+				t.Fatalf("workers=%d traced: Durations[%d] = %v, serial untraced %v",
+					workers, i, got.Durations[i], serial.Durations[i])
+			}
+		}
+		spans := tr.Spans()
+		if err := obs.ValidateContainment(spans); err != nil {
+			t.Fatalf("workers=%d: containment: %v", workers, err)
+		}
+		var sawMonte bool
+		for _, sp := range spans {
+			if sp.Name == "monte.simulate" {
+				sawMonte = true
+			}
+		}
+		if !sawMonte {
+			t.Fatalf("workers=%d: request trace lacks the monte subtree", workers)
+		}
+	}
+}
+
+func TestProjectFlightRecorder(t *testing.T) {
+	p, err := New(Fig4Schema, Options{Designer: "ewj", Obs: ObsOptions{Enabled: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.UseSimulatedTools(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Import("stimuli", []byte("pulse 0 5 1ns")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.SimulateRisk([]string{"performance"}, 200, 5); err != nil {
+		t.Fatal(err)
+	}
+	recent, slowest := p.FlightRecords()
+	if len(recent) != 1 || len(slowest) != 1 {
+		t.Fatalf("flight tiers = %d/%d, want 1/1", len(recent), len(slowest))
+	}
+	rec := recent[0]
+	if rec.Route != "risk" || rec.SampledTrials == 0 || rec.TraceID == "" {
+		t.Fatalf("flight record = %+v", rec)
+	}
+	if txt := p.FlightText(); !strings.Contains(txt, "risk") {
+		t.Fatalf("FlightText lacks the risk record:\n%s", txt)
+	}
+	if errs := p.LintMetrics(); len(errs) != 0 {
+		t.Fatalf("project registry lint: %v", errs)
+	}
+	// Uninstrumented projects stay nil-safe.
+	bare, err := New(Fig4Schema, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, s := bare.FlightRecords(); r != nil || s != nil {
+		t.Fatal("uninstrumented project has flight records")
+	}
+	if errs := bare.LintMetrics(); errs != nil {
+		t.Fatalf("uninstrumented lint: %v", errs)
 	}
 }

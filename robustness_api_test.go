@@ -123,11 +123,12 @@ func TestInjectFaultsFacade(t *testing.T) {
 			t.Fatalf("%s: corrupt output accepted", o.Activity)
 		}
 	}
-	// The plan's counters reached the project metrics.
+	// The plan's counters reached the project metrics (summed over the
+	// family's kind= series).
 	var total float64
 	for _, s := range p.Metrics() {
 		if s.Name == "fault_injected_total" {
-			total = s.Value
+			total += s.Value
 		}
 	}
 	if int(total) != p.FaultsInjected() {

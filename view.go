@@ -33,6 +33,24 @@ type ProjectView struct {
 	now  time.Time
 	obs  *obs.Obs
 	memo *monte.Memo // the project's shared trial-stream memo
+	span *obs.Span   // request root for CaptureTrace'd views; else nil
+}
+
+// CaptureTrace returns a copy of the view whose span output is
+// diverted to tr, nested under parent: risk simulations, what-if
+// sweeps, and their engine/monte descendants run through the copy
+// record their spans on tr (a request-scoped tracer) instead of the
+// project's own, while metric counters keep flowing to the project
+// registry. A nil tr returns the view unchanged. The original view is
+// not modified.
+func (v *ProjectView) CaptureTrace(tr *obs.Tracer, parent *obs.Span) *ProjectView {
+	if tr == nil {
+		return v
+	}
+	c := *v
+	c.obs = obs.NewWith(v.obs.Metrics(), tr)
+	c.span = parent
+	return &c
 }
 
 // View captures the project's current state as a consistent read-only
@@ -154,7 +172,7 @@ func (v *ProjectView) StatusReport(from, to time.Time) (string, error) {
 // The run shares the project's subtree trial-stream memo unless
 // opt.NoReuse is set; reuse never changes the result.
 func (v *ProjectView) SimulateRiskWith(targets []string, opt RiskOptions) (*RiskResult, error) {
-	return riskOf(v.m, v.obs, v.now, v.memo, targets, opt)
+	return riskOf(v.m, v.obs, v.now, v.memo, v.span, targets, opt)
 }
 
 // RiskFingerprint is the view-pinned Project.RiskFingerprint: a
@@ -281,6 +299,9 @@ func sortedKeys[V any](m map[string]V) []string {
 func (v *ProjectView) Scenarios(targets []string, edits []ScenarioEdit, opt ScenarioOptions) (*ScenarioReport, error) {
 	if opt.Obs == nil {
 		opt.Obs = v.obs
+	}
+	if opt.Parent == nil {
+		opt.Parent = v.span
 	}
 	opt.BaseView = v.view
 	if opt.Risk != nil && opt.Risk.Memo == nil {
