@@ -1,0 +1,266 @@
+// Command benchpersist measures the durability layer and records the
+// numbers in BENCH_persist.json, the repo's performance-trajectory file
+// for the WAL path. Each invocation appends one labelled entry
+// (machine, configuration, and per-sweep-point costs), so successive
+// runs across PRs accumulate into a history.
+//
+//	benchpersist -label after-wal                 # sweep, append to BENCH_persist.json
+//	benchpersist -records 1000,10000 -out /tmp/b  # custom sweep
+//	benchpersist -sync                            # price the per-append fsync
+//
+// Per sweep point (a project whose WAL holds ~N records) it measures:
+//
+//   - replay: full crash-recovery time from the segments alone
+//     (flowsched.Open on a cold copy of the directory), total and per
+//     record — the cost of the "replay = rebuild" contract;
+//   - checkpoint: the cost of installing a checkpoint at that store
+//     size, and the checkpoint's size on disk;
+//   - recovery-from-checkpoint: crash-recovery time once a checkpoint
+//     covers the log, which bounds restart latency regardless of
+//     history length;
+//   - density: bytes per project in memory and on disk, reported as
+//     projects per GB — the capacity planning number for the
+//     multi-project host (flowservd -root).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"flowsched"
+)
+
+// point is one measured WAL size.
+type point struct {
+	// Records is the WAL record count recovery replays (RecordsTarget
+	// rounded up to the workload's operation boundary).
+	Records uint64 `json:"records"`
+	// StoreVersion is the recovered store's version — the mutation
+	// count the records carry.
+	StoreVersion uint64 `json:"store_version"`
+	ReplayNs     int64  `json:"replay_ns"`
+	ReplayNsRec  int64  `json:"replay_ns_per_record"`
+	CheckpointNs int64  `json:"checkpoint_ns"`
+	// CheckpointBytes is checkpoint.json's size after install.
+	CheckpointBytes int64 `json:"checkpoint_bytes"`
+	// ReplayAfterCheckpointNs is crash-recovery with the checkpoint
+	// installed (near-empty log): the restart-latency floor.
+	ReplayAfterCheckpointNs int64 `json:"replay_after_checkpoint_ns"`
+	// WALBytes is the segment + checkpoint footprint before the
+	// checkpoint truncated the segments.
+	WALBytes    int64 `json:"wal_bytes"`
+	MemoryBytes int64 `json:"memory_bytes"`
+	DiskBytes   int64 `json:"disk_bytes"`
+	// Capacity-planning densities for the multi-project host.
+	ProjectsPerGBRAM  float64 `json:"projects_per_gb_ram"`
+	ProjectsPerGBDisk float64 `json:"projects_per_gb_disk"`
+}
+
+// entry is one benchpersist invocation.
+type entry struct {
+	Label     string  `json:"label"`
+	Date      string  `json:"date"`
+	GoVersion string  `json:"go"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	CPUs      int     `json:"cpus"`
+	Fsync     bool    `json:"fsync"`
+	Results   []point `json:"results"`
+}
+
+// file is the BENCH_persist.json document.
+type file struct {
+	Description string  `json:"description"`
+	Benchmarks  []entry `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_persist.json", "trajectory file to append to")
+	label := flag.String("label", "run", "label for this entry")
+	recordsFlag := flag.String("records", "1000,10000,50000", "comma-separated WAL record-count sweep")
+	sync := flag.Bool("sync", false, "fsync every append while building the workload (prices durability, slows the build)")
+	reps := flag.Int("reps", 3, "replay repetitions per point (best is recorded)")
+	flag.Parse()
+
+	sweep, err := parseInts(*recordsFlag)
+	if err != nil {
+		fatal("bad -records: %v", err)
+	}
+
+	doc := file{Description: "Durability layer performance trajectory: WAL replay, checkpoint cost, and project density (cmd/benchpersist over the Fig. 4 flow)"}
+	if blob, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(blob, &doc); err != nil {
+			fatal("existing %s is not a benchpersist file: %v", *out, err)
+		}
+	}
+
+	e := entry{
+		Label: *label, Date: time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		CPUs: runtime.NumCPU(), Fsync: *sync,
+	}
+	for _, n := range sweep {
+		p, err := measure(uint64(n), !*sync, *reps)
+		if err != nil {
+			fatal("%d records: %v", n, err)
+		}
+		fmt.Printf("%8d records: replay %8.2fms (%5dns/rec)  checkpoint %8.2fms (%d B)  restart-after-cp %6.2fms  %6.0f proj/GB RAM  %6.0f proj/GB disk\n",
+			p.Records, float64(p.ReplayNs)/1e6, p.ReplayNsRec,
+			float64(p.CheckpointNs)/1e6, p.CheckpointBytes,
+			float64(p.ReplayAfterCheckpointNs)/1e6,
+			p.ProjectsPerGBRAM, p.ProjectsPerGBDisk)
+		e.Results = append(e.Results, p)
+	}
+	doc.Benchmarks = append(doc.Benchmarks, e)
+
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("appended entry %q to %s\n", *label, *out)
+}
+
+// measure builds one durable project with ~n WAL records and times the
+// durability operations against it.
+func measure(n uint64, noSync bool, reps int) (point, error) {
+	root, err := os.MkdirTemp("", "benchpersist")
+	if err != nil {
+		return point{}, err
+	}
+	defer os.RemoveAll(root)
+	dir := filepath.Join(root, "master")
+
+	po := flowsched.PersistOptions{NoSync: noSync, CheckpointEvery: -1}
+	p, err := flowsched.Open(dir, flowsched.Fig4Schema, flowsched.Options{Designer: "bench"}, po)
+	if err != nil {
+		return point{}, err
+	}
+	if err := p.UseSimulatedTools(); err != nil {
+		return point{}, err
+	}
+	// The record mill: imports commit store mutations, design-data
+	// puts, and events — the serving path's mutation mix.
+	for i := 0; p.WALSeq() < n; i++ {
+		if _, err := p.Import("stimuli", []byte(fmt.Sprintf("pulse %d", i))); err != nil {
+			return point{}, err
+		}
+	}
+	pt := point{Records: p.WALSeq()}
+	pt.MemoryBytes = p.MemoryFootprint()
+	if pt.WALBytes, err = p.DurableFootprint(); err != nil {
+		return point{}, err
+	}
+	// No Close: the replay measurements below recover a crash image.
+
+	// Replay = rebuild, on a cold copy each repetition.
+	for i := 0; i < reps; i++ {
+		cold, err := copyDir(root, dir, fmt.Sprintf("replay%d", i))
+		if err != nil {
+			return point{}, err
+		}
+		start := time.Now()
+		if _, err := flowsched.Open(cold, "", flowsched.Options{}, po); err != nil {
+			return point{}, err
+		}
+		elapsed := time.Since(start).Nanoseconds()
+		if i == 0 || elapsed < pt.ReplayNs {
+			pt.ReplayNs = elapsed
+		}
+	}
+	pt.ReplayNsRec = pt.ReplayNs / int64(pt.Records)
+
+	// Checkpoint cost at this store size, then restart latency with the
+	// checkpoint installed.
+	cpDir, err := copyDir(root, dir, "checkpoint")
+	if err != nil {
+		return point{}, err
+	}
+	cp, err := flowsched.Open(cpDir, "", flowsched.Options{}, po)
+	if err != nil {
+		return point{}, err
+	}
+	pt.StoreVersion = storeVersionOf(cp)
+	start := time.Now()
+	if err := cp.Checkpoint(); err != nil {
+		return point{}, err
+	}
+	pt.CheckpointNs = time.Since(start).Nanoseconds()
+	if fi, err := os.Stat(filepath.Join(cpDir, "checkpoint.json")); err == nil {
+		pt.CheckpointBytes = fi.Size()
+	}
+	if pt.DiskBytes, err = cp.DurableFootprint(); err != nil {
+		return point{}, err
+	}
+	start = time.Now()
+	if _, err := flowsched.Open(cpDir, "", flowsched.Options{}, po); err != nil {
+		return point{}, err
+	}
+	pt.ReplayAfterCheckpointNs = time.Since(start).Nanoseconds()
+
+	const gb = 1 << 30
+	if pt.MemoryBytes > 0 {
+		pt.ProjectsPerGBRAM = float64(gb) / float64(pt.MemoryBytes)
+	}
+	if pt.DiskBytes > 0 {
+		pt.ProjectsPerGBDisk = float64(gb) / float64(pt.DiskBytes)
+	}
+	return pt, nil
+}
+
+// storeVersionOf reads the recovered store version off a version view.
+func storeVersionOf(p *flowsched.Project) uint64 {
+	v, err := p.View()
+	if err != nil {
+		return 0
+	}
+	return v.Version()
+}
+
+// copyDir clones a project directory under root and returns the clone.
+func copyDir(root, src, name string) (string, error) {
+	dst := filepath.Join(root, name)
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return "", err
+	}
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		return "", err
+	}
+	for _, de := range ents {
+		b, err := os.ReadFile(filepath.Join(src, de.Name()))
+		if err != nil {
+			return "", err
+		}
+		if err := os.WriteFile(filepath.Join(dst, de.Name()), b, 0o644); err != nil {
+			return "", err
+		}
+	}
+	return dst, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad element %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchpersist: "+format+"\n", args...)
+	os.Exit(1)
+}

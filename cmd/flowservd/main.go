@@ -1,20 +1,35 @@
-// Command flowservd serves one flowsched project over HTTP: every read
+// Command flowservd serves flowsched projects over HTTP: every read
 // surface of the facade (status, Gantt, dashboard, CPM, milestones,
 // queries, risk, what-if sweeps, predictions) plus Prometheus metrics
 // and the dual-clock trace, all answered from consistent store
 // snapshots (see internal/serve and docs/serve.md).
 //
-// The daemon either restores a saved hercules session (-load) or starts
-// a fresh project from a schema, optionally planning and executing a
-// first tracked run with simulated tools so the read surfaces have
-// content:
+// It runs in one of two modes:
+//
+// Single-project mode either restores a saved hercules session (-load)
+// or starts a fresh project from a schema, optionally planning and
+// executing a first tracked run with simulated tools so the read
+// surfaces have content:
 //
 //	flowservd -addr :8080 -schema builtin:fig4 -plan performance -run
 //	flowservd -load session.json
 //
+// Host mode (-root) serves every durable project under a root
+// directory — one WAL-backed directory per project, loaded lazily on
+// first request, evicted under memory pressure, and recovered
+// bit-identically after a crash (see docs/persistence.md):
+//
+//	flowservd -root /var/lib/flowsched -create alpha,beta
+//
+// Routes gain a /p/{id}/ prefix per project, plus /projects for the
+// inventory.
+//
 // SIGINT/SIGTERM drains gracefully: the listener closes at once,
-// in-flight requests finish (bounded by -drain), then the process
-// exits.
+// in-flight requests finish (bounded by -drain), and in host mode every
+// resident project is checkpointed and its WAL closed before exit.
+//
+// Startup failures exit non-zero with a message naming the offending
+// path or flag.
 package main
 
 import (
@@ -30,56 +45,85 @@ import (
 	"time"
 
 	"flowsched"
+	"flowsched/internal/host"
 	"flowsched/internal/serve"
 )
 
 func main() {
 	log.SetFlags(log.LstdFlags)
 	log.SetPrefix("flowservd: ")
-	if err := run(); err != nil {
-		log.Fatal(err)
+	if err := run(os.Args[1:]); err != nil {
+		log.Print(err)
+		os.Exit(1)
 	}
 }
 
-func run() error {
+// drainable is the common surface of the single-project server and the
+// multi-project host.
+type drainable interface {
+	ListenAndServe() error
+	Shutdown(ctx context.Context) error
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("flowservd", flag.ContinueOnError)
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		schemaF  = flag.String("schema", "builtin:fig4", "flow schema: builtin:fig4|builtin:asic|builtin:board|builtin:analog or a DSL file path")
-		load     = flag.String("load", "", "restore a saved session JSON instead of starting from -schema")
-		designer = flag.String("designer", "flowservd", "designer recorded on schedule instances")
-		plan     = flag.String("plan", "", "comma-separated target data classes to plan at startup")
-		hours    = flag.Int("hours", 8, "fixed per-activity estimate for the startup plan (working hours)")
-		runPlan  = flag.Bool("run", false, "execute the startup plan to completion with simulated tools")
-		cacheN   = flag.Int("cache", 256, "snapshot memo-cache capacity (entries)")
-		noCache  = flag.Bool("no-cache", false, "disable the snapshot memo cache")
-		drain    = flag.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
-		sample   = flag.Float64("trace-sample", 0, "fraction of requests whose span tree the flight recorder retains (0 = default 0.01, negative = off)")
-		slow     = flag.Duration("trace-slow", 0, "latency at which a request's trace is always retained (0 = default 500ms, negative = off)")
-		pprofF   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		addr     = fs.String("addr", ":8080", "listen address")
+		schemaF  = fs.String("schema", "builtin:fig4", "flow schema: builtin:fig4|builtin:asic|builtin:board|builtin:analog or a DSL file path")
+		load     = fs.String("load", "", "restore a saved session JSON instead of starting from -schema")
+		root     = fs.String("root", "", "host mode: serve every durable project under this directory")
+		create   = fs.String("create", "", "host mode: comma-separated project IDs to create from -schema if missing")
+		checkEv  = fs.Int("checkpoint-every", 0, "host mode: auto-checkpoint after this many WAL records (0 = default 4096, negative = off)")
+		designer = fs.String("designer", "flowservd", "designer recorded on schedule instances")
+		plan     = fs.String("plan", "", "comma-separated target data classes to plan at startup")
+		hours    = fs.Int("hours", 8, "fixed per-activity estimate for the startup plan (working hours)")
+		runPlan  = fs.Bool("run", false, "execute the startup plan to completion with simulated tools")
+		cacheN   = fs.Int("cache", 256, "snapshot memo-cache capacity (entries)")
+		noCache  = fs.Bool("no-cache", false, "disable the snapshot memo cache")
+		drain    = fs.Duration("drain", 30*time.Second, "graceful shutdown drain timeout")
+		sample   = fs.Float64("trace-sample", 0, "fraction of requests whose span tree the flight recorder retains (0 = default 0.01, negative = off)")
+		slow     = fs.Duration("trace-slow", 0, "latency at which a request's trace is always retained (0 = default 500ms, negative = off)")
+		pprofF   = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
-	flag.Parse()
-
-	p, err := buildProject(*load, *schemaF, *designer)
-	if err != nil {
-		return err
-	}
-	if err := prepare(p, *plan, *hours, *runPlan); err != nil {
+	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	s := serve.New(p, serve.Options{
+	sopt := serve.Options{
 		Addr:               *addr,
 		CacheEntries:       *cacheN,
 		DisableCache:       *noCache,
 		TraceSampleRate:    *sample,
 		SlowTraceThreshold: *slow,
 		EnablePprof:        *pprofF,
-	})
+	}
+
+	var s drainable
+	if *root != "" {
+		if *load != "" {
+			return fmt.Errorf("-root and -load are mutually exclusive")
+		}
+		h, err := buildHost(*root, *create, *schemaF, *designer, *checkEv, sopt)
+		if err != nil {
+			return err
+		}
+		s = h
+		log.Printf("hosting projects under %s on %s", *root, *addr)
+	} else {
+		p, err := buildProject(*load, *schemaF, *designer)
+		if err != nil {
+			return err
+		}
+		if err := prepare(p, *plan, *hours, *runPlan); err != nil {
+			return err
+		}
+		s = serve.New(p, sopt)
+		log.Printf("serving %s on %s (virtual now %s, cache %v)",
+			p.Schema().Name, *addr, p.Now().Format(time.RFC3339), !*noCache)
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- s.ListenAndServe() }()
-	log.Printf("serving %s on %s (virtual now %s, cache %v)",
-		p.Schema().Name, *addr, p.Now().Format(time.RFC3339), !*noCache)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
@@ -101,6 +145,43 @@ func run() error {
 	}
 }
 
+// buildHost opens the multi-project host over root and seeds any
+// -create projects that do not exist yet.
+func buildHost(root, create, schemaF, designer string, checkEv int, sopt serve.Options) (*serve.Host, error) {
+	if fi, err := os.Stat(root); err == nil && !fi.IsDir() {
+		return nil, fmt.Errorf("-root %s: not a directory", root)
+	}
+	h, err := serve.NewHost(host.Options{
+		Root:    root,
+		Project: flowsched.Options{Designer: designer, Obs: flowsched.ObsOptions{Enabled: true}},
+		Persist: flowsched.PersistOptions{CheckpointEvery: checkEv},
+	}, sopt)
+	if err != nil {
+		return nil, err
+	}
+	if create != "" {
+		src, err := schemaSource(schemaF)
+		if err != nil {
+			h.Shutdown(context.Background())
+			return nil, err
+		}
+		for _, id := range strings.Split(create, ",") {
+			id = strings.TrimSpace(id)
+			hd, err := h.Projects().Create(id, src)
+			if err != nil {
+				if strings.Contains(err.Error(), "already exists") {
+					continue
+				}
+				h.Shutdown(context.Background())
+				return nil, err
+			}
+			hd.Release()
+			log.Printf("created project %s under %s", id, root)
+		}
+	}
+	return h, nil
+}
+
 // buildProject restores a saved session or starts a fresh project from
 // a schema, with observability on either way.
 func buildProject(load, schemaF, designer string) (*flowsched.Project, error) {
@@ -112,7 +193,7 @@ func buildProject(load, schemaF, designer string) (*flowsched.Project, error) {
 		}
 		p, err := flowsched.Load(b, opt)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("-load %s: %w", load, err)
 		}
 		// A restored session has no tool processes; rebind the
 		// simulated defaults so risk models and what-if sweeps work.
@@ -127,7 +208,7 @@ func buildProject(load, schemaF, designer string) (*flowsched.Project, error) {
 	}
 	p, err := flowsched.New(src, opt)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("-schema %s: %w", schemaF, err)
 	}
 	if err := p.UseSimulatedTools(); err != nil {
 		return nil, err

@@ -61,6 +61,11 @@
 //	save <path>                               persist the whole session as JSON
 //	load <path>                               restore a saved session (rebind tools after)
 //	quit                                      end the session
+//
+// One argv-level subcommand bypasses the REPL:
+//
+//	hercules projects <root>                  list the durable projects under a
+//	                                          flowservd host root (see docs/persistence.md)
 package main
 
 import (
@@ -69,6 +74,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -78,10 +84,66 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "projects" {
+		if err := projectsCmd(os.Args[2:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "hercules:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "hercules:", err)
 		os.Exit(1)
 	}
+}
+
+// projectsCmd lists the durable projects under a flowservd host root
+// without loading any of them: the inventory comes from the manifest
+// files, the sizes from the WAL directories on disk.
+func projectsCmd(args []string, out io.Writer) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: hercules projects <root>")
+	}
+	root := args[0]
+	fi, err := os.Stat(root)
+	if err != nil {
+		return err
+	}
+	if !fi.IsDir() {
+		return fmt.Errorf("%s: not a directory", root)
+	}
+	ents, err := os.ReadDir(root)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	n := 0
+	for _, de := range ents {
+		if !de.IsDir() {
+			continue
+		}
+		dir := filepath.Join(root, de.Name())
+		if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err != nil {
+			continue
+		}
+		var bytes int64
+		files, err := os.ReadDir(dir)
+		if err != nil {
+			return err
+		}
+		for _, f := range files {
+			if info, err := f.Info(); err == nil {
+				bytes += info.Size()
+			}
+		}
+		fmt.Fprintf(w, "%-32s %10d bytes\n", de.Name(), bytes)
+		n++
+	}
+	if n == 0 {
+		fmt.Fprintf(w, "no projects under %s\n", root)
+	}
+	return nil
 }
 
 type session struct {

@@ -502,3 +502,43 @@ func TestWhatifCommand(t *testing.T) {
 		t.Errorf("whatif wrote runs into the live database:\n%s", out)
 	}
 }
+
+// TestProjectsSubcommand lists a flowservd host root from the manifests
+// alone — no project is loaded, no WAL touched.
+func TestProjectsSubcommand(t *testing.T) {
+	root := t.TempDir()
+	for _, id := range []string{"alpha", "beta"} {
+		dir := filepath.Join(root, id)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte(`{"schema":"x"}`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A stray non-project directory must not be listed.
+	if err := os.MkdirAll(filepath.Join(root, "lost+found"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := projectsCmd([]string{root}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"alpha", "beta"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("projects output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "lost+found") {
+		t.Fatalf("non-project directory listed:\n%s", got)
+	}
+
+	if err := projectsCmd(nil, &out); err == nil {
+		t.Fatal("missing root accepted")
+	}
+	if err := projectsCmd([]string{filepath.Join(root, "nope")}, &out); err == nil {
+		t.Fatal("nonexistent root accepted")
+	}
+}

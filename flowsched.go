@@ -41,6 +41,7 @@ import (
 	"flowsched/internal/level"
 	"flowsched/internal/monte"
 	"flowsched/internal/obs"
+	"flowsched/internal/persist"
 	"flowsched/internal/pert"
 	"flowsched/internal/query"
 	"flowsched/internal/report"
@@ -182,6 +183,10 @@ type Project struct {
 	// operations (risk, what-if) for post-hoc inspection; nil unless
 	// Options.Obs.Enabled.
 	flight *obs.FlightRecorder
+	// rec bridges the change feeds to the write-ahead log; nil unless the
+	// project was opened with Open. Forks are never durable.
+	rec             *recorder
+	checkpointEvery uint64
 }
 
 // New creates a project from schema DSL source.
@@ -279,7 +284,7 @@ func (p *Project) Import(class string, data []byte) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return e.ID, nil
+	return e.ID, p.commitDurable()
 }
 
 // UseSimulatedTools binds a default simulated tool to every activity that
@@ -374,7 +379,13 @@ func (p *Project) Plan(targets []string, est Estimator, opt PlanOptions) (*Plan,
 		return nil, err
 	}
 	p.plan = &res.Plan
-	return p.plan, nil
+	if p.rec != nil {
+		// The plan's store instances were recorded by the commit feed;
+		// this records which version became the *tracked* plan.
+		p.rec.append(&persist.Record{Kind: persist.RecPlan,
+			Plan: &persist.PlanRecord{Version: res.Plan.Version}})
+	}
+	return p.plan, p.commitDurable()
 }
 
 // CurrentPlan returns the tracked plan, or nil before planning.
@@ -388,9 +399,13 @@ func (p *Project) Run(targets []string, autoComplete bool) (*ExecResult, error) 
 	if err != nil {
 		return nil, err
 	}
-	return p.mgr.ExecuteTask(tree, engine.ExecOptions{
+	res, err := p.mgr.ExecuteTask(tree, engine.ExecOptions{
 		Plan: p.plan, AutoComplete: autoComplete,
 	})
+	if err == nil {
+		err = p.commitDurable()
+	}
+	return res, err
 }
 
 // RunParallel executes like Run but overlaps independent branches on the
@@ -402,9 +417,13 @@ func (p *Project) RunParallel(targets []string, autoComplete bool) (*ExecResult,
 	if err != nil {
 		return nil, err
 	}
-	return p.mgr.ExecuteTask(tree, engine.ExecOptions{
+	res, err := p.mgr.ExecuteTask(tree, engine.ExecOptions{
 		Plan: p.plan, AutoComplete: autoComplete, Parallel: true,
 	})
+	if err == nil {
+		err = p.commitDurable()
+	}
+	return res, err
 }
 
 // DefaultRecovery returns the stock fault-tolerance policy: exponential
@@ -453,11 +472,15 @@ func (p *Project) RunWith(targets []string, opt RunOptions) (*ExecResult, error)
 	if p.faults != nil && rec.Verify == nil {
 		rec.Verify = fault.Check
 	}
-	return p.mgr.ExecuteTask(tree, engine.ExecOptions{
+	res, err := p.mgr.ExecuteTask(tree, engine.ExecOptions{
 		Plan: p.plan, AutoComplete: opt.AutoComplete, Parallel: opt.Parallel,
 		MaxIterations: opt.MaxIterations, MaxFailures: opt.MaxFailures,
 		Recovery: rec,
 	})
+	if err == nil {
+		err = p.commitDurable()
+	}
+	return res, err
 }
 
 // Complete designates an entity instance as the final design data of an
@@ -466,7 +489,10 @@ func (p *Project) Complete(activity, entityID string) error {
 	if p.plan == nil {
 		return fmt.Errorf("flowsched: no plan to complete against")
 	}
-	return p.mgr.CompleteActivity(p.plan, activity, entityID)
+	if err := p.mgr.CompleteActivity(p.plan, activity, entityID); err != nil {
+		return err
+	}
+	return p.commitDurable()
 }
 
 // Propagate updates the current plan for slips as of the virtual now and
@@ -475,7 +501,11 @@ func (p *Project) Propagate() (time.Time, error) {
 	if p.plan == nil {
 		return time.Time{}, fmt.Errorf("flowsched: no plan to propagate")
 	}
-	return p.mgr.Sched.Propagate(p.plan, p.Now())
+	finish, err := p.mgr.Sched.Propagate(p.plan, p.Now())
+	if err == nil {
+		err = p.commitDurable()
+	}
+	return finish, err
 }
 
 // readMgr returns a read-only manager bound to a fresh snapshot of the
@@ -622,8 +652,10 @@ func (p *Project) SetMilestone(name, class string, target time.Time) error {
 	if p.plan == nil {
 		return fmt.Errorf("flowsched: no plan to set a milestone against")
 	}
-	_, err := p.mgr.Sched.SetMilestone(p.plan, name, class, target)
-	return err
+	if _, err := p.mgr.Sched.SetMilestone(p.plan, name, class, target); err != nil {
+		return err
+	}
+	return p.commitDurable()
 }
 
 // MilestoneReport refreshes and scores the current plan's milestones:
@@ -785,7 +817,11 @@ func (p *Project) ImportActualsCSV(r io.Reader) (int, error) {
 		}
 		return e.ID, nil
 	}
-	return export.ApplyActuals(p.mgr.Sched, p.plan, actuals, resolve)
+	n, err := export.ApplyActuals(p.mgr.Sched, p.plan, actuals, resolve)
+	if err == nil {
+		err = p.commitDurable()
+	}
+	return n, err
 }
 
 // RiskResult is the outcome of a Monte-Carlo schedule risk analysis.

@@ -78,14 +78,19 @@ type Event struct {
 // dashboards). It lives behind a pointer so Manager stays copyable
 // (AtView) without copying a lock.
 type eventLog struct {
-	mu  sync.Mutex
-	evs []Event
+	mu   sync.Mutex
+	evs  []Event
+	hook func(Event)
 }
 
 func (l *eventLog) append(e Event) {
 	l.mu.Lock()
 	l.evs = append(l.evs, e)
+	hook := l.hook
 	l.mu.Unlock()
+	if hook != nil {
+		hook(e)
+	}
 }
 
 func (l *eventLog) since(seq int) []Event {
@@ -233,6 +238,27 @@ func (m *Manager) Events() []Event { return m.ev.since(0) }
 // re-copying the full history each time. Safe to call while the manager
 // executes on another goroutine.
 func (m *Manager) EventsSince(seq int) []Event { return m.ev.since(seq) }
+
+// SetEventHook installs fn to observe every event as it is emitted, after
+// it is appended to the stream — the change feed a write-ahead log
+// subscribes to. Events are emitted from the executing goroutine in
+// order; fn must not call back into the manager. One hook at most; nil
+// removes it. Forked children do not inherit the hook.
+func (m *Manager) SetEventHook(fn func(Event)) {
+	m.ev.mu.Lock()
+	m.ev.hook = fn
+	m.ev.mu.Unlock()
+}
+
+// RestoreEvents replaces the event stream with a recovered history — the
+// resume path after write-ahead-log replay, so EventsSince cursors and
+// event-log renderings pick up exactly where the crashed process left
+// off. Only call on a freshly restored manager, before execution.
+func (m *Manager) RestoreEvents(evs []Event) {
+	m.ev.mu.Lock()
+	m.ev.evs = append([]Event(nil), evs...)
+	m.ev.mu.Unlock()
+}
 
 func (m *Manager) emit(kind EventKind, activity string, at time.Time, format string, args ...any) {
 	m.ev.append(Event{

@@ -1,0 +1,428 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Options tunes a Log. The zero value is production-ready.
+type Options struct {
+	// SegmentBytes is the roll threshold: when a segment grows past it,
+	// the next append starts a new segment. Default 4 MiB.
+	SegmentBytes int64
+	// NoSync skips the fsync after each append (and after checkpoint
+	// installation). Recovery correctness is unaffected — the clean
+	// prefix is still detected — but a power loss may lose recently
+	// acknowledged records. For tests and benchmarks.
+	NoSync bool
+}
+
+const defaultSegmentBytes = 4 << 20
+
+// checkpointName is the atomically-installed checkpoint file.
+const checkpointName = "checkpoint.json"
+
+// checkpointFile is the on-disk checkpoint wrapper: the payload (opaque
+// to the log), the sequence number it covers, and a CRC over the payload.
+type checkpointFile struct {
+	Seq     uint64          `json:"seq"`
+	CRC     uint32          `json:"crc"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Log is a segmented write-ahead log in one directory. Methods are safe
+// for concurrent use, though the intended discipline is a single writer:
+// appends happen from the owning project's executing goroutine.
+//
+// Lifecycle: Open, then Replay exactly once (it establishes the live
+// sequence and discards any torn tail), then Append/WriteCheckpoint
+// freely, then Close.
+type Log struct {
+	dir string
+	opt Options
+
+	mu       sync.Mutex
+	replayed bool
+	closed   bool
+	seq      uint64 // last assigned or recovered sequence
+	cpSeq    uint64 // sequence covered by the installed checkpoint
+	cp       json.RawMessage
+	f        *os.File // open tail segment, nil until first append
+	w        *bufio.Writer
+	segBytes int64
+}
+
+// Open opens or creates the log directory and loads the checkpoint if
+// one is installed. It does not read the record stream — call Replay.
+func Open(dir string, opt Options) (*Log, error) {
+	if opt.SegmentBytes <= 0 {
+		opt.SegmentBytes = defaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: open %s: %w", dir, err)
+	}
+	l := &Log{dir: dir, opt: opt}
+	b, err := os.ReadFile(filepath.Join(dir, checkpointName))
+	switch {
+	case err == nil:
+		var cp checkpointFile
+		if err := json.Unmarshal(b, &cp); err != nil {
+			return nil, fmt.Errorf("persist: checkpoint %s corrupt: %w",
+				filepath.Join(dir, checkpointName), err)
+		}
+		if crc32.ChecksumIEEE(cp.Payload) != cp.CRC {
+			return nil, fmt.Errorf("persist: checkpoint %s failed its checksum",
+				filepath.Join(dir, checkpointName))
+		}
+		l.cpSeq, l.cp, l.seq = cp.Seq, cp.Payload, cp.Seq
+	case os.IsNotExist(err):
+		// Fresh log, or crash before the first checkpoint.
+	default:
+		return nil, fmt.Errorf("persist: open %s: %w", dir, err)
+	}
+	// A crash between writing checkpoint.json.tmp and the rename leaves
+	// the tmp behind; it was never installed, so discard it.
+	os.Remove(filepath.Join(dir, checkpointName+".tmp"))
+	return l, nil
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Checkpoint returns the installed checkpoint payload and the sequence
+// number it covers; ok is false if no checkpoint is installed.
+func (l *Log) Checkpoint() (payload []byte, seq uint64, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cp == nil {
+		return nil, 0, false
+	}
+	return l.cp, l.cpSeq, true
+}
+
+// Seq returns the last assigned (or recovered) record sequence number.
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// segments lists the segment files in ascending first-sequence order
+// (names are zero-padded, so lexical order is numeric order).
+func (l *Log) segments() ([]string, error) {
+	ents, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []string
+	for _, e := range ents {
+		n := e.Name()
+		if strings.HasPrefix(n, "wal-") && strings.HasSuffix(n, ".seg") {
+			segs = append(segs, filepath.Join(l.dir, n))
+		}
+	}
+	sort.Strings(segs)
+	return segs, nil
+}
+
+func segmentName(firstSeq uint64) string {
+	return fmt.Sprintf("wal-%016d.seg", firstSeq)
+}
+
+// Replay streams the clean record prefix to fn, in sequence order,
+// establishing the live sequence number for subsequent appends. It must
+// be called exactly once, after Open and before the first Append.
+//
+// Recovery semantics: records covered by the checkpoint (seq ≤ its
+// covered sequence, possible after a crash between checkpoint
+// installation and segment deletion) are skipped silently. The first
+// unreadable frame — torn tail, checksum mismatch, undecodable record,
+// or sequence gap — ends the stream: the damaged segment is truncated at
+// the last clean record, later segments are deleted, and Replay returns
+// the number of records delivered. A non-nil error from fn aborts replay
+// and is returned verbatim; the log is then unusable.
+func (l *Log) Replay(fn func(*Record) error) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.replayed {
+		return 0, fmt.Errorf("persist: Replay called twice on %s", l.dir)
+	}
+	segs, err := l.segments()
+	if err != nil {
+		return 0, fmt.Errorf("persist: replay %s: %w", l.dir, err)
+	}
+	delivered := 0
+	for i, seg := range segs {
+		clean, n, err := l.replaySegment(seg, fn)
+		delivered += n
+		if err != nil {
+			return delivered, err
+		}
+		if clean >= 0 {
+			// Damage inside this segment: discard the tail and every
+			// later segment — they are past the clean prefix.
+			if err := os.Truncate(seg, clean); err != nil {
+				return delivered, fmt.Errorf("persist: truncate torn tail of %s: %w", seg, err)
+			}
+			for _, later := range segs[i+1:] {
+				if err := os.Remove(later); err != nil {
+					return delivered, fmt.Errorf("persist: drop %s past torn tail: %w", later, err)
+				}
+			}
+			break
+		}
+	}
+	l.replayed = true
+	return delivered, nil
+}
+
+// replaySegment reads one segment. It returns clean = -1 if the segment
+// was fully readable, or the byte offset of the first damaged frame. A
+// non-nil error is a callback or I/O failure, not corruption.
+func (l *Log) replaySegment(path string, fn func(*Record) error) (clean int64, n int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return -1, 0, fmt.Errorf("persist: replay %s: %w", path, err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var off int64
+	for {
+		payload, err := readFrame(r)
+		if err == io.EOF {
+			return -1, n, nil
+		}
+		if err != nil {
+			return off, n, nil
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return off, n, nil
+		}
+		switch {
+		case rec.Seq <= l.cpSeq:
+			// Covered by the checkpoint (crash between checkpoint
+			// installation and segment deletion): already durable.
+		case rec.Seq != l.seq+1:
+			// Sequence gap — a lost or reordered record; everything
+			// from here on is past the clean prefix.
+			return off, n, nil
+		default:
+			l.seq = rec.Seq
+			if fn != nil {
+				if err := fn(&rec); err != nil {
+					return -1, n, err
+				}
+			}
+			n++
+		}
+		off += frameHeader + int64(len(payload))
+	}
+}
+
+// Append assigns the next sequence number to r, frames it, writes it to
+// the tail segment, and — unless Options.NoSync — fsyncs before
+// returning. Returns the assigned sequence.
+func (l *Log) Append(r *Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("persist: append to closed log %s", l.dir)
+	}
+	if !l.replayed {
+		return 0, fmt.Errorf("persist: append to %s before Replay", l.dir)
+	}
+	r.Seq = l.seq + 1
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return 0, fmt.Errorf("persist: marshal record %d: %w", r.Seq, err)
+	}
+	if l.f == nil {
+		if err := l.openSegmentLocked(r.Seq); err != nil {
+			return 0, err
+		}
+	}
+	if err := writeFrame(l.w, payload); err != nil {
+		return 0, fmt.Errorf("persist: append record %d: %w", r.Seq, err)
+	}
+	if err := l.w.Flush(); err != nil {
+		return 0, fmt.Errorf("persist: append record %d: %w", r.Seq, err)
+	}
+	if !l.opt.NoSync {
+		if err := l.f.Sync(); err != nil {
+			return 0, fmt.Errorf("persist: sync record %d: %w", r.Seq, err)
+		}
+	}
+	l.seq = r.Seq
+	l.segBytes += frameHeader + int64(len(payload))
+	if l.segBytes >= l.opt.SegmentBytes {
+		if err := l.closeSegmentLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return r.Seq, nil
+}
+
+// openSegmentLocked starts a fresh segment whose name carries the first
+// sequence it will hold. Appends after a reopen start a new segment
+// rather than extending the recovered tail — simpler, and the recovered
+// tail stays exactly as replay validated it.
+func (l *Log) openSegmentLocked(firstSeq uint64) error {
+	path := filepath.Join(l.dir, segmentName(firstSeq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: open segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("persist: open segment: %w", err)
+	}
+	l.f, l.w, l.segBytes = f, bufio.NewWriter(f), st.Size()
+	return nil
+}
+
+func (l *Log) closeSegmentLocked() error {
+	if l.f == nil {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	if !l.opt.NoSync {
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+	}
+	err := l.f.Close()
+	l.f, l.w, l.segBytes = nil, nil, 0
+	return err
+}
+
+// WriteCheckpoint atomically installs payload as a checkpoint covering
+// every record appended so far, then deletes the covered segments. The
+// caller guarantees payload captures the project state as of the last
+// append — writers must be quiesced across the state capture and this
+// call (the host's per-project lock provides exactly that).
+//
+// Crash safety: the checkpoint is written to a temporary file, fsynced,
+// and renamed into place before any segment is deleted. A crash before
+// the rename recovers from the old checkpoint plus the full record
+// stream; a crash after it recovers from the new checkpoint, skipping
+// any not-yet-deleted segments' covered records by sequence number.
+func (l *Log) WriteCheckpoint(payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("persist: checkpoint on closed log %s", l.dir)
+	}
+	if !l.replayed {
+		return fmt.Errorf("persist: checkpoint on %s before Replay", l.dir)
+	}
+	if err := l.closeSegmentLocked(); err != nil {
+		return fmt.Errorf("persist: checkpoint %s: %w", l.dir, err)
+	}
+	cp := checkpointFile{Seq: l.seq, CRC: crc32.ChecksumIEEE(payload), Payload: payload}
+	b, err := json.Marshal(&cp)
+	if err != nil {
+		return fmt.Errorf("persist: checkpoint %s: %w", l.dir, err)
+	}
+	final := filepath.Join(l.dir, checkpointName)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: checkpoint %s: %w", l.dir, err)
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: checkpoint %s: %w", l.dir, err)
+	}
+	if !l.opt.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("persist: checkpoint %s: %w", l.dir, err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("persist: checkpoint %s: %w", l.dir, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("persist: install checkpoint %s: %w", l.dir, err)
+	}
+	l.syncDir()
+	l.cpSeq, l.cp = l.seq, append(json.RawMessage(nil), payload...)
+	// Every existing segment is now covered; drop them all. The next
+	// append starts a fresh segment at seq+1.
+	segs, err := l.segments()
+	if err != nil {
+		return fmt.Errorf("persist: checkpoint %s: %w", l.dir, err)
+	}
+	for _, seg := range segs {
+		if err := os.Remove(seg); err != nil {
+			return fmt.Errorf("persist: drop covered segment %s: %w", seg, err)
+		}
+	}
+	l.syncDir()
+	return nil
+}
+
+// syncDir fsyncs the log directory so renames and unlinks are durable.
+// Best-effort: some filesystems reject directory fsync.
+func (l *Log) syncDir() {
+	if l.opt.NoSync {
+		return
+	}
+	if d, err := os.Open(l.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// SinceCheckpoint reports how many records the log holds past the
+// installed checkpoint — the replay debt a recovery would pay.
+func (l *Log) SinceCheckpoint() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq - l.cpSeq
+}
+
+// FootprintBytes reports the log's on-disk size: checkpoint plus live
+// segments.
+func (l *Log) FootprintBytes() (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var total int64
+	ents, err := os.ReadDir(l.dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, e := range ents {
+		if info, err := e.Info(); err == nil {
+			total += info.Size()
+		}
+	}
+	return total, nil
+}
+
+// Close flushes and closes the tail segment. The log cannot be used
+// afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.closeSegmentLocked(); err != nil {
+		return fmt.Errorf("persist: close %s: %w", l.dir, err)
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package store
+
+import "fmt"
+
+// State is the full-fidelity checkpoint form of a database. Unlike the
+// MarshalJSON session format — which recounts the version from entry
+// counts and therefore loses the exact mutation counter and per-container
+// watermarks — State carries them verbatim, so a database restored with
+// FromState is bit-identical to the original: same Version(), same
+// Watermark() per container, same entry bytes. That identity is what lets
+// snapshot fingerprints and `X-Flowsched-Version` headers survive a
+// crash-recovery cycle.
+type State struct {
+	// Version is the database mutation counter at checkpoint time.
+	Version uint64 `json:"version"`
+	// Containers holds every container in creation order.
+	Containers []ContainerState `json:"containers"`
+}
+
+// ContainerState is one container's checkpoint form.
+type ContainerState struct {
+	Name      string   `json:"name"`
+	Space     Space    `json:"space"`
+	Class     string   `json:"class"`
+	Watermark uint64   `json:"watermark"`
+	Entries   []*Entry `json:"entries"`
+}
+
+// State captures the database as a checkpoint. Like Snapshot, it is
+// O(containers): entry slices are shared with the live database (clipped
+// with full slice expressions) and the containers are marked shared so
+// the next in-place replacement copies first. Entries are immutable, so
+// the caller may marshal the State at leisure while writers proceed.
+func (db *DB) State() *State {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s := &State{Version: db.version, Containers: make([]ContainerState, 0, len(db.order))}
+	for _, n := range db.order {
+		c := db.containers[n]
+		c.shared = true
+		s.Containers = append(s.Containers, ContainerState{
+			Name:      c.Name,
+			Space:     c.Space,
+			Class:     c.Class,
+			Watermark: c.watermark,
+			Entries:   c.Entries[:len(c.Entries):len(c.Entries)],
+		})
+	}
+	return s
+}
+
+// FromState reconstructs a database from a checkpoint, restoring the
+// mutation counter and per-container watermarks exactly. It validates the
+// same invariants as UnmarshalJSON: dense versions, canonical IDs, and
+// referential integrity of deps and links.
+func FromState(s *State) (*DB, error) {
+	db := NewDB()
+	db.version = s.Version
+	for i := range s.Containers {
+		cs := &s.Containers[i]
+		if _, dup := db.containers[cs.Name]; dup {
+			return nil, fmt.Errorf("store: state: duplicate container %q", cs.Name)
+		}
+		if cs.Watermark > s.Version {
+			return nil, fmt.Errorf("store: state: container %q watermark %d exceeds version %d",
+				cs.Name, cs.Watermark, s.Version)
+		}
+		c := &Container{
+			Name:      cs.Name,
+			Space:     cs.Space,
+			Class:     cs.Class,
+			watermark: cs.Watermark,
+			// The checkpoint may alias a live database's entry slices;
+			// mark shared so this database copies before replacing.
+			shared:  true,
+			Entries: cs.Entries[:len(cs.Entries):len(cs.Entries)],
+		}
+		for j, e := range c.Entries {
+			if e == nil {
+				return nil, fmt.Errorf("store: state: container %q has nil entry", cs.Name)
+			}
+			if e.Version != j+1 {
+				return nil, fmt.Errorf("store: state: container %q has non-dense versions", cs.Name)
+			}
+			if want := fmt.Sprintf("%s/%d", cs.Name, e.Version); e.ID != want {
+				return nil, fmt.Errorf("store: state: entry id %q, want %q", e.ID, want)
+			}
+		}
+		db.containers[cs.Name] = c
+		db.order = append(db.order, cs.Name)
+	}
+	for _, n := range db.order {
+		for _, e := range db.containers[n].Entries {
+			for _, d := range append(append([]string(nil), e.Deps...), e.Links...) {
+				if db.lookupLocked(d) == nil {
+					return nil, fmt.Errorf("store: state: entry %s references missing %q", e.ID, d)
+				}
+			}
+		}
+	}
+	return db, nil
+}

@@ -120,6 +120,10 @@ type DB struct {
 	// version counts mutations (container creations, puts, payload swaps,
 	// links); each mutation stamps the touched container's watermark.
 	version uint64
+	// commitHook, when set, observes every committed mutation in commit
+	// order (see SetCommitHook) — the change feed a write-ahead log
+	// subscribes to. Called under mu.
+	commitHook func(Mutation)
 
 	// Cached observability handles (nil = uninstrumented, no-op).
 	// Written by Instrument and read by container ops, both under mu.
@@ -193,6 +197,10 @@ func (db *DB) CreateContainer(name string, space Space, class string) (*Containe
 	c := &Container{Name: name, Space: space, Class: class, watermark: db.version}
 	db.containers[name] = c
 	db.order = append(db.order, name)
+	db.emitLocked(Mutation{
+		Kind: MutCreate, Version: db.version,
+		Container: name, Space: space, Class: class,
+	})
 	return c, nil
 }
 
@@ -290,6 +298,7 @@ func (db *DB) Put(container string, created time.Time, payload any, deps ...stri
 	c.watermark = db.version
 	db.mPuts.Inc()
 	db.gEntries.Add(1)
+	db.emitLocked(Mutation{Kind: MutPut, Version: db.version, Entry: e})
 	return e, nil
 }
 
@@ -332,6 +341,7 @@ func (db *DB) SetPayload(id string, payload any) error {
 	c.Entries[clone.Version-1] = &clone
 	db.version++
 	c.watermark = db.version
+	db.emitLocked(Mutation{Kind: MutPayload, Version: db.version, ID: id, Payload: b})
 	return nil
 }
 
@@ -352,9 +362,15 @@ func (db *DB) Link(a, b string) error {
 	if a == b {
 		return fmt.Errorf("store: cannot link %q to itself", a)
 	}
+	before := db.version
 	db.linkOneLocked(ea, b)
 	db.linkOneLocked(eb, a)
 	db.mLinks.Inc()
+	if db.version != before {
+		// Replaying Link(a, b) reproduces the per-endpoint no-op logic,
+		// so one mutation covers both clone-and-swaps.
+		db.emitLocked(Mutation{Kind: MutLink, Version: db.version, A: a, B: b})
+	}
 	return nil
 }
 

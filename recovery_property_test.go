@@ -1,0 +1,367 @@
+package flowsched
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"flowsched/internal/persist"
+	"flowsched/internal/store"
+)
+
+// The crash-recovery property harness: drive a randomized workload
+// against a durable project, then simulate kill -9 at every WAL record
+// boundary — plus torn, truncated, and bit-flipped tails — and require
+// that recovery always lands on a clean prefix: a consistent project
+// equal to replaying exactly the surviving records, bit-identical
+// across repeated recoveries.
+
+// recSpan locates one WAL record's bytes: segment file and [start,end).
+type recSpan struct {
+	seg        string
+	start, end int64
+}
+
+// scanSpans parses the segment files' framing (4-byte BE length,
+// 4-byte CRC, payload) and returns every record's byte span in log
+// order. It is deliberately an independent reimplementation of the
+// reader, so the harness does not trust the code under test to locate
+// its own record boundaries.
+func scanSpans(t *testing.T, dir string) []recSpan {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(segs)
+	var spans []recSpan
+	for _, seg := range segs {
+		b, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off := int64(0)
+		for off+8 <= int64(len(b)) {
+			n := int64(binary.BigEndian.Uint32(b[off:]))
+			if off+8+n > int64(len(b)) {
+				t.Fatalf("%s: torn frame in a cleanly written log", seg)
+			}
+			spans = append(spans, recSpan{seg: seg, start: off, end: off + 8 + n})
+			off += 8 + n
+		}
+		if off != int64(len(b)) {
+			t.Fatalf("%s: %d trailing bytes", seg, int64(len(b))-off)
+		}
+	}
+	return spans
+}
+
+// copyDir clones a project directory (manifest + segments + checkpoint).
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range ents {
+		b, err := os.ReadFile(filepath.Join(src, de.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, de.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// truncateToRecords cuts the cloned directory to exactly k surviving
+// records (+extra garbage bytes beyond the boundary, for torn tails):
+// the k-th boundary's segment is truncated and every later segment
+// removed — byte-for-byte what a crash at that instant leaves behind.
+func truncateToRecords(t *testing.T, dir string, spans []recSpan, k int, extra []byte) {
+	t.Helper()
+	var keepSeg string
+	var cutOff int64
+	if k == 0 {
+		keepSeg, cutOff = spans[0].seg, 0
+	} else {
+		keepSeg, cutOff = spans[k-1].seg, spans[k-1].end
+	}
+	keep := filepath.Join(dir, filepath.Base(keepSeg))
+	b, err := os.ReadFile(keep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b = append(b[:cutOff:cutOff], extra...)
+	if err := os.WriteFile(keep, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(segs)
+	for _, seg := range segs {
+		if filepath.Base(seg) > filepath.Base(keepSeg) {
+			if err := os.Remove(seg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// readRecords decodes the full record stream from a clone of dir.
+func readRecords(t *testing.T, dir string) []persist.Record {
+	t.Helper()
+	l, err := persist.Open(copyDir(t, dir), persist.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var recs []persist.Record
+	if _, err := l.Replay(func(r *persist.Record) error {
+		recs = append(recs, *r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+// crashIdentity is the recovery comparison key: everything two
+// recoveries of the same byte prefix must agree on.
+type crashIdentity struct {
+	version uint64
+	dump    string
+	events  int
+	now     time.Time
+}
+
+func crashIdentityOf(p *Project) crashIdentity {
+	return crashIdentity{
+		version: p.mgr.DB.Version(),
+		dump:    p.DatabaseDump(),
+		events:  len(p.Events()),
+		now:     p.Now(),
+	}
+}
+
+// recoverAt clones the master directory, cuts it to k records (with
+// optional garbage tail), and recovers. It returns the recovered
+// identity after verifying stability: an immediate second crash and
+// recovery of the same directory must reproduce the identity exactly.
+func recoverAt(t *testing.T, master string, spans []recSpan, k int, extra []byte) crashIdentity {
+	t.Helper()
+	dir := copyDir(t, master)
+	truncateToRecords(t, dir, spans, k, extra)
+	p, err := Open(dir, "", Options{}, PersistOptions{NoSync: true, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatalf("recovery at record %d (+%d garbage bytes): %v", k, len(extra), err)
+	}
+	id := crashIdentityOf(p)
+	// No Close: crash again right after recovering, then recover again.
+	re, err := Open(dir, "", Options{}, PersistOptions{NoSync: true, CheckpointEvery: -1})
+	if err != nil {
+		t.Fatalf("re-recovery at record %d: %v", k, err)
+	}
+	if got := crashIdentityOf(re); got != id {
+		t.Fatalf("recovery at record %d not stable:\n%+v\nvs\n%+v", k, id, got)
+	}
+	return id
+}
+
+// driveRandom applies a seed-determined workload to a durable project.
+func driveRandom(t *testing.T, p *Project, rng *rand.Rand) {
+	t.Helper()
+	for i, n := 0, 1+rng.Intn(3); i < n; i++ {
+		if _, err := p.Import("stimuli", []byte(fmt.Sprintf("pulse %d", rng.Int63()))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est := Fixed{Default: time.Duration(4+rng.Intn(12)) * time.Hour}
+	if _, err := p.Plan([]string{"performance"}, est, PlanOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if rng.Intn(2) == 0 {
+		if err := p.SetMilestone("tapeout", "performance", p.Now().Add(time.Duration(10+rng.Intn(50))*24*time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.Run([]string{"performance"}, true); err != nil {
+		t.Fatal(err)
+	}
+	if rng.Intn(2) == 0 {
+		if _, err := p.Import("stimuli", []byte(fmt.Sprintf("rerun %d", rng.Int63()))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Run([]string{"performance"}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// buildMaster creates a driven durable project and returns its
+// directory, record spans, and decoded records. Small segments force
+// multi-segment logs; auto-checkpointing is off so the whole history
+// is in the segments and "prefix" is exact.
+func buildMaster(t *testing.T, rng *rand.Rand) (string, []recSpan, []persist.Record) {
+	t.Helper()
+	dir := t.TempDir()
+	p, err := Open(dir, Fig4Schema, Options{Designer: "ewj"},
+		PersistOptions{NoSync: true, CheckpointEvery: -1, SegmentBytes: 2 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.UseSimulatedTools(); err != nil {
+		t.Fatal(err)
+	}
+	driveRandom(t, p, rng)
+	// No Close: the master itself is a crash image.
+	spans := scanSpans(t, dir)
+	recs := readRecords(t, dir)
+	if len(spans) != len(recs) {
+		t.Fatalf("%d spans vs %d records", len(spans), len(recs))
+	}
+	return dir, spans, recs
+}
+
+// expectAt computes what a clean prefix of k records must recover to,
+// from the records alone. Before the schema's containers are all
+// durable (the bootstrap prefix), recovery legitimately re-creates the
+// missing ones, so the version floor is an inequality there and exact
+// afterwards.
+func expectAt(recs []persist.Record, k int) (version uint64, events int, exact bool) {
+	creates := map[string]bool{}
+	allCreates := map[string]bool{}
+	for i, r := range recs {
+		if r.Kind == persist.RecStore && r.Store != nil {
+			if i < k && r.Store.Version > version {
+				version = r.Store.Version
+			}
+			if r.Store.Kind == store.MutCreate {
+				allCreates[r.Store.Container] = true
+				if i < k {
+					creates[r.Store.Container] = true
+				}
+			}
+		}
+		if r.Kind == persist.RecEvent && i < k {
+			events++
+		}
+	}
+	return version, events, len(creates) == len(allCreates)
+}
+
+// checkCut recovers at record k and validates it against the
+// record-derived expectation.
+func checkCut(t *testing.T, master string, spans []recSpan, recs []persist.Record, k int, extra []byte) crashIdentity {
+	t.Helper()
+	id := recoverAt(t, master, spans, k, extra)
+	version, events, exact := expectAt(recs, k)
+	if exact {
+		if id.version != version {
+			t.Fatalf("cut at %d: recovered version %d, want %d", k, id.version, version)
+		}
+		if id.events != events {
+			t.Fatalf("cut at %d: recovered %d events, want %d", k, id.events, events)
+		}
+		if k > 0 && !id.now.Equal(recs[k-1].Now) {
+			t.Fatalf("cut at %d: recovered clock %v, want %v", k, id.now, recs[k-1].Now)
+		}
+	} else {
+		if id.version < version {
+			t.Fatalf("cut at %d (mid-bootstrap): recovered version %d below floor %d", k, id.version, version)
+		}
+	}
+	return id
+}
+
+// TestCrashAtEveryRecordBoundary is the exhaustive sweep on one seed:
+// kill -9 after every single WAL record (and before the first) must
+// recover exactly that prefix.
+func TestCrashAtEveryRecordBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(1995))
+	master, spans, recs := buildMaster(t, rng)
+	if len(recs) < 20 {
+		t.Fatalf("workload produced only %d records", len(recs))
+	}
+	for k := 0; k <= len(spans); k++ {
+		checkCut(t, master, spans, recs, k, nil)
+	}
+}
+
+// TestCrashRecoveryPropertyHundredSeeds fuzzes the contract across 100
+// randomized workloads: for each seed, random record-boundary kills,
+// a torn tail (partial frame bytes), and a bit-flipped record — every
+// one must recover to the clean prefix the damage leaves behind,
+// bit-identically to recovering that prefix directly.
+func TestCrashRecoveryPropertyHundredSeeds(t *testing.T) {
+	seeds := 100
+	if testing.Short() {
+		seeds = 10
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%03d", seed), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(seed)))
+			master, spans, recs := buildMaster(t, rng)
+			n := len(spans)
+
+			// Three random clean boundary kills.
+			for i := 0; i < 3; i++ {
+				checkCut(t, master, spans, recs, rng.Intn(n+1), nil)
+			}
+
+			// A torn tail: a partial frame after boundary k must be
+			// discarded, recovering exactly k records — bit-identical to
+			// the clean cut at k.
+			k := rng.Intn(n)
+			frameLen := spans[k].end - spans[k].start
+			garbage := make([]byte, 1+rng.Int63n(frameLen-1))
+			rng.Read(garbage)
+			// A torn frame, not a valid one: a random length prefix of
+			// the next record's real bytes.
+			next, err := os.ReadFile(spans[k].seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			copy(garbage, next[spans[k].start:spans[k].end])
+			torn := checkCut(t, master, spans, recs, k, garbage)
+			clean := checkCut(t, master, spans, recs, k, nil)
+			if torn != clean {
+				t.Fatalf("torn tail at %d diverged from clean prefix:\n%+v\nvs\n%+v", k, torn, clean)
+			}
+
+			// A bit flip inside record j ends the clean prefix at j.
+			j := rng.Intn(n)
+			dir := copyDir(t, master)
+			seg := filepath.Join(dir, filepath.Base(spans[j].seg))
+			b, err := os.ReadFile(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			off := spans[j].start + rng.Int63n(spans[j].end-spans[j].start)
+			b[off] ^= 1 << uint(rng.Intn(8))
+			if err := os.WriteFile(seg, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			p, err := Open(dir, "", Options{}, PersistOptions{NoSync: true, CheckpointEvery: -1})
+			if err != nil {
+				t.Fatalf("seed %d: bit flip in record %d: recovery failed: %v", seed, j, err)
+			}
+			got := crashIdentityOf(p)
+			want := checkCut(t, master, spans, recs, j, nil)
+			if got != want {
+				t.Fatalf("bit flip in record %d diverged from clean prefix %d:\n%+v\nvs\n%+v", j, j, got, want)
+			}
+		})
+	}
+}
