@@ -61,6 +61,9 @@ type cell struct {
 	// answered (edit-read mode only): reads that skipped the simulation
 	// even though every one of them saw a fresh store version.
 	FingerprintHitPct float64 `json:"fingerprint_hit_pct,omitempty"`
+	// ShedPct is the share of requests shed with 503 (-overload mode
+	// only); ReqPerSec then counts goodput — successful responses.
+	ShedPct float64 `json:"shed_pct,omitempty"`
 }
 
 // entry is one benchserve invocation.
@@ -86,6 +89,7 @@ func main() {
 	clientsFlag := flag.String("clients", "1,4,16", "comma-separated closed-loop client counts")
 	dur := flag.Duration("dur", 2*time.Second, "measurement window per cell")
 	trials := flag.Int("trials", 1000, "Monte-Carlo trials for the /risk route")
+	overload := flag.Bool("overload", false, "measure admission control under overload instead of the standard sweep")
 	flag.Parse()
 
 	clients, err := parseInts(*clientsFlag)
@@ -105,6 +109,20 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
+
+	if *overload {
+		e := entry{
+			Label: *label + "-overload", Date: time.Now().UTC().Format("2006-01-02"),
+			GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+			CPUs: runtime.NumCPU(),
+		}
+		e.Results = runOverload(p, *dur, *trials)
+		doc.Benchmarks = append(doc.Benchmarks, e)
+		writeDoc(*out, doc)
+		fmt.Printf("appended entry %q to %s\n", e.Label, *out)
+		return
+	}
+
 	routes := []string{
 		"/dashboard",
 		fmt.Sprintf("/risk?trials=%d&seed=1995", *trials),
@@ -208,14 +226,117 @@ func main() {
 	}
 
 	doc.Benchmarks = append(doc.Benchmarks, e)
+	writeDoc(*out, doc)
+	fmt.Printf("appended entry %q to %s\n", *label, *out)
+}
+
+func writeDoc(out string, doc file) {
 	blob, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fatal("%v", err)
 	}
-	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
 		fatal("%v", err)
 	}
-	fmt.Printf("appended entry %q to %s\n", *label, *out)
+}
+
+// runOverload measures what admission control buys: the same /risk
+// closed loop at the server's configured capacity and at twice it. An
+// overload-safe server sheds the excess (503 + Retry-After) and keeps
+// goodput — successful responses per second — near the capacity-limit
+// number instead of collapsing under queueing.
+func runOverload(p *flowsched.Project, window time.Duration, trials int) []cell {
+	// Capacity 16 admits two /risk renders (weight 8 each) at a time
+	// with a two-deep wait queue: four closed-loop clients saturate it
+	// without shedding, eight force continuous shed decisions.
+	const maxInFlight, queueDepth, capacityClients = 16, 2, 4
+	route := fmt.Sprintf("/risk?trials=%d&seed=1995", trials)
+
+	s := serve.New(p, serve.Options{
+		DisableCache: true, MaxInFlight: maxInFlight, QueueDepth: queueDepth,
+		RetryAfter: 10 * time.Millisecond,
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal("%v", err)
+	}
+	go s.Serve(l)
+	defer l.Close()
+	base := "http://" + l.Addr().String()
+
+	var out []cell
+	for _, run := range []struct {
+		mode    string
+		clients int
+	}{
+		{"overload-capacity", capacityClients},
+		{"overload-2x", 2 * capacityClients},
+	} {
+		c := hammerOverload(base, route, run.mode, run.clients, window)
+		fmt.Printf("%-28s %-18s clients=%-3d %9.0f good req/s  p50 %7.3f ms  p99 %7.3f ms  shed %5.1f%%\n",
+			route, run.mode, run.clients, c.ReqPerSec, c.P50Ms, c.P99Ms, c.ShedPct)
+		out = append(out, c)
+	}
+	if cap0, twox := out[0].ReqPerSec, out[1].ReqPerSec; cap0 > 0 {
+		fmt.Printf("goodput under 2x overload: %.1f%% of capacity-limit goodput\n", 100*twox/cap0)
+	}
+	return out
+}
+
+// hammerOverload is the shed-tolerant closed loop: 503s are counted,
+// backed off briefly, and excluded from goodput and latency; any other
+// non-200 is fatal.
+func hammerOverload(base, route, mode string, n int, window time.Duration) cell {
+	perClient := make([][]time.Duration, n)
+	shedByClient := make([]int, n)
+	deadline := time.Now().Add(window)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client := &http.Client{}
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				res, err := client.Get(base + route)
+				if err != nil {
+					fatal("GET %s: %v", route, err)
+				}
+				io.Copy(io.Discard, res.Body)
+				res.Body.Close()
+				switch res.StatusCode {
+				case http.StatusOK:
+					perClient[i] = append(perClient[i], time.Since(t0))
+				case http.StatusServiceUnavailable:
+					shedByClient[i]++
+					time.Sleep(2 * time.Millisecond)
+				default:
+					fatal("GET %s: status %d", route, res.StatusCode)
+				}
+			}
+		}(i)
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var lat []time.Duration
+	shed := 0
+	for i, l := range perClient {
+		lat = append(lat, l...)
+		shed += shedByClient[i]
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	c := cell{
+		Route: route, Mode: mode, Clients: n, Requests: len(lat) + shed,
+		ReqPerSec: float64(len(lat)) / elapsed.Seconds(),
+		P50Ms:     ms(percentile(lat, 0.50)),
+		P99Ms:     ms(percentile(lat, 0.99)),
+	}
+	if c.Requests > 0 {
+		c.ShedPct = 100 * float64(shed) / float64(c.Requests)
+	}
+	return c
 }
 
 // trackedProject builds the serve workload: a fig4 project with one

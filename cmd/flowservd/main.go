@@ -84,6 +84,13 @@ func run(args []string) error {
 		sample   = fs.Float64("trace-sample", 0, "fraction of requests whose span tree the flight recorder retains (0 = default 0.01, negative = off)")
 		slow     = fs.Duration("trace-slow", 0, "latency at which a request's trace is always retained (0 = default 500ms, negative = off)")
 		pprofF   = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+
+		maxInFlight = fs.Int("max-inflight", 0, "admission-control capacity in weight units (/risk and /whatif cost 8, other reads 1; 0 = off)")
+		queueDepth  = fs.Int("queue-depth", 0, "requests allowed to wait for admission before shedding 503 (0 = 2×max-inflight)")
+		retryAfter  = fs.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
+		routeDL     = fs.Duration("route-deadline", 0, "per-request rendering deadline; expiring simulations stop and answer 503 (0 = off)")
+		tenantRate  = fs.Float64("tenant-rate", 0, "host mode: per-project fair-share tokens per second (0 = off)")
+		tenantBurst = fs.Int("tenant-burst", 0, "host mode: per-project token-bucket burst (0 = ceil(tenant-rate))")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,6 +103,12 @@ func run(args []string) error {
 		TraceSampleRate:    *sample,
 		SlowTraceThreshold: *slow,
 		EnablePprof:        *pprofF,
+		MaxInFlight:        *maxInFlight,
+		QueueDepth:         *queueDepth,
+		RetryAfter:         *retryAfter,
+		RouteDeadline:      *routeDL,
+		TenantRate:         *tenantRate,
+		TenantBurst:        *tenantBurst,
 	}
 
 	var s drainable

@@ -137,7 +137,11 @@ func projectsCmd(args []string, out io.Writer) error {
 				bytes += info.Size()
 			}
 		}
-		fmt.Fprintf(w, "%-32s %10d bytes\n", de.Name(), bytes)
+		tag := ""
+		if _, err := os.Stat(filepath.Join(dir, "quarantined.json")); err == nil {
+			tag = "  QUARANTINED"
+		}
+		fmt.Fprintf(w, "%-32s %10d bytes%s\n", de.Name(), bytes, tag)
 		n++
 	}
 	if n == 0 {

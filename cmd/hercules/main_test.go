@@ -520,6 +520,10 @@ func TestProjectsSubcommand(t *testing.T) {
 	if err := os.MkdirAll(filepath.Join(root, "lost+found"), 0o755); err != nil {
 		t.Fatal(err)
 	}
+	// beta carries a quarantine marker from a wedged process.
+	if err := os.WriteFile(filepath.Join(root, "beta", "quarantined.json"), []byte(`{"error":"disk"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
 
 	var out strings.Builder
 	if err := projectsCmd([]string{root}, &out); err != nil {
@@ -533,6 +537,14 @@ func TestProjectsSubcommand(t *testing.T) {
 	}
 	if strings.Contains(got, "lost+found") {
 		t.Fatalf("non-project directory listed:\n%s", got)
+	}
+	for _, line := range strings.Split(got, "\n") {
+		switch {
+		case strings.HasPrefix(line, "beta") && !strings.Contains(line, "QUARANTINED"):
+			t.Fatalf("beta not tagged QUARANTINED:\n%s", got)
+		case strings.HasPrefix(line, "alpha") && strings.Contains(line, "QUARANTINED"):
+			t.Fatalf("healthy alpha tagged QUARANTINED:\n%s", got)
+		}
 	}
 
 	if err := projectsCmd(nil, &out); err == nil {

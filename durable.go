@@ -31,6 +31,10 @@ type PersistOptions struct {
 	// default (4096); negative disables auto-checkpointing (Checkpoint
 	// remains available).
 	CheckpointEvery int
+	// FS is the filesystem the WAL writes through. Nil selects the real
+	// one; tests inject persist.FaultFS to drive the project into
+	// quarantine deterministically.
+	FS persist.FS
 }
 
 const defaultCheckpointEvery = 4096
@@ -61,6 +65,69 @@ type durableCheckpoint struct {
 	Events      []engine.Event  `json:"events,omitempty"`
 }
 
+// ErrQuarantined marks a durable project whose write-ahead log has
+// failed: the project is read-only quarantined. Reads keep answering
+// from the last committed in-memory state; every mutating facade
+// operation fails with an error wrapping this sentinel until a host
+// Reopen (a fresh flowsched.Open) re-runs clean-prefix recovery.
+var ErrQuarantined = fmt.Errorf("flowsched: project quarantined (write-ahead log failed; read-only)")
+
+// QuarantineError is the typed error mutating operations return from a
+// quarantined project. It wraps both ErrQuarantined (for errors.Is
+// dispatch) and the underlying disk failure.
+type QuarantineError struct {
+	// Cause is the WAL failure that triggered quarantine.
+	Cause error
+}
+
+func (e *QuarantineError) Error() string {
+	return fmt.Sprintf("%v: %v", ErrQuarantined, e.Cause)
+}
+func (e *QuarantineError) Unwrap() error { return e.Cause }
+func (e *QuarantineError) Is(target error) bool {
+	return target == ErrQuarantined
+}
+
+// quarantineName is the on-disk quarantine marker: written beside the
+// WAL when the project wedges so operators (hercules projects) and
+// post-crash inspection see the degraded state without attaching to the
+// process; removed by the next successful Open.
+const quarantineName = "quarantined.json"
+
+// quarantineMarker is the marker file's payload.
+type quarantineMarker struct {
+	Error string    `json:"error"`
+	Time  time.Time `json:"time"` // wall clock; operator-facing
+}
+
+// Health describes a project's serving state.
+type Health struct {
+	// Durable reports whether the project has a write-ahead log.
+	Durable bool `json:"durable"`
+	// Quarantined is true once the WAL has failed: the project is
+	// read-only until recovered by a fresh Open.
+	Quarantined bool `json:"quarantined"`
+	// Err is the failure that triggered quarantine ("" while healthy).
+	Err string `json:"error,omitempty"`
+	// WALSeq is the last durable record sequence number.
+	WALSeq uint64 `json:"walSeq,omitempty"`
+}
+
+// Health reports the project's serving state: healthy, or read-only
+// quarantined after a WAL failure. Non-durable projects are always
+// healthy (there is no disk to fail).
+func (p *Project) Health() Health {
+	if p.rec == nil {
+		return Health{}
+	}
+	h := Health{Durable: true, WALSeq: p.rec.log.Seq()}
+	if err := p.rec.Err(); err != nil {
+		h.Quarantined = true
+		h.Err = err.Error()
+	}
+	return h
+}
+
 // recorder bridges the in-memory change feeds to the WAL. Hooks fire
 // from the project's executing goroutine in commit order; each record is
 // stamped with the virtual clock at append time, which is how recovery
@@ -69,8 +136,9 @@ type durableCheckpoint struct {
 //
 // A failed append wedges the recorder: in-memory state has advanced past
 // what is durable, so further appends are suppressed and the error
-// surfaces from the next mutating facade operation (and from Checkpoint
-// and Close).
+// surfaces — typed as *QuarantineError — from the next mutating facade
+// operation (and from Checkpoint and Close). Wedging also drops the
+// quarantine marker file beside the WAL.
 type recorder struct {
 	log   *persist.Log
 	clock *vclock.Clock
@@ -86,7 +154,28 @@ func (r *recorder) append(rec *persist.Record) {
 	}
 	rec.Now = r.clock.Now()
 	if _, err := r.log.Append(rec); err != nil {
-		r.err = err
+		r.wedgeLocked(err)
+	}
+}
+
+// wedge records the first WAL failure and writes the quarantine marker.
+func (r *recorder) wedge(err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.wedgeLocked(err)
+}
+
+func (r *recorder) wedgeLocked(err error) {
+	if r.err != nil || err == nil {
+		return
+	}
+	r.err = err
+	// Marker write is best-effort and bypasses the WAL's FS seam: on a
+	// genuinely failed disk it fails silently (Health still reports the
+	// quarantine in-process), and under fault injection it must not
+	// perturb the deterministic op count.
+	if b, merr := json.Marshal(quarantineMarker{Error: err.Error(), Time: time.Now()}); merr == nil {
+		os.WriteFile(filepath.Join(r.log.Dir(), quarantineName), b, 0o644)
 	}
 }
 
@@ -113,7 +202,7 @@ func (r *recorder) Err() error {
 // Load, tool bindings are not persisted; rebind before executing.
 func Open(dir, schemaSrc string, opt Options, po PersistOptions) (*Project, error) {
 	log, err := persist.Open(dir, persist.Options{
-		SegmentBytes: po.SegmentBytes, NoSync: po.NoSync,
+		SegmentBytes: po.SegmentBytes, NoSync: po.NoSync, FS: po.FS,
 	})
 	if err != nil {
 		return nil, err
@@ -175,6 +264,10 @@ func Open(dir, schemaSrc string, opt Options, po PersistOptions) (*Project, erro
 		log.Close()
 		return nil, err
 	}
+	// Recovery succeeded: clear any quarantine marker a previous wedged
+	// process left behind. The marker reflects live state, and this
+	// process's log is healthy.
+	os.Remove(filepath.Join(dir, quarantineName))
 	return p, nil
 }
 
@@ -364,7 +457,7 @@ func (p *Project) Checkpoint() error {
 		return fmt.Errorf("flowsched: project is not durable")
 	}
 	if err := p.rec.Err(); err != nil {
-		return err
+		return &QuarantineError{Cause: err}
 	}
 	data, err := json.Marshal(p.mgr.Data)
 	if err != nil {
@@ -380,7 +473,14 @@ func (p *Project) Checkpoint() error {
 	if err != nil {
 		return err
 	}
-	return p.rec.log.WriteCheckpoint(b)
+	if err := p.rec.log.WriteCheckpoint(b); err != nil {
+		// A failed checkpoint poisons the log (sticky); quarantine the
+		// project so writers learn immediately instead of at their next
+		// append.
+		p.rec.wedge(err)
+		return &QuarantineError{Cause: err}
+	}
+	return nil
 }
 
 // commitDurable finishes one mutating facade operation on a durable
@@ -391,7 +491,7 @@ func (p *Project) commitDurable() error {
 		return nil
 	}
 	if err := p.rec.Err(); err != nil {
-		return err
+		return &QuarantineError{Cause: err}
 	}
 	if p.checkpointEvery > 0 && p.rec.log.SinceCheckpoint() >= p.checkpointEvery {
 		return p.Checkpoint()

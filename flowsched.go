@@ -26,6 +26,7 @@
 package flowsched
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -868,15 +869,16 @@ func (p *Project) SimulateRisk(targets []string, trials int, seed int64) (*RiskR
 // fingerprint changed, bit-identical to a cold run.
 func (p *Project) SimulateRiskWith(targets []string, opt RiskOptions) (*RiskResult, error) {
 	start := time.Now()
-	res, err := riskOf(p.readMgr(), p.obs, p.Now(), p.riskMemo, nil, targets, opt)
+	res, err := riskOf(nil, p.readMgr(), p.obs, p.Now(), p.riskMemo, nil, targets, opt)
 	p.recordFlight("risk", start, res, err)
 	return res, err
 }
 
 // riskOf runs the Monte-Carlo analysis against one manager snapshot;
 // parent, when non-nil, nests the simulation's spans under an
-// enclosing (e.g. request) span.
-func riskOf(m *engine.Manager, o *obs.Obs, now time.Time, memo *monte.Memo, parent *obs.Span, targets []string, opt RiskOptions) (*RiskResult, error) {
+// enclosing (e.g. request) span; ctx, when non-nil, cancels the
+// simulation cooperatively.
+func riskOf(ctx context.Context, m *engine.Manager, o *obs.Obs, now time.Time, memo *monte.Memo, parent *obs.Span, targets []string, opt RiskOptions) (*RiskResult, error) {
 	models, err := riskModelsOf(m, targets)
 	if err != nil {
 		return nil, err
@@ -887,7 +889,7 @@ func riskOf(m *engine.Manager, o *obs.Obs, now time.Time, memo *monte.Memo, pare
 	return monte.Simulate(models, monte.Config{
 		Trials: opt.Trials, Seed: opt.Seed, Workers: opt.Workers,
 		Sketch: opt.Sketch, Memo: memo,
-		Obs: o, Parent: parent, VirtNow: now,
+		Obs: o, Parent: parent, VirtNow: now, Ctx: ctx,
 	})
 }
 

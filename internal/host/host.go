@@ -90,6 +90,7 @@ type Registry struct {
 	gLoaded  *obs.Gauge      // host_resident_projects
 	gBytes   *obs.Gauge      // host_resident_bytes
 	mRecover *obs.CounterVec // host_project_recoveries_total{project}
+	gQuar    *obs.GaugeVec   // host_project_quarantined{project}: 1 = resident and read-only
 }
 
 // NewRegistry opens a registry over root. The root directory is created
@@ -117,6 +118,7 @@ func NewRegistry(opt Options) (*Registry, error) {
 		r.mRecover = m.BoundedCounterVec("host_project_recoveries_total", maxProjectLabels, "project")
 		r.gLoaded = m.Gauge("host_resident_projects")
 		r.gBytes = m.Gauge("host_resident_bytes")
+		r.gQuar = m.BoundedGaugeVec("host_project_quarantined", maxProjectLabels, "project")
 	}
 	return r, nil
 }
@@ -171,8 +173,18 @@ func (h *Handle) Do(fn func(*flowsched.Project) error) error {
 	err := fn(h.e.project)
 	h.e.wmu.Unlock()
 	h.r.refreshBytes(h.e)
+	h.r.refreshHealth(h.e)
 	h.r.enforceBudget(h.e)
 	return err
+}
+
+// Health reports the pinned project's serving state (see
+// flowsched.Project.Health) and refreshes the registry's quarantine
+// gauge as a side effect.
+func (h *Handle) Health() flowsched.Health {
+	hl := h.e.project.Health()
+	h.r.setQuarGauge(h.e.id, hl.Quarantined)
+	return hl
 }
 
 // Release unpins the project. Idempotent. If the project was evicted
@@ -283,9 +295,46 @@ func (r *Registry) load(e *entry, schemaSrc string) (*Handle, error) {
 	if recovered {
 		r.mRecover.With(e.id).Inc()
 	}
+	// A freshly opened project went through clean-prefix recovery, so it
+	// is healthy by construction.
+	r.setQuarGauge(e.id, false)
 	r.updateGauges()
 	r.enforceBudget(e)
 	return &Handle{e: e, r: r}, nil
+}
+
+// refreshHealth syncs the quarantine gauge with the project's live
+// state; called after every write (writes are what trigger quarantine).
+func (r *Registry) refreshHealth(e *entry) {
+	if r.gQuar == nil {
+		return
+	}
+	r.setQuarGauge(e.id, e.project.Health().Quarantined)
+}
+
+func (r *Registry) setQuarGauge(id string, quarantined bool) {
+	if r.gQuar == nil {
+		return
+	}
+	var v int64
+	if quarantined {
+		v = 1
+	}
+	r.gQuar.With(id).Set(v)
+}
+
+// Reopen evicts the project (flushing and closing its WAL — for a
+// quarantined project the close reports the quarantine but still
+// releases the log) and loads it fresh from disk, re-running
+// clean-prefix recovery. This is the operator path that clears
+// quarantine: the recovered instance serves the longest clean record
+// prefix and accepts writes again. Blocks until outstanding pins drain.
+func (r *Registry) Reopen(id string) (*Handle, error) {
+	// The eviction error is deliberately dropped: a quarantined
+	// project's final checkpoint is refused by its failed log, which is
+	// exactly why it is being reopened.
+	_ = r.Evict(id)
+	return r.Get(id)
 }
 
 // Evict removes the project from the registry: subsequent Gets re-load
@@ -332,6 +381,9 @@ func (r *Registry) finalize(e *entry) error {
 	delete(r.graves, e.id)
 	r.mu.Unlock()
 	close(e.grave)
+	// The gauge tracks *resident* quarantined projects; a finalized one
+	// is no longer resident (its on-disk marker still shows in List).
+	r.setQuarGauge(e.id, false)
 	r.updateGauges()
 	return err
 }
@@ -404,6 +456,22 @@ type ProjectInfo struct {
 	Pinned   int    `json:"pinned,omitempty"`
 	// Bytes is the resident-size estimate (0 when not resident).
 	Bytes int64 `json:"bytes,omitempty"`
+	// Quarantined reports read-only quarantine after a WAL failure: the
+	// live state for resident projects, the on-disk marker left by a
+	// wedged (possibly dead) process for non-resident ones. A host
+	// Reopen — or any successful load — clears it.
+	Quarantined bool `json:"quarantined,omitempty"`
+}
+
+// quarantineMarkerName mirrors the marker flowsched writes beside a
+// wedged project's WAL (and removes on successful Open).
+const quarantineMarkerName = "quarantined.json"
+
+// quarantinedOnDisk reports whether a project directory carries the
+// quarantine marker of a wedged process.
+func (r *Registry) quarantinedOnDisk(id string) bool {
+	_, err := os.Stat(filepath.Join(r.dir(id), quarantineMarkerName))
+	return err == nil
 }
 
 // List returns every project under the root — resident or not — sorted
@@ -428,6 +496,9 @@ func (r *Registry) List() ([]ProjectInfo, error) {
 		info := ProjectInfo{ID: de.Name()}
 		if e, ok := resident[de.Name()]; ok && e.project != nil {
 			info.Resident, info.Pinned, info.Bytes = true, e.refs, e.bytes
+			info.Quarantined = e.project.Health().Quarantined
+		} else {
+			info.Quarantined = r.quarantinedOnDisk(de.Name())
 		}
 		seen[de.Name()] = true
 		out = append(out, info)
@@ -435,7 +506,10 @@ func (r *Registry) List() ([]ProjectInfo, error) {
 	// A just-created project whose directory write races the listing.
 	for id, e := range resident {
 		if !seen[id] && e.project != nil {
-			out = append(out, ProjectInfo{ID: id, Resident: true, Pinned: e.refs, Bytes: e.bytes})
+			out = append(out, ProjectInfo{
+				ID: id, Resident: true, Pinned: e.refs, Bytes: e.bytes,
+				Quarantined: e.project.Health().Quarantined,
+			})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })

@@ -1,0 +1,184 @@
+package host
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"flowsched"
+	"flowsched/internal/obs"
+	"flowsched/internal/persist"
+)
+
+// flakyFS is an FS seam whose writes can be switched off at runtime,
+// simulating a disk that dies mid-flight. Reads keep working — exactly
+// the failure mode quarantine exists for.
+type flakyFS struct {
+	persist.OSFS
+	fail atomic.Bool
+}
+
+var errDiskGone = errors.New("flakyfs: disk gone")
+
+func (f *flakyFS) OpenFile(name string, flag int, perm os.FileMode) (persist.File, error) {
+	fl, err := f.OSFS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &flakyFile{File: fl, fs: f}, nil
+}
+
+type flakyFile struct {
+	persist.File
+	fs *flakyFS
+}
+
+func (f *flakyFile) Write(p []byte) (int, error) {
+	if f.fs.fail.Load() {
+		return 0, errDiskGone
+	}
+	return f.File.Write(p)
+}
+
+// TestQuarantineLifecycle walks the full operator story: a write hits a
+// dead disk, the project quarantines (reads fine, writes refused, gauge
+// and listing flag it, marker on disk), and a host Reopen over a healthy
+// disk restores service with the clean prefix.
+func TestQuarantineLifecycle(t *testing.T) {
+	ffs := &flakyFS{}
+	o := obs.New()
+	root := t.TempDir()
+	r := newRegistry(t, Options{
+		Root:    root,
+		Obs:     o,
+		Persist: flowsched.PersistOptions{FS: ffs},
+	})
+	createProject(t, r, "q0")
+
+	h, err := r.Get("q0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodVersion := versionOf(t, h)
+
+	// Disk dies. The next committed mutation wedges the recorder.
+	ffs.fail.Store(true)
+	err = h.Do(func(p *flowsched.Project) error {
+		_, err := p.Import("stimuli", []byte("lost write"))
+		return err
+	})
+	if !errors.Is(err, flowsched.ErrQuarantined) {
+		t.Fatalf("write on dead disk: got %v, want ErrQuarantined", err)
+	}
+	var qe *flowsched.QuarantineError
+	if !errors.As(err, &qe) || qe.Cause == nil {
+		t.Fatalf("want *QuarantineError with cause, got %v", err)
+	}
+
+	// Health, gauge, listing, and on-disk marker all report it.
+	if hl := h.Health(); !hl.Quarantined || hl.Err == "" {
+		t.Fatalf("Health = %+v, want quarantined with error", hl)
+	}
+	if got := r.gQuar.With("q0").Value(); got != 1 {
+		t.Fatalf("host_project_quarantined{q0} = %d, want 1", got)
+	}
+	infos, err := r.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	listed := false
+	for _, pi := range infos {
+		if pi.ID == "q0" {
+			listed = true
+			if !pi.Quarantined {
+				t.Fatal("List: q0 not flagged quarantined")
+			}
+		}
+	}
+	if !listed {
+		t.Fatal("List: q0 missing")
+	}
+	marker := filepath.Join(root, "q0", "quarantined.json")
+	if _, err := os.Stat(marker); err != nil {
+		t.Fatalf("quarantine marker: %v", err)
+	}
+
+	// Reads still serve.
+	if v := versionOf(t, h); v < goodVersion {
+		t.Fatalf("read-only version went backwards: %d < %d", v, goodVersion)
+	}
+	// Further writes are refused with the same typed error.
+	err = h.Do(func(p *flowsched.Project) error {
+		_, err := p.Import("stimuli", []byte("still dead"))
+		return err
+	})
+	if !errors.Is(err, flowsched.ErrQuarantined) {
+		t.Fatalf("second write: got %v, want ErrQuarantined", err)
+	}
+	h.Release()
+
+	// Disk comes back; Reopen recovers the clean prefix and clears the
+	// quarantine end to end.
+	ffs.fail.Store(false)
+	h2, err := r.Reopen("q0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h2.Release()
+	if hl := h2.Health(); hl.Quarantined {
+		t.Fatalf("post-reopen Health = %+v, want healthy", hl)
+	}
+	if got := r.gQuar.With("q0").Value(); got != 0 {
+		t.Fatalf("post-reopen host_project_quarantined{q0} = %d, want 0", got)
+	}
+	if _, err := os.Stat(marker); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("marker should be gone, stat = %v", err)
+	}
+	// The acked prefix survived and the project accepts writes again.
+	if v := versionOf(t, h2); v != goodVersion {
+		t.Fatalf("recovered version = %d, want %d", v, goodVersion)
+	}
+	if err := h2.Do(func(p *flowsched.Project) error {
+		_, err := p.Import("stimuli", []byte("back online"))
+		return err
+	}); err != nil {
+		t.Fatalf("write after reopen: %v", err)
+	}
+	if errs := o.Metrics().Lint(); len(errs) != 0 {
+		t.Fatalf("metric lint: %v", errs)
+	}
+}
+
+// TestListShowsDeadProcessQuarantine: a non-resident project whose last
+// owner wedged still shows quarantined via the on-disk marker.
+func TestListShowsDeadProcessQuarantine(t *testing.T) {
+	r := newRegistry(t, Options{})
+	createProject(t, r, "zombie")
+	if err := r.Evict("zombie"); err != nil {
+		t.Fatal(err)
+	}
+	marker := filepath.Join(r.dir("zombie"), quarantineMarkerName)
+	if err := os.WriteFile(marker, []byte(`{"error":"x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := r.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pi := range infos {
+		if pi.ID == "zombie" && !pi.Quarantined {
+			t.Fatal("non-resident quarantined project not flagged in List")
+		}
+	}
+	// Loading it re-runs recovery and clears the marker.
+	h, err := r.Get("zombie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	if _, err := os.Stat(marker); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("marker should be cleared by load, stat = %v", err)
+	}
+}

@@ -1,0 +1,112 @@
+package monte
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"flowsched/internal/obs"
+)
+
+// TestContextDoesNotPerturbResults extends the determinism contract to
+// the cancellation plumbing: an uncancelled run with a live context is
+// bit-identical to a run with none, for every worker count and both
+// kernels (scalar and memoized column).
+func TestContextDoesNotPerturbResults(t *testing.T) {
+	base, err := Simulate(branchy(), Config{Trials: 2000, Seed: 7, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, workers := range []int{1, 4} {
+		for _, memo := range []bool{false, true} {
+			cfg := Config{Trials: 2000, Seed: 7, Workers: workers, Ctx: ctx}
+			if memo {
+				cfg.Memo = NewMemo(64 << 20)
+			}
+			got, err := Simulate(branchy(), cfg)
+			if err != nil {
+				t.Fatalf("workers=%d memo=%v: %v", workers, memo, err)
+			}
+			if !reflect.DeepEqual(got.Durations, base.Durations) {
+				t.Fatalf("workers=%d memo=%v: durations diverge with a live context", workers, memo)
+			}
+			if !reflect.DeepEqual(got.Criticality, base.Criticality) {
+				t.Fatalf("workers=%d memo=%v: criticality diverges with a live context", workers, memo)
+			}
+		}
+	}
+}
+
+// TestPreCanceledContextStopsImmediately: a context canceled before the
+// run starts must yield the context error and sample nothing.
+func TestPreCanceledContextStopsImmediately(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := obs.New()
+	_, err := Simulate(branchy(), Config{Trials: 100_000, Seed: 1, Workers: 2, Ctx: ctx, Obs: o})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := o.Metrics().Counter("monte_trials_total").Value(); n != 0 {
+		t.Fatalf("monte_trials_total = %d after pre-canceled run, want 0", n)
+	}
+}
+
+// TestCancelMidRunStopsSampling: canceling during a large run stops the
+// trial counter from advancing — the counter is the live progress
+// signal the serving layer watches — and returns the context error.
+func TestCancelMidRunStopsSampling(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	o := obs.New()
+	const trials = 2_000_000
+	done := make(chan error, 1)
+	go func() {
+		_, err := Simulate(branchy(), Config{Trials: trials, Seed: 3, Workers: 2, Sketch: true, Ctx: ctx, Obs: o})
+		done <- err
+	}()
+	// Wait for sampling to be demonstrably underway, then cancel.
+	tc := o.Metrics().Counter("monte_trials_total")
+	deadline := time.After(30 * time.Second)
+	for tc.Value() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("sampling never started")
+		case err := <-done:
+			t.Fatalf("run finished before cancel: %v", err)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
+	err := <-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := tc.Value(); n >= trials {
+		t.Fatalf("monte_trials_total = %d, want < %d (cancel should stop sampling)", n, trials)
+	}
+	// The counter must be fully quiescent once Simulate has returned.
+	before := tc.Value()
+	time.Sleep(20 * time.Millisecond)
+	if after := tc.Value(); after != before {
+		t.Fatalf("monte_trials_total advanced %d -> %d after Simulate returned", before, after)
+	}
+}
+
+// TestCompletedRunCountsExactlyTrials: the per-shard accounting must sum
+// to exactly Trials for completed runs, preserving the counter's
+// historical meaning.
+func TestCompletedRunCountsExactlyTrials(t *testing.T) {
+	o := obs.New()
+	if _, err := Simulate(branchy(), Config{Trials: 12_345, Seed: 9, Workers: 4, Obs: o}); err != nil {
+		t.Fatal(err)
+	}
+	if n := o.Metrics().Counter("monte_trials_total").Value(); n != 12_345 {
+		t.Fatalf("monte_trials_total = %d, want 12345", n)
+	}
+}

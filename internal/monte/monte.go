@@ -20,11 +20,13 @@
 package monte
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"slices"
 	"sort"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"flowsched/internal/obs"
@@ -101,6 +103,12 @@ type Config struct {
 	// point intervals at VirtNow). Zero is fine for uninstrumented or
 	// facade-less use.
 	VirtNow time.Time
+	// Ctx, when non-nil, cancels the simulation cooperatively: shards
+	// stop at iteration-batch boundaries once the context is done and
+	// Simulate returns the context's error. Cancellation checks never
+	// touch the RNG streams, so an uncancelled run is bit-identical
+	// with or without a context. Nil means "never canceled".
+	Ctx context.Context
 }
 
 // Result is the outcome of a Monte-Carlo run.
@@ -401,9 +409,13 @@ func simulate(acts []ActivityModel, cfg Config, order []int,
 	tr := cfg.Obs.Tracer()
 	root := tr.Start(cfg.Parent, "monte.simulate", cfg.VirtNow)
 	root.SetDetail("trials=" + strconv.Itoa(cfg.Trials))
+	// monte_trials_total advances per completed shard (not upfront) so
+	// the counter is a live progress signal: a canceled run stops
+	// advancing it. Completed runs still account for exactly Trials.
+	var mTrials *obs.Counter
 	if m := cfg.Obs.Metrics(); m != nil {
 		m.Counter("monte_simulations_total").Inc()
-		m.Counter("monte_trials_total").Add(int64(cfg.Trials))
+		mTrials = m.Counter("monte_trials_total")
 		m.Counter("monte_activity_trials_sampled_total").Add(int64(n-reused) * int64(cfg.Trials))
 		m.Counter("subtree_reuse_trials_total").Add(int64(reused) * int64(cfg.Trials))
 	}
@@ -439,10 +451,38 @@ func simulate(acts []ActivityModel, cfg Config, order []int,
 	// tests pin warm-column against cold-scalar runs.
 	columns := reused > 0 || fresh != nil
 
+	// Cooperative cancellation: one cheap shared flag, refreshed by a
+	// non-blocking poll of the context at shard starts and every 1024
+	// trials. The checks read no RNG state, preserving bit-identity for
+	// uncancelled runs.
+	var canceled atomic.Bool
+	var ctxDone <-chan struct{}
+	if cfg.Ctx != nil {
+		ctxDone = cfg.Ctx.Done()
+	}
+	cancelCheck := func() bool {
+		if ctxDone == nil {
+			return false
+		}
+		if canceled.Load() {
+			return true
+		}
+		select {
+		case <-ctxDone:
+			canceled.Store(true)
+			return true
+		default:
+			return false
+		}
+	}
+
 	critCounts := make([][]int64, numShards)
 	iterTotals := make([][]int64, numShards)
 	shardSketches := make([]*Sketch, numShards)
-	par.New(cfg.Workers).Instrument(cfg.Obs).ForEach(numShards, func(s int) {
+	par.New(cfg.Workers).Instrument(cfg.Obs).ForEachCtx(cfg.Ctx, numShards, func(s int) {
+		if cancelCheck() {
+			return
+		}
 		var sp *obs.Span
 		if shardObs {
 			sp = tr.Start(root, "monte.shard", cfg.VirtNow)
@@ -486,6 +526,9 @@ func simulate(acts []ActivityModel, cfg Config, order []int,
 				r := newActivityRNG(cfg.Seed, s, keys[i])
 				total := int64(0)
 				for t := 0; t < block; t++ {
+					if t&1023 == 0 && cancelCheck() {
+						return
+					}
 					var start time.Duration
 					for _, pi := range ca.preds {
 						if f := fin[pi][t]; f > start {
@@ -504,6 +547,9 @@ func simulate(acts []ActivityModel, cfg Config, order []int,
 				fin[i] = dst
 			}
 			for t := 0; t < block; t++ {
+				if t&1023 == 0 && cancelCheck() {
+					return
+				}
 				var pf time.Duration
 				last := int32(-1)
 				for _, si := range sinks {
@@ -543,6 +589,9 @@ func simulate(acts []ActivityModel, cfg Config, order []int,
 				rngs[i] = newActivityRNG(cfg.Seed, s, keys[i])
 			}
 			for t := 0; t < block; t++ {
+				if t&1023 == 0 && cancelCheck() {
+					return
+				}
 				var projectFinish time.Duration
 				last := int32(-1)
 				for _, i := range order {
@@ -586,6 +635,7 @@ func simulate(acts []ActivityModel, cfg Config, order []int,
 				}
 			}
 		}
+		mTrials.Add(int64(block))
 		critCounts[s] = critCount
 		iterTotals[s] = iterTotal
 		shardSketches[s] = sk
@@ -594,6 +644,9 @@ func simulate(acts []ActivityModel, cfg Config, order []int,
 		}
 	})
 	root.End(cfg.VirtNow)
+	if cancelCheck() {
+		return nil, fmt.Errorf("monte: simulation canceled: %w", cfg.Ctx.Err())
+	}
 
 	if cfg.Sketch {
 		// Merge in shard-index order: counters commute, but the float64

@@ -5,12 +5,18 @@
 // function of an index, the pool bounds how many indices run at once,
 // and ForEach blocks until every index has been processed.
 //
-// The pool is deliberately dumb: no queues, no futures, no context
-// plumbing. Work is claimed index-by-index from an atomic counter, so
-// items of uneven cost balance across workers automatically. A Pool is
-// stateless between calls and safe for concurrent use; the zero-cost
-// way to force serial execution is New(1), which runs every index in
-// order on the calling goroutine.
+// The pool is deliberately dumb: no queues, no futures. Work is claimed
+// index-by-index from an atomic counter, so items of uneven cost
+// balance across workers automatically. A Pool is stateless between
+// calls and safe for concurrent use; the zero-cost way to force serial
+// execution is New(1), which runs every index in order on the calling
+// goroutine.
+//
+// Cancellation is cooperative and claim-granular: the Ctx variants stop
+// claiming new indices once the context is done, wait for in-flight
+// items to return, and report ctx.Err(). Items already running are not
+// interrupted — work functions that run long per index should check the
+// context themselves.
 //
 // A panicking work item does not crash the process from an anonymous
 // goroutine: the panic is recovered, attributed to its index, and
@@ -18,6 +24,7 @@
 package par
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -86,6 +93,32 @@ func (p *Pool) Workers() int { return p.workers }
 // remaining items may be skipped, and a *PanicError naming the lowest
 // observed failing index is re-raised on the caller's goroutine.
 func (p *Pool) ForEach(n int, fn func(i int)) {
+	p.forEach(nil, n, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done
+// no further indices are claimed, in-flight items drain, and ctx.Err()
+// is returned. A nil ctx (or one that never cancels) behaves exactly
+// like ForEach and returns nil. Which trailing indices were skipped on
+// cancellation is unspecified — callers must treat a non-nil return as
+// "results incomplete".
+func (p *Pool) ForEachCtx(ctx context.Context, n int, fn func(i int)) error {
+	return p.forEach(ctx, n, fn)
+}
+
+func (p *Pool) forEach(ctx context.Context, n int, fn func(i int)) error {
+	done := func() bool { return false }
+	if ctx != nil {
+		d := ctx.Done()
+		done = func() bool {
+			select {
+			case <-d:
+				return true
+			default:
+				return false
+			}
+		}
+	}
 	var t0 time.Time
 	if p.wait != nil {
 		t0 = time.Now()
@@ -112,11 +145,14 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 			p.wait.Observe(time.Since(t0).Seconds())
 		}
 		for i := 0; i < n; i++ {
+			if done() {
+				return ctx.Err()
+			}
 			if pe := run(i); pe != nil {
 				panic(pe)
 			}
 		}
-		return
+		return nil
 	}
 
 	var next atomic.Int64
@@ -133,6 +169,9 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 				p.wait.Observe(time.Since(t0).Seconds())
 			}
 			for {
+				if done() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -154,6 +193,10 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 	if first != nil {
 		panic(first)
 	}
+	if ctx != nil {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // ForEachErr is ForEach for fallible work. Every index runs regardless
@@ -161,10 +204,20 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 // worker count), and the error for the lowest failing index is
 // returned.
 func (p *Pool) ForEachErr(n int, fn func(i int) error) error {
+	return p.ForEachErrCtx(nil, n, fn)
+}
+
+// ForEachErrCtx is ForEachErr with cooperative cancellation. If the
+// context is done before every index ran, ctx.Err() is returned (it
+// takes precedence over item errors, since the item error set is
+// incomplete and nondeterministic under cancellation).
+func (p *Pool) ForEachErrCtx(ctx context.Context, n int, fn func(i int) error) error {
 	errs := make([]error, n)
-	p.ForEach(n, func(i int) {
+	if err := p.forEach(ctx, n, func(i int) {
 		errs[i] = fn(i)
-	})
+	}); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

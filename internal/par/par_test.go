@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -213,5 +214,70 @@ func TestUninstrumentedPoolIsNoop(t *testing.T) {
 	New(2).Instrument(nil).ForEach(5, func(int) { ran.Add(1) })
 	if ran.Load() != 5 {
 		t.Fatalf("ran %d of 5", ran.Load())
+	}
+}
+
+func TestForEachCtxNilAndLiveContextsRunEverything(t *testing.T) {
+	for _, ctx := range []context.Context{nil, context.Background()} {
+		for _, workers := range []int{1, 4} {
+			counts := make([]int32, 50)
+			if err := New(workers).ForEachCtx(ctx, 50, func(i int) {
+				atomic.AddInt32(&counts[i], 1)
+			}); err != nil {
+				t.Fatalf("workers=%d: err = %v", workers, err)
+			}
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachCtxStopsClaimingOnCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		err := New(workers).ForEachCtx(ctx, 10_000, func(i int) {
+			if ran.Add(1) == int32(workers) {
+				cancel() // cancel while items are in flight
+			}
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n := ran.Load(); n == 10_000 {
+			t.Fatalf("workers=%d: every index ran despite cancellation", workers)
+		}
+		cancel()
+	}
+}
+
+func TestForEachCtxPreCanceledRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := New(4).ForEachCtx(ctx, 100, func(i int) { ran.Add(1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d items ran under a pre-canceled context", ran.Load())
+	}
+}
+
+func TestForEachErrCtxCancelTakesPrecedence(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("boom")
+	err := New(1).ForEachErrCtx(ctx, 10, func(i int) error {
+		if i == 2 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled (item errors are incomplete under cancel)", err)
 	}
 }

@@ -3,9 +3,11 @@ package persist
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
+	iofs "io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -23,12 +25,24 @@ type Options struct {
 	// prefix is still detected — but a power loss may lose recently
 	// acknowledged records. For tests and benchmarks.
 	NoSync bool
+	// FS is the filesystem the log writes through. Nil selects the real
+	// one (OSFS); tests inject FaultFS to exercise the disk-fault
+	// contract.
+	FS FS
 }
 
 const defaultSegmentBytes = 4 << 20
 
 // checkpointName is the atomically-installed checkpoint file.
 const checkpointName = "checkpoint.json"
+
+// ErrLogFailed marks a log that has gone sticky-failed: a write-path
+// disk operation failed, so the bytes on disk past the last
+// acknowledged record are indeterminate and the log refuses to write
+// another byte. Reads (Checkpoint, Seq, FootprintBytes) keep working;
+// recovery is a fresh Open + Replay, which truncates to the clean
+// prefix. Every error returned from a failed log wraps this sentinel.
+var ErrLogFailed = errors.New("persist: log failed; no further writes accepted")
 
 // checkpointFile is the on-disk checkpoint wrapper: the payload (opaque
 // to the log), the sequence number it covers, and a CRC over the payload.
@@ -45,17 +59,27 @@ type checkpointFile struct {
 // Lifecycle: Open, then Replay exactly once (it establishes the live
 // sequence and discards any torn tail), then Append/WriteCheckpoint
 // freely, then Close.
+//
+// Failure is sticky: the first failed append, sync, or checkpoint
+// operation poisons the log (see ErrLogFailed). This is not caution for
+// its own sake — after a failed frame write or fsync the on-disk state
+// is indeterminate, and a subsequent append would either interleave
+// bytes into a torn frame or reuse the unacknowledged sequence number,
+// both of which can make recovery silently drop a record that *was*
+// acknowledged. A failed log never writes another byte.
 type Log struct {
 	dir string
 	opt Options
+	fs  FS
 
 	mu       sync.Mutex
 	replayed bool
 	closed   bool
+	failed   error  // first write-path failure; sticky
 	seq      uint64 // last assigned or recovered sequence
 	cpSeq    uint64 // sequence covered by the installed checkpoint
 	cp       json.RawMessage
-	f        *os.File // open tail segment, nil until first append
+	f        File // open tail segment, nil until first append
 	w        *bufio.Writer
 	segBytes int64
 }
@@ -66,11 +90,14 @@ func Open(dir string, opt Options) (*Log, error) {
 	if opt.SegmentBytes <= 0 {
 		opt.SegmentBytes = defaultSegmentBytes
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if opt.FS == nil {
+		opt.FS = OSFS{}
+	}
+	if err := opt.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("persist: open %s: %w", dir, err)
 	}
-	l := &Log{dir: dir, opt: opt}
-	b, err := os.ReadFile(filepath.Join(dir, checkpointName))
+	l := &Log{dir: dir, opt: opt, fs: opt.FS}
+	b, err := l.fs.ReadFile(filepath.Join(dir, checkpointName))
 	switch {
 	case err == nil:
 		var cp checkpointFile
@@ -83,14 +110,14 @@ func Open(dir string, opt Options) (*Log, error) {
 				filepath.Join(dir, checkpointName))
 		}
 		l.cpSeq, l.cp, l.seq = cp.Seq, cp.Payload, cp.Seq
-	case os.IsNotExist(err):
+	case errors.Is(err, iofs.ErrNotExist):
 		// Fresh log, or crash before the first checkpoint.
 	default:
 		return nil, fmt.Errorf("persist: open %s: %w", dir, err)
 	}
 	// A crash between writing checkpoint.json.tmp and the rename leaves
 	// the tmp behind; it was never installed, so discard it.
-	os.Remove(filepath.Join(dir, checkpointName+".tmp"))
+	l.fs.Remove(filepath.Join(dir, checkpointName+".tmp"))
 	return l, nil
 }
 
@@ -115,10 +142,36 @@ func (l *Log) Seq() uint64 {
 	return l.seq
 }
 
+// Failed returns the sticky failure, or nil while the log is healthy.
+func (l *Log) Failed() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
+}
+
+// failLocked records the first write-path failure and drops the open
+// segment without flushing: the buffered tail bytes must never reach
+// the disk after an indeterminate frame. Returns err for convenience.
+func (l *Log) failLocked(err error) error {
+	if l.failed == nil {
+		l.failed = err
+		if l.f != nil {
+			l.f.Close()
+			l.f, l.w, l.segBytes = nil, nil, 0
+		}
+	}
+	return err
+}
+
+// errFailedLocked is the error every write on a failed log returns.
+func (l *Log) errFailedLocked() error {
+	return fmt.Errorf("%w (%s: %v)", ErrLogFailed, l.dir, l.failed)
+}
+
 // segments lists the segment files in ascending first-sequence order
 // (names are zero-padded, so lexical order is numeric order).
 func (l *Log) segments() ([]string, error) {
-	ents, err := os.ReadDir(l.dir)
+	ents, err := l.fs.ReadDir(l.dir)
 	if err != nil {
 		return nil, err
 	}
@@ -169,11 +222,11 @@ func (l *Log) Replay(fn func(*Record) error) (int, error) {
 		if clean >= 0 {
 			// Damage inside this segment: discard the tail and every
 			// later segment — they are past the clean prefix.
-			if err := os.Truncate(seg, clean); err != nil {
+			if err := l.fs.Truncate(seg, clean); err != nil {
 				return delivered, fmt.Errorf("persist: truncate torn tail of %s: %w", seg, err)
 			}
 			for _, later := range segs[i+1:] {
-				if err := os.Remove(later); err != nil {
+				if err := l.fs.Remove(later); err != nil {
 					return delivered, fmt.Errorf("persist: drop %s past torn tail: %w", later, err)
 				}
 			}
@@ -188,7 +241,7 @@ func (l *Log) Replay(fn func(*Record) error) (int, error) {
 // was fully readable, or the byte offset of the first damaged frame. A
 // non-nil error is a callback or I/O failure, not corruption.
 func (l *Log) replaySegment(path string, fn func(*Record) error) (clean int64, n int, err error) {
-	f, err := os.Open(path)
+	f, err := l.fs.Open(path)
 	if err != nil {
 		return -1, 0, fmt.Errorf("persist: replay %s: %w", path, err)
 	}
@@ -231,11 +284,19 @@ func (l *Log) replaySegment(path string, fn func(*Record) error) (clean int64, n
 // Append assigns the next sequence number to r, frames it, writes it to
 // the tail segment, and — unless Options.NoSync — fsyncs before
 // returning. Returns the assigned sequence.
+//
+// A frame is acknowledged only after every byte is on disk (and synced);
+// any failure before that poisons the log (ErrLogFailed) without
+// advancing the sequence, so a recovered log's clean prefix always
+// contains exactly the acknowledged appends and never a later one.
 func (l *Log) Append(r *Record) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return 0, fmt.Errorf("persist: append to closed log %s", l.dir)
+	}
+	if l.failed != nil {
+		return 0, l.errFailedLocked()
 	}
 	if !l.replayed {
 		return 0, fmt.Errorf("persist: append to %s before Replay", l.dir)
@@ -247,25 +308,27 @@ func (l *Log) Append(r *Record) (uint64, error) {
 	}
 	if l.f == nil {
 		if err := l.openSegmentLocked(r.Seq); err != nil {
-			return 0, err
+			return 0, l.failLocked(err)
 		}
 	}
 	if err := writeFrame(l.w, payload); err != nil {
-		return 0, fmt.Errorf("persist: append record %d: %w", r.Seq, err)
+		return 0, l.failLocked(fmt.Errorf("persist: append record %d: %w", r.Seq, err))
 	}
 	if err := l.w.Flush(); err != nil {
-		return 0, fmt.Errorf("persist: append record %d: %w", r.Seq, err)
+		return 0, l.failLocked(fmt.Errorf("persist: append record %d: %w", r.Seq, err))
 	}
 	if !l.opt.NoSync {
 		if err := l.f.Sync(); err != nil {
-			return 0, fmt.Errorf("persist: sync record %d: %w", r.Seq, err)
+			return 0, l.failLocked(fmt.Errorf("persist: sync record %d: %w", r.Seq, err))
 		}
 	}
 	l.seq = r.Seq
 	l.segBytes += frameHeader + int64(len(payload))
 	if l.segBytes >= l.opt.SegmentBytes {
 		if err := l.closeSegmentLocked(); err != nil {
-			return 0, err
+			// The record itself is durable; only the segment roll
+			// failed. The append is acknowledged, the log is poisoned.
+			l.failLocked(err)
 		}
 	}
 	return r.Seq, nil
@@ -277,7 +340,7 @@ func (l *Log) Append(r *Record) (uint64, error) {
 // tail stays exactly as replay validated it.
 func (l *Log) openSegmentLocked(firstSeq uint64) error {
 	path := filepath.Join(l.dir, segmentName(firstSeq))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("persist: open segment: %w", err)
 	}
@@ -318,17 +381,27 @@ func (l *Log) closeSegmentLocked() error {
 // the rename recovers from the old checkpoint plus the full record
 // stream; a crash after it recovers from the new checkpoint, skipping
 // any not-yet-deleted segments' covered records by sequence number.
+//
+// Failure safety: any disk failure poisons the log (ErrLogFailed). A
+// failure before the rename leaves the old checkpoint installed and
+// every segment intact (the temporary file is removed), so a fresh Open
+// recovers everything; a failure after the rename leaves the new
+// checkpoint installed with possibly-undeleted covered segments, which
+// replay skips by sequence number.
 func (l *Log) WriteCheckpoint(payload []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return fmt.Errorf("persist: checkpoint on closed log %s", l.dir)
 	}
+	if l.failed != nil {
+		return l.errFailedLocked()
+	}
 	if !l.replayed {
 		return fmt.Errorf("persist: checkpoint on %s before Replay", l.dir)
 	}
 	if err := l.closeSegmentLocked(); err != nil {
-		return fmt.Errorf("persist: checkpoint %s: %w", l.dir, err)
+		return l.failLocked(fmt.Errorf("persist: checkpoint %s: %w", l.dir, err))
 	}
 	cp := checkpointFile{Seq: l.seq, CRC: crc32.ChecksumIEEE(payload), Payload: payload}
 	b, err := json.Marshal(&cp)
@@ -337,7 +410,36 @@ func (l *Log) WriteCheckpoint(payload []byte) error {
 	}
 	final := filepath.Join(l.dir, checkpointName)
 	tmp := final + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err := l.writeTmpLocked(tmp, b); err != nil {
+		// The temporary file was never installed; clean it up so a
+		// later recovery does not have to.
+		l.fs.Remove(tmp)
+		return l.failLocked(err)
+	}
+	if err := l.fs.Rename(tmp, final); err != nil {
+		l.fs.Remove(tmp)
+		return l.failLocked(fmt.Errorf("persist: install checkpoint %s: %w", l.dir, err))
+	}
+	l.syncDir()
+	l.cpSeq, l.cp = l.seq, append(json.RawMessage(nil), payload...)
+	// Every existing segment is now covered; drop them all. The next
+	// append starts a fresh segment at seq+1.
+	segs, err := l.segments()
+	if err != nil {
+		return l.failLocked(fmt.Errorf("persist: checkpoint %s: %w", l.dir, err))
+	}
+	for _, seg := range segs {
+		if err := l.fs.Remove(seg); err != nil {
+			return l.failLocked(fmt.Errorf("persist: drop covered segment %s: %w", seg, err))
+		}
+	}
+	l.syncDir()
+	return nil
+}
+
+// writeTmpLocked writes and fsyncs the checkpoint's temporary file.
+func (l *Log) writeTmpLocked(tmp string, b []byte) error {
+	f, err := l.fs.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("persist: checkpoint %s: %w", l.dir, err)
 	}
@@ -354,23 +456,6 @@ func (l *Log) WriteCheckpoint(payload []byte) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("persist: checkpoint %s: %w", l.dir, err)
 	}
-	if err := os.Rename(tmp, final); err != nil {
-		return fmt.Errorf("persist: install checkpoint %s: %w", l.dir, err)
-	}
-	l.syncDir()
-	l.cpSeq, l.cp = l.seq, append(json.RawMessage(nil), payload...)
-	// Every existing segment is now covered; drop them all. The next
-	// append starts a fresh segment at seq+1.
-	segs, err := l.segments()
-	if err != nil {
-		return fmt.Errorf("persist: checkpoint %s: %w", l.dir, err)
-	}
-	for _, seg := range segs {
-		if err := os.Remove(seg); err != nil {
-			return fmt.Errorf("persist: drop covered segment %s: %w", seg, err)
-		}
-	}
-	l.syncDir()
 	return nil
 }
 
@@ -380,7 +465,7 @@ func (l *Log) syncDir() {
 	if l.opt.NoSync {
 		return
 	}
-	if d, err := os.Open(l.dir); err == nil {
+	if d, err := l.fs.Open(l.dir); err == nil {
 		d.Sync()
 		d.Close()
 	}
@@ -400,7 +485,7 @@ func (l *Log) FootprintBytes() (int64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	var total int64
-	ents, err := os.ReadDir(l.dir)
+	ents, err := l.fs.ReadDir(l.dir)
 	if err != nil {
 		return 0, err
 	}
@@ -413,7 +498,9 @@ func (l *Log) FootprintBytes() (int64, error) {
 }
 
 // Close flushes and closes the tail segment. The log cannot be used
-// afterwards.
+// afterwards. Closing a failed log releases the file handle without
+// flushing (the sticky contract: no byte is ever written after a
+// failure) and reports success — the failure already surfaced.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -421,6 +508,13 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
+	if l.failed != nil {
+		if l.f != nil {
+			l.f.Close()
+			l.f, l.w, l.segBytes = nil, nil, 0
+		}
+		return nil
+	}
 	if err := l.closeSegmentLocked(); err != nil {
 		return fmt.Errorf("persist: close %s: %w", l.dir, err)
 	}

@@ -18,6 +18,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -112,6 +113,12 @@ type Options struct {
 	// edit dirtied — a sweep's total sampling cost scales with the
 	// edited subtrees, not the scenario count.
 	Risk *RiskSpec
+	// Ctx, when non-nil, cancels the sweep cooperatively: no new
+	// scenario forks start once it is done, in-flight risk simulations
+	// stop at their batch boundaries, and Sweep returns the context's
+	// error. Uncancelled sweeps are unaffected (outcomes stay
+	// bit-identical with or without a context).
+	Ctx context.Context
 }
 
 // RiskSpec configures the sweep's risk dimension.
@@ -300,7 +307,7 @@ func Sweep(m *engine.Manager, targets []string, edits []Edit, opt Options) (*Rep
 		warm, err := monte.Simulate(models, monte.Config{
 			Trials: opt.Risk.Trials, Seed: opt.Risk.Seed, Workers: opt.Workers,
 			Sketch: opt.Risk.Sketch, Memo: riskMemo, Obs: opt.Obs,
-			Parent: opt.Parent, VirtNow: m.Clock.Now(),
+			Parent: opt.Parent, VirtNow: m.Clock.Now(), Ctx: opt.Ctx,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("scenario: risk baseline: %w", err)
@@ -312,7 +319,7 @@ func Sweep(m *engine.Manager, targets []string, edits []Edit, opt Options) (*Rep
 	outcomes := make([]Outcome, len(runs))
 	sampled := make([]int64, len(runs))
 	reusedTr := make([]int64, len(runs))
-	execErr := par.New(opt.Workers).ForEachErr(len(runs), func(i int) error {
+	execErr := par.New(opt.Workers).ForEachErrCtx(opt.Ctx, len(runs), func(i int) error {
 		// Live per-scenario span under the request's root, ended at the
 		// fork's own (advanced) clock; the parent stretches to cover it.
 		var sp *obs.Span
@@ -485,7 +492,7 @@ func runOne(r run, tree *flow.Tree, opt *Options, riskMemo *monte.Memo, span *ob
 		}
 		cfg := monte.Config{
 			Trials: opt.Risk.Trials, Seed: opt.Risk.Seed, Workers: 1,
-			Sketch: opt.Risk.Sketch, Memo: riskMemo,
+			Sketch: opt.Risk.Sketch, Memo: riskMemo, Ctx: opt.Ctx,
 		}
 		if span != nil {
 			// Traced sweep: the fork's risk spans nest under its live

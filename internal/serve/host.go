@@ -43,6 +43,14 @@ type Host struct {
 
 	reqs     *obs.CounterVec // serve_requests_by_project_total{project}
 	rejected *obs.Counter    // serve_host_rejected_total
+	shed     *obs.CounterVec // serve_shed_total{route,reason} (tenant_quota sheds)
+
+	// lim is the host-wide admission limiter, shared by every
+	// per-project server: one budget bounds total in-flight work no
+	// matter how many tenants are resident.
+	lim *limiter
+	// tb enforces per-tenant fair share in front of the shared limiter.
+	tb *tenantBuckets
 
 	// afterPin, when set, runs after a request pins its project and
 	// before it is served — a test seam for racing evictions against
@@ -90,8 +98,22 @@ func NewHost(hostOpt host.Options, opt Options) (*Host, error) {
 		reqs: hreg.BoundedCounterVec("serve_requests_by_project_total",
 			obs.DefaultMaxSeries, "project"),
 		rejected: hreg.Counter("serve_host_rejected_total"),
+		shed:     hreg.CounterVec("serve_shed_total", "route", "reason"),
+		tb:       newTenantBuckets(opt.TenantRate, opt.TenantBurst),
+	}
+	if opt.RetryAfter <= 0 {
+		opt.RetryAfter = time.Second
+		h.opt.RetryAfter = opt.RetryAfter
+	}
+	if opt.MaxInFlight > 0 {
+		qd := opt.QueueDepth
+		if qd == 0 {
+			qd = 2 * opt.MaxInFlight
+		}
+		h.lim = newLimiter(int64(opt.MaxInFlight), qd, hreg.Gauge("serve_queue_depth"))
 	}
 	h.mux.HandleFunc("/projects", h.projects)
+	h.mux.HandleFunc("POST /p/{id}/reopen", h.reopen)
 	h.mux.HandleFunc("/p/{id}/", h.dispatch)
 	h.mux.HandleFunc("/metrics", h.metrics)
 	h.mux.HandleFunc("/healthz", h.healthz)
@@ -139,6 +161,13 @@ func (h *Host) dispatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("invalid project id %q", id), http.StatusNotFound)
 		return
 	}
+	if !h.tb.allow(id) {
+		h.shed.With(routeOf(id, r), "tenant_quota").Inc()
+		w.Header().Set("Retry-After", retryAfterValue(h.opt.RetryAfter))
+		http.Error(w, fmt.Sprintf("project %q over its fair-share quota", id),
+			http.StatusServiceUnavailable)
+		return
+	}
 	hd, err := h.reg.Get(id)
 	if err != nil {
 		h.rejected.Inc()
@@ -169,9 +198,62 @@ func (h *Host) serverFor(id string, p *flowsched.Project) *Server {
 		return ps.srv
 	}
 	opt := h.opt
+	// All per-project servers draw from the host's one admission budget
+	// (and its one queue-depth gauge) rather than each minting their own.
+	opt.lim = h.lim
 	ps := &projServer{p: p, srv: New(p, opt)}
 	h.servers[id] = ps
 	return ps.srv
+}
+
+// routeOf extracts the per-project route from a /p/{id}/... path for
+// shed-metric labeling ("/p/alpha/risk" → "risk").
+func routeOf(id string, r *http.Request) string {
+	rest := strings.TrimPrefix(r.URL.Path, "/p/"+id)
+	rest = strings.TrimPrefix(rest, "/")
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		rest = rest[:i]
+	}
+	if rest == "" {
+		return "root"
+	}
+	return rest
+}
+
+// reopen evicts and re-loads a project, re-running clean-prefix WAL
+// recovery — the operator path that lifts a disk-fault quarantine once
+// the underlying storage is healthy again. Responds with the reloaded
+// project's health.
+func (h *Host) reopen(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !host.ValidID(id) {
+		h.rejected.Inc()
+		http.Error(w, fmt.Sprintf("invalid project id %q", id), http.StatusNotFound)
+		return
+	}
+	hd, err := h.reg.Reopen(id)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if strings.Contains(err.Error(), "unknown project") {
+			code = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	defer hd.Release()
+	hl := hd.Health()
+	body, ctype, err := jsonBody(struct {
+		Project     string `json:"project"`
+		Reopened    bool   `json:"reopened"`
+		Quarantined bool   `json:"quarantined"`
+		WALSeq      uint64 `json:"walSeq"`
+	}{id, true, hl.Quarantined, hl.WALSeq})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", ctype)
+	w.Write(body)
 }
 
 // projects lists every project under the root, resident or not.
@@ -208,8 +290,42 @@ func (h *Host) metrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprint(w, h.hreg.PromText())
 }
 
+// healthz aggregates project health across the root: "ok" only when no
+// project — resident (live state) or on disk (quarantine marker from a
+// wedged process) — is quarantined. Degraded hosts answer 503 with the
+// quarantined ids, so one probe finds the tenants needing a reopen.
 func (h *Host) healthz(w http.ResponseWriter, _ *http.Request) {
-	n := h.reg.ResidentBytes()
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	fmt.Fprintf(w, "{\"status\":\"ok\",\"residentBytes\":%d}\n", n)
+	list, err := h.reg.List()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resident := 0
+	quarantined := []string{}
+	for _, pi := range list {
+		if pi.Resident {
+			resident++
+		}
+		if pi.Quarantined {
+			quarantined = append(quarantined, pi.ID)
+		}
+	}
+	status, code := "ok", http.StatusOK
+	if len(quarantined) > 0 {
+		status, code = "degraded", http.StatusServiceUnavailable
+	}
+	body, ctype, err := jsonBody(struct {
+		Status        string   `json:"status"`
+		Projects      int      `json:"projects"`
+		Resident      int      `json:"resident"`
+		ResidentBytes int64    `json:"residentBytes"`
+		Quarantined   []string `json:"quarantined,omitempty"`
+	}{status, len(list), resident, h.reg.ResidentBytes(), quarantined})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", ctype)
+	w.WriteHeader(code)
+	w.Write(body)
 }

@@ -75,7 +75,7 @@ func TestHostRoutesEveryReadSurfacePerProject(t *testing.T) {
 		{"/p/alpha/analyze", `"CriticalPath"`},
 		{"/p/alpha/risk?trials=50&seed=7", `"p95"`},
 		{"/p/alpha/events?since=0", `"events"`},
-		{"/p/alpha/healthz", `"status":"ok"`},
+		{"/p/alpha/healthz", `"status": "ok"`},
 		{"/p/beta/status", `"activities"`},
 	}
 	for _, c := range cases {

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"flowsched/internal/obs"
+)
+
+func testLimiter(capacity int64, queue int) *limiter {
+	return newLimiter(capacity, queue, obs.NewRegistry().Gauge("serve_queue_depth"))
+}
+
+func TestLimiterGrantsUpToCapacity(t *testing.T) {
+	l := testLimiter(3, 0)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := l.acquire(ctx, 1); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+	}
+	if err := l.acquire(ctx, 1); !errors.Is(err, errShedQueueFull) {
+		t.Fatalf("over-capacity acquire with no queue = %v, want shed", err)
+	}
+	l.release(1)
+	if err := l.acquire(ctx, 1); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+}
+
+func TestLimiterClampsOversizedWeight(t *testing.T) {
+	l := testLimiter(4, 0)
+	// heavyWeight exceeds capacity: the request must still be runnable.
+	if err := l.acquire(context.Background(), heavyWeight); err != nil {
+		t.Fatalf("oversized acquire: %v", err)
+	}
+	l.release(heavyWeight)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.used != 0 {
+		t.Fatalf("used = %d after clamped acquire/release, want 0", l.used)
+	}
+}
+
+func TestLimiterFIFOAndCancelWhileQueued(t *testing.T) {
+	l := testLimiter(1, 4)
+	ctx := context.Background()
+	if err := l.acquire(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// First waiter queues, then gives up.
+	cctx, cancel := context.WithCancel(context.Background())
+	gone := make(chan error, 1)
+	go func() { gone <- l.acquire(cctx, 1) }()
+	waitDepth := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			l.mu.Lock()
+			n := len(l.queue)
+			l.mu.Unlock()
+			if n == want {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("queue depth never reached %d", want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitDepth(1)
+
+	// Second waiter queues behind it.
+	second := make(chan error, 1)
+	go func() { second <- l.acquire(ctx, 1) }()
+	waitDepth(2)
+
+	cancel()
+	if err := <-gone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter = %v, want context.Canceled", err)
+	}
+	waitDepth(1)
+
+	// Releasing the original holder must grant the surviving waiter.
+	l.release(1)
+	select {
+	case err := <-second:
+		if err != nil {
+			t.Fatalf("queued waiter: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued waiter never granted after release")
+	}
+	l.release(1)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.used != 0 || len(l.queue) != 0 {
+		t.Fatalf("limiter not drained: used=%d queue=%d", l.used, len(l.queue))
+	}
+}

@@ -1,0 +1,457 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"flowsched"
+	"flowsched/internal/host"
+	"flowsched/internal/persist"
+)
+
+// projTrials reads the project's monte_trials_total counter from its
+// Prometheus text exposition.
+func projTrials(t *testing.T, p *flowsched.Project) int64 {
+	t.Helper()
+	m := trialsRe.FindStringSubmatch(p.MetricsText())
+	if m == nil {
+		return 0
+	}
+	n, err := strconv.ParseInt(m[1], 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestCanceledRiskStopsSamplingAndFreesSlot: a client that disconnects
+// mid-/risk must stop the simulation (the trials counter stops
+// advancing short of the request's total) and give its admission slot
+// back.
+func TestCanceledRiskStopsSamplingAndFreesSlot(t *testing.T) {
+	p := newTracked(t)
+	s := New(p, Options{MaxInFlight: 8, DisableCache: true})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	defer s.Shutdown(context.Background())
+
+	const trials = 2_000_000
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("http://%s/risk?trials=%d&seed=5", l.Addr(), trials), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		res, err := http.DefaultClient.Do(req)
+		if err == nil {
+			res.Body.Close()
+			err = fmt.Errorf("request completed with %d, want cancellation", res.StatusCode)
+		}
+		done <- err
+	}()
+
+	// Wait for sampling to start, then hang up.
+	deadline := time.Now().Add(10 * time.Second)
+	for projTrials(t, p) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("simulation never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("client error = %v, want context.Canceled", err)
+	}
+
+	// The counter must go quiescent short of the full run.
+	var last int64
+	for stable := 0; stable < 5; {
+		n := projTrials(t, p)
+		if n == last {
+			stable++
+		} else {
+			stable, last = 0, n
+		}
+		time.Sleep(10 * time.Millisecond)
+		if time.Now().After(deadline) {
+			t.Fatal("trials counter never quiesced")
+		}
+	}
+	if last >= trials {
+		t.Fatalf("sampled %d trials, want < %d (cancellation ignored)", last, trials)
+	}
+	// The limiter slot came back: full capacity is grantable again.
+	s.lim.mu.Lock()
+	used, queued := s.lim.used, len(s.lim.queue)
+	s.lim.mu.Unlock()
+	if used != 0 || queued != 0 {
+		t.Fatalf("limiter leaked: used=%d queued=%d, want 0/0", used, queued)
+	}
+}
+
+// TestOverloadHammerShedsAndStaysCorrect: with more concurrent heavy
+// requests than capacity, overflow sheds as 503 + Retry-After, nothing
+// deadlocks, and every 200 is byte-identical to an unloaded run of the
+// same request.
+func TestOverloadHammerShedsAndStaysCorrect(t *testing.T) {
+	p := newTracked(t)
+
+	// Unloaded baseline, one response body per distinct request.
+	base := New(p, Options{DisableCache: true})
+	const clients = 24
+	want := make(map[string][]byte, clients)
+	urlOf := func(i int) string {
+		return fmt.Sprintf("/risk?trials=20000&seed=%d", 100+i%4)
+	}
+	for i := 0; i < clients; i++ {
+		rec := get(t, base, urlOf(i))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("baseline %s = %d: %s", urlOf(i), rec.Code, rec.Body.String())
+		}
+		want[urlOf(i)] = rec.Body.Bytes()
+	}
+
+	// The hammer goes over real TCP so client goroutines block on I/O
+	// and the server handles them concurrently even on one CPU.
+	s := New(p, Options{MaxInFlight: 8, QueueDepth: 2, DisableCache: true})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	defer s.Shutdown(context.Background())
+
+	// Fill the limiter before the clients arrive: on one CPU a short
+	// render can finish inside a scheduler quantum, so organic arrival
+	// overlap is not guaranteed. Holding capacity makes the overflow
+	// deterministic — QueueDepth clients wait, the rest shed — and the
+	// release below lets the queued ones render and prove byte-identity
+	// under load.
+	if err := s.lim.acquire(context.Background(), heavyWeight); err != nil {
+		t.Fatalf("pre-hold acquire: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var ok, shed int
+	start := make(chan struct{}) // barrier: all clients arrive at once
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			res, err := http.Get(fmt.Sprintf("http://%s%s", l.Addr(), urlOf(i)))
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			body, rerr := io.ReadAll(res.Body)
+			res.Body.Close()
+			mu.Lock()
+			defer mu.Unlock()
+			if rerr != nil {
+				t.Errorf("client %d read: %v", i, rerr)
+				return
+			}
+			switch res.StatusCode {
+			case http.StatusOK:
+				ok++
+				if string(body) != string(want[urlOf(i)]) {
+					t.Errorf("loaded response for %s differs from unloaded baseline", urlOf(i))
+				}
+			case http.StatusServiceUnavailable:
+				shed++
+				if res.Header.Get("Retry-After") == "" {
+					t.Error("503 without Retry-After")
+				}
+			default:
+				t.Errorf("unexpected status %d: %s", res.StatusCode, body)
+			}
+		}(i)
+	}
+	close(start)
+
+	// With capacity held, exactly QueueDepth clients queue and the
+	// remaining 22 overflow. Wait for every shed to land, then release
+	// the hold so the queued requests render.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.shed.With("risk", "queue_full").Value() < int64(clients-2) {
+		if time.Now().After(deadline) {
+			t.Fatalf("sheds never reached %d (have %d)",
+				clients-2, s.shed.With("risk", "queue_full").Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.lim.release(heavyWeight)
+	wg.Wait()
+
+	if ok != 2 {
+		t.Fatalf("%d requests survived the hammer, want the %d queued ones", ok, 2)
+	}
+	if shed != clients-2 {
+		t.Fatalf("%d requests shed, want %d", shed, clients-2)
+	}
+	if got := s.shed.With("risk", "queue_full").Value(); got != int64(shed) {
+		t.Fatalf("serve_shed_total{risk,queue_full} = %d, want %d", got, shed)
+	}
+	s.lim.mu.Lock()
+	used, queued := s.lim.used, len(s.lim.queue)
+	s.lim.mu.Unlock()
+	if used != 0 || queued != 0 {
+		t.Fatalf("limiter leaked after hammer: used=%d queued=%d", used, queued)
+	}
+}
+
+// TestSlowlorisReadTimeoutReclaimsConnection: clients that stall before
+// finishing their request headers are cut off by ReadTimeout without
+// ever reaching a handler, and the in-flight gauge stays at zero.
+func TestSlowlorisReadTimeoutReclaimsConnection(t *testing.T) {
+	p := newTracked(t)
+	s := New(p, Options{ReadTimeout: 100 * time.Millisecond})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	defer s.Shutdown(context.Background())
+
+	const stalled = 4
+	conns := make([]net.Conn, stalled)
+	for i := range conns {
+		c, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		// Half a request line, then silence.
+		if _, err := io.WriteString(c, "GET /status HT"); err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+	}
+	for i, c := range conns {
+		c.SetReadDeadline(time.Now().Add(5 * time.Second))
+		// On ReadTimeout the server rejects the half-request (400/408)
+		// and tears the connection down — ReadAll must hit EOF/reset,
+		// never our own read deadline, and never a success status.
+		data, err := io.ReadAll(c)
+		if os.IsTimeout(err) {
+			t.Fatalf("conn %d: server never closed the stalled connection", i)
+		}
+		if strings.Contains(string(data), " 200 ") {
+			t.Fatalf("conn %d: half-sent request got a 200: %q", i, data)
+		}
+	}
+	if got := s.inflight.Value(); got != 0 {
+		t.Fatalf("in-flight gauge = %d after slowloris, want 0", got)
+	}
+}
+
+// TestWriteTimeoutReclaimsSlowResponse: a handler that outlives
+// WriteTimeout has its connection torn down (the client sees a
+// truncated response) and the in-flight gauge returns to zero.
+func TestWriteTimeoutReclaimsSlowResponse(t *testing.T) {
+	p := newTracked(t)
+	s := New(p, Options{WriteTimeout: 50 * time.Millisecond, DisableCache: true})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	defer s.Shutdown(context.Background())
+
+	c, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fmt.Fprintf(c, "GET /risk?trials=2000000&seed=3 HTTP/1.1\r\nHost: x\r\n\r\n")
+	c.SetReadDeadline(time.Now().Add(30 * time.Second))
+	// The write deadline expires while the simulation runs; the server's
+	// response write then fails and the connection closes — the client
+	// must observe EOF rather than a parseable complete response.
+	if _, err := io.ReadAll(c); err != nil && !errors.Is(err, io.EOF) {
+		if os.IsTimeout(err) {
+			t.Fatal("server kept the connection open past WriteTimeout")
+		}
+		// Connection reset is also a valid teardown observation.
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for s.inflight.Value() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("in-flight gauge stuck at %d", s.inflight.Value())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// toggleFS is an FS seam whose writes can be switched off at runtime —
+// the serving-tier twin of the host package's disk-death fixture.
+type toggleFS struct {
+	persist.OSFS
+	fail bool
+	mu   sync.Mutex
+}
+
+func (f *toggleFS) setFail(v bool) { f.mu.Lock(); f.fail = v; f.mu.Unlock() }
+func (f *toggleFS) failing() bool  { f.mu.Lock(); defer f.mu.Unlock(); return f.fail }
+
+func (f *toggleFS) OpenFile(name string, flag int, perm os.FileMode) (persist.File, error) {
+	fl, err := f.OSFS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &toggleFile{File: fl, fs: f}, nil
+}
+
+type toggleFile struct {
+	persist.File
+	fs *toggleFS
+}
+
+func (f *toggleFile) Write(p []byte) (int, error) {
+	if f.fs.failing() {
+		return 0, errors.New("togglefs: disk gone")
+	}
+	return f.File.Write(p)
+}
+
+// TestHostHealthzQuarantineAndReopen drives the full degraded-state
+// story over HTTP: a WAL fault quarantines a tenant, both healthz
+// variants turn degraded (503) while reads keep serving, and the
+// operator's POST /p/{id}/reopen restores ok.
+func TestHostHealthzQuarantineAndReopen(t *testing.T) {
+	ffs := &toggleFS{}
+	h, err := NewHost(host.Options{
+		Root:    t.TempDir(),
+		Persist: flowsched.PersistOptions{NoSync: true, FS: ffs},
+		Project: flowsched.Options{Designer: "ewj"},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Shutdown(context.Background())
+	seedProject(t, h, "alpha")
+
+	if rec := hostGet(t, h, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("healthy /healthz = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	// Disk dies under alpha; the next write quarantines it.
+	ffs.setFail(true)
+	hd, err := h.Projects().Get("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	werr := hd.Do(func(p *flowsched.Project) error {
+		_, err := p.Import("stimuli", []byte("lost"))
+		return err
+	})
+	hd.Release()
+	if !errors.Is(werr, flowsched.ErrQuarantined) {
+		t.Fatalf("write on dead disk = %v, want ErrQuarantined", werr)
+	}
+
+	rec := hostGet(t, h, "/p/alpha/healthz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("quarantined project /healthz = %d, want 503", rec.Code)
+	}
+	for _, want := range []string{`"status": "degraded"`, `"quarantined": true`} {
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Fatalf("project healthz missing %q:\n%s", want, rec.Body.String())
+		}
+	}
+	rec = hostGet(t, h, "/healthz")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("host /healthz = %d, want 503", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), `"alpha"`) {
+		t.Fatalf("host healthz does not name the quarantined project:\n%s", rec.Body.String())
+	}
+	// Reads keep serving the last committed snapshot.
+	if rec := hostGet(t, h, "/p/alpha/status"); rec.Code != http.StatusOK {
+		t.Fatalf("read on quarantined project = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	// Disk recovers; the operator reopens the tenant.
+	ffs.setFail(false)
+	req := httptest.NewRequest(http.MethodPost, "/p/alpha/reopen", nil)
+	rr := httptest.NewRecorder()
+	h.Handler().ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("reopen = %d: %s", rr.Code, rr.Body.String())
+	}
+	if !strings.Contains(rr.Body.String(), `"quarantined": false`) {
+		t.Fatalf("reopen response still quarantined:\n%s", rr.Body.String())
+	}
+	if rec := hostGet(t, h, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("post-reopen /healthz = %d: %s", rec.Code, rec.Body.String())
+	}
+	// And the tenant accepts writes again.
+	hd, err = h.Projects().Get("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hd.Release()
+	if err := hd.Do(func(p *flowsched.Project) error {
+		_, err := p.Import("stimuli", []byte("back"))
+		return err
+	}); err != nil {
+		t.Fatalf("write after reopen: %v", err)
+	}
+}
+
+// TestTenantQuotaSheds: per-project token buckets shed a hot tenant
+// with 503 + Retry-After while its neighbors keep being served, and
+// refill restores service.
+func TestTenantQuotaSheds(t *testing.T) {
+	h := newHost(t, t.TempDir(), Options{TenantRate: 1, TenantBurst: 2})
+	seedProject(t, h, "hot")
+	seedProject(t, h, "cold")
+	now := time.Unix(800_000_000, 0)
+	var nowMu sync.Mutex
+	h.tb.now = func() time.Time { nowMu.Lock(); defer nowMu.Unlock(); return now }
+
+	for i := 0; i < 2; i++ {
+		if rec := hostGet(t, h, "/p/hot/version"); rec.Code != http.StatusOK {
+			t.Fatalf("burst request %d = %d", i, rec.Code)
+		}
+	}
+	rec := hostGet(t, h, "/p/hot/version")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("over-quota request = %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("tenant shed without Retry-After")
+	}
+	if got := h.shed.With("version", "tenant_quota").Value(); got == 0 {
+		t.Fatal("serve_shed_total{version,tenant_quota} not incremented")
+	}
+	// The neighbor is unaffected.
+	if rec := hostGet(t, h, "/p/cold/version"); rec.Code != http.StatusOK {
+		t.Fatalf("neighbor request = %d, want 200", rec.Code)
+	}
+	// Refill: two seconds buys two tokens at rate 1/s.
+	nowMu.Lock()
+	now = now.Add(2 * time.Second)
+	nowMu.Unlock()
+	if rec := hostGet(t, h, "/p/hot/version"); rec.Code != http.StatusOK {
+		t.Fatalf("post-refill request = %d, want 200", rec.Code)
+	}
+}

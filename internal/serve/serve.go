@@ -84,6 +84,34 @@ type Options struct {
 	// price the request-observability layer; production servers should
 	// leave it on.
 	DisableRequestObs bool
+	// MaxInFlight is the admission-control capacity in weight units:
+	// /risk and /whatif consume 8 units each, other read surfaces 1,
+	// operational routes (metrics, healthz, trace, events, debug) none.
+	// 0 disables admission control (every request runs immediately).
+	MaxInFlight int
+	// QueueDepth bounds requests waiting for admission; arrivals beyond
+	// it are shed with 503 + Retry-After instead of queuing. Defaults to
+	// 2×MaxInFlight when admission control is on.
+	QueueDepth int
+	// RetryAfter is the Retry-After hint on shed responses
+	// (default 1s).
+	RetryAfter time.Duration
+	// RouteDeadline bounds each snapshot-pinned request's rendering
+	// time; on expiry the simulation stops cooperatively and the client
+	// gets 503 + Retry-After. 0 (the default) disables it.
+	RouteDeadline time.Duration
+	// TenantRate and TenantBurst (Host only) give every project a
+	// fair-share token bucket: each request to /p/{id}/... spends one
+	// token, refilled at TenantRate per second up to TenantBurst, so one
+	// hot tenant cannot starve the rest. TenantRate 0 disables the
+	// buckets. TenantBurst defaults to max(1, ceil(TenantRate)).
+	TenantRate  float64
+	TenantBurst int
+
+	// lim, when set, replaces the server's own limiter — the multi-
+	// tenant Host shares one admission budget across all its per-project
+	// servers.
+	lim *limiter
 }
 
 // Server serves one project's read surfaces.
@@ -108,6 +136,10 @@ type Server struct {
 	reqSeq        atomic.Uint64
 	sampleEvery   uint64 // retain every Nth request's trace; 0 = never
 	slowThresh    time.Duration
+
+	lim      *limiter
+	shed     *obs.CounterVec // serve_shed_total{route,reason}
+	canceled *obs.CounterVec // serve_requests_canceled_total{route}
 }
 
 // New builds a server over a project. The project stays fully usable —
@@ -142,6 +174,20 @@ func New(p *flowsched.Project, opt Options) *Server {
 		flight:        obs.NewFlightRecorder(opt.FlightEntries, opt.FlightSlowest),
 		traceKeeps:    reg.Counter("serve_trace_retained_total"),
 		traceDiscards: reg.Counter("serve_trace_discarded_total"),
+		shed:          reg.CounterVec("serve_shed_total", "route", "reason"),
+		canceled:      reg.CounterVec("serve_requests_canceled_total", "route"),
+	}
+	if opt.RetryAfter <= 0 {
+		opt.RetryAfter = time.Second
+		s.opt.RetryAfter = opt.RetryAfter
+	}
+	s.lim = opt.lim
+	if s.lim == nil && opt.MaxInFlight > 0 {
+		qd := opt.QueueDepth
+		if qd == 0 {
+			qd = 2 * opt.MaxInFlight
+		}
+		s.lim = newLimiter(int64(opt.MaxInFlight), qd, reg.Gauge("serve_queue_depth"))
 	}
 	s.flight.Instrument(reg, "serve_flight")
 	rate := opt.TraceSampleRate
@@ -203,6 +249,20 @@ func errCode(err error) int {
 	return http.StatusBadRequest
 }
 
+// statusClientClosedRequest is nginx's convention for "the client went
+// away before we answered" — no stdlib constant exists.
+const statusClientClosedRequest = 499
+
+// retryAfterValue renders Options.RetryAfter for the Retry-After
+// header, rounding up so a sub-second hint never becomes "0".
+func retryAfterValue(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
 // renderFunc renders one route's body from a pinned view.
 type renderFunc func(v *flowsched.ProjectView, r *http.Request) ([]byte, string, error)
 
@@ -248,7 +308,23 @@ func (s *Server) routes() {
 // request, plus every request at or over the slow threshold.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	latency := s.latency.With(name)
+	weight := routeWeight(name)
 	return func(w http.ResponseWriter, r *http.Request) {
+		if s.lim != nil && weight > 0 {
+			if err := s.lim.acquire(r.Context(), weight); err != nil {
+				if errors.Is(err, errShedQueueFull) {
+					s.shed.With(name, "queue_full").Inc()
+					w.Header().Set("Retry-After", retryAfterValue(s.opt.RetryAfter))
+					http.Error(w, "server overloaded", http.StatusServiceUnavailable)
+				} else {
+					// The client (or its deadline) gave up while queued.
+					s.canceled.With(name).Inc()
+					http.Error(w, "request canceled while queued", statusClientClosedRequest)
+				}
+				return
+			}
+			defer s.lim.release(weight)
+		}
 		s.inflight.Add(1)
 		start := time.Now()
 		if s.opt.DisableRequestObs {
@@ -334,6 +410,15 @@ func (s *Server) handleViewFP(pattern, name string, fp fingerprintFunc, fn rende
 			v = v.CaptureTrace(ri.tracer, ri.root)
 			ri.version, ri.vnow = v.Version(), v.Now()
 		}
+		// Bind the request lifetime to the view: a client disconnect (or
+		// the route deadline) cancels the simulation work underneath.
+		ctx := r.Context()
+		if s.opt.RouteDeadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.opt.RouteDeadline)
+			defer cancel()
+		}
+		v = v.WithContext(ctx)
 		s.storeVersion.Set(int64(v.Version()))
 		w.Header().Set("X-Flowsched-Version", strconv.FormatUint(v.Version(), 10))
 		w.Header().Set("X-Flowsched-Now", strconv.FormatInt(v.Now().UnixNano(), 10))
@@ -349,9 +434,22 @@ func (s *Server) handleViewFP(pattern, name string, fp fingerprintFunc, fn rende
 			// between store writes, and rendered output shows "now").
 			key := fmt.Sprintf("%d.%d|%s?%s", v.Version(), v.Now().UnixNano(), name, canonicalQuery(r))
 			var hit, fpHit bool
-			body, ctype, hit, err = s.cache.do(v.Version(), key, func() ([]byte, string, error) {
-				return s.renderVia(fp, name, v, r, fn, &fpHit)
-			})
+			// Retry loop: a singleflight follower can inherit the
+			// *leader's* cancellation (the leader's client hung up
+			// mid-render). When that happens and this request is still
+			// live, re-probe the cache — the failed entry was dropped, so
+			// the retry renders fresh under this request's own context.
+			for {
+				body, ctype, hit, err = s.cache.do(v.Version(), key, func() ([]byte, string, error) {
+					return s.renderVia(fp, name, v, r, fn, &fpHit)
+				})
+				if err != nil && !hit &&
+					(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) &&
+					ctx.Err() == nil {
+					continue
+				}
+				break
+			}
 			switch {
 			case hit:
 				cacheState = "hit"
@@ -369,7 +467,17 @@ func (s *Server) handleViewFP(pattern, name string, fp fingerprintFunc, fn rende
 			if ri != nil {
 				ri.errMsg = err.Error()
 			}
-			http.Error(w, err.Error(), errCode(err))
+			code := errCode(err)
+			switch {
+			case errors.Is(err, context.Canceled):
+				s.canceled.With(name).Inc()
+				code = statusClientClosedRequest
+			case errors.Is(err, context.DeadlineExceeded):
+				s.canceled.With(name).Inc()
+				w.Header().Set("Retry-After", retryAfterValue(s.opt.RetryAfter))
+				code = http.StatusServiceUnavailable
+			}
+			http.Error(w, err.Error(), code)
 			return
 		}
 		w.Header().Set("Content-Type", ctype)
@@ -749,9 +857,32 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	w.Write(body)
 }
 
+// healthz reports the project's real serving state. A quarantined
+// project (its WAL failed; see flowsched.Project.Health) is still
+// serving reads, but writes are refused — that is "degraded", answered
+// with 503 so load balancers and probes stop routing write traffic at
+// it while operators still get the full payload.
 func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	fmt.Fprintf(w, "{\"status\":\"ok\",\"now\":%q}\n", s.p.Now().Format(time.RFC3339))
+	h := s.p.Health()
+	status, code := "ok", http.StatusOK
+	if h.Quarantined {
+		status, code = "degraded", http.StatusServiceUnavailable
+	}
+	body, ctype, err := jsonBody(struct {
+		Status      string    `json:"status"`
+		Now         time.Time `json:"now"`
+		Durable     bool      `json:"durable"`
+		Quarantined bool      `json:"quarantined,omitempty"`
+		Error       string    `json:"error,omitempty"`
+		WALSeq      uint64    `json:"walSeq,omitempty"`
+	}{status, s.p.Now(), h.Durable, h.Quarantined, h.Err, h.WALSeq})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", ctype)
+	w.WriteHeader(code)
+	w.Write(body)
 }
 
 func qInt(r *http.Request, name string, def int) (int, error) {

@@ -62,7 +62,7 @@ func TestRoutesServeEveryReadSurface(t *testing.T) {
 		path string
 		want string // substring of a correct body
 	}{
-		{"/healthz", `"status":"ok"`},
+		{"/healthz", `"status": "ok"`},
 		{"/version", `"storeVersion"`},
 		{"/status", `"activities"`},
 		{"/gantt", "Create"},
@@ -202,11 +202,18 @@ func TestSnapshotIsolationUnderMutatingRun(t *testing.T) {
 	var got []resp
 
 	stop := make(chan struct{})
+	// Readers check in after their first response so the writer cannot
+	// finish all its passes before any reader was ever scheduled (a real
+	// risk on one CPU).
+	started := make(chan struct{}, 4)
 	var writers sync.WaitGroup
 	writers.Add(1)
 	go func() {
 		defer writers.Done()
 		defer close(stop)
+		for g := 0; g < 4; g++ {
+			<-started
+		}
 		// A mutating tracked run: each pass re-plans and re-executes,
 		// writing schedule instances, run records, and propagated dates.
 		for i := 0; i < 3; i++ {
@@ -249,6 +256,9 @@ func TestSnapshotIsolationUnderMutatingRun(t *testing.T) {
 					body:    rec.Body.String(),
 				})
 				mu.Unlock()
+				if i == 0 {
+					started <- struct{}{}
+				}
 			}
 		}(g)
 	}

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// tenantBuckets gives each project a token bucket so one hot tenant
+// cannot monopolize the host: every request spends one token, tokens
+// refill at rate per second up to burst. The map grows one entry per
+// distinct project id ever served — bounded by the real tenant
+// population, which host.Registry already bounds elsewhere.
+type tenantBuckets struct {
+	rate  float64
+	burst float64
+	now   func() time.Time // seam for deterministic tests
+
+	mu sync.Mutex
+	m  map[string]*tenantBucket
+}
+
+type tenantBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newTenantBuckets(rate float64, burst int) *tenantBuckets {
+	if rate <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = int(math.Ceil(rate))
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &tenantBuckets{
+		rate: rate, burst: float64(burst),
+		now: time.Now,
+		m:   make(map[string]*tenantBucket),
+	}
+}
+
+// allow spends one token from id's bucket, reporting false when the
+// tenant is over quota. New tenants start with a full bucket.
+func (t *tenantBuckets) allow(id string) bool {
+	if t == nil {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	b := t.m[id]
+	if b == nil {
+		b = &tenantBucket{tokens: t.burst, last: now}
+		t.m[id] = b
+	} else {
+		b.tokens = math.Min(t.burst, b.tokens+now.Sub(b.last).Seconds()*t.rate)
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -1,0 +1,101 @@
+package flowsched
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flowsched/internal/persist"
+)
+
+// TestQuarantineOnWALFault pins the facade-level quarantine contract: a
+// deterministic disk fault during a committed mutation wedges the
+// project into read-only quarantine (Health reports it, writes return
+// ErrQuarantined, reads keep serving, the marker lands on disk), and a
+// fresh Open over a healthy disk recovers the acked prefix and clears
+// the marker.
+func TestQuarantineOnWALFault(t *testing.T) {
+	dir := t.TempDir()
+	p := openDurable(t, dir, PersistOptions{})
+	driveTracked(t, p)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Find a seed whose single-shot fault fires during the reopened
+	// session's first Import (fault kinds vary by seed; any write-path
+	// kind must quarantine the same way).
+	ffs := persist.NewFaultFS(persist.OSFS{}, 1)
+	ffs.FailAt(8) // past Open's replay reads, inside the first append
+	p = openDurable(t, dir, PersistOptions{FS: ffs})
+	preSeq := p.Health().WALSeq
+	var wedgeErr error
+	for i := 0; p.Health().Err == "" && i < 64; i++ {
+		_, wedgeErr = p.Import("stimuli", []byte("fault probe"))
+	}
+	if !ffs.Injected() {
+		t.Fatal("fault never injected")
+	}
+	if !errors.Is(wedgeErr, ErrQuarantined) {
+		t.Fatalf("faulted write: got %v, want ErrQuarantined", wedgeErr)
+	}
+	var qe *QuarantineError
+	if !errors.As(wedgeErr, &qe) {
+		t.Fatalf("want *QuarantineError, got %T", wedgeErr)
+	}
+
+	h := p.Health()
+	if !h.Durable || !h.Quarantined || h.Err == "" {
+		t.Fatalf("Health = %+v, want durable quarantined", h)
+	}
+	// Reads still work on the wedged instance.
+	if _, err := p.View(); err != nil {
+		t.Fatalf("read on quarantined project: %v", err)
+	}
+	// All further mutations are refused with the typed error.
+	if _, err := p.Import("stimuli", []byte("refused")); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("write after wedge: got %v, want ErrQuarantined", err)
+	}
+	if err := p.Checkpoint(); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("checkpoint after wedge: got %v, want ErrQuarantined", err)
+	}
+	marker := filepath.Join(dir, "quarantined.json")
+	if _, err := os.Stat(marker); err != nil {
+		t.Fatalf("quarantine marker: %v", err)
+	}
+	// Close surfaces the quarantine but releases the log.
+	if err := p.Close(); err != nil && !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("close of quarantined project: %v", err)
+	}
+
+	// Healthy disk again: recovery serves the pre-fault acked prefix and
+	// lifts the quarantine.
+	p = openDurable(t, dir, PersistOptions{})
+	defer p.Close()
+	h = p.Health()
+	if h.Quarantined {
+		t.Fatalf("post-recovery Health = %+v, want healthy", h)
+	}
+	if h.WALSeq < preSeq {
+		t.Fatalf("recovery lost acked records: seq %d < %d", h.WALSeq, preSeq)
+	}
+	if _, err := os.Stat(marker); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("marker should be cleared, stat = %v", err)
+	}
+	if _, err := p.Import("stimuli", []byte("back online")); err != nil {
+		t.Fatalf("write after recovery: %v", err)
+	}
+}
+
+// TestHealthNonDurable: an in-memory project has no durability layer and
+// reports a zero Health.
+func TestHealthNonDurable(t *testing.T) {
+	p, err := New(Fig4Schema, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := p.Health(); h.Durable || h.Quarantined || h.Err != "" || h.WALSeq != 0 {
+		t.Fatalf("Health = %+v, want zero", h)
+	}
+}

@@ -1,6 +1,7 @@
 package flowsched
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
@@ -32,8 +33,25 @@ type ProjectView struct {
 	plan *Plan // decoded from the snapshot; nil before first Plan
 	now  time.Time
 	obs  *obs.Obs
-	memo *monte.Memo // the project's shared trial-stream memo
-	span *obs.Span   // request root for CaptureTrace'd views; else nil
+	memo *monte.Memo     // the project's shared trial-stream memo
+	span *obs.Span       // request root for CaptureTrace'd views; else nil
+	ctx  context.Context // cancellation for compute surfaces; nil = never canceled
+}
+
+// WithContext returns a copy of the view whose compute surfaces
+// (SimulateRiskWith, Scenarios) cancel cooperatively when ctx is done —
+// the bridge that lets a serving layer stop a simulation the moment its
+// client disconnects or its deadline passes. Cancellation never
+// perturbs results: an uncancelled run is bit-identical with or without
+// a context. A nil ctx returns the view unchanged; the original view is
+// not modified.
+func (v *ProjectView) WithContext(ctx context.Context) *ProjectView {
+	if ctx == nil {
+		return v
+	}
+	c := *v
+	c.ctx = ctx
+	return &c
 }
 
 // CaptureTrace returns a copy of the view whose span output is
@@ -172,7 +190,7 @@ func (v *ProjectView) StatusReport(from, to time.Time) (string, error) {
 // The run shares the project's subtree trial-stream memo unless
 // opt.NoReuse is set; reuse never changes the result.
 func (v *ProjectView) SimulateRiskWith(targets []string, opt RiskOptions) (*RiskResult, error) {
-	return riskOf(v.m, v.obs, v.now, v.memo, v.span, targets, opt)
+	return riskOf(v.ctx, v.m, v.obs, v.now, v.memo, v.span, targets, opt)
 }
 
 // RiskFingerprint is the view-pinned Project.RiskFingerprint: a
@@ -304,6 +322,9 @@ func (v *ProjectView) Scenarios(targets []string, edits []ScenarioEdit, opt Scen
 		opt.Parent = v.span
 	}
 	opt.BaseView = v.view
+	if opt.Ctx == nil {
+		opt.Ctx = v.ctx
+	}
 	if opt.Risk != nil && opt.Risk.Memo == nil {
 		spec := *opt.Risk
 		spec.Memo = v.memo
