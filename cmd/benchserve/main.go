@@ -23,12 +23,21 @@
 // measured instrumented (the default) and bare
 // (Options.DisableRequestObs), and the throughput delta printed.
 //
+// -write-mix swaps the read sweep for the mutating surface: pure
+// serialized write throughput (POST /milestone), an alternating
+// write/read mix, and SSE fan-out — N held /events streams while a
+// writer commits at full tilt, recording writer throughput and the
+// aggregate delivery rate.
+//
 //	benchserve -label after-serve                # append to BENCH_serve.json
 //	benchserve -clients 1,4,16 -dur 2s           # custom sweep
+//	benchserve -write-mix                        # write + SSE fan-out cells
 //	benchserve -out /tmp/b.json                  # write elsewhere
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -64,6 +73,10 @@ type cell struct {
 	// ShedPct is the share of requests shed with 503 (-overload mode
 	// only); ReqPerSec then counts goodput — successful responses.
 	ShedPct float64 `json:"shed_pct,omitempty"`
+	// EventsPerSec is the aggregate SSE delivery rate across all
+	// subscribers (-write-mix sse-fanout cell only): events received
+	// per second while a writer commits at full tilt.
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
 }
 
 // entry is one benchserve invocation.
@@ -90,6 +103,7 @@ func main() {
 	dur := flag.Duration("dur", 2*time.Second, "measurement window per cell")
 	trials := flag.Int("trials", 1000, "Monte-Carlo trials for the /risk route")
 	overload := flag.Bool("overload", false, "measure admission control under overload instead of the standard sweep")
+	writeMix := flag.Bool("write-mix", false, "measure the mutating routes and SSE fan-out instead of the standard sweep")
 	flag.Parse()
 
 	clients, err := parseInts(*clientsFlag)
@@ -117,6 +131,19 @@ func main() {
 			CPUs: runtime.NumCPU(),
 		}
 		e.Results = runOverload(p, *dur, *trials)
+		doc.Benchmarks = append(doc.Benchmarks, e)
+		writeDoc(*out, doc)
+		fmt.Printf("appended entry %q to %s\n", e.Label, *out)
+		return
+	}
+
+	if *writeMix {
+		e := entry{
+			Label: *label + "-write-mix", Date: time.Now().UTC().Format("2006-01-02"),
+			GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+			CPUs: runtime.NumCPU(),
+		}
+		e.Results = runWriteMix(clients, *dur)
 		doc.Benchmarks = append(doc.Benchmarks, e)
 		writeDoc(*out, doc)
 		fmt.Printf("appended entry %q to %s\n", e.Label, *out)
@@ -237,6 +264,176 @@ func writeDoc(out string, doc file) {
 	}
 	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
 		fatal("%v", err)
+	}
+}
+
+// runWriteMix prices the mutating surface and the event stream:
+//
+//   - write: closed-loop POST /milestone (unique names, so every
+//     request commits and bumps the store version) — pure serialized
+//     write throughput through the write lock.
+//   - write-mix: each client alternates POST /milestone and
+//     GET /status — writes invalidating the memo under concurrent
+//     snapshot reads, the designer-facing steady state.
+//   - sse-fanout: N subscribers hold /events SSE streams while one
+//     writer POSTs /import at full tilt; the cell records the writer's
+//     throughput with fan-out active and the aggregate delivery rate
+//     across subscribers.
+//
+// Each cell runs on a fresh project so accumulated milestones from one
+// cell do not inflate render weight in the next.
+func runWriteMix(clients []int, window time.Duration) []cell {
+	var out []cell
+	var seq atomic.Int64
+	milestoneURL := func(base string) string {
+		n := seq.Add(1)
+		target := time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(n) * time.Second)
+		return fmt.Sprintf("%s/milestone?name=bench-w-%d&class=performance&target=%s",
+			base, n, target.Format(time.RFC3339))
+	}
+
+	for _, mode := range []string{"write", "write-mix"} {
+		p, err := trackedProject()
+		if err != nil {
+			fatal("%v", err)
+		}
+		base, shutdown, err := startServer(p, false, false)
+		if err != nil {
+			fatal("%v", err)
+		}
+		for _, n := range clients {
+			c := hammerOps(mode, n, window, func(i, iter int, cl *http.Client) (string, error) {
+				if mode == "write-mix" && iter%2 == 1 {
+					return base + "/status", getWith(cl, base+"/status")
+				}
+				return "/milestone", postWith(cl, milestoneURL(base))
+			})
+			c.Route = "/milestone"
+			if mode == "write-mix" {
+				c.Route = "/milestone+/status"
+			}
+			fmt.Printf("%-28s %-10s clients=%-3d %9.0f req/s  p50 %7.3f ms  p99 %7.3f ms\n",
+				c.Route, mode, n, c.ReqPerSec, c.P50Ms, c.P99Ms)
+			out = append(out, c)
+		}
+		shutdown()
+	}
+
+	// SSE fan-out at the largest client count.
+	subs := clients[len(clients)-1]
+	p, err := trackedProject()
+	if err != nil {
+		fatal("%v", err)
+	}
+	base, shutdown, err := startServer(p, false, false)
+	if err != nil {
+		fatal("%v", err)
+	}
+	c := sseFanout(base, subs, window)
+	fmt.Printf("%-28s %-10s subs=%-5d %9.0f writes/s  %9.0f events/s delivered\n",
+		c.Route, c.Mode, subs, c.ReqPerSec, c.EventsPerSec)
+	out = append(out, c)
+	shutdown()
+	return out
+}
+
+// hammerOps is the generic closed loop: n clients each run op
+// back-to-back for the window; op returns the label only for error
+// reporting. All per-request latencies pool into one distribution.
+func hammerOps(mode string, n int, window time.Duration, op func(i, iter int, cl *http.Client) (string, error)) cell {
+	perClient := make([][]time.Duration, n)
+	deadline := time.Now().Add(window)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			client := &http.Client{}
+			for iter := 0; time.Now().Before(deadline); iter++ {
+				t0 := time.Now()
+				if label, err := op(i, iter, client); err != nil {
+					fatal("%s: %v", label, err)
+				}
+				perClient[i] = append(perClient[i], time.Since(t0))
+			}
+		}(i)
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var lat []time.Duration
+	for _, l := range perClient {
+		lat = append(lat, l...)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return cell{
+		Mode: mode, Clients: n, Requests: len(lat),
+		ReqPerSec: float64(len(lat)) / elapsed.Seconds(),
+		P50Ms:     ms(percentile(lat, 0.50)),
+		P99Ms:     ms(percentile(lat, 0.99)),
+	}
+}
+
+// sseFanout holds subs event streams open while one writer imports at
+// full tilt, and measures both sides: writer throughput with fan-out
+// active, and aggregate SSE delivery across subscribers.
+func sseFanout(base string, subs int, window time.Duration) cell {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var delivered atomic.Int64
+	var wg sync.WaitGroup
+	ready := make(chan struct{}, subs)
+	for i := 0; i < subs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/events?stream=sse", nil)
+			if err != nil {
+				fatal("sse request: %v", err)
+			}
+			req.Header.Set("Accept", "text/event-stream")
+			res, err := http.DefaultClient.Do(req)
+			if err != nil {
+				fatal("GET /events: %v", err)
+			}
+			defer res.Body.Close()
+			if res.StatusCode != http.StatusOK {
+				fatal("GET /events: status %d", res.StatusCode)
+			}
+			ready <- struct{}{}
+			sc := bufio.NewScanner(res.Body)
+			for sc.Scan() {
+				if strings.HasPrefix(sc.Text(), "data:") {
+					delivered.Add(1)
+				}
+			}
+		}()
+	}
+	for i := 0; i < subs; i++ {
+		<-ready
+	}
+
+	writes := 0
+	cl := &http.Client{}
+	start := time.Now()
+	deadline := start.Add(window)
+	for time.Now().Before(deadline) {
+		if err := postBodyWith(cl, base+"/import?class=stimuli", "pulse 0 5 1ns"); err != nil {
+			fatal("POST /import: %v", err)
+		}
+		writes++
+	}
+	elapsed := time.Since(start)
+	// Give in-flight deliveries a beat to land before tearing streams down.
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	wg.Wait()
+
+	return cell{
+		Route: "/events (sse)", Mode: "sse-fanout", Clients: subs, Requests: writes,
+		ReqPerSec:    float64(writes) / elapsed.Seconds(),
+		EventsPerSec: float64(delivered.Load()) / elapsed.Seconds(),
 	}
 }
 
@@ -419,6 +616,25 @@ func hammer(base, route, mode string, n int, window time.Duration, pre func()) c
 }
 
 func getOnce(url string) error { return getWith(http.DefaultClient, url) }
+
+// postBodyWith POSTs a small body and drains the response, failing on
+// any non-200.
+func postBodyWith(c *http.Client, url, body string) error {
+	res, err := c.Post(url, "text/plain", strings.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if _, err := io.Copy(io.Discard, res.Body); err != nil {
+		return err
+	}
+	if res.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", res.StatusCode)
+	}
+	return nil
+}
+
+func postWith(c *http.Client, url string) error { return postBodyWith(c, url, "") }
 
 // scrapeCounter reads one counter off the server's /metrics page.
 func scrapeCounter(base, name string) int64 {

@@ -1,7 +1,10 @@
 // Command flowservd serves flowsched projects over HTTP: every read
 // surface of the facade (status, Gantt, dashboard, CPM, milestones,
-// queries, risk, what-if sweeps, predictions) plus Prometheus metrics
-// and the dual-clock trace, all answered from consistent store
+// queries, risk, what-if sweeps, predictions), the mutating routes
+// (plan, run, track, complete, import, milestone, propagate, edit,
+// fork) with optimistic concurrency via If-Match, a Server-Sent-Events
+// stream of flow events, and virtual-time schedules, plus Prometheus
+// metrics and the dual-clock trace, all answered from consistent store
 // snapshots (see internal/serve and docs/serve.md).
 //
 // It runs in one of two modes:
@@ -85,13 +88,22 @@ func run(args []string) error {
 		slow     = fs.Duration("trace-slow", 0, "latency at which a request's trace is always retained (0 = default 500ms, negative = off)")
 		pprofF   = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 
-		maxInFlight = fs.Int("max-inflight", 0, "admission-control capacity in weight units (/risk and /whatif cost 8, other reads 1; 0 = off)")
+		maxInFlight = fs.Int("max-inflight", 0, "admission-control capacity in weight units (/risk, /whatif and /run cost 8, /plan 4, other routes 1; 0 = off)")
 		queueDepth  = fs.Int("queue-depth", 0, "requests allowed to wait for admission before shedding 503 (0 = 2×max-inflight)")
 		retryAfter  = fs.Duration("retry-after", time.Second, "Retry-After hint on shed responses")
 		routeDL     = fs.Duration("route-deadline", 0, "per-request rendering deadline; expiring simulations stop and answer 503 (0 = off)")
 		tenantRate  = fs.Float64("tenant-rate", 0, "host mode: per-project fair-share tokens per second (0 = off)")
 		tenantBurst = fs.Int("tenant-burst", 0, "host mode: per-project token-bucket burst (0 = ceil(tenant-rate))")
+
+		readOnly = fs.Bool("readonly", false, "disable the mutating routes (POST /plan, /run, /track, ...): writes answer 403")
+		sseQueue = fs.Int("sse-queue", 0, "per-subscriber SSE event queue; a subscriber that falls this far behind is dropped and resumes via Last-Event-ID (0 = default 64)")
+		maxForks = fs.Int("max-forks", 0, "fork sessions held at once; POST /fork beyond it answers 409 (0 = default 8)")
 	)
+	var schedules []string
+	fs.Func("schedule", "virtual-time schedule `kind:action[:targets[:hours]]` (kind hourly|daily|weekly|every=4h; action plan|run|propagate; repeatable; single-project mode)", func(v string) error {
+		schedules = append(schedules, v)
+		return nil
+	})
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -109,12 +121,18 @@ func run(args []string) error {
 		RouteDeadline:      *routeDL,
 		TenantRate:         *tenantRate,
 		TenantBurst:        *tenantBurst,
+		ReadOnly:           *readOnly,
+		SSEQueue:           *sseQueue,
+		MaxForks:           *maxForks,
 	}
 
 	var s drainable
 	if *root != "" {
 		if *load != "" {
 			return fmt.Errorf("-root and -load are mutually exclusive")
+		}
+		if len(schedules) > 0 {
+			return fmt.Errorf("-schedule is single-project only; in host mode POST /p/{id}/schedules instead")
 		}
 		h, err := buildHost(*root, *create, *schemaF, *designer, *checkEv, sopt)
 		if err != nil {
@@ -130,7 +148,16 @@ func run(args []string) error {
 		if err := prepare(p, *plan, *hours, *runPlan); err != nil {
 			return err
 		}
-		s = serve.New(p, sopt)
+		srv := serve.New(p, sopt)
+		for _, spec := range schedules {
+			sc, err := srv.AddSchedule(spec)
+			if err != nil {
+				return err
+			}
+			log.Printf("schedule %d: %s %s (next virtual fire %s)",
+				sc.ID, sc.Kind, sc.Action, sc.Next.Format(time.RFC3339))
+		}
+		s = srv
 		log.Printf("serving %s on %s (virtual now %s, cache %v)",
 			p.Schema().Name, *addr, p.Now().Format(time.RFC3339), !*noCache)
 	}

@@ -800,18 +800,19 @@ func (s *session) flight(args []string) error {
 	return nil
 }
 
-// events prints only the manager events appended since the last call,
-// using the EventsSince cursor instead of re-copying the full stream.
+// events prints only the manager events appended since the last call.
+// EventsPage hands back the next cursor alongside the page, so the
+// session never has to reconstruct it from the slice length.
 func (s *session) events(args []string) error {
 	if len(args) != 0 {
 		return fmt.Errorf("usage: events")
 	}
-	evs := s.project.EventsSince(s.eventSeq)
+	evs, next := s.project.EventsPage(s.eventSeq)
 	if len(evs) == 0 {
 		fmt.Fprintln(s.out, "no new events")
 		return nil
 	}
-	s.eventSeq += len(evs)
+	s.eventSeq = next
 	for _, e := range evs {
 		act := e.Activity
 		if act == "" {

@@ -420,6 +420,8 @@ func applyMutation(db *store.DB, m *store.Mutation) error {
 		err = db.SetPayload(m.ID, m.Payload)
 	case store.MutLink:
 		err = db.Link(m.A, m.B)
+	case store.MutTouch:
+		db.Touch()
 	default:
 		err = fmt.Errorf("flowsched: unknown mutation kind %q", m.Kind)
 	}

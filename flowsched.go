@@ -609,6 +609,46 @@ func (p *Project) Events() []Event { return p.mgr.Events() }
 // full history each time.
 func (p *Project) EventsSince(seq int) []Event { return p.mgr.EventsSince(seq) }
 
+// EventsPage returns the events from cursor since on plus the next
+// cursor to resume from — the same resume token the HTTP /events route
+// returns as "next" (and stamps as SSE event IDs). Negative cursors
+// are treated as 0 so next never drifts below the true position.
+func (p *Project) EventsPage(since int) ([]Event, int) {
+	if since < 0 {
+		since = 0
+	}
+	evs := p.mgr.EventsSince(since)
+	return evs, since + len(evs)
+}
+
+// EventsAfter is the push-consumer variant of EventsSince: when events
+// past seq already exist they return immediately (wake is nil);
+// otherwise wake is closed at the next append and the caller re-reads.
+// The SSE broadcast hub rides this — one blocked goroutine per stream
+// instead of a poll loop.
+func (p *Project) EventsAfter(seq int) ([]Event, <-chan struct{}) { return p.mgr.EventsAfter(seq) }
+
+// EventCount is the current event-stream length — the cursor at which
+// a new live subscriber starts following.
+func (p *Project) EventCount() int { return p.mgr.EventCount() }
+
+// ApplyScenarioEdit commits a what-if edit to the live project: the
+// perturbed activities' tools are rebound with scaled/delayed profiles
+// (instance names kept, so seeds and output content are unchanged — an
+// accepted edit shifts time, not design behaviour). This is the write
+// behind `POST /edit`: a designer promotes a scenario from Scenarios
+// into the tracked reality. Fault edits are refused; use InjectFaults.
+func (p *Project) ApplyScenarioEdit(e ScenarioEdit) error {
+	if err := scenario.Apply(p.mgr, e); err != nil {
+		return err
+	}
+	// The rebind changed every future estimate without touching the
+	// store; bump the version so snapshot caches drop stale risk and
+	// prediction renders and concurrent If-Match writes see the edit.
+	p.mgr.DB.Touch()
+	return p.commitDurable()
+}
+
 // Metrics returns a point-in-time snapshot of every registered metric,
 // sorted by name. Empty unless Options.Obs enabled observability.
 func (p *Project) Metrics() []MetricSnapshot { return p.obs.Metrics().Snapshot() }

@@ -81,11 +81,16 @@ type eventLog struct {
 	mu   sync.Mutex
 	evs  []Event
 	hook func(Event)
+	wake chan struct{} // closed (and replaced) on append; lazily created
 }
 
 func (l *eventLog) append(e Event) {
 	l.mu.Lock()
 	l.evs = append(l.evs, e)
+	if l.wake != nil {
+		close(l.wake)
+		l.wake = nil
+	}
 	hook := l.hook
 	l.mu.Unlock()
 	if hook != nil {
@@ -103,6 +108,31 @@ func (l *eventLog) since(seq int) []Event {
 		return nil
 	}
 	return append([]Event(nil), l.evs[seq:]...)
+}
+
+// after is since plus a wakeup: when no events past seq exist yet, it
+// returns a channel that is closed at the next append, so a streaming
+// consumer can block instead of polling. The channel is shared by all
+// waiters of the current log length and is only valid for one wait.
+func (l *eventLog) after(seq int) ([]Event, <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq < 0 {
+		seq = 0
+	}
+	if seq < len(l.evs) {
+		return append([]Event(nil), l.evs[seq:]...), nil
+	}
+	if l.wake == nil {
+		l.wake = make(chan struct{})
+	}
+	return nil, l.wake
+}
+
+func (l *eventLog) count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.evs)
 }
 
 // Manager is the workflow manager.
@@ -239,6 +269,17 @@ func (m *Manager) Events() []Event { return m.ev.since(0) }
 // executes on another goroutine.
 func (m *Manager) EventsSince(seq int) []Event { return m.ev.since(seq) }
 
+// EventsAfter is EventsSince for push consumers: when events past seq
+// already exist they are returned immediately (wake is nil); otherwise
+// the returned channel is closed at the next append (or stream
+// restore), after which the caller re-reads. One goroutine per stream
+// can ride this without ever polling.
+func (m *Manager) EventsAfter(seq int) ([]Event, <-chan struct{}) { return m.ev.after(seq) }
+
+// EventCount reports the current length of the event stream — the
+// cursor at which a new push consumer should start following.
+func (m *Manager) EventCount() int { return m.ev.count() }
+
 // SetEventHook installs fn to observe every event as it is emitted, after
 // it is appended to the stream — the change feed a write-ahead log
 // subscribes to. Events are emitted from the executing goroutine in
@@ -257,6 +298,10 @@ func (m *Manager) SetEventHook(fn func(Event)) {
 func (m *Manager) RestoreEvents(evs []Event) {
 	m.ev.mu.Lock()
 	m.ev.evs = append([]Event(nil), evs...)
+	if m.ev.wake != nil {
+		close(m.ev.wake)
+		m.ev.wake = nil
+	}
 	m.ev.mu.Unlock()
 }
 

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"testing"
+	"time"
 )
 
 // TestParallelEventStreamOrderedPerActivity pins the ExecOptions
@@ -118,5 +119,58 @@ func TestEventsSinceCursor(t *testing.T) {
 	tail[0].Detail = "mutated"
 	if m.Events()[2].Detail == "mutated" {
 		t.Fatal("EventsSince aliases the manager's event stream")
+	}
+}
+
+// TestEventsAfterWakesOnAppend pins the push-consumer contract: when no
+// events past the cursor exist, EventsAfter hands back a channel that
+// closes at the next append, after which a re-read returns exactly the
+// new tail — the primitive the HTTP SSE hub blocks on instead of
+// polling.
+func TestEventsAfterWakesOnAppend(t *testing.T) {
+	l := &eventLog{}
+	l.append(Event{Kind: EvRunStarted, Activity: "A"})
+
+	// Existing tail: returned immediately, no wake channel.
+	evs, wake := l.after(0)
+	if len(evs) != 1 || wake != nil {
+		t.Fatalf("after(0) = %d events, wake %v; want 1 events, nil wake", len(evs), wake)
+	}
+
+	// Caught up: no events, a wake channel that is not yet closed.
+	evs, wake = l.after(1)
+	if evs != nil || wake == nil {
+		t.Fatalf("after(1) = %v, %v; want nil events and a wake channel", evs, wake)
+	}
+	select {
+	case <-wake:
+		t.Fatal("wake channel closed before any append")
+	default:
+	}
+
+	done := make(chan []Event)
+	go func() {
+		<-wake
+		tail, _ := l.after(1)
+		done <- tail
+	}()
+	l.append(Event{Kind: EvRunFinished, Activity: "A"})
+	select {
+	case tail := <-done:
+		if len(tail) != 1 || tail[0].Kind != EvRunFinished {
+			t.Fatalf("woken read = %+v, want the one appended event", tail)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("EventsAfter waiter never woke on append")
+	}
+
+	// Two waiters share one wake channel; both see the same close.
+	_, w1 := l.after(2)
+	_, w2 := l.after(2)
+	if w1 != w2 {
+		t.Fatal("concurrent waiters got different wake channels")
+	}
+	if n := l.count(); n != 2 {
+		t.Fatalf("count = %d, want 2", n)
 	}
 }

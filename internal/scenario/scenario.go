@@ -410,6 +410,33 @@ func validate(m *engine.Manager, inScope []string, edits []Edit) error {
 	return nil
 }
 
+// Apply commits one edit to a live manager instead of a fork — the
+// write-path variant behind `POST /edit`: a designer accepts a what-if
+// (say "Simulate will run 1.5× slow from now on") and rebinds the real
+// tools accordingly. Faults edits are refused — arming fault injection
+// is a separate, explicit surface. The Parallel flag is ignored (it
+// describes how a scenario fork executes, not a binding).
+func Apply(m *engine.Manager, e Edit) error {
+	if e.Faults != nil {
+		return fmt.Errorf("scenario %q: fault edits cannot be applied to a live project", e.Name)
+	}
+	for act, factor := range e.Scale {
+		if factor <= 0 {
+			return fmt.Errorf("scenario %q: scale factor %g for %q must be > 0", e.Name, factor, act)
+		}
+	}
+	for _, act := range e.activities() {
+		t := m.Tools.For(act)
+		if t == nil {
+			return fmt.Errorf("scenario %q: no tool bound to activity %q", e.Name, act)
+		}
+		if _, ok := t.(profiled); !ok {
+			return fmt.Errorf("scenario %q: tool %s for %q has no profile to edit", e.Name, t.Instance(), act)
+		}
+	}
+	return apply(m, &e)
+}
+
 // apply rebinds each perturbed activity's tool in the fork with an
 // adjusted profile. The instance name is kept, so the tool's seed — and
 // with it iteration counts and output content — is unchanged: an edit

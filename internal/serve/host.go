@@ -145,6 +145,14 @@ func (h *Host) Serve(l net.Listener) error { return h.srv.Serve(l) }
 // requests complete (bounded by ctx), and then every resident project
 // is checkpointed and its WAL closed — restart replays nothing.
 func (h *Host) Shutdown(ctx context.Context) error {
+	// End every project's SSE streams first: each live subscriber gets
+	// a terminal frame and its handler returns, so the listener drain
+	// below never waits on a parked stream.
+	h.mu.Lock()
+	for _, ps := range h.servers {
+		ps.srv.CloseStreams()
+	}
+	h.mu.Unlock()
 	err := h.srv.Shutdown(ctx)
 	if cerr := h.reg.Close(); err == nil {
 		err = cerr
@@ -201,6 +209,19 @@ func (h *Host) serverFor(id string, p *flowsched.Project) *Server {
 	// All per-project servers draw from the host's one admission budget
 	// (and its one queue-depth gauge) rather than each minting their own.
 	opt.lim = h.lim
+	// Writes go through the registry's per-project lock (Handle.Do),
+	// not the sub-server's own mutex, so an HTTP write serializes with
+	// checkpoints, drain, and any embedded writer sharing the registry.
+	// The request already holds a pin, so this nested Get is a cheap
+	// refcount bump on the resident instance.
+	opt.writeVia = func(fn func(*flowsched.Project) error) error {
+		hd, err := h.reg.Get(id)
+		if err != nil {
+			return err
+		}
+		defer hd.Release()
+		return hd.Do(fn)
+	}
 	ps := &projServer{p: p, srv: New(p, opt)}
 	h.servers[id] = ps
 	return ps.srv

@@ -17,6 +17,7 @@ import (
 // shedding.
 const (
 	lightWeight = 1
+	planWeight  = 4
 	heavyWeight = 8
 )
 
@@ -25,7 +26,18 @@ func routeWeight(name string) int64 {
 	switch name {
 	case "risk", "whatif":
 		return heavyWeight
-	case "metrics", "healthz", "trace", "events", "debug_requests", "debug_trace":
+	// Writes are admission-weighted by the work behind them: a run
+	// executes the flow (as heavy as a simulation), a plan simulates
+	// scheduling, the bookkeeping writes cost a read's unit. /events
+	// stays free — SSE streams park for hours and must not hold
+	// admission units; their cost is bounded by the hub's queues.
+	case "run":
+		return heavyWeight
+	case "plan":
+		return planWeight
+	case "track", "complete", "import", "milestone", "propagate", "edit", "fork":
+		return lightWeight
+	case "metrics", "healthz", "trace", "events", "debug_requests", "debug_trace", "schedules":
 		return 0
 	}
 	return lightWeight

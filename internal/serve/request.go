@@ -83,6 +83,19 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Flush forwards to the underlying writer so SSE streams can push each
+// event through the connection as it happens.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.NewResponseController reach the real connection —
+// the SSE handler uses it to clear the server's write deadline on
+// long-lived streams.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // debugRequests serves the flight recorder's two tiers as JSON.
 func (s *Server) debugRequests(w http.ResponseWriter, _ *http.Request) {
 	recent, slowest := s.flight.Snapshot()

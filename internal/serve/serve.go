@@ -37,6 +37,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -107,11 +108,29 @@ type Options struct {
 	// buckets. TenantBurst defaults to max(1, ceil(TenantRate)).
 	TenantRate  float64
 	TenantBurst int
+	// ReadOnly disables every mutating route (writes, scenario edits,
+	// fork sessions, schedule CRUD): POSTs answer 403. The read-only
+	// server of earlier releases, for deployments that mutate through
+	// the Go facade or CLI only.
+	ReadOnly bool
+	// SSEQueue bounds each SSE subscriber's event queue (default 64).
+	// A subscriber whose queue overflows is dropped — it reconnects
+	// with Last-Event-ID and replays what it missed — so one stalled
+	// dashboard never stalls the broadcast pump or its peers.
+	SSEQueue int
+	// MaxForks bounds the concurrently held fork sessions (default 8);
+	// POST /fork beyond it answers 409 until one is deleted.
+	MaxForks int
 
 	// lim, when set, replaces the server's own limiter — the multi-
 	// tenant Host shares one admission budget across all its per-project
 	// servers.
 	lim *limiter
+	// writeVia, when set, routes every write through the host's
+	// per-project write lock (host.Handle.Do) instead of the server's
+	// own mutex, so HTTP writes serialize with checkpoints, eviction,
+	// and any embedded writers sharing the registry.
+	writeVia func(func(*flowsched.Project) error) error
 }
 
 // Server serves one project's read surfaces.
@@ -140,6 +159,15 @@ type Server struct {
 	lim      *limiter
 	shed     *obs.CounterVec // serve_shed_total{route,reason}
 	canceled *obs.CounterVec // serve_requests_canceled_total{route}
+
+	hub *eventHub // SSE broadcast fan-out for /events
+
+	wmu       sync.Mutex      // serializes writes in standalone mode (see Options.writeVia)
+	writes    *obs.CounterVec // serve_writes_total{route,outcome}
+	conflicts *obs.Counter    // serve_write_conflicts_total
+
+	forks forkSessions // named what-if fork sessions (POST /fork, ?fork=)
+	sched *scheduler   // virtual-time cron schedules (/schedules)
 }
 
 // New builds a server over a project. The project stays fully usable —
@@ -176,7 +204,12 @@ func New(p *flowsched.Project, opt Options) *Server {
 		traceDiscards: reg.Counter("serve_trace_discarded_total"),
 		shed:          reg.CounterVec("serve_shed_total", "route", "reason"),
 		canceled:      reg.CounterVec("serve_requests_canceled_total", "route"),
+		writes:        reg.CounterVec("serve_writes_total", "route", "outcome"),
+		conflicts:     reg.Counter("serve_write_conflicts_total"),
 	}
+	s.hub = newEventHub(p, opt.SSEQueue, reg)
+	s.forks.max = opt.MaxForks
+	s.sched = newScheduler(reg)
 	if opt.RetryAfter <= 0 {
 		opt.RetryAfter = time.Second
 		s.opt.RetryAfter = opt.RetryAfter
@@ -225,9 +258,19 @@ func (s *Server) ListenAndServe() error { return s.srv.ListenAndServe() }
 // Serve serves on an existing listener (Options.Addr is ignored).
 func (s *Server) Serve(l net.Listener) error { return s.srv.Serve(l) }
 
-// Shutdown drains gracefully: the listener closes immediately, in-flight
-// requests run to completion (bounded by ctx), idle connections close.
-func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
+// Shutdown drains gracefully: the event hub closes first (every live
+// SSE subscriber gets a terminal "shutdown" frame and its handler
+// returns, so streams never wedge the drain), then the listener closes
+// and in-flight requests run to completion (bounded by ctx).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.hub.close()
+	return s.srv.Shutdown(ctx)
+}
+
+// CloseStreams ends every live SSE stream with a terminal frame without
+// shutting the HTTP server down — the Host drains its per-project
+// servers this way before closing its own listener.
+func (s *Server) CloseStreams() { s.hub.close() }
 
 // httpError carries a status code through a renderer error path.
 type httpError struct {
@@ -285,6 +328,11 @@ func (s *Server) routes() {
 	s.handleViewFP("/whatif", "whatif", whatifFingerprint, renderWhatIf)
 	s.handleView("/predict", "predict", renderPredict)
 	s.handleView("/version", "version", renderVersion)
+
+	// Mutating surfaces (write.go) and virtual-time schedules
+	// (schedule.go). Registered even under Options.ReadOnly so clients
+	// get a deliberate 403, not a confusing 404.
+	s.writeRoutes()
 
 	// Live (uncached) surfaces.
 	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.metrics))
@@ -398,7 +446,17 @@ func (s *Server) handleViewFP(pattern, name string, fp fingerprintFunc, fn rende
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		v, err := s.p.View()
+		proj := s.p
+		if fname := r.URL.Query().Get("fork"); fname != "" {
+			// Read a fork session's state through the same routes
+			// (write.go): a designer inspects a what-if branch with the
+			// full read surface before deciding to promote or discard.
+			if proj = s.forks.get(fname); proj == nil {
+				http.Error(w, fmt.Sprintf("no fork session %q", fname), http.StatusNotFound)
+				return
+			}
+		}
+		v, err := proj.View()
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -835,10 +893,27 @@ func (s *Server) trace(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, s.p.TraceTree(depth))
 }
 
+// events serves the event stream in two modes sharing one cursor
+// space: the default JSON poll returns the tail past ?since plus the
+// "next" cursor to resume from, and SSE (Accept: text/event-stream or
+// ?stream=sse) pushes each event as it happens via the broadcast hub,
+// with the same cursors as event IDs so Last-Event-ID resumes exactly
+// where a poll (or a dropped stream) left off.
 func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	since, err := qInt(r, "since", 0)
 	if err != nil {
 		http.Error(w, err.Error(), errCode(err))
+		return
+	}
+	if since < 0 {
+		// A negative cursor is a client bug (cursor underflow), and
+		// silently replaying the whole stream would hide it behind a
+		// huge download. Refuse loudly.
+		http.Error(w, fmt.Sprintf("bad since %d: cursor must be >= 0", since), http.StatusBadRequest)
+		return
+	}
+	if wantsSSE(r) {
+		s.eventsSSE(w, r, since)
 		return
 	}
 	evs := s.p.EventsSince(since)
@@ -847,8 +922,9 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 	}
 	body, ctype, err := jsonBody(struct {
 		Since  int               `json:"since"`
+		Next   int               `json:"next"`
 		Events []flowsched.Event `json:"events"`
-	}{since, evs})
+	}{since, since + len(evs), evs})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return

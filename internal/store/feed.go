@@ -15,6 +15,11 @@ const (
 	MutPayload MutationKind = "payload"
 	// MutLink is a bidirectional cross-space link.
 	MutLink MutationKind = "link"
+	// MutTouch is a contentless version bump: a committed mutation that
+	// lives outside the database (a scenario edit rebinding tool
+	// profiles) but must still advance the version counter so
+	// version-keyed caches and optimistic-concurrency checks see it.
+	MutTouch MutationKind = "touch"
 )
 
 // Mutation describes one committed mutation, emitted to the commit hook

@@ -167,10 +167,25 @@ func NewDB() *DB {
 }
 
 // Version returns the database's mutation counter. It increases on every
-// container creation, put, payload swap, and link.
+// container creation, put, payload swap, link, and touch.
 func (db *DB) Version() uint64 {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	return db.version
+}
+
+// Touch commits a contentless version bump and returns the new version.
+// It exists for mutations that live outside the database — a scenario
+// edit rebinds tool profiles, changing every future estimate — yet must
+// invalidate version-keyed snapshot caches and fail concurrent
+// optimistic writes, exactly like a data mutation. The bump is emitted
+// to the commit feed (MutTouch) so write-ahead replay reproduces the
+// version counter bit-identically.
+func (db *DB) Touch() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.version++
+	db.emitLocked(Mutation{Kind: MutTouch, Version: db.version})
 	return db.version
 }
 

@@ -89,6 +89,14 @@ func (p *Project) View() (*ProjectView, error) {
 // versions observed the identical Level 3 state.
 func (v *ProjectView) Version() uint64 { return v.view.Version() }
 
+// Version is the project's current store version — the same number a
+// concurrent View (and every HTTP response's X-Flowsched-Version
+// header) reports. The HTTP write path compares it against If-Match
+// for optimistic concurrency: a client edits against the version it
+// read, and a mismatch at write time means someone else got there
+// first.
+func (p *Project) Version() uint64 { return p.mgr.DB.Version() }
+
 // Now is the virtual time captured with the snapshot.
 func (v *ProjectView) Now() time.Time { return v.now }
 
